@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablations over the mechanism's structures:
+ *  1. separate load/store DDTs (Section 5.6.2's fix for the common-
+ *     DDT eviction anomaly) vs the shared table;
+ *  2. DPNT geometry (finite vs infinite);
+ *  3. synonym file size;
+ *  4. DDT detection granularity.
+ *
+ * Reported as mean coverage / misspeculation over the whole suite.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/cloaking.hh"
+
+namespace {
+
+struct Variant
+{
+    std::string name;
+    std::function<void(rarpred::CloakingConfig &)> apply;
+};
+
+} // namespace
+
+int
+main()
+{
+    using rarpred::CloakingConfig;
+
+    const std::vector<Variant> variants = {
+        {"baseline (128 DDT, 8K/2 DPNT, 1K/2 SF)", [](CloakingConfig &) {}},
+        {"separate load/store DDTs",
+         [](CloakingConfig &c) { c.ddt.separateTables = true; }},
+        {"DDT 512 entries",
+         [](CloakingConfig &c) { c.ddt.entries = 512; }},
+        {"DDT 32 entries",
+         [](CloakingConfig &c) { c.ddt.entries = 32; }},
+        {"infinite DPNT",
+         [](CloakingConfig &c) { c.dpnt.geometry = {0, 0}; }},
+        {"DPNT 1K 2-way",
+         [](CloakingConfig &c) { c.dpnt.geometry = {1024, 2}; }},
+        {"infinite SF", [](CloakingConfig &c) { c.sf = {0, 0}; }},
+        {"SF 128 2-way", [](CloakingConfig &c) { c.sf = {128, 2}; }},
+        {"DDT granularity 32B",
+         [](CloakingConfig &c) { c.ddt.granularityLog2 = 5; }},
+    };
+
+    std::printf("Ablation: structure geometry "
+                "(suite mean coverage / misspeculation)\n\n");
+    for (const auto &variant : variants) {
+        double cov = 0, misp = 0, raw = 0, rar = 0;
+        for (const auto &w : rarpred::allWorkloads()) {
+            CloakingConfig config;
+            config.ddt.entries = 128;
+            config.dpnt.geometry = {8192, 2};
+            config.sf = {1024, 2};
+            variant.apply(config);
+            rarpred::CloakingEngine engine(config);
+            rarpred::benchutil::runWorkload(w, engine);
+            const auto &s = engine.stats();
+            cov += s.coverage();
+            misp += s.mispredictionRate();
+            raw += s.detectedRaw / (double)s.loads;
+            rar += s.detectedRar / (double)s.loads;
+        }
+        std::printf("%-40s cov %6.2f%%  misp %6.3f%%  "
+                    "(det RAW %5.1f%% RAR %5.1f%%)\n",
+                    variant.name.c_str(), 100 * cov / 18,
+                    100 * misp / 18, 100 * raw / 18, 100 * rar / 18);
+    }
+    std::printf("\nExpected: separate DDTs recover RAW detections the "
+                "shared table loses to load\nevictions; accuracy "
+                "degrades gracefully with smaller DPNT/SF.\n");
+    return 0;
+}

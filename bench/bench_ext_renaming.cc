@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Extension experiment: the Section 5.5 synergy made concrete. For
+ * every workload, compares the loads correctly covered by cloaking
+ * alone, last-value prediction alone, and the combined
+ * chooser-arbitrated mechanism (memory renaming after Tyson & Austin
+ * [20]), plus profile-guided (software) cloaking after Reinman et
+ * al. [17].
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/memory_renaming.hh"
+#include "core/profile_cloaking.hh"
+
+int
+main()
+{
+    using namespace rarpred;
+
+    std::printf("Extensions: combined cloaking+VP and profile-guided "
+                "cloaking\n(correct speculative values as %% of all "
+                "loads)\n\n");
+    std::printf("%-6s | %8s %8s %9s | %9s (misp)\n", "prog", "cloak",
+                "VP", "combined", "profile");
+
+    double sums[4] = {};
+    for (const auto &w : allWorkloads()) {
+        CloakingConfig config;
+        config.ddt.entries = 128;
+
+        // Hardware cloaking alone + VP alone + combined, in one pass.
+        CloakingEngine cloak(config);
+        LastValuePredictor vp({16384, 0});
+        MemoryRenaming combined(config);
+        uint64_t loads = 0, cloak_ok = 0, vp_ok = 0;
+        {
+            Program p = w.build(1);
+            MicroVM vm(p);
+            DynInst di;
+            while (vm.next(di)) {
+                auto oc = cloak.processInst(di);
+                bool vc = vp.processInst(di);
+                combined.processInst(di);
+                if (oc.wasLoad) {
+                    ++loads;
+                    cloak_ok += oc.used && oc.correct;
+                    vp_ok += vc;
+                }
+            }
+        }
+
+        // Profile-guided: train on one run, deploy on a fresh run.
+        DependenceProfiler profiler(DdtConfig{});
+        {
+            Program p = w.build(1);
+            MicroVM vm(p);
+            vm.run(profiler, 100'000'000ull);
+        }
+        CloakingEngine static_engine =
+            makeProfileGuidedEngine(profiler.profile(8, 0.85));
+        {
+            Program p = w.build(1);
+            MicroVM vm(p);
+            vm.run(static_engine, 100'000'000ull);
+        }
+
+        const double c = (double)cloak_ok / loads;
+        const double v = (double)vp_ok / loads;
+        const double m = combined.stats().coverage();
+        const double pg = static_engine.stats().coverage();
+        std::printf("%-6s | %7.1f%% %7.1f%% %8.1f%% | %8.1f%% "
+                    "(%.3f%%)\n",
+                    w.abbrev.c_str(), 100 * c, 100 * v, 100 * m,
+                    100 * pg,
+                    100 * static_engine.stats().mispredictionRate());
+        sums[0] += c;
+        sums[1] += v;
+        sums[2] += m;
+        sums[3] += pg;
+    }
+    std::printf("%-6s | %7.1f%% %7.1f%% %8.1f%% | %8.1f%%\n", "MEAN",
+                100 * sums[0] / 18, 100 * sums[1] / 18,
+                100 * sums[2] / 18, 100 * sums[3] / 18);
+    std::printf("\nExpected: combined >= max(cloak, VP) per program "
+                "(the Section 5.5 synergy);\nprofile-guided reaches a "
+                "large share of hardware cloaking's coverage with\n"
+                "near-zero misspeculation.\n");
+    return 0;
+}

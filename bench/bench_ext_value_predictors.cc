@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Extension experiment: how richer value predictors (stride, finite
+ * context method) compare with cloaking — the "context-based value
+ * predictors could be used to increase load value prediction
+ * coverage" direction of Section 5.5.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/cloaking.hh"
+#include "core/value_predictor.hh"
+
+int
+main()
+{
+    using namespace rarpred;
+
+    std::printf("Extensions: value predictor family vs cloaking\n");
+    std::printf("(correct speculative values as %% of all loads)\n\n");
+    std::printf("%-6s | %8s %8s %8s | %8s\n", "prog", "last", "stride",
+                "context", "cloak");
+
+    double sums[4] = {};
+    for (const auto &w : allWorkloads()) {
+        LastValuePredictor last({16384, 0});
+        StrideValuePredictor stride({16384, 0});
+        ContextValuePredictor context({16384, 0}, 65536, 4);
+        CloakingConfig config;
+        config.ddt.entries = 128;
+        CloakingEngine cloak(config);
+
+        uint64_t loads = 0;
+        uint64_t ok[4] = {};
+        Program p = w.build(1);
+        MicroVM vm(p);
+        DynInst di;
+        while (vm.next(di)) {
+            bool l = last.processInst(di);
+            bool s = stride.processInst(di);
+            bool c = context.processInst(di);
+            auto o = cloak.processInst(di);
+            if (o.wasLoad) {
+                ++loads;
+                ok[0] += l;
+                ok[1] += s;
+                ok[2] += c;
+                ok[3] += o.used && o.correct;
+            }
+        }
+        std::printf("%-6s | %7.1f%% %7.1f%% %7.1f%% | %7.1f%%\n",
+                    w.abbrev.c_str(), 100.0 * ok[0] / loads,
+                    100.0 * ok[1] / loads, 100.0 * ok[2] / loads,
+                    100.0 * ok[3] / loads);
+        for (int i = 0; i < 4; ++i)
+            sums[i] += (double)ok[i] / loads;
+    }
+    std::printf("%-6s | %7.1f%% %7.1f%% %7.1f%% | %7.1f%%\n", "MEAN",
+                100 * sums[0] / 18, 100 * sums[1] / 18,
+                100 * sums[2] / 18, 100 * sums[3] / 18);
+    std::printf("\nExpected: stride > last-value on induction-heavy "
+                "codes; context captures\nrepeating sequences; cloaking "
+                "remains ahead on dependence-rich codes because\nit "
+                "does not require a predictable value sequence.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 10: speedup of cloaking/bypassing when the base
+ * processor does NOT speculate on memory dependences (loads wait for
+ * the addresses of all preceding stores). Left bar RAW-based, right
+ * bar RAW+RAR-based, both with selective invalidation.
+ *
+ * Paper expectations: speedups significantly higher (often double)
+ * than over the speculating base of Figure 9 — paper averages 9.8%
+ * (int) and 6.1% (fp) for RAW+RAR — though a few programs gain less
+ * because the critical path becomes loads cloaking cannot attack.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cpu/ooo_cpu.hh"
+
+namespace {
+
+rarpred::CloakTimingConfig
+mechanism(rarpred::CloakingMode mode)
+{
+    rarpred::CloakTimingConfig cloak;
+    cloak.enabled = true;
+    cloak.engine.mode = mode;
+    cloak.engine.ddt.entries = 128;
+    cloak.engine.dpnt.geometry = {8192, 2};
+    cloak.engine.dpnt.confidence =
+        rarpred::ConfidenceKind::TwoBitAdaptive;
+    cloak.engine.sf = {1024, 2};
+    cloak.recovery = rarpred::RecoveryModel::Selective;
+    return cloak;
+}
+
+uint64_t
+runCycles(const rarpred::Workload &w,
+          const rarpred::CloakTimingConfig &cloak)
+{
+    rarpred::CpuConfig config;
+    config.memDep = rarpred::MemDepPolicy::Conservative;
+    rarpred::OooCpu cpu(config, cloak);
+    rarpred::benchutil::runWorkload(w, cpu);
+    return cpu.stats().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    using rarpred::CloakingMode;
+
+    std::printf("Figure 10: speedup when the base does not speculate on "
+                "memory dependences\n\n");
+    std::printf("%-6s | %10s %10s\n", "prog", "RAW", "RAW+RAR");
+
+    double sums[2][2] = {};
+    int counts[2] = {0, 0};
+
+    for (const auto &w : rarpred::allWorkloads()) {
+        const uint64_t base = runCycles(w, {});
+        const uint64_t raw =
+            runCycles(w, mechanism(CloakingMode::RawOnly));
+        const uint64_t rr =
+            runCycles(w, mechanism(CloakingMode::RawPlusRar));
+        const double s0 = 100.0 * ((double)base / raw - 1.0);
+        const double s1 = 100.0 * ((double)base / rr - 1.0);
+        std::printf("%-6s | %9.2f%% %9.2f%%\n", w.abbrev.c_str(), s0,
+                    s1);
+        const int fp = w.isFp ? 1 : 0;
+        ++counts[fp];
+        sums[0][fp] += s0;
+        sums[1][fp] += s1;
+    }
+    for (int fp = 0; fp < 2; ++fp)
+        std::printf("%-6s | %9.2f%% %9.2f%%\n", fp ? "FP" : "INT",
+                    sums[0][fp] / counts[fp], sums[1][fp] / counts[fp]);
+    std::printf("\nPaper: RAW+RAR 9.8%% (int), 6.1%% (fp); speedups "
+                "often double those of Figure 9.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces Figure 9: speedup of cloaking/bypassing over the base
+ * out-of-order processor (which uses naive memory dependence
+ * speculation), for RAW-only vs combined RAW+RAR mechanisms and for
+ * selective vs squash misspeculation invalidation.
+ *
+ * Mechanism per Section 5.6.1: 128-entry fully-associative DDT, 8K
+ * 2-way DPNT, 1K 2-way synonym file, predictions at decode.
+ *
+ * Paper expectations: squash invalidation rarely wins; selective
+ * invalidation gives speedups on all programs; RAW+RAR beats RAW
+ * (averages 6.44% vs 4.28% int, 4.66% vs 3.20% fp).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cpu/ooo_cpu.hh"
+
+namespace {
+
+rarpred::CloakTimingConfig
+mechanism(rarpred::CloakingMode mode, rarpred::RecoveryModel recovery)
+{
+    rarpred::CloakTimingConfig cloak;
+    cloak.enabled = true;
+    cloak.engine.mode = mode;
+    cloak.engine.ddt.entries = 128;
+    cloak.engine.dpnt.geometry = {8192, 2};
+    cloak.engine.dpnt.confidence =
+        rarpred::ConfidenceKind::TwoBitAdaptive;
+    cloak.engine.sf = {1024, 2};
+    cloak.recovery = recovery;
+    return cloak;
+}
+
+uint64_t
+runCycles(const rarpred::Workload &w,
+          const rarpred::CloakTimingConfig &cloak,
+          bool mem_dep_speculation)
+{
+    rarpred::CpuConfig config;
+    config.memDep = mem_dep_speculation ? rarpred::MemDepPolicy::Naive
+                                    : rarpred::MemDepPolicy::Conservative;
+    rarpred::OooCpu cpu(config, cloak);
+    rarpred::benchutil::runWorkload(w, cpu);
+    return cpu.stats().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    using rarpred::CloakingMode;
+    using rarpred::RecoveryModel;
+
+    std::printf("Figure 9: speedup of cloaking/bypassing over the base "
+                "processor\n(base uses naive memory dependence "
+                "speculation)\n\n");
+    std::printf("%-6s | %10s %10s | %10s %10s\n", "prog", "sel RAW",
+                "sel R+R", "sq RAW", "sq R+R");
+
+    double sums[4][2] = {};
+    int counts[2] = {0, 0};
+
+    for (const auto &w : rarpred::allWorkloads()) {
+        const uint64_t base = runCycles(w, {}, true);
+        const uint64_t sel_raw = runCycles(
+            w, mechanism(CloakingMode::RawOnly, RecoveryModel::Selective),
+            true);
+        const uint64_t sel_rr = runCycles(
+            w,
+            mechanism(CloakingMode::RawPlusRar, RecoveryModel::Selective),
+            true);
+        const uint64_t sq_raw = runCycles(
+            w, mechanism(CloakingMode::RawOnly, RecoveryModel::Squash),
+            true);
+        const uint64_t sq_rr = runCycles(
+            w,
+            mechanism(CloakingMode::RawPlusRar, RecoveryModel::Squash),
+            true);
+
+        const double s[4] = {
+            100.0 * ((double)base / sel_raw - 1.0),
+            100.0 * ((double)base / sel_rr - 1.0),
+            100.0 * ((double)base / sq_raw - 1.0),
+            100.0 * ((double)base / sq_rr - 1.0),
+        };
+        std::printf("%-6s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n",
+                    w.abbrev.c_str(), s[0], s[1], s[2], s[3]);
+        const int fp = w.isFp ? 1 : 0;
+        ++counts[fp];
+        for (int i = 0; i < 4; ++i)
+            sums[i][fp] += s[i];
+    }
+
+    for (int fp = 0; fp < 2; ++fp)
+        std::printf("%-6s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n",
+                    fp ? "FP" : "INT", sums[0][fp] / counts[fp],
+                    sums[1][fp] / counts[fp], sums[2][fp] / counts[fp],
+                    sums[3][fp] / counts[fp]);
+    std::printf("%-6s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n", "ALL",
+                (sums[0][0] + sums[0][1]) / 18.0,
+                (sums[1][0] + sums[1][1]) / 18.0,
+                (sums[2][0] + sums[2][1]) / 18.0,
+                (sums[3][0] + sums[3][1]) / 18.0);
+    std::printf("\nPaper: selective RAW 4.28%% int / 3.20%% fp; "
+                "selective RAW+RAR 6.44%% int / 4.66%% fp;\n"
+                "squash rarely improves performance.\n");
+    return 0;
+}

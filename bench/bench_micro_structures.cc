@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the predictor structures
+ * themselves: DDT detection, DPNT lookup/train, synonym file traffic
+ * and the end-to-end engine. Useful when modifying the hot paths —
+ * the experiment drivers push hundreds of millions of events through
+ * these tables.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/cloaking.hh"
+#include "core/ddt.hh"
+#include "core/dpnt.hh"
+#include "core/synonym_file.hh"
+
+namespace {
+
+using namespace rarpred;
+
+void
+BM_DdtDetection(benchmark::State &state)
+{
+    DdtConfig config;
+    config.entries = (size_t)state.range(0);
+    DependenceDetector ddt(config);
+    Rng rng(1);
+    uint64_t pc = 0;
+    for (auto _ : state) {
+        uint64_t addr = (rng.next() & 0x3ff) << 3;
+        if ((pc & 7) == 0)
+            ddt.onStore(pc << 2, addr);
+        else
+            benchmark::DoNotOptimize(ddt.onLoad(pc << 2, addr));
+        ++pc;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DdtDetection)->Arg(128)->Arg(2048);
+
+void
+BM_DpntTrainLookup(benchmark::State &state)
+{
+    DpntConfig config;
+    config.geometry = {(size_t)state.range(0), 2};
+    Dpnt dpnt(config);
+    Rng rng(2);
+    for (auto _ : state) {
+        uint64_t src = (rng.next() & 0xff) << 2;
+        uint64_t sink = 0x1000 + ((rng.next() & 0xff) << 2);
+        dpnt.train({DepType::Rar, src, sink});
+        benchmark::DoNotOptimize(dpnt.lookup(sink));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpntTrainLookup)->Arg(8192);
+
+void
+BM_SynonymFileTraffic(benchmark::State &state)
+{
+    SynonymFile sf({(size_t)state.range(0), 2});
+    Rng rng(3);
+    for (auto _ : state) {
+        Synonym s = 1 + (rng.next() & 0x1ff);
+        sf.produce(s, rng.next(), false, 0, 0);
+        benchmark::DoNotOptimize(sf.consume(s));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SynonymFileTraffic)->Arg(1024);
+
+void
+BM_CloakingEngineEndToEnd(benchmark::State &state)
+{
+    CloakingConfig config;
+    config.ddt.entries = 128;
+    config.dpnt.geometry = {8192, 2};
+    config.sf = {1024, 2};
+    CloakingEngine engine(config);
+    Rng rng(4);
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        DynInst di;
+        di.seq = seq++;
+        di.pc = (rng.next() & 0x3f) << 2;
+        const bool is_store = (rng.next() & 7) == 0;
+        di.op = is_store ? Opcode::Sw : Opcode::Lw;
+        di.eaddr = (rng.next() & 0xff) << 3;
+        di.value = di.eaddr * 3;
+        benchmark::DoNotOptimize(engine.processInst(di));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CloakingEngineEndToEnd);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared helpers for the experiment drivers in bench/.
+ */
+
+#ifndef RARPRED_BENCH_BENCH_UTIL_HH_
+#define RARPRED_BENCH_BENCH_UTIL_HH_
+
+#include <cstdint>
+
+#include "vm/micro_vm.hh"
+#include "workload/workload.hh"
+
+namespace rarpred::benchutil {
+
+/** Execute @p w's program, feeding the trace to @p sink. */
+inline uint64_t
+runWorkload(const Workload &w, TraceSink &sink, uint32_t scale = 1,
+            uint64_t max_insts = 100'000'000ull)
+{
+    Program prog = w.build(scale);
+    MicroVM vm(prog);
+    return vm.run(sink, max_insts);
+}
+
+} // namespace rarpred::benchutil
+
+#endif // RARPRED_BENCH_BENCH_UTIL_HH_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Authoring a custom benchmark with the kernel library and profiling
+ * its memory dependence character: instruction mix, dependence
+ * detection across DDT sizes, and cloaking accuracy.
+ *
+ *   ./examples/custom_workload
+ */
+
+#include <cstdio>
+
+#include "analysis/inst_mix.hh"
+#include "common/rng.hh"
+#include "core/cloaking.hh"
+#include "vm/micro_vm.hh"
+#include "workload/kernels.hh"
+
+int
+main()
+{
+    using namespace rarpred;
+    using namespace rarpred::kernels;
+
+    // A small database-like workload: an index, hot records, and a
+    // pile of read-mostly configuration globals.
+    ProgramBuilder b("mydb");
+    Rng rng(2026);
+
+    const uint64_t index = allocHashTable(b, rng, 256, 300);
+    auto keys = mixedStream(rng, 2048, 300, 16, 0.85);
+    const uint64_t kstream = allocStream(b, keys.size(), keys);
+    const uint64_t kcursor = allocGlobal(b);
+    const uint64_t records = allocIntArray(b, rng, 128 * 4, 1 << 12);
+    auto ridx = mixedStream(rng, 2048, 128, 12, 0.8);
+    const uint64_t rstream = allocStream(b, ridx.size(), ridx);
+    const uint64_t rcursor = allocGlobal(b);
+    const uint64_t config_words = allocIntArray(b, rng, 12, 1 << 8);
+    const uint64_t cfgacc = allocGlobal(b);
+
+    emitMain(b, {"lookup", "update", "config"}, 300);
+    emitHashProbe(b, "lookup",
+                  {index, 256, kstream, keys.size(), kcursor, 40, true});
+    emitRecordUpdate(b, "update",
+                     {records, 128, rstream, ridx.size(), rcursor, 30});
+    emitGlobalsRead(b, "config", {config_words, 12, 6, cfgacc});
+    Program program = b.build();
+
+    // Profile: instruction mix + dependence visibility vs DDT size.
+    std::printf("custom workload 'mydb'\n\n");
+    for (size_t ddt : {32u, 128u, 512u}) {
+        CloakingConfig config;
+        config.ddt.entries = ddt;
+        CloakingEngine engine(config);
+        InstMixCounter mix;
+        MicroVM vm(program);
+        DynInst di;
+        while (vm.next(di)) {
+            mix.onInst(di);
+            engine.onInst(di);
+        }
+        const auto &s = engine.stats();
+        std::printf("DDT %4zu: loads %.1f%%, stores %.1f%% | "
+                    "dep RAW %.1f%% RAR %.1f%% | cov %.1f%% "
+                    "misp %.3f%%\n",
+                    ddt, 100 * mix.loadFraction(),
+                    100 * mix.storeFraction(),
+                    100.0 * s.detectedRaw / s.loads,
+                    100.0 * s.detectedRar / s.loads,
+                    100 * s.coverage(), 100 * s.mispredictionRate());
+    }
+    std::printf("\nLarger DDTs see more distant dependences; the "
+                "mechanism's accuracy follows\nthe paper's Figure 5/6 "
+                "behaviour on custom code too.\n");
+    return 0;
+}

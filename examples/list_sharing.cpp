@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's motivating example (Figure 3): a linked list whose
+ * elements are read twice per traversal, from two different functions
+ * ("foo" accumulates l->data, "bar" compares l->data against a key).
+ * Shows the RAR dependence stream's locality (Section 2) and how much
+ * of it RAR-based cloaking converts into correct speculative values.
+ *
+ *   ./examples/list_sharing
+ */
+
+#include <cstdio>
+
+#include "analysis/locality.hh"
+#include "common/rng.hh"
+#include "core/cloaking.hh"
+#include "vm/micro_vm.hh"
+#include "workload/kernels.hh"
+
+int
+main()
+{
+    using namespace rarpred;
+    using namespace rarpred::kernels;
+
+    // Build the Figure 3(c) program with the kernel library.
+    ProgramBuilder b("list_sharing");
+    Rng rng(1234);
+    const uint64_t head = allocList(b, rng, 24, true);
+    const uint64_t sum = allocGlobal(b);
+    const uint64_t count = allocGlobal(b);
+
+    emitMain(b, {"walk"}, 400);
+    emitListWalk(b, "walk", {head, sum, count, 17});
+    Program program = b.build();
+
+    // Measure RAR dependence locality (Section 2 metric) and cloaking
+    // accuracy side by side.
+    RarLocalityAnalyzer locality(0, 4);
+    CloakingConfig config;
+    config.ddt.entries = 128;
+    CloakingEngine engine(config);
+
+    MicroVM vm(program);
+    DynInst di;
+    while (vm.next(di)) {
+        locality.onInst(di);
+        engine.onInst(di);
+    }
+
+    std::printf("Figure 3 example: 24-node list, foo+bar readers, 400 "
+                "traversals\n\n");
+    std::printf("dynamic loads:        %llu\n",
+                (unsigned long long)locality.totalLoads());
+    std::printf("loads with RAR dep:   %llu (%.1f%%)\n",
+                (unsigned long long)locality.sinkExecutions(),
+                100.0 * locality.sinkExecutions() /
+                    (double)locality.totalLoads());
+    auto loc = locality.locality();
+    std::printf("dependence locality:  n=1 %.1f%%  n=2 %.1f%%  "
+                "n=3 %.1f%%  n=4 %.1f%%\n",
+                100 * loc[0], 100 * loc[1], 100 * loc[2], 100 * loc[3]);
+
+    const CloakingStats &s = engine.stats();
+    std::printf("\ncloaking coverage:    %.1f%% of loads "
+                "(RAW %.1f%% + RAR %.1f%%)\n",
+                100 * s.coverage(),
+                100.0 * s.coveredRaw / (double)s.loads,
+                100.0 * s.coveredRar / (double)s.loads);
+    std::printf("misspeculation rate:  %.3f%%\n",
+                100 * s.mispredictionRate());
+    std::printf("\nThe bar site's l->data loads obtain their values by "
+                "naming the foo site's\nloads through the synonym file "
+                "-- no address calculation needed.\n");
+    return 0;
+}

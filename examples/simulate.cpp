@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Command-line simulator driver: the library as a tool.
+ *
+ *   simulate --workload li                 functional accuracy report
+ *   simulate --workload tom --timing       timing run, base vs cloak
+ *   simulate --workload gcc --mode raw     RAW-only mechanism
+ *   simulate --workload li --record t.rar  record the trace to a file
+ *   simulate --trace t.rar                 replay a recorded trace
+ *   simulate --workload li --stats         gem5-style stat dump
+ *
+ * Options:
+ *   --workload NAME     synthetic benchmark (see --list)
+ *   --trace FILE        replay a recorded trace instead
+ *   --record FILE       write the trace while simulating
+ *   --scale N           workload scale factor (default 1)
+ *   --mode raw|rar|both cloaking mode (default both)
+ *   --ddt N             DDT entries (default 128)
+ *   --dpnt N            DPNT entries, 2-way (default 8192; 0=infinite)
+ *   --sf N              synonym file entries, 2-way (default 1024)
+ *   --confidence 1bit|2bit
+ *   --timing            run the out-of-order timing model too
+ *   --recovery selective|squash|oracle
+ *   --memdep naive|storesets|conservative
+ *   --stats             dump raw statistics
+ *   --list              list available workloads
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cpu/ooo_cpu.hh"
+#include "vm/micro_vm.hh"
+#include "vm/trace_file.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace rarpred;
+
+struct Options
+{
+    std::string workload;
+    std::string trace;
+    std::string record;
+    uint32_t scale = 1;
+    CloakingMode mode = CloakingMode::RawPlusRar;
+    size_t ddt = 128;
+    size_t dpnt = 8192;
+    size_t sf = 1024;
+    ConfidenceKind confidence = ConfidenceKind::TwoBitAdaptive;
+    bool timing = false;
+    RecoveryModel recovery = RecoveryModel::Selective;
+    MemDepPolicy memdep = MemDepPolicy::Naive;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: simulate --workload NAME [options]\n"
+                 "       simulate --trace FILE [options]\n"
+                 "       simulate --list\n"
+                 "see the header of examples/simulate.cpp for "
+                 "options\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage("missing argument value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const auto &w : allWorkloads())
+                std::printf("%-5s %s\n", w.abbrev.c_str(),
+                            w.fullName.c_str());
+            std::exit(0);
+        } else if (arg == "--workload") {
+            opt.workload = need(i);
+        } else if (arg == "--trace") {
+            opt.trace = need(i);
+        } else if (arg == "--record") {
+            opt.record = need(i);
+        } else if (arg == "--scale") {
+            opt.scale = (uint32_t)std::stoul(need(i));
+        } else if (arg == "--mode") {
+            const std::string v = need(i);
+            if (v == "raw")
+                opt.mode = CloakingMode::RawOnly;
+            else if (v == "rar")
+                opt.mode = CloakingMode::RarOnly;
+            else if (v == "both")
+                opt.mode = CloakingMode::RawPlusRar;
+            else
+                usage("bad --mode");
+        } else if (arg == "--ddt") {
+            opt.ddt = std::stoul(need(i));
+        } else if (arg == "--dpnt") {
+            opt.dpnt = std::stoul(need(i));
+        } else if (arg == "--sf") {
+            opt.sf = std::stoul(need(i));
+        } else if (arg == "--confidence") {
+            const std::string v = need(i);
+            if (v == "1bit")
+                opt.confidence = ConfidenceKind::OneBitNonAdaptive;
+            else if (v == "2bit")
+                opt.confidence = ConfidenceKind::TwoBitAdaptive;
+            else
+                usage("bad --confidence");
+        } else if (arg == "--timing") {
+            opt.timing = true;
+        } else if (arg == "--recovery") {
+            const std::string v = need(i);
+            if (v == "selective")
+                opt.recovery = RecoveryModel::Selective;
+            else if (v == "squash")
+                opt.recovery = RecoveryModel::Squash;
+            else if (v == "oracle")
+                opt.recovery = RecoveryModel::Oracle;
+            else
+                usage("bad --recovery");
+        } else if (arg == "--memdep") {
+            const std::string v = need(i);
+            if (v == "naive")
+                opt.memdep = MemDepPolicy::Naive;
+            else if (v == "storesets")
+                opt.memdep = MemDepPolicy::StoreSets;
+            else if (v == "conservative")
+                opt.memdep = MemDepPolicy::Conservative;
+            else
+                usage("bad --memdep");
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else {
+            usage(("unknown option: " + arg).c_str());
+        }
+    }
+    if (opt.workload.empty() == opt.trace.empty())
+        usage("exactly one of --workload / --trace is required");
+    return opt;
+}
+
+std::unique_ptr<TraceSource>
+makeSource(const Options &opt, std::unique_ptr<Program> &program)
+{
+    if (!opt.trace.empty())
+        return std::make_unique<TraceFileReader>(opt.trace);
+    program = std::make_unique<Program>(
+        findWorkload(opt.workload).build(opt.scale));
+    return std::make_unique<MicroVM>(*program);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+
+    CloakingConfig cloaking;
+    cloaking.mode = opt.mode;
+    cloaking.ddt.entries = opt.ddt;
+    cloaking.dpnt.geometry = {opt.dpnt, opt.dpnt ? 2u : 0u};
+    cloaking.dpnt.confidence = opt.confidence;
+    cloaking.sf = {opt.sf, opt.sf ? 2u : 0u};
+
+    // --- functional accuracy pass (and optional recording) ---
+    CloakingEngine engine(cloaking);
+    uint64_t executed = 0;
+    {
+        std::unique_ptr<Program> program;
+        auto source = makeSource(opt, program);
+        std::unique_ptr<TraceFileWriter> writer;
+        if (!opt.record.empty())
+            writer = std::make_unique<TraceFileWriter>(opt.record);
+        DynInst di;
+        while (source->next(di)) {
+            engine.onInst(di);
+            if (writer)
+                writer->onInst(di);
+            ++executed;
+        }
+    }
+    const auto &s = engine.stats();
+    std::printf("instructions      %llu\n",
+                (unsigned long long)executed);
+    std::printf("loads             %llu (%.1f%%)\n",
+                (unsigned long long)s.loads,
+                100.0 * s.loads / (double)executed);
+    std::printf("dep detected      RAW %.1f%%  RAR %.1f%% of loads\n",
+                100.0 * s.detectedRaw / (double)s.loads,
+                100.0 * s.detectedRar / (double)s.loads);
+    std::printf("coverage          %.2f%% (RAW %.2f%% + RAR %.2f%%)\n",
+                100 * s.coverage(),
+                100.0 * s.coveredRaw / (double)s.loads,
+                100.0 * s.coveredRar / (double)s.loads);
+    std::printf("misspeculation    %.3f%%\n",
+                100 * s.mispredictionRate());
+    if (!opt.record.empty())
+        std::printf("trace recorded to %s\n", opt.record.c_str());
+    if (opt.stats)
+        s.dump(std::cout);
+
+    // --- optional timing pass ---
+    if (opt.timing) {
+        CpuConfig cpu_config;
+        cpu_config.memDep = opt.memdep;
+        auto run = [&](bool cloak_on) {
+            CloakTimingConfig attach;
+            if (cloak_on) {
+                attach.enabled = true;
+                attach.engine = cloaking;
+                attach.recovery = opt.recovery;
+            }
+            OooCpu cpu(cpu_config, attach);
+            std::unique_ptr<Program> program;
+            auto source = makeSource(opt, program);
+            DynInst di;
+            while (source->next(di))
+                cpu.onInst(di);
+            return cpu.stats();
+        };
+        auto base = run(false);
+        auto mech = run(true);
+        std::printf("\ntiming: base     %llu cycles (IPC %.2f)\n",
+                    (unsigned long long)base.cycles, base.ipc());
+        std::printf("timing: cloaked  %llu cycles (IPC %.2f)  "
+                    "speedup %+.2f%%\n",
+                    (unsigned long long)mech.cycles, mech.ipc(),
+                    100.0 * ((double)base.cycles / mech.cycles - 1.0));
+        if (opt.stats) {
+            base.dump(std::cout, "cpu.base");
+            mech.dump(std::cout, "cpu.cloaked");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Instruction-mix counter (Table 5.1 columns).
+ */
+
+#ifndef RARPRED_ANALYSIS_INST_MIX_HH_
+#define RARPRED_ANALYSIS_INST_MIX_HH_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "vm/trace.hh"
+
+namespace rarpred {
+
+/** Counts the dynamic instruction mix of a trace. */
+class InstMixCounter : public TraceSink
+{
+  public:
+    void
+    onInst(const DynInst &di) override
+    {
+        ++total_;
+        if (di.isLoad())
+            ++loads_;
+        else if (di.isStore())
+            ++stores_;
+        else if (di.isControl())
+            ++control_;
+        switch (di.instClass()) {
+          case InstClass::FpAdd:
+          case InstClass::FpMulS:
+          case InstClass::FpMulD:
+          case InstClass::FpDivS:
+          case InstClass::FpDivD:
+            ++fpOps_;
+            break;
+          default:
+            break;
+        }
+    }
+
+    uint64_t total() const { return total_; }
+    uint64_t loads() const { return loads_; }
+    uint64_t stores() const { return stores_; }
+    uint64_t control() const { return control_; }
+    uint64_t fpOps() const { return fpOps_; }
+
+    double
+    loadFraction() const
+    {
+        return total_ == 0 ? 0.0 : (double)loads_ / (double)total_;
+    }
+
+    double
+    storeFraction() const
+    {
+        return total_ == 0 ? 0.0 : (double)stores_ / (double)total_;
+    }
+
+  private:
+    uint64_t total_ = 0;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t control_ = 0;
+    uint64_t fpOps_ = 0;
+};
+
+/** Fans one trace out to several sinks. */
+class TeeSink : public TraceSink
+{
+  public:
+    /** @param sinks Sinks to forward to; must outlive the tee. */
+    explicit TeeSink(std::initializer_list<TraceSink *> sinks)
+        : sinks_(sinks)
+    {}
+
+    void
+    onInst(const DynInst &di) override
+    {
+        for (auto *s : sinks_)
+            s->onInst(di);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_ANALYSIS_INST_MIX_HH_

@@ -1,0 +1,159 @@
+#include "analysis/locality.hh"
+
+#include <algorithm>
+
+namespace rarpred {
+
+namespace {
+
+/** RAR-only detection: stores end chains, loads are tracked. */
+DdtConfig
+rarWindowConfig(size_t window_entries)
+{
+    DdtConfig config;
+    config.entries = window_entries;
+    config.trackLoads = true;
+    config.trackStores = false; // stores erase, do not occupy
+    return config;
+}
+
+} // namespace
+
+RarLocalityAnalyzer::RarLocalityAnalyzer(size_t window_entries,
+                                         unsigned max_n)
+    : detector_(rarWindowConfig(window_entries)), maxN_(max_n),
+      hitsAtDepth_(max_n, 0)
+{
+}
+
+void
+RarLocalityAnalyzer::onInst(const DynInst &di)
+{
+    if (di.isStore()) {
+        detector_.onStore(di.pc, di.eaddr);
+        return;
+    }
+    if (!di.isLoad())
+        return;
+    ++loads_;
+    auto dep = detector_.onLoad(di.pc, di.eaddr);
+    if (!dep || dep->type != DepType::Rar)
+        return;
+
+    ++sinkExecs_;
+    auto &hist = history_[dep->sinkPc];
+    auto it = std::find(hist.begin(), hist.end(), dep->sourcePc);
+    if (it != hist.end()) {
+        size_t depth = (size_t)(it - hist.begin());
+        if (depth < maxN_)
+            ++hitsAtDepth_[depth];
+        hist.erase(it);
+    }
+    hist.insert(hist.begin(), dep->sourcePc);
+    // Keep a little more history than we report, so the MRU order
+    // among the top maxN_ entries stays exact.
+    if (hist.size() > maxN_ * 4)
+        hist.pop_back();
+}
+
+std::vector<double>
+RarLocalityAnalyzer::locality() const
+{
+    std::vector<double> result(maxN_, 0.0);
+    uint64_t cumulative = 0;
+    for (unsigned n = 0; n < maxN_; ++n) {
+        cumulative += hitsAtDepth_[n];
+        result[n] = sinkExecs_ == 0
+                        ? 0.0
+                        : (double)cumulative / (double)sinkExecs_;
+    }
+    return result;
+}
+
+DependenceWorkingSetAnalyzer::DependenceWorkingSetAnalyzer(
+    size_t window_entries)
+    : detector_(rarWindowConfig(window_entries))
+{
+}
+
+void
+DependenceWorkingSetAnalyzer::onInst(const DynInst &di)
+{
+    if (di.isStore()) {
+        detector_.onStore(di.pc, di.eaddr);
+        return;
+    }
+    if (!di.isLoad())
+        return;
+    auto dep = detector_.onLoad(di.pc, di.eaddr);
+    if (dep && dep->type == DepType::Rar)
+        sources_[dep->sinkPc].insert(dep->sourcePc);
+}
+
+double
+DependenceWorkingSetAnalyzer::fractionWithWorkingSetAtMost(
+    unsigned n) const
+{
+    if (sources_.empty())
+        return 0.0;
+    size_t within = 0;
+    for (const auto &[pc, srcs] : sources_) {
+        (void)pc;
+        within += srcs.size() <= n;
+    }
+    return (double)within / (double)sources_.size();
+}
+
+double
+DependenceWorkingSetAnalyzer::meanWorkingSet() const
+{
+    if (sources_.empty())
+        return 0.0;
+    size_t total = 0;
+    for (const auto &[pc, srcs] : sources_) {
+        (void)pc;
+        total += srcs.size();
+    }
+    return (double)total / (double)sources_.size();
+}
+
+AddressValueLocalityAnalyzer::AddressValueLocalityAnalyzer(
+    const DdtConfig &ddt)
+    : detector_(ddt)
+{
+}
+
+void
+AddressValueLocalityAnalyzer::onInst(const DynInst &di)
+{
+    if (di.isStore()) {
+        detector_.onStore(di.pc, di.eaddr);
+        return;
+    }
+    if (!di.isLoad())
+        return;
+
+    auto dep = detector_.onLoad(di.pc, di.eaddr);
+    DepCategory cat = DepCategory::None;
+    if (dep)
+        cat = dep->type == DepType::Raw ? DepCategory::Raw
+                                        : DepCategory::Rar;
+
+    auto &seen = last_[di.pc];
+
+    ++addr_.loads;
+    ++value_.loads;
+    ++addr_.byCategory[(int)cat];
+    ++value_.byCategory[(int)cat];
+    if (seen.valid) {
+        if (seen.addr == di.eaddr)
+            ++addr_.localByCategory[(int)cat];
+        if (seen.value == di.value)
+            ++value_.localByCategory[(int)cat];
+    }
+    seen.valid = true;
+    seen.addr = di.eaddr;
+    seen.value = di.value;
+}
+
+} // namespace rarpred

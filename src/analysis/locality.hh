@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Dependence-stream and value/address locality analyses.
+ *
+ * Implements the measurements of the paper's Section 2 (RAR memory
+ * dependence locality, Figure 2) and Sections 5.4/5.5 (address and
+ * value locality breakdowns, Figure 7).
+ */
+
+#ifndef RARPRED_ANALYSIS_LOCALITY_HH_
+#define RARPRED_ANALYSIS_LOCALITY_HH_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ddt.hh"
+#include "vm/trace.hh"
+
+namespace rarpred {
+
+/**
+ * Measures memory-dependence-locality(n) of the RAR dependence stream
+ * (Section 2).
+ *
+ * RAR dependences are tracked with the paper's source-only definition:
+ * for each address, the *earliest* load since the last store to that
+ * address is the source; every subsequent load is a sink of that
+ * source. A store to the address ends the chain.
+ *
+ * memory-dependence-locality(n) is the probability, over all dynamic
+ * sink loads, that the (source PC, sink PC) dependence experienced was
+ * among the last n *unique* RAR dependences experienced by previous
+ * executions of the same static (sink) load.
+ *
+ * The *address window* bounds how many unique load addresses the
+ * detection mechanism can remember (Figure 2(b) uses 4K); 0 models the
+ * infinite window of Figure 2(a).
+ */
+class RarLocalityAnalyzer : public TraceSink
+{
+  public:
+    /**
+     * @param window_entries Address window size (0 = infinite).
+     * @param max_n Largest locality depth measured (Figure 2 uses 4).
+     */
+    explicit RarLocalityAnalyzer(size_t window_entries = 0,
+                                 unsigned max_n = 4);
+
+    void onInst(const DynInst &di) override;
+
+    /**
+     * @return locality(n) for n in 1..maxN as fractions over all
+     *         dynamic sink-load executions.
+     */
+    std::vector<double> locality() const;
+
+    /** @return number of dynamic loads that experienced a RAR dep. */
+    uint64_t sinkExecutions() const { return sinkExecs_; }
+
+    /** @return total dynamic loads observed. */
+    uint64_t totalLoads() const { return loads_; }
+
+  private:
+    DependenceDetector detector_;
+    unsigned maxN_;
+    /** Per static sink PC: source PCs, most recent first, unique. */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> history_;
+    std::vector<uint64_t> hitsAtDepth_; ///< hitsAtDepth_[i] = hits at pos i
+    uint64_t sinkExecs_ = 0;
+    uint64_t loads_ = 0;
+};
+
+/**
+ * Measures the working set of RAR dependences per static load — the
+ * second half of Section 2's argument: locality is high *and* each
+ * load has few distinct dependences, so small PC-indexed tables
+ * suffice.
+ */
+class DependenceWorkingSetAnalyzer : public TraceSink
+{
+  public:
+    /** @param window_entries Address window (0 = infinite). */
+    explicit DependenceWorkingSetAnalyzer(size_t window_entries = 0);
+
+    void onInst(const DynInst &di) override;
+
+    /**
+     * @return fraction of static sink loads whose lifetime-unique
+     *         source count is <= @p n.
+     */
+    double fractionWithWorkingSetAtMost(unsigned n) const;
+
+    /** @return mean unique sources per static sink load. */
+    double meanWorkingSet() const;
+
+    /** @return number of static loads that were RAR sinks. */
+    size_t staticSinks() const { return sources_.size(); }
+
+  private:
+    DependenceDetector detector_;
+    /** Per static sink PC: set of distinct source PCs seen. */
+    std::unordered_map<uint64_t, std::set<uint64_t>> sources_;
+};
+
+/** Dependence status categories used by the Figure 7 breakdowns. */
+enum class DepCategory : uint8_t
+{
+    Raw = 0,
+    Rar = 1,
+    None = 2,
+};
+
+/** Locality fractions by dependence category (Figure 7 bars). */
+struct LocalityBreakdown
+{
+    uint64_t loads = 0;
+    /** Dynamic loads per category. */
+    uint64_t byCategory[3] = {0, 0, 0};
+    /** Dynamic loads per category that also exhibited locality. */
+    uint64_t localByCategory[3] = {0, 0, 0};
+
+    /** Overall locality as a fraction of all loads. */
+    double
+    localityFraction() const
+    {
+        uint64_t local =
+            localByCategory[0] + localByCategory[1] + localByCategory[2];
+        return loads == 0 ? 0.0 : (double)local / (double)loads;
+    }
+
+    /** Locality fraction of @p cat over all loads. */
+    double
+    fractionOf(DepCategory cat) const
+    {
+        return loads == 0 ? 0.0
+                          : (double)localByCategory[(int)cat] /
+                                (double)loads;
+    }
+};
+
+/**
+ * Measures address locality (Section 5.4) and value locality
+ * (Section 5.5) per load, broken down by the dependence status a
+ * reference DDT detects for that load (RAW, RAR, or none).
+ *
+ * Address locality: the load accesses the same address in two
+ * consecutive executions. Value locality: it reads the same value.
+ */
+class AddressValueLocalityAnalyzer : public TraceSink
+{
+  public:
+    /** @param ddt Reference DDT configuration (paper: 128 entries). */
+    explicit AddressValueLocalityAnalyzer(const DdtConfig &ddt = {});
+
+    void onInst(const DynInst &di) override;
+
+    const LocalityBreakdown &address() const { return addr_; }
+    const LocalityBreakdown &value() const { return value_; }
+
+  private:
+    struct LastSeen
+    {
+        bool valid = false;
+        uint64_t addr = 0;
+        uint64_t value = 0;
+    };
+
+    DependenceDetector detector_;
+    std::unordered_map<uint64_t, LastSeen> last_;
+    LocalityBreakdown addr_;
+    LocalityBreakdown value_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_ANALYSIS_LOCALITY_HH_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef RARPRED_COMMON_BITUTILS_HH_
+#define RARPRED_COMMON_BITUTILS_HH_
+
+#include <cstdint>
+
+namespace rarpred {
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** @return a mask with the low @p bits bits set. */
+constexpr uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~uint64_t(0) : (uint64_t(1) << bits) - 1;
+}
+
+} // namespace rarpred
+
+#endif // RARPRED_COMMON_BITUTILS_HH_

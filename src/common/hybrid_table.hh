@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Size/associativity-configurable table.
+ *
+ * The paper evaluates its structures at several design points:
+ * "infinite" (to bound achievable accuracy), fully associative with a
+ * capacity (DDT, last-value predictor), and set associative (DPNT,
+ * synonym file). HybridTable selects the right organization from a
+ * (entries, assoc) pair so client code has a single interface:
+ *
+ *   entries == 0            -> unbounded (never evicts)
+ *   assoc == 0 or == entries-> fully associative, LRU
+ *   otherwise               -> set associative, LRU per set
+ */
+
+#ifndef RARPRED_COMMON_HYBRID_TABLE_HH_
+#define RARPRED_COMMON_HYBRID_TABLE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/lru_table.hh"
+#include "common/set_assoc_table.hh"
+
+namespace rarpred {
+
+/** Geometry of a HybridTable. */
+struct TableGeometry
+{
+    size_t entries = 0; ///< 0 = unbounded
+    size_t assoc = 0;   ///< 0 = fully associative (ignored if unbounded)
+};
+
+/** A 64-bit-keyed table whose organization is chosen at run time. */
+template <typename Value>
+class HybridTable
+{
+  public:
+    explicit HybridTable(TableGeometry geom) : geom_(geom)
+    {
+        if (geom.entries == 0) {
+            // unbounded map, nothing to construct
+        } else if (geom.assoc == 0 || geom.assoc >= geom.entries) {
+            full_ = std::make_unique<FullyAssocLruTable<uint64_t, Value>>(
+                geom.entries);
+        } else {
+            setAssoc_ = std::make_unique<SetAssocTable<Value>>(geom.entries,
+                                                               geom.assoc);
+        }
+    }
+
+    /** Look up @p key, updating recency. @return value or nullptr. */
+    Value *
+    touch(uint64_t key)
+    {
+        if (full_)
+            return full_->touch(key);
+        if (setAssoc_)
+            return setAssoc_->touch(key);
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** Look up @p key without updating recency. */
+    Value *
+    find(uint64_t key)
+    {
+        if (full_)
+            return full_->find(key);
+        if (setAssoc_)
+            return setAssoc_->find(key);
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** Insert or overwrite @p key. Evictions are silent here. */
+    void
+    insert(uint64_t key, Value value)
+    {
+        if (full_)
+            full_->insert(key, std::move(value));
+        else if (setAssoc_)
+            setAssoc_->insert(key, std::move(value));
+        else
+            map_[key] = std::move(value);
+    }
+
+    /** Remove @p key. @return true if present. */
+    bool
+    erase(uint64_t key)
+    {
+        if (full_)
+            return full_->erase(key);
+        if (setAssoc_)
+            return setAssoc_->erase(key);
+        return map_.erase(key) > 0;
+    }
+
+    void
+    clear()
+    {
+        if (full_)
+            full_->clear();
+        else if (setAssoc_)
+            setAssoc_->clear();
+        else
+            map_.clear();
+    }
+
+    size_t
+    size() const
+    {
+        if (full_)
+            return full_->size();
+        if (setAssoc_)
+            return setAssoc_->size();
+        return map_.size();
+    }
+
+    /** Visit every entry with (uint64_t key, Value&). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        if (full_)
+            full_->forEach(fn);
+        else if (setAssoc_)
+            setAssoc_->forEach(fn);
+        else
+            for (auto &[k, v] : map_)
+                fn(k, v);
+    }
+
+    const TableGeometry &geometry() const { return geom_; }
+
+  private:
+    TableGeometry geom_;
+    std::unique_ptr<FullyAssocLruTable<uint64_t, Value>> full_;
+    std::unique_ptr<SetAssocTable<Value>> setAssoc_;
+    std::unordered_map<uint64_t, Value> map_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_COMMON_HYBRID_TABLE_HH_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  -- the user asked for something impossible (bad config); exits.
+ * warn()   -- something is approximated; simulation continues.
+ * inform() -- status output.
+ */
+
+#ifndef RARPRED_COMMON_LOGGING_HH_
+#define RARPRED_COMMON_LOGGING_HH_
+
+#include <string>
+
+namespace rarpred {
+
+/** Print "panic: <msg>" with location info and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Print "fatal: <msg>" with location info and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print "warn: <msg>" to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print "info: <msg>" to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace rarpred
+
+#define rarpred_panic(msg) ::rarpred::panicImpl(__FILE__, __LINE__, (msg))
+#define rarpred_fatal(msg) ::rarpred::fatalImpl(__FILE__, __LINE__, (msg))
+#define rarpred_warn(msg) ::rarpred::warnImpl((msg))
+#define rarpred_inform(msg) ::rarpred::informImpl((msg))
+
+/** Assert that holds in all build types; panics with the expression text. */
+#define rarpred_assert(expr)                                                  \
+    do {                                                                      \
+        if (!(expr)) {                                                        \
+            ::rarpred::panicImpl(__FILE__, __LINE__,                          \
+                                 "assertion failed: " #expr);                 \
+        }                                                                     \
+    } while (0)
+
+#endif // RARPRED_COMMON_LOGGING_HH_

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Saturating counter used by confidence mechanisms and branch predictors.
+ */
+
+#ifndef RARPRED_COMMON_SAT_COUNTER_HH_
+#define RARPRED_COMMON_SAT_COUNTER_HH_
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+/**
+ * An n-bit up/down saturating counter.
+ *
+ * The counter saturates at 0 and 2^bits - 1. The "taken"/"predict"
+ * decision is conventionally counter >= 2^(bits-1) (the MSB), which
+ * matches the classic 2-bit automaton used by the paper's adaptive
+ * cloaking confidence mechanism and by the branch predictors.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..8).
+     * @param initial Initial counter value.
+     */
+    explicit SatCounter(unsigned bits = 2, uint8_t initial = 0)
+        : bits_(bits), max_((uint8_t)((1u << bits) - 1)), value_(initial)
+    {
+        rarpred_assert(bits >= 1 && bits <= 8);
+        rarpred_assert(initial <= max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to the weakest not-taken state. */
+    void reset() { value_ = 0; }
+
+    /** Set to the strongest taken state. */
+    void saturate() { value_ = max_; }
+
+    /** Set an explicit value (clamped to the representable range). */
+    void
+    set(uint8_t v)
+    {
+        value_ = v > max_ ? max_ : v;
+    }
+
+    /** @return the raw counter value. */
+    uint8_t value() const { return value_; }
+
+    /** @return the maximum representable value. */
+    uint8_t maxValue() const { return max_; }
+
+    /** @return true when the MSB is set (conventional predict-taken). */
+    bool predict() const { return value_ >= (uint8_t)(1u << (bits_ - 1)); }
+
+    /** @return true when fully saturated high. */
+    bool isMax() const { return value_ == max_; }
+
+  private:
+    unsigned bits_;
+    uint8_t max_;
+    uint8_t value_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_COMMON_SAT_COUNTER_HH_

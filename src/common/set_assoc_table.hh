@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Set-associative LRU table.
+ *
+ * The finite, banked structures of the paper are set associative: the
+ * 8K 2-way DPNT, the 1K 2-way synonym file (Section 5.6.1), and all of
+ * the caches in the memory hierarchy use this template (caches store
+ * their line metadata as the value).
+ */
+
+#ifndef RARPRED_COMMON_SET_ASSOC_TABLE_HH_
+#define RARPRED_COMMON_SET_ASSOC_TABLE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rarpred {
+
+/**
+ * A set-associative key/value table with true-LRU replacement per set.
+ *
+ * Keys are 64-bit integers (PCs, block addresses, synonyms). The set
+ * index is taken from the low bits of the key; the full key is kept as
+ * the tag, so aliasing never produces a false hit.
+ */
+template <typename Value>
+class SetAssocTable
+{
+  public:
+    /** An entry displaced by an insertion. */
+    struct Eviction
+    {
+        uint64_t key;
+        Value value;
+    };
+
+    /**
+     * @param num_entries Total entry count; must be a multiple of assoc
+     *                    and num_entries/assoc must be a power of two.
+     * @param assoc       Associativity (ways per set).
+     */
+    SetAssocTable(size_t num_entries, size_t assoc)
+        : assoc_(assoc), numSets_(num_entries / assoc)
+    {
+        rarpred_assert(assoc >= 1);
+        rarpred_assert(num_entries % assoc == 0);
+        rarpred_assert(isPowerOf2(numSets_));
+        indexMask_ = numSets_ - 1;
+        sets_.resize(numSets_);
+        for (auto &set : sets_)
+            set.reserve(assoc_);
+    }
+
+    /**
+     * Look up @p key and promote it to MRU within its set.
+     * @return pointer to the stored value, or nullptr on miss.
+     */
+    Value *
+    touch(uint64_t key)
+    {
+        auto &set = sets_[indexOf(key)];
+        for (size_t i = 0; i < set.size(); ++i) {
+            if (set[i].first == key) {
+                promote(set, i);
+                return &set[0].second;
+            }
+        }
+        return nullptr;
+    }
+
+    /**
+     * Look up @p key without changing recency order.
+     * @return pointer to the stored value, or nullptr on miss.
+     */
+    Value *
+    find(uint64_t key)
+    {
+        auto &set = sets_[indexOf(key)];
+        for (auto &way : set)
+            if (way.first == key)
+                return &way.second;
+        return nullptr;
+    }
+
+    /** Const variant of find(). */
+    const Value *
+    find(uint64_t key) const
+    {
+        const auto &set = sets_[indexOf(key)];
+        for (const auto &way : set)
+            if (way.first == key)
+                return &way.second;
+        return nullptr;
+    }
+
+    /**
+     * Insert or overwrite @p key with @p value, making it MRU.
+     * @return the LRU entry evicted from the set, if the set was full.
+     */
+    std::optional<Eviction>
+    insert(uint64_t key, Value value)
+    {
+        auto &set = sets_[indexOf(key)];
+        for (size_t i = 0; i < set.size(); ++i) {
+            if (set[i].first == key) {
+                set[i].second = std::move(value);
+                promote(set, i);
+                return std::nullopt;
+            }
+        }
+        std::optional<Eviction> victim;
+        if (set.size() >= assoc_) {
+            auto &lru = set.back();
+            victim = Eviction{lru.first, std::move(lru.second)};
+            set.pop_back();
+        }
+        set.insert(set.begin(), {key, std::move(value)});
+        return victim;
+    }
+
+    /** Remove @p key. @return true if it was present. */
+    bool
+    erase(uint64_t key)
+    {
+        auto &set = sets_[indexOf(key)];
+        for (size_t i = 0; i < set.size(); ++i) {
+            if (set[i].first == key) {
+                set.erase(set.begin() + i);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Remove every entry. */
+    void
+    clear()
+    {
+        for (auto &set : sets_)
+            set.clear();
+    }
+
+    /** @return current number of valid entries across all sets. */
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (const auto &set : sets_)
+            n += set.size();
+        return n;
+    }
+
+    /** @return total capacity in entries. */
+    size_t capacity() const { return numSets_ * assoc_; }
+
+    /** @return the number of sets. */
+    size_t numSets() const { return numSets_; }
+
+    /** @return the associativity. */
+    size_t assoc() const { return assoc_; }
+
+    /**
+     * Visit every valid entry (set by set, MRU first within a set).
+     * @param fn Callable taking (uint64_t key, Value&).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &set : sets_)
+            for (auto &way : set)
+                fn(way.first, way.second);
+    }
+
+  private:
+    using Set = std::vector<std::pair<uint64_t, Value>>;
+
+    size_t indexOf(uint64_t key) const { return key & indexMask_; }
+
+    static void
+    promote(Set &set, size_t i)
+    {
+        if (i == 0)
+            return;
+        auto entry = std::move(set[i]);
+        set.erase(set.begin() + i);
+        set.insert(set.begin(), std::move(entry));
+    }
+
+    size_t assoc_;
+    size_t numSets_;
+    uint64_t indexMask_;
+    std::vector<Set> sets_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_COMMON_SET_ASSOC_TABLE_HH_

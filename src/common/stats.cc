@@ -1,0 +1,62 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+Histogram::Histogram(size_t num_buckets, uint64_t bucket_width)
+    : bucketWidth_(bucket_width), buckets_(num_buckets + 1, 0)
+{
+    rarpred_assert(num_buckets >= 1 && bucket_width >= 1);
+}
+
+void
+Histogram::sample(uint64_t value)
+{
+    size_t idx = value / bucketWidth_;
+    if (idx >= buckets_.size() - 1)
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    ++count_;
+    sum_ += value;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : (double)sum_ / (double)count_;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    count_ = 0;
+    sum_ = 0;
+}
+
+void
+StatGroup::registerCounter(const std::string &stat_name, Counter *c)
+{
+    rarpred_assert(c != nullptr);
+    counters_[stat_name] = c;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, counter] : counters_)
+        os << name_ << "." << stat_name << " " << counter->value() << "\n";
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[stat_name, counter] : counters_) {
+        (void)stat_name;
+        counter->reset();
+    }
+}
+
+} // namespace rarpred

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named scalar counters and distributions with a
+ * StatGroup; experiments dump them in a stable, grep-friendly format.
+ */
+
+#ifndef RARPRED_COMMON_STATS_HH_
+#define RARPRED_COMMON_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rarpred {
+
+/** A monotonically updated 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator+=(uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A simple bucketed distribution over unsigned samples. */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets Number of buckets.
+     * @param bucket_width Width of each bucket; samples beyond the last
+     *                     bucket accumulate in an overflow bucket.
+     */
+    Histogram(size_t num_buckets, uint64_t bucket_width);
+
+    /** Record one sample. */
+    void sample(uint64_t value);
+
+    /** @return total number of samples recorded. */
+    uint64_t count() const { return count_; }
+
+    /** @return arithmetic mean of the samples (0 when empty). */
+    double mean() const;
+
+    /** @return count in bucket @p i (the last bucket is overflow). */
+    uint64_t bucket(size_t i) const { return buckets_[i]; }
+
+    /** @return number of buckets including the overflow bucket. */
+    size_t numBuckets() const { return buckets_.size(); }
+
+    void reset();
+
+  private:
+    uint64_t bucketWidth_;
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+};
+
+/**
+ * A named collection of statistics.
+ *
+ * Components keep Counter members and register them by name; dump()
+ * writes "group.name value" lines, stable across runs for diffing.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name; the counter must outlive
+     *  the group. */
+    void registerCounter(const std::string &stat_name, Counter *c);
+
+    /** Write all registered stats as "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered counter. */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter *> counters_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_COMMON_STATS_HH_

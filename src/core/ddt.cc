@@ -1,0 +1,69 @@
+#include "core/ddt.hh"
+
+namespace rarpred {
+
+DependenceDetector::DependenceDetector(const DdtConfig &config)
+    : config_(config), table_(config.entries),
+      loadTable_(config.separateTables ? config.entries : 0)
+{
+}
+
+void
+DependenceDetector::onStore(uint64_t pc, uint64_t addr)
+{
+    const uint64_t line = lineOf(addr);
+    if (config_.separateTables) {
+        // A store ends any RAR chain through this address: the next
+        // load must see the store (RAW), not the old first load.
+        loadTable_.erase(line);
+        if (config_.trackStores)
+            table_.insert(line, Entry{true, pc});
+        return;
+    }
+    if (config_.trackStores) {
+        table_.insert(line, Entry{true, pc});
+    } else {
+        // Stores are not tracked (RAR-only configuration), but they
+        // still kill the recorded first load for the address.
+        table_.erase(line);
+    }
+}
+
+std::optional<Dependence>
+DependenceDetector::onLoad(uint64_t pc, uint64_t addr)
+{
+    const uint64_t line = lineOf(addr);
+
+    if (config_.separateTables) {
+        if (Entry *e = table_.touch(line)) {
+            // RAW with the recorded store. The load is not recorded:
+            // the store remains the producer for this address.
+            return Dependence{DepType::Raw, e->pc, pc};
+        }
+        if (!config_.trackLoads)
+            return std::nullopt;
+        if (Entry *e = loadTable_.touch(line))
+            return Dependence{DepType::Rar, e->pc, pc};
+        loadTable_.insert(line, Entry{false, pc});
+        return std::nullopt;
+    }
+
+    Entry *e = table_.touch(line);
+    if (e) {
+        if (e->isStore)
+            return Dependence{DepType::Raw, e->pc, pc};
+        return Dependence{DepType::Rar, e->pc, pc};
+    }
+    if (config_.trackLoads)
+        table_.insert(line, Entry{false, pc});
+    return std::nullopt;
+}
+
+void
+DependenceDetector::clear()
+{
+    table_.clear();
+    loadTable_.clear();
+}
+
+} // namespace rarpred

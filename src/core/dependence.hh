@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Memory dependence types shared by the detection, prediction and
+ * analysis layers.
+ */
+
+#ifndef RARPRED_CORE_DEPENDENCE_HH_
+#define RARPRED_CORE_DEPENDENCE_HH_
+
+#include <cstdint>
+
+namespace rarpred {
+
+/** Kind of memory dependence between two instructions. */
+enum class DepType : uint8_t
+{
+    Raw, ///< store (source) -> load (sink)
+    Rar, ///< earliest load (source) -> later load (sink)
+};
+
+/**
+ * A detected dynamic memory dependence, represented as the paper does:
+ * a (PC_source, PC_sink) pair. For RAR dependences the source is the
+ * earliest-in-program-order load of the group (Section 2).
+ */
+struct Dependence
+{
+    DepType type = DepType::Raw;
+    uint64_t sourcePc = 0;
+    uint64_t sinkPc = 0;
+
+    bool operator==(const Dependence &o) const = default;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_CORE_DEPENDENCE_HH_

@@ -1,0 +1,95 @@
+#include "core/dpnt.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+Dpnt::Dpnt(const DpntConfig &config)
+    : config_(config), table_(config.geometry)
+{
+}
+
+DpntEntry *
+Dpnt::lookup(uint64_t pc)
+{
+    // PCs are 4-byte aligned; drop the zero bits so set indexing uses
+    // meaningful address bits.
+    return table_.touch(pc >> 2);
+}
+
+DpntEntry *
+Dpnt::findOrInsert(uint64_t pc)
+{
+    const uint64_t key = pc >> 2;
+    if (DpntEntry *e = table_.touch(key))
+        return e;
+    table_.insert(key, DpntEntry{});
+    return table_.find(key);
+}
+
+void
+Dpnt::replaceAll(Synonym from, Synonym to)
+{
+    table_.forEach([&](uint64_t, DpntEntry &e) {
+        if (e.synonym == from)
+            e.synonym = to;
+    });
+}
+
+void
+Dpnt::train(const Dependence &dep)
+{
+    // Ensure both entries exist first: inserting the second can move
+    // or evict the first within its set, so pointers are only taken
+    // afterwards, via non-mutating finds.
+    findOrInsert(dep.sourcePc);
+    findOrInsert(dep.sinkPc);
+    DpntEntry *src = table_.find(dep.sourcePc >> 2);
+    DpntEntry *sink = table_.find(dep.sinkPc >> 2);
+    if (!src || !sink) {
+        // One displaced the other from a finite table; nothing to link.
+        return;
+    }
+
+    if (src->synonym == kNoSynonym && sink->synonym == kNoSynonym) {
+        Synonym s = allocSynonym();
+        src->synonym = s;
+        sink->synonym = s;
+    } else if (src->synonym == kNoSynonym) {
+        src->synonym = sink->synonym;
+    } else if (sink->synonym == kNoSynonym) {
+        sink->synonym = src->synonym;
+    } else if (src->synonym != sink->synonym) {
+        // Both named, names differ: merge the communication groups.
+        ++merges_;
+        if (config_.merge == MergePolicy::FullMerge) {
+            Synonym keep = std::min(src->synonym, sink->synonym);
+            Synonym lose = std::max(src->synonym, sink->synonym);
+            replaceAll(lose, keep);
+        } else {
+            // Chrysos-Emer incremental merge: replace the larger
+            // synonym, and only for its own instruction. The bias
+            // toward smaller values makes the group converge.
+            if (src->synonym > sink->synonym)
+                src->synonym = sink->synonym;
+            else
+                sink->synonym = src->synonym;
+        }
+    }
+
+    src->producer.allocate();
+    src->producerIsStore = (dep.type == DepType::Raw);
+    sink->consumer.allocate();
+}
+
+void
+Dpnt::clear()
+{
+    table_.clear();
+    nextSynonym_ = 1;
+    merges_ = 0;
+}
+
+} // namespace rarpred

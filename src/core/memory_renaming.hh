@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Combined cloaking + value prediction ("memory renaming" in the
+ * style of Tyson & Austin [20], which the paper's related-work and
+ * Section 5.5 identify as the natural synergy).
+ *
+ * A per-PC 2-bit chooser arbitrates between the cloaking/bypassing
+ * value (via the synonym file) and the last-value predictor. Both
+ * components always train; the chooser trains toward whichever was
+ * correct, exactly like the combined branch predictor's selector.
+ */
+
+#ifndef RARPRED_CORE_MEMORY_RENAMING_HH_
+#define RARPRED_CORE_MEMORY_RENAMING_HH_
+
+#include <cstdint>
+
+#include "common/hybrid_table.hh"
+#include "common/sat_counter.hh"
+#include "core/cloaking.hh"
+#include "core/value_predictor.hh"
+
+namespace rarpred {
+
+/** Accuracy statistics for the combined mechanism. */
+struct MemoryRenamingStats
+{
+    uint64_t loads = 0;
+    uint64_t usedCloak = 0;   ///< speculated with the cloaked value
+    uint64_t usedVp = 0;      ///< speculated with the last value
+    uint64_t correct = 0;     ///< used value was correct
+    uint64_t wrong = 0;       ///< used value was wrong
+    /** Loads only the combination got right (neither alone decides —
+     *  chooser picked the working component). */
+    uint64_t rescuedByChoice = 0;
+
+    double
+    coverage() const
+    {
+        return loads == 0 ? 0.0 : (double)correct / (double)loads;
+    }
+
+    double
+    mispredictionRate() const
+    {
+        return loads == 0 ? 0.0 : (double)wrong / (double)loads;
+    }
+};
+
+/** The combined mechanism. */
+class MemoryRenaming : public TraceSink
+{
+  public:
+    /**
+     * @param cloaking Cloaking configuration (Section 5.6.1 defaults
+     *        apply when default-constructed).
+     * @param vp_geometry Last-value predictor geometry (paper: 16K
+     *        fully associative).
+     */
+    explicit MemoryRenaming(const CloakingConfig &cloaking = {},
+                            TableGeometry vp_geometry = {16384, 0})
+        : engine_(cloaking), vp_(vp_geometry), choosers_({0, 0})
+    {}
+
+    void onInst(const DynInst &di) override { (void)processInst(di); }
+
+    /**
+     * Process one committed instruction.
+     * @return true when the combined mechanism produced a correct
+     *         speculative value for a load.
+     */
+    bool
+    processInst(const DynInst &di)
+    {
+        // Train/evaluate both components unconditionally.
+        LoadOutcome cloak = engine_.processInst(di);
+        const LastValuePredictor::Result vp = vp_.processDetailed(di);
+        if (!cloak.wasLoad)
+            return false;
+        ++stats_.loads;
+
+        const bool cloak_correct = cloak.used && cloak.correct;
+
+        // Chooser: MSB set -> prefer cloaking.
+        const uint64_t key = di.pc >> 2;
+        SatCounter *chooser = choosers_.touch(key);
+        if (!chooser) {
+            choosers_.insert(key, SatCounter(2, 2));
+            chooser = choosers_.find(key);
+        }
+        const bool prefer_cloak = chooser->predict();
+
+        bool used = false, correct = false, used_cloak = false;
+        if (cloak.used && (prefer_cloak || !vp.hit)) {
+            used = true;
+            used_cloak = true;
+            correct = cloak_correct;
+        } else if (vp.hit) {
+            used = true;
+            correct = vp.correct;
+        }
+
+        // Train the chooser toward the component that was right.
+        if (cloak_correct && !vp.correct)
+            chooser->increment();
+        else if (vp.correct && !cloak_correct)
+            chooser->decrement();
+
+        if (used) {
+            if (used_cloak)
+                ++stats_.usedCloak;
+            else
+                ++stats_.usedVp;
+            if (correct) {
+                ++stats_.correct;
+                if (cloak_correct != vp.correct)
+                    ++stats_.rescuedByChoice;
+            } else {
+                ++stats_.wrong;
+            }
+        }
+        return used && correct;
+    }
+
+    const MemoryRenamingStats &stats() const { return stats_; }
+    CloakingEngine &cloaking() { return engine_; }
+    LastValuePredictor &valuePredictor() { return vp_; }
+
+  private:
+    CloakingEngine engine_;
+    LastValuePredictor vp_;
+    HybridTable<SatCounter> choosers_;
+    MemoryRenamingStats stats_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_CORE_MEMORY_RENAMING_HH_

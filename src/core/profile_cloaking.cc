@@ -1,0 +1,62 @@
+#include "core/profile_cloaking.hh"
+
+namespace rarpred {
+
+DependenceProfiler::DependenceProfiler(const DdtConfig &ddt)
+    : detector_(ddt)
+{
+}
+
+void
+DependenceProfiler::onInst(const DynInst &di)
+{
+    if (di.isStore()) {
+        detector_.onStore(di.pc, di.eaddr);
+        lastValue_[di.pc] = di.value;
+        return;
+    }
+    if (!di.isLoad())
+        return;
+
+    if (auto dep = detector_.onLoad(di.pc, di.eaddr)) {
+        PairKey key{dep->sourcePc, dep->sinkPc,
+                    dep->type == DepType::Raw};
+        ProfiledPair &pair = pairs_[key];
+        pair.dep = *dep;
+        ++pair.occurrences;
+        auto it = lastValue_.find(dep->sourcePc);
+        if (it != lastValue_.end() && it->second == di.value)
+            ++pair.valueMatches;
+    }
+    // The load is itself a potential RAR producer: record what it
+    // would deposit.
+    lastValue_[di.pc] = di.value;
+}
+
+CloakingProfile
+DependenceProfiler::profile(uint64_t min_occurrences,
+                            double min_stability) const
+{
+    CloakingProfile result;
+    for (const auto &[key, pair] : pairs_) {
+        (void)key;
+        if (pair.occurrences >= min_occurrences &&
+            pair.stability() >= min_stability) {
+            result.pairs.push_back(pair);
+        }
+    }
+    return result;
+}
+
+CloakingEngine
+makeProfileGuidedEngine(const CloakingProfile &profile,
+                        CloakingConfig config)
+{
+    config.onlineTraining = false;
+    CloakingEngine engine(config);
+    for (const auto &pair : profile.pairs)
+        engine.dpnt().train(pair.dep);
+    return engine;
+}
+
+} // namespace rarpred

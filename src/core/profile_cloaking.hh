@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Profile-guided ("software-guided") cloaking, after Reinman, Calder,
+ * Tullsen, Tyson and Austin [17]: a profiling pass identifies the
+ * stable dependence pairs offline, the DPNT is preloaded from the
+ * profile, and at run time only prediction and verification remain —
+ * no dependence detection hardware.
+ */
+
+#ifndef RARPRED_CORE_PROFILE_CLOAKING_HH_
+#define RARPRED_CORE_PROFILE_CLOAKING_HH_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cloaking.hh"
+
+namespace rarpred {
+
+/** One profiled dependence pair with its observed behaviour. */
+struct ProfiledPair
+{
+    Dependence dep;
+    uint64_t occurrences = 0;  ///< times the sink saw this dependence
+    uint64_t valueMatches = 0; ///< times cloaking would be correct
+
+    double
+    stability() const
+    {
+        return occurrences == 0
+                   ? 0.0
+                   : (double)valueMatches / (double)occurrences;
+    }
+};
+
+/** The output of the profiling pass. */
+struct CloakingProfile
+{
+    std::vector<ProfiledPair> pairs;
+};
+
+/**
+ * Profiling pass: observes a training run, records every detected
+ * dependence pair, and measures whether the value that would flow
+ * through the synonym would have been correct.
+ */
+class DependenceProfiler : public TraceSink
+{
+  public:
+    /** @param ddt Detection configuration for the profiling run. */
+    explicit DependenceProfiler(const DdtConfig &ddt = {});
+
+    void onInst(const DynInst &di) override;
+
+    /**
+     * Select the pairs worth marking in software.
+     * @param min_occurrences Drop pairs seen fewer times.
+     * @param min_stability Drop pairs whose value flowed correctly
+     *        less often than this fraction.
+     */
+    CloakingProfile profile(uint64_t min_occurrences = 8,
+                            double min_stability = 0.9) const;
+
+    /** @return number of distinct pairs observed. */
+    size_t pairsObserved() const { return pairs_.size(); }
+
+  private:
+    struct PairKey
+    {
+        uint64_t src;
+        uint64_t sink;
+        bool raw;
+
+        bool operator==(const PairKey &o) const = default;
+    };
+
+    struct PairKeyHash
+    {
+        size_t
+        operator()(const PairKey &k) const
+        {
+            return std::hash<uint64_t>()(k.src * 0x9e3779b97f4a7c15ull ^
+                                         k.sink ^ (k.raw ? 1 : 0));
+        }
+    };
+
+    DependenceDetector detector_;
+    /** Last value produced per producer PC (what the SF would hold). */
+    std::unordered_map<uint64_t, uint64_t> lastValue_;
+    std::unordered_map<PairKey, ProfiledPair, PairKeyHash> pairs_;
+};
+
+/**
+ * Build a cloaking engine whose DPNT is preloaded from @p profile and
+ * whose online detection/training is disabled (the software-guided
+ * configuration).
+ */
+CloakingEngine makeProfileGuidedEngine(const CloakingProfile &profile,
+                                       CloakingConfig config = {});
+
+} // namespace rarpred
+
+#endif // RARPRED_CORE_PROFILE_CLOAKING_HH_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synonym File (SF): synonym-indexed speculative value storage.
+ *
+ * Producers (stores, and the earliest load of a RAR group) deposit
+ * their value here under their synonym; predicted consumers read it
+ * speculatively (Section 3.1, actions 3/4/6 of Figure 4). Entries are
+ * allocated empty when a producer is predicted and marked full once
+ * the producer's value is available.
+ */
+
+#ifndef RARPRED_CORE_SYNONYM_FILE_HH_
+#define RARPRED_CORE_SYNONYM_FILE_HH_
+
+#include <cstdint>
+
+#include "common/hybrid_table.hh"
+#include "core/dpnt.hh"
+
+namespace rarpred {
+
+/** One synonym file entry. */
+struct SfEntry
+{
+    bool full = false;        ///< value has been produced
+    uint64_t value = 0;       ///< the speculative value
+    bool fromStore = false;   ///< producer was a store (RAW) vs load (RAR)
+    uint64_t producerPc = 0;  ///< PC of the producing instruction
+    uint64_t producerSeq = 0; ///< dynamic seq of the producer (timing)
+};
+
+/** The synonym file. */
+class SynonymFile
+{
+  public:
+    /** @param geometry entries==0 models an infinite SF. */
+    explicit SynonymFile(TableGeometry geometry) : table_(geometry) {}
+
+    /** Allocate an empty entry for @p synonym (producer predicted). */
+    void
+    allocate(Synonym synonym)
+    {
+        table_.insert(synonym, SfEntry{});
+    }
+
+    /**
+     * Deposit a produced value, creating the entry when needed.
+     * @param synonym The producer's synonym.
+     * @param value The produced value.
+     * @param from_store True when the producer is a store.
+     * @param producer_pc PC of the producer.
+     * @param producer_seq Dynamic sequence number of the producer,
+     *        used by the timing model to locate its completion time.
+     */
+    void
+    produce(Synonym synonym, uint64_t value, bool from_store,
+            uint64_t producer_pc, uint64_t producer_seq = 0)
+    {
+        table_.insert(synonym, SfEntry{true, value, from_store,
+                                       producer_pc, producer_seq});
+    }
+
+    /**
+     * Consumer-side lookup.
+     * @return the entry (full or not), or nullptr when absent.
+     */
+    SfEntry *consume(Synonym synonym) { return table_.touch(synonym); }
+
+    /** Non-mutating lookup. */
+    const SfEntry *peek(Synonym synonym) { return table_.find(synonym); }
+
+    void clear() { table_.clear(); }
+
+    size_t size() const { return table_.size(); }
+
+  private:
+    HybridTable<SfEntry> table_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_CORE_SYNONYM_FILE_HH_

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Last-value load value predictor (Lipasti/Wilkerson/Shen [12]),
+ * used by Section 5.5 to compare and combine with cloaking.
+ */
+
+#ifndef RARPRED_CORE_VALUE_PREDICTOR_HH_
+#define RARPRED_CORE_VALUE_PREDICTOR_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hybrid_table.hh"
+#include "vm/trace.hh"
+
+namespace rarpred {
+
+/** Accuracy statistics for the value predictor. */
+struct ValuePredictorStats
+{
+    uint64_t loads = 0;
+    uint64_t hits = 0;    ///< table hit: a prediction was made
+    uint64_t correct = 0; ///< predicted value equalled the loaded value
+
+    /** Correct predictions as a fraction of all executed loads. */
+    double
+    accuracy() const
+    {
+        return loads == 0 ? 0.0 : (double)correct / (double)loads;
+    }
+};
+
+/**
+ * PC-indexed last-value predictor.
+ *
+ * The Section 5.5 configuration is a 16K-entry fully-associative
+ * table. Predicts that a load will read the same value as its
+ * previous execution.
+ */
+class LastValuePredictor : public TraceSink
+{
+  public:
+    /** @param geometry default is the paper's 16K fully-associative. */
+    explicit LastValuePredictor(TableGeometry geometry = {16384, 0})
+        : table_(geometry)
+    {}
+
+    void onInst(const DynInst &di) override { (void)processInst(di); }
+
+    /** Outcome of one load's prediction. */
+    struct Result
+    {
+        bool wasLoad = false;
+        bool hit = false;     ///< the table made a prediction
+        bool correct = false; ///< the prediction matched the value
+    };
+
+    /** Process one committed instruction with a detailed outcome. */
+    Result
+    processDetailed(const DynInst &di)
+    {
+        Result result;
+        if (!di.isLoad())
+            return result;
+        result.wasLoad = true;
+        ++stats_.loads;
+        if (uint64_t *last = table_.touch(di.pc >> 2)) {
+            ++stats_.hits;
+            result.hit = true;
+            result.correct = (*last == di.value);
+            if (result.correct)
+                ++stats_.correct;
+            *last = di.value;
+        } else {
+            table_.insert(di.pc >> 2, di.value);
+        }
+        return result;
+    }
+
+    /**
+     * Process one committed instruction.
+     * @return true when the instruction is a load and the predicted
+     *         value was correct.
+     */
+    bool
+    processInst(const DynInst &di)
+    {
+        return processDetailed(di).correct;
+    }
+
+    const ValuePredictorStats &stats() const { return stats_; }
+
+    void resetStats() { stats_ = ValuePredictorStats{}; }
+
+  private:
+    HybridTable<uint64_t> table_;
+    ValuePredictorStats stats_;
+};
+
+/**
+ * Stride value predictor: predicts lastValue + stride once the same
+ * stride has been observed twice in a row (the classic two-delta
+ * rule). Covers induction-variable loads the last-value predictor
+ * misses.
+ */
+class StrideValuePredictor : public TraceSink
+{
+  public:
+    explicit StrideValuePredictor(TableGeometry geometry = {16384, 0})
+        : table_(geometry)
+    {}
+
+    void onInst(const DynInst &di) override { (void)processInst(di); }
+
+    /** @return prediction outcome for this instruction. */
+    LastValuePredictor::Result
+    processDetailed(const DynInst &di)
+    {
+        LastValuePredictor::Result result;
+        if (!di.isLoad())
+            return result;
+        result.wasLoad = true;
+        ++stats_.loads;
+        Entry *e = table_.touch(di.pc >> 2);
+        if (!e) {
+            table_.insert(di.pc >> 2, Entry{di.value, 0, false});
+            return result;
+        }
+        ++stats_.hits;
+        const int64_t new_stride =
+            (int64_t)(di.value - e->lastValue);
+        if (e->strideStable) {
+            result.hit = true;
+            result.correct =
+                (uint64_t)((int64_t)e->lastValue + e->stride) ==
+                di.value;
+            if (result.correct)
+                ++stats_.correct;
+        }
+        e->strideStable = (new_stride == e->stride);
+        e->stride = new_stride;
+        e->lastValue = di.value;
+        return result;
+    }
+
+    bool
+    processInst(const DynInst &di)
+    {
+        return processDetailed(di).correct;
+    }
+
+    const ValuePredictorStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t lastValue = 0;
+        int64_t stride = 0;
+        bool strideStable = false;
+    };
+
+    HybridTable<Entry> table_;
+    ValuePredictorStats stats_;
+};
+
+/**
+ * Context-based (finite context method) value predictor: a per-PC
+ * first level hashes the last few values into a context; a shared
+ * second-level table maps contexts to the value that followed them.
+ * The "context-based predictors could increase coverage" direction
+ * Section 5.5 mentions.
+ */
+class ContextValuePredictor : public TraceSink
+{
+  public:
+    /**
+     * @param l1_geometry Per-PC history table.
+     * @param l2_entries Shared value table (power of two).
+     * @param order Values of history folded into the context.
+     */
+    ContextValuePredictor(TableGeometry l1_geometry = {16384, 0},
+                          size_t l2_entries = 65536, unsigned order = 4)
+        : l1_(l1_geometry), l2_(l2_entries), order_(order)
+    {}
+
+    void onInst(const DynInst &di) override { (void)processInst(di); }
+
+    LastValuePredictor::Result
+    processDetailed(const DynInst &di)
+    {
+        LastValuePredictor::Result result;
+        if (!di.isLoad())
+            return result;
+        result.wasLoad = true;
+        ++stats_.loads;
+        Entry *e = l1_.touch(di.pc >> 2);
+        if (!e) {
+            l1_.insert(di.pc >> 2, Entry{});
+            e = l1_.find(di.pc >> 2);
+        } else {
+            ++stats_.hits;
+        }
+        const size_t index = (size_t)(e->context & (l2_.size() - 1));
+        Slot &slot = l2_[index];
+        if (slot.valid) {
+            result.hit = true;
+            result.correct = slot.value == di.value;
+            if (result.correct)
+                ++stats_.correct;
+        }
+        // Train: the observed value follows this context.
+        slot.valid = true;
+        slot.value = di.value;
+        // Fold the value into the per-PC context (order_ is implied
+        // by how fast old values shift out).
+        const uint64_t fold = di.value * 0x9e3779b97f4a7c15ull;
+        e->context =
+            ((e->context << (64 / (order_ + 1))) ^ fold) ^ (di.pc >> 2);
+        return result;
+    }
+
+    bool
+    processInst(const DynInst &di)
+    {
+        return processDetailed(di).correct;
+    }
+
+    const ValuePredictorStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t context = 0;
+    };
+
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t value = 0;
+    };
+
+    HybridTable<Entry> l1_;
+    std::vector<Slot> l2_;
+    unsigned order_;
+    ValuePredictorStats stats_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_CORE_VALUE_PREDICTOR_HH_

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Configuration of the trace-driven out-of-order core (Section 5.1
+ * base processor, Section 5.6.1 cloaking/bypassing integration).
+ */
+
+#ifndef RARPRED_CPU_CPU_CONFIG_HH_
+#define RARPRED_CPU_CPU_CONFIG_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/cloaking.hh"
+#include "memory/memory_system.hh"
+
+namespace rarpred {
+
+/** Load/store scheduling policy of the memory scheduler. */
+enum class MemDepPolicy : uint8_t
+{
+    /**
+     * Naive speculation per [14] (the paper's base, Section 5.1):
+     * loads may access memory before preceding store addresses are
+     * known; violations are repaired by re-execution.
+     */
+    Naive,
+    /**
+     * Store-set prediction (Chrysos & Emer [5]): loads that have
+     * violated wait for the last fetched store of their store set.
+     */
+    StoreSets,
+    /**
+     * No speculation (the Figure 10 base): every load waits until all
+     * preceding store addresses are known.
+     */
+    Conservative,
+};
+
+/** Value-misspeculation recovery mechanism (Section 5.6.1). */
+enum class RecoveryModel : uint8_t
+{
+    /** Re-execute only instructions that used incorrect data. */
+    Selective,
+    /** Invalidate and re-fetch everything from the misspeculation. */
+    Squash,
+    /** Never speculate when it would misspeculate (reference bound). */
+    Oracle,
+};
+
+/** Core parameters (defaults are the paper's). */
+struct CpuConfig
+{
+    unsigned fetchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned windowSize = 128;  ///< instruction window / ROB entries
+    unsigned frontEndDepth = 5; ///< fetch..rename cycles
+    unsigned regReadLatency = 1;
+
+    unsigned lsqSize = 128;
+    unsigned lsqPorts = 4;    ///< loads+stores scheduled per cycle
+    unsigned lsqMinDelay = 1; ///< cycles from address to scheduler exit
+    /** Memory dependence scheduling policy (default: the paper's). */
+    MemDepPolicy memDep = MemDepPolicy::Naive;
+    /** Cycles to redo a load that read a stale value (order violation). */
+    unsigned memOrderRedoPenalty = 3;
+
+    MemorySystemConfig memory{};
+    size_t branchPredictorEntries = 16384; ///< x4 tables = 64K total
+    unsigned branchHistoryBits = 12;
+    unsigned rasDepth = 64;
+    unsigned mispredictRedirect = 1; ///< cycles after branch resolution
+    /**
+     * End the fetch group at a taken branch. The paper's 8-wide
+     * front end behaves close to an ideal fetcher; leaving this off
+     * matches its reported base IPCs better, at the cost of slightly
+     * optimistic fetch on very branchy code.
+     */
+    bool fetchBreakOnTaken = false;
+};
+
+/** Cloaking/bypassing attachment to the core. */
+struct CloakTimingConfig
+{
+    bool enabled = false;
+    /** Functional mechanism (DDT/DPNT/SF geometry per Section 5.6.1). */
+    CloakingConfig engine{};
+    RecoveryModel recovery = RecoveryModel::Selective;
+    /** Cycles after dispatch for DPNT+SF/SRT access. */
+    unsigned predictionLatency = 1;
+    /**
+     * Speculative memory bypassing (Section 3.2): link the cloaked
+     * load's consumers directly to the producer's value. When
+     * disabled, only cloaking operates — the load itself receives the
+     * speculative value and must propagate it to its consumers, one
+     * extra cycle later.
+     */
+    bool bypassing = true;
+};
+
+/** End-of-run timing statistics. */
+struct CpuStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t memOrderViolations = 0;
+    uint64_t valueSpecUsed = 0;
+    uint64_t valueSpecCorrect = 0;
+    uint64_t valueSpecWrong = 0;
+    uint64_t squashes = 0;
+    /** Sum over covered loads of cycles the bypassed value arrived
+     *  before the load's own result would have. */
+    uint64_t specCyclesSaved = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : (double)instructions / (double)cycles;
+    }
+
+    /** Write gem5-style "prefix.stat value" lines. */
+    void
+    dump(std::ostream &os, const std::string &prefix = "cpu") const
+    {
+        os << prefix << ".instructions " << instructions << "\n";
+        os << prefix << ".cycles " << cycles << "\n";
+        os << prefix << ".ipc " << ipc() << "\n";
+        os << prefix << ".loads " << loads << "\n";
+        os << prefix << ".stores " << stores << "\n";
+        os << prefix << ".branchMispredicts " << branchMispredicts
+           << "\n";
+        os << prefix << ".memOrderViolations " << memOrderViolations
+           << "\n";
+        os << prefix << ".valueSpecUsed " << valueSpecUsed << "\n";
+        os << prefix << ".valueSpecCorrect " << valueSpecCorrect << "\n";
+        os << prefix << ".valueSpecWrong " << valueSpecWrong << "\n";
+        os << prefix << ".squashes " << squashes << "\n";
+        os << prefix << ".specCyclesSaved " << specCyclesSaved << "\n";
+    }
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_CPU_CPU_CONFIG_HH_

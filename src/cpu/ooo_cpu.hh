@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Trace-driven out-of-order superscalar timing model.
+ *
+ * Consumes the committed instruction stream (the correct path) and
+ * computes per-instruction fetch/dispatch/execute/commit cycles under
+ * the Section 5.1 machine: 8-wide, 128-entry window, 5-cycle front
+ * end, the paper's functional-unit latencies, a 128-entry load/store
+ * scheduler with naive memory dependence speculation, the paper's
+ * cache hierarchy, and the 64K-entry combined branch predictor.
+ *
+ * Cloaking/bypassing attaches per Section 5.6.1: predictions are made
+ * at decode; a predicted consumer load's dependents are linked to the
+ * producer's value (bypassing), so they may issue as soon as that
+ * value exists; verification happens when the load's own memory
+ * access completes. Misspeculation recovery is selective re-execution
+ * or squash re-fetch. Branches never resolve on speculative inputs.
+ *
+ * Modelling simplifications (documented in DESIGN.md): no wrong-path
+ * fetch effects beyond the redirect bubble, universal function units,
+ * and DPNT training applied in trace order rather than at commit.
+ */
+
+#ifndef RARPRED_CPU_OOO_CPU_HH_
+#define RARPRED_CPU_OOO_CPU_HH_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/srt.hh"
+#include "cpu/cpu_config.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/store_sets.hh"
+#include "vm/trace.hh"
+
+namespace rarpred {
+
+/** The timing model. */
+class OooCpu : public TraceSink
+{
+  public:
+    OooCpu(const CpuConfig &config, const CloakTimingConfig &cloak);
+    ~OooCpu() override;
+
+    /** Feed the next committed instruction. */
+    void onInst(const DynInst &di) override;
+
+    /** @return statistics; cycles is the commit time of the last inst. */
+    CpuStats stats() const;
+
+    /** Underlying cloaking engine (null when cloaking is disabled). */
+    CloakingEngine *cloakingEngine() { return engine_.get(); }
+
+  private:
+    /** A width-limited resource: at most `width` events per cycle. */
+    class BandwidthLimiter
+    {
+      public:
+        explicit BandwidthLimiter(unsigned width) : width_(width) {}
+
+        /** @return the first cycle >= request with a free slot. */
+        uint64_t
+        allocate(uint64_t request)
+        {
+            uint64_t cycle = request;
+            while (true) {
+                auto [it, inserted] = used_.try_emplace(cycle, 0);
+                if (it->second < width_) {
+                    ++it->second;
+                    return cycle;
+                }
+                ++cycle;
+            }
+        }
+
+        /** Forget accounting for cycles below @p floor. */
+        void
+        prune(uint64_t floor)
+        {
+            for (auto it = used_.begin(); it != used_.end();) {
+                if (it->first < floor)
+                    it = used_.erase(it);
+                else
+                    ++it;
+            }
+        }
+
+        size_t size() const { return used_.size(); }
+
+      private:
+        unsigned width_;
+        std::unordered_map<uint64_t, unsigned> used_;
+    };
+
+    /** An in-flight store tracked by the load/store scheduler. */
+    struct StoreRecord
+    {
+        uint64_t seq;
+        uint64_t pc;
+        uint64_t addr;
+        uint64_t addrReady;     ///< cycle its address is known
+        uint64_t dataReadySpec; ///< data available (speculative chain)
+        uint64_t dataReadyArch; ///< data verified
+    };
+
+    /** @return the in-flight store with @p seq, or nullptr. */
+    const StoreRecord *findStoreBySeq(uint64_t seq) const;
+
+    /** Speculative/verified completion pair for a load. */
+    struct LoadTiming
+    {
+        uint64_t spec;
+        uint64_t arch;
+    };
+
+    uint64_t handleFetch(const DynInst &di);
+    void handleControl(const DynInst &di, uint64_t resolve_cycle);
+    LoadTiming loadCompleteCycle(const DynInst &di, uint64_t sched);
+    /** @return cycle a past instruction's value exists (0 if ancient). */
+    uint64_t valueTimeOf(uint64_t seq) const;
+    /** @return commit cycle of a past instruction (0 if ancient). */
+    uint64_t commitTimeOf(uint64_t seq) const;
+    void recordValueTime(uint64_t seq, uint64_t cycle);
+    void recordCommitTime(uint64_t seq, uint64_t cycle);
+    /**
+     * When a predicted consumer uses a cloaked value, compute the
+     * cycle the value exists: through the SRT if the producer is
+     * still in flight at @p dispatch (bypassing, Figure 1(b)), or
+     * from the Synonym File if it has committed.
+     */
+    uint64_t speculativeValueTime(const LoadOutcome &outcome,
+                                  uint64_t dispatch);
+    void pruneBandwidth();
+
+    CpuConfig config_;
+    CloakTimingConfig cloakConfig_;
+    std::unique_ptr<CloakingEngine> engine_;
+    MemorySystem memory_;
+    CombinedPredictor branchPredictor_;
+    ReturnAddressStack ras_;
+
+    // Register scoreboard: value availability for consumers (spec may
+    // be earlier than arch when a cloaked value was used).
+    uint64_t specReady_[reg::kNumRegs] = {};
+    uint64_t archReady_[reg::kNumRegs] = {};
+
+    // Front end state.
+    uint64_t fetchRedirect_ = 0; ///< earliest fetch cycle (mispredicts)
+    BandwidthLimiter fetchBw_;
+    BandwidthLimiter issueBw_;
+    BandwidthLimiter lsqBw_;
+    BandwidthLimiter commitBw_;
+
+    // Window occupancy: commit cycles of the last windowSize insts.
+    std::deque<uint64_t> commitRing_;
+    uint64_t lastCommit_ = 0;
+
+    // In-flight stores (bounded by window size).
+    std::deque<StoreRecord> storeQueue_;
+    /** Prefix-max of store address-ready times (conservative mode). */
+    uint64_t storeAddrReadyMax_ = 0;
+
+    // Completion and commit times of recent instructions, by seq.
+    static constexpr size_t kValueRing = 1 << 15;
+    std::vector<uint64_t> valueTime_;
+    std::vector<uint64_t> valueSeq_;
+    std::vector<uint64_t> commitTime_;
+    std::vector<uint64_t> commitSeq_;
+
+    /** The bypassing structure: synonym -> in-flight producer. */
+    SynonymRenameTable srt_;
+
+    /** Memory dependence predictor (MemDepPolicy::StoreSets). */
+    StoreSetPredictor storeSets_;
+
+    CpuStats stats_;
+    uint64_t lastFetch_ = 0;
+    uint64_t lastFetchBlock_ = ~0ull;
+    uint64_t pruneCounter_ = 0;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_CPU_OOO_CPU_HH_

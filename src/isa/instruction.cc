@@ -1,0 +1,267 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+InstClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return InstClass::Nop;
+      case Opcode::Mul:
+        return InstClass::IntMul;
+      case Opcode::Div:
+        return InstClass::IntDiv;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Slt:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Slti:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Li:
+      case Opcode::Mov:
+        return InstClass::IntAlu;
+      case Opcode::FaddS:
+      case Opcode::FaddD:
+      case Opcode::FsubS:
+      case Opcode::FsubD:
+      case Opcode::FcmpS:
+      case Opcode::FcmpD:
+      case Opcode::Fmov:
+      case Opcode::Fcvt:
+        return InstClass::FpAdd;
+      case Opcode::FmulS:
+        return InstClass::FpMulS;
+      case Opcode::FmulD:
+        return InstClass::FpMulD;
+      case Opcode::FdivS:
+        return InstClass::FpDivS;
+      case Opcode::FdivD:
+        return InstClass::FpDivD;
+      case Opcode::Lw:
+      case Opcode::Lf:
+        return InstClass::Load;
+      case Opcode::Sw:
+      case Opcode::Sf:
+        return InstClass::Store;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jump:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return InstClass::Branch;
+    }
+    rarpred_panic("unknown opcode");
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Lw || op == Opcode::Lf;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::Sw || op == Opcode::Sf;
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jump:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+latencyOf(Opcode op)
+{
+    // Latencies per Section 5.1 of the paper.
+    switch (classOf(op)) {
+      case InstClass::IntAlu:
+      case InstClass::Nop:
+      case InstClass::Branch:
+        return 1;
+      case InstClass::IntMul:
+        return 4;
+      case InstClass::IntDiv:
+        return 12;
+      case InstClass::FpAdd:
+        return 2;
+      case InstClass::FpMulS:
+        return 4;
+      case InstClass::FpMulD:
+        return 5;
+      case InstClass::FpDivS:
+        return 12;
+      case InstClass::FpDivD:
+        return 15;
+      case InstClass::Load:
+      case InstClass::Store:
+        return 1; // address generation; memory latency modelled separately
+    }
+    rarpred_panic("unknown instruction class");
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Slt: return "slt";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Slti: return "slti";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Li: return "li";
+      case Opcode::Mov: return "mov";
+      case Opcode::Lw: return "lw";
+      case Opcode::Sw: return "sw";
+      case Opcode::Lf: return "lf";
+      case Opcode::Sf: return "sf";
+      case Opcode::FaddS: return "fadd.s";
+      case Opcode::FaddD: return "fadd.d";
+      case Opcode::FsubS: return "fsub.s";
+      case Opcode::FsubD: return "fsub.d";
+      case Opcode::FcmpS: return "fcmp.s";
+      case Opcode::FcmpD: return "fcmp.d";
+      case Opcode::FmulS: return "fmul.s";
+      case Opcode::FmulD: return "fmul.d";
+      case Opcode::FdivS: return "fdiv.s";
+      case Opcode::FdivD: return "fdiv.d";
+      case Opcode::Fmov: return "fmov";
+      case Opcode::Fcvt: return "fcvt";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jump: return "j";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+    }
+    return "???";
+}
+
+namespace {
+
+std::string
+regName(RegId r)
+{
+    if (r == reg::kNone)
+        return "-";
+    std::ostringstream os;
+    if (reg::isFp(r))
+        os << "f" << (unsigned)(r - reg::kNumIntRegs);
+    else
+        os << "r" << (unsigned)r;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << mnemonic(inst.op);
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      case Opcode::Lw:
+      case Opcode::Lf:
+        os << " " << regName(inst.dst) << ", " << inst.imm << "("
+           << regName(inst.src1) << ")";
+        break;
+      case Opcode::Sw:
+      case Opcode::Sf:
+        os << " " << regName(inst.src2) << ", " << inst.imm << "("
+           << regName(inst.src1) << ")";
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        os << " " << regName(inst.src1) << ", " << regName(inst.src2)
+           << ", @" << inst.target;
+        break;
+      case Opcode::Jump:
+      case Opcode::Call:
+        os << " @" << inst.target;
+        break;
+      case Opcode::Ret:
+        os << " " << regName(inst.src1);
+        break;
+      case Opcode::Li:
+        os << " " << regName(inst.dst) << ", " << inst.imm;
+        break;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Slti:
+      case Opcode::Slli:
+      case Opcode::Srli:
+        os << " " << regName(inst.dst) << ", " << regName(inst.src1) << ", "
+           << inst.imm;
+        break;
+      default:
+        os << " " << regName(inst.dst) << ", " << regName(inst.src1);
+        if (inst.src2 != reg::kNone)
+            os << ", " << regName(inst.src2);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace rarpred

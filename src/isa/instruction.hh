@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static instruction representation for the MicroISA.
+ */
+
+#ifndef RARPRED_ISA_INSTRUCTION_HH_
+#define RARPRED_ISA_INSTRUCTION_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+
+namespace rarpred {
+
+/**
+ * One static MicroISA instruction.
+ *
+ * Fields are interpreted per opcode:
+ *  - ALU: dst = src1 OP src2 (or imm for the immediate forms).
+ *  - Lw/Lf: dst = mem[int(src1) + imm].
+ *  - Sw/Sf: mem[int(src1) + imm] = src2.
+ *  - Branches: compare int(src1) with int(src2); target is an
+ *    instruction index resolved by ProgramBuilder.
+ *  - Call/Jump: target is an instruction index.
+ *  - Ret: jumps to the byte address held in int(src1).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = reg::kNone;
+    RegId src1 = reg::kNone;
+    RegId src2 = reg::kNone;
+    int64_t imm = 0;
+    /** Branch/jump/call target as a static instruction index. */
+    uint32_t target = 0;
+
+    /** @return execution latency in cycles. */
+    unsigned latency() const { return latencyOf(op); }
+
+    /** @return broad class used by the pipeline model. */
+    InstClass instClass() const { return classOf(op); }
+
+    bool isLoad() const { return rarpred::isLoad(op); }
+    bool isStore() const { return rarpred::isStore(op); }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isControl() const { return rarpred::isControl(op); }
+};
+
+/** @return a human-readable disassembly of @p inst. */
+std::string disassemble(const Instruction &inst);
+
+/** Byte size of every MicroISA instruction (for PC arithmetic). */
+constexpr uint64_t kInstBytes = 4;
+
+/** @return byte PC of static instruction index @p index. */
+constexpr uint64_t
+pcOfIndex(uint64_t index)
+{
+    return index * kInstBytes;
+}
+
+/** @return static instruction index of byte PC @p pc. */
+constexpr uint64_t
+indexOfPc(uint64_t pc)
+{
+    return pc / kInstBytes;
+}
+
+} // namespace rarpred
+
+#endif // RARPRED_ISA_INSTRUCTION_HH_

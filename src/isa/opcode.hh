@@ -1,0 +1,115 @@
+/**
+ * @file
+ * MicroISA opcode set and static classification helpers.
+ *
+ * A small RISC ISA sufficient to express the synthetic SPEC'95-like
+ * workloads: integer/floating ALU operations with the functional-unit
+ * latencies of the paper's Multiscalar configuration, word loads and
+ * stores, conditional branches, direct calls and indirect returns.
+ */
+
+#ifndef RARPRED_ISA_OPCODE_HH_
+#define RARPRED_ISA_OPCODE_HH_
+
+#include <cstdint>
+
+namespace rarpred {
+
+/** Every MicroISA operation. */
+enum class Opcode : uint8_t
+{
+    Nop,
+
+    // Integer ALU (1 cycle, except Mul 4 and Div 12).
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Slt,
+    Addi,
+    Andi,
+    Ori,
+    Slti,
+    Slli,
+    Srli,
+    Li,  ///< dst = imm (64-bit immediate materialization)
+    Mov, ///< dst = src1
+
+    // Memory (word = 8 bytes; address = int_reg[src1] + imm).
+    Lw, ///< integer load word
+    Sw, ///< integer store word; data in src2
+    Lf, ///< floating-point load word
+    Sf, ///< floating-point store word; data in src2
+
+    // Floating point. S = single-precision latency class, D = double.
+    FaddS, ///< 2 cycles
+    FaddD, ///< 2 cycles
+    FsubS, ///< 2 cycles
+    FsubD, ///< 2 cycles
+    FcmpS, ///< 2 cycles; integer dst receives 0/1
+    FcmpD, ///< 2 cycles; integer dst receives 0/1
+    FmulS, ///< 4 cycles
+    FmulD, ///< 5 cycles
+    FdivS, ///< 12 cycles
+    FdivD, ///< 15 cycles
+    Fmov,  ///< fp register move
+    Fcvt,  ///< int src1 -> fp dst conversion (2 cycles)
+
+    // Control. Branches compare int regs src1, src2 against target imm.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Jump, ///< unconditional direct jump
+    Call, ///< direct call; writes return address into reg::kRa
+    Ret,  ///< indirect jump through src1 (conventionally reg::kRa)
+
+    Halt, ///< terminate the program
+};
+
+/** Broad instruction classes used by the pipeline model. */
+enum class InstClass : uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd, ///< add/sub/compare/convert: 2 cycles
+    FpMulS,
+    FpMulD,
+    FpDivS,
+    FpDivD,
+    Load,
+    Store,
+    Branch,
+    Nop,
+};
+
+/** @return the class of @p op. */
+InstClass classOf(Opcode op);
+
+/** @return true for Lw/Lf. */
+bool isLoad(Opcode op);
+
+/** @return true for Sw/Sf. */
+bool isStore(Opcode op);
+
+/** @return true for any control transfer (branches, jumps, call, ret). */
+bool isControl(Opcode op);
+
+/** @return true for conditional branches only. */
+bool isCondBranch(Opcode op);
+
+/** @return execution latency in cycles per the paper's Section 5.1. */
+unsigned latencyOf(Opcode op);
+
+/** @return a short mnemonic for disassembly. */
+const char *mnemonic(Opcode op);
+
+} // namespace rarpred
+
+#endif // RARPRED_ISA_OPCODE_HH_

@@ -1,0 +1,16 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace rarpred {
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < code_.size(); ++i)
+        os << pcOfIndex(i) << ":\t" << disassemble(code_[i]) << "\n";
+    return os.str();
+}
+
+} // namespace rarpred

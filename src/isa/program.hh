@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A finalized MicroISA program: code plus initial data image.
+ */
+
+#ifndef RARPRED_ISA_PROGRAM_HH_
+#define RARPRED_ISA_PROGRAM_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace rarpred {
+
+/**
+ * Initial memory contents for a program: 8-byte words written before
+ * execution begins. The VM's data memory is byte addressed but all
+ * MicroISA accesses are aligned 8-byte words, matching the word
+ * granularity the paper uses for the DDT.
+ */
+struct DataWord
+{
+    uint64_t addr; ///< byte address, 8-aligned
+    uint64_t value;
+};
+
+/** A complete program ready for execution. */
+class Program
+{
+  public:
+    Program() = default;
+
+    Program(std::string name, std::vector<Instruction> code,
+            std::vector<DataWord> data, uint64_t mem_bytes)
+        : name_(std::move(name)), code_(std::move(code)),
+          data_(std::move(data)), memBytes_(mem_bytes)
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instruction> &code() const { return code_; }
+    const std::vector<DataWord> &initialData() const { return data_; }
+
+    /** Size of the data memory the VM must provision, in bytes. */
+    uint64_t memBytes() const { return memBytes_; }
+
+    /** Number of static instructions. */
+    size_t numInsts() const { return code_.size(); }
+
+    /** @return full disassembly listing, one instruction per line. */
+    std::string listing() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<DataWord> data_;
+    uint64_t memBytes_ = 0;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_ISA_PROGRAM_HH_

@@ -1,0 +1,395 @@
+#include "isa/program_builder.hh"
+
+#include <bit>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+ProgramBuilder::ProgramBuilder(std::string name, uint64_t mem_bytes)
+    : name_(std::move(name)), memBytes_(mem_bytes), dataBrk_(0x1000)
+{
+    rarpred_assert(mem_bytes % 8 == 0);
+    rarpred_assert(mem_bytes > 0x1000);
+}
+
+void
+ProgramBuilder::emit(Instruction inst)
+{
+    rarpred_assert(!built_);
+    code_.push_back(inst);
+}
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    auto [it, inserted] = labels_.emplace(name, (uint32_t)code_.size());
+    (void)it;
+    if (!inserted)
+        rarpred_fatal("duplicate label: " + name);
+}
+
+void
+ProgramBuilder::branchTo(Opcode op, RegId s1, RegId s2,
+                         const std::string &target)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.src1 = s1;
+    inst.src2 = s2;
+    fixups_.emplace_back(code_.size(), target);
+    emit(inst);
+}
+
+void
+ProgramBuilder::beq(RegId s1, RegId s2, const std::string &target)
+{
+    branchTo(Opcode::Beq, s1, s2, target);
+}
+
+void
+ProgramBuilder::bne(RegId s1, RegId s2, const std::string &target)
+{
+    branchTo(Opcode::Bne, s1, s2, target);
+}
+
+void
+ProgramBuilder::blt(RegId s1, RegId s2, const std::string &target)
+{
+    branchTo(Opcode::Blt, s1, s2, target);
+}
+
+void
+ProgramBuilder::bge(RegId s1, RegId s2, const std::string &target)
+{
+    branchTo(Opcode::Bge, s1, s2, target);
+}
+
+void
+ProgramBuilder::jump(const std::string &target)
+{
+    branchTo(Opcode::Jump, reg::kNone, reg::kNone, target);
+}
+
+void
+ProgramBuilder::call(const std::string &target)
+{
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.dst = reg::kRa;
+    fixups_.emplace_back(code_.size(), target);
+    emit(inst);
+}
+
+void
+ProgramBuilder::ret(RegId ra)
+{
+    Instruction inst;
+    inst.op = Opcode::Ret;
+    inst.src1 = ra;
+    emit(inst);
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit({Opcode::Halt, reg::kNone, reg::kNone, reg::kNone, 0, 0});
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit({Opcode::Nop, reg::kNone, reg::kNone, reg::kNone, 0, 0});
+}
+
+namespace {
+
+Instruction
+threeReg(Opcode op, RegId d, RegId s1, RegId s2)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.src1 = s1;
+    inst.src2 = s2;
+    return inst;
+}
+
+Instruction
+twoRegImm(Opcode op, RegId d, RegId s1, int64_t imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.src1 = s1;
+    inst.imm = imm;
+    return inst;
+}
+
+} // namespace
+
+void
+ProgramBuilder::add(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Add, d, s1, s2));
+}
+
+void
+ProgramBuilder::sub(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Sub, d, s1, s2));
+}
+
+void
+ProgramBuilder::mul(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Mul, d, s1, s2));
+}
+
+void
+ProgramBuilder::div(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Div, d, s1, s2));
+}
+
+void
+ProgramBuilder::and_(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::And, d, s1, s2));
+}
+
+void
+ProgramBuilder::or_(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Or, d, s1, s2));
+}
+
+void
+ProgramBuilder::xor_(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Xor, d, s1, s2));
+}
+
+void
+ProgramBuilder::sll(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Sll, d, s1, s2));
+}
+
+void
+ProgramBuilder::srl(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Srl, d, s1, s2));
+}
+
+void
+ProgramBuilder::slt(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::Slt, d, s1, s2));
+}
+
+void
+ProgramBuilder::addi(RegId d, RegId s1, int64_t imm)
+{
+    emit(twoRegImm(Opcode::Addi, d, s1, imm));
+}
+
+void
+ProgramBuilder::andi(RegId d, RegId s1, int64_t imm)
+{
+    emit(twoRegImm(Opcode::Andi, d, s1, imm));
+}
+
+void
+ProgramBuilder::ori(RegId d, RegId s1, int64_t imm)
+{
+    emit(twoRegImm(Opcode::Ori, d, s1, imm));
+}
+
+void
+ProgramBuilder::slti(RegId d, RegId s1, int64_t imm)
+{
+    emit(twoRegImm(Opcode::Slti, d, s1, imm));
+}
+
+void
+ProgramBuilder::slli(RegId d, RegId s1, int64_t imm)
+{
+    emit(twoRegImm(Opcode::Slli, d, s1, imm));
+}
+
+void
+ProgramBuilder::srli(RegId d, RegId s1, int64_t imm)
+{
+    emit(twoRegImm(Opcode::Srli, d, s1, imm));
+}
+
+void
+ProgramBuilder::li(RegId d, int64_t imm)
+{
+    emit(twoRegImm(Opcode::Li, d, reg::kNone, imm));
+}
+
+void
+ProgramBuilder::mov(RegId d, RegId s1)
+{
+    emit(threeReg(Opcode::Mov, d, s1, reg::kNone));
+}
+
+void
+ProgramBuilder::lw(RegId d, RegId base, int64_t offset)
+{
+    rarpred_assert(!reg::isFp(d));
+    emit(twoRegImm(Opcode::Lw, d, base, offset));
+}
+
+void
+ProgramBuilder::sw(RegId base, int64_t offset, RegId src)
+{
+    rarpred_assert(!reg::isFp(src));
+    Instruction inst = twoRegImm(Opcode::Sw, reg::kNone, base, offset);
+    inst.src2 = src;
+    emit(inst);
+}
+
+void
+ProgramBuilder::lf(RegId d, RegId base, int64_t offset)
+{
+    rarpred_assert(reg::isFp(d));
+    emit(twoRegImm(Opcode::Lf, d, base, offset));
+}
+
+void
+ProgramBuilder::sf(RegId base, int64_t offset, RegId src)
+{
+    rarpred_assert(reg::isFp(src));
+    Instruction inst = twoRegImm(Opcode::Sf, reg::kNone, base, offset);
+    inst.src2 = src;
+    emit(inst);
+}
+
+void
+ProgramBuilder::fadds(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FaddS, d, s1, s2));
+}
+
+void
+ProgramBuilder::faddd(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FaddD, d, s1, s2));
+}
+
+void
+ProgramBuilder::fsubs(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FsubS, d, s1, s2));
+}
+
+void
+ProgramBuilder::fsubd(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FsubD, d, s1, s2));
+}
+
+void
+ProgramBuilder::fcmps(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FcmpS, d, s1, s2));
+}
+
+void
+ProgramBuilder::fcmpd(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FcmpD, d, s1, s2));
+}
+
+void
+ProgramBuilder::fmuls(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FmulS, d, s1, s2));
+}
+
+void
+ProgramBuilder::fmuld(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FmulD, d, s1, s2));
+}
+
+void
+ProgramBuilder::fdivs(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FdivS, d, s1, s2));
+}
+
+void
+ProgramBuilder::fdivd(RegId d, RegId s1, RegId s2)
+{
+    emit(threeReg(Opcode::FdivD, d, s1, s2));
+}
+
+void
+ProgramBuilder::fmov(RegId d, RegId s1)
+{
+    emit(threeReg(Opcode::Fmov, d, s1, reg::kNone));
+}
+
+void
+ProgramBuilder::fcvt(RegId d, RegId s1)
+{
+    rarpred_assert(reg::isFp(d) && !reg::isFp(s1));
+    emit(threeReg(Opcode::Fcvt, d, s1, reg::kNone));
+}
+
+void
+ProgramBuilder::push(RegId r)
+{
+    addi(reg::kSp, reg::kSp, -8);
+    sw(reg::kSp, 0, r);
+}
+
+void
+ProgramBuilder::pop(RegId r)
+{
+    lw(r, reg::kSp, 0);
+    addi(reg::kSp, reg::kSp, 8);
+}
+
+uint64_t
+ProgramBuilder::allocWords(uint64_t num_words)
+{
+    uint64_t addr = dataBrk_;
+    dataBrk_ += num_words * 8;
+    rarpred_assert(dataBrk_ < memBytes_ - 0x10000); // keep room for stack
+    return addr;
+}
+
+void
+ProgramBuilder::initWord(uint64_t addr, uint64_t value)
+{
+    rarpred_assert(addr % 8 == 0 && addr < memBytes_);
+    data_.push_back({addr, value});
+}
+
+void
+ProgramBuilder::initWordF(uint64_t addr, double value)
+{
+    initWord(addr, std::bit_cast<uint64_t>(value));
+}
+
+Program
+ProgramBuilder::build()
+{
+    rarpred_assert(!built_);
+    built_ = true;
+    for (const auto &[index, target] : fixups_) {
+        auto it = labels_.find(target);
+        if (it == labels_.end())
+            rarpred_fatal("undefined label: " + target);
+        code_[index].target = it->second;
+    }
+    return Program(name_, std::move(code_), std::move(data_), memBytes_);
+}
+
+} // namespace rarpred

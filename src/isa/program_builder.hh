@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Label-based in-C++ assembler for MicroISA programs.
+ *
+ * The synthetic SPEC'95-like workloads are written against this
+ * builder. It provides one method per opcode, forward-referencing
+ * labels with fixup at build() time, a bump allocator for the data
+ * segment, and stack push/pop helpers implementing the software
+ * calling convention (return address saved by callees that call).
+ */
+
+#ifndef RARPRED_ISA_PROGRAM_BUILDER_HH_
+#define RARPRED_ISA_PROGRAM_BUILDER_HH_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rarpred {
+
+/** Builds a Program instruction by instruction. */
+class ProgramBuilder
+{
+  public:
+    /**
+     * @param name Program name (reported in experiment output).
+     * @param mem_bytes Data memory size; the stack grows down from the
+     *        top of this region. Must be a multiple of 8.
+     */
+    explicit ProgramBuilder(std::string name,
+                            uint64_t mem_bytes = 16ull << 20);
+
+    // --- Labels and control flow -----------------------------------
+
+    /** Bind @p name to the next emitted instruction. */
+    void label(const std::string &name);
+
+    void beq(RegId s1, RegId s2, const std::string &target);
+    void bne(RegId s1, RegId s2, const std::string &target);
+    void blt(RegId s1, RegId s2, const std::string &target);
+    void bge(RegId s1, RegId s2, const std::string &target);
+    void jump(const std::string &target);
+
+    /** Direct call; writes the return byte address into reg::kRa. */
+    void call(const std::string &target);
+
+    /** Return through @p ra (conventionally reg::kRa). */
+    void ret(RegId ra = reg::kRa);
+
+    void halt();
+    void nop();
+
+    // --- Integer ALU ------------------------------------------------
+
+    void add(RegId d, RegId s1, RegId s2);
+    void sub(RegId d, RegId s1, RegId s2);
+    void mul(RegId d, RegId s1, RegId s2);
+    void div(RegId d, RegId s1, RegId s2);
+    void and_(RegId d, RegId s1, RegId s2);
+    void or_(RegId d, RegId s1, RegId s2);
+    void xor_(RegId d, RegId s1, RegId s2);
+    void sll(RegId d, RegId s1, RegId s2);
+    void srl(RegId d, RegId s1, RegId s2);
+    void slt(RegId d, RegId s1, RegId s2);
+    void addi(RegId d, RegId s1, int64_t imm);
+    void andi(RegId d, RegId s1, int64_t imm);
+    void ori(RegId d, RegId s1, int64_t imm);
+    void slti(RegId d, RegId s1, int64_t imm);
+    void slli(RegId d, RegId s1, int64_t imm);
+    void srli(RegId d, RegId s1, int64_t imm);
+    void li(RegId d, int64_t imm);
+    void mov(RegId d, RegId s1);
+
+    // --- Memory -----------------------------------------------------
+
+    void lw(RegId d, RegId base, int64_t offset);
+    void sw(RegId base, int64_t offset, RegId src);
+    void lf(RegId d, RegId base, int64_t offset);
+    void sf(RegId base, int64_t offset, RegId src);
+
+    // --- Floating point ---------------------------------------------
+
+    void fadds(RegId d, RegId s1, RegId s2);
+    void faddd(RegId d, RegId s1, RegId s2);
+    void fsubs(RegId d, RegId s1, RegId s2);
+    void fsubd(RegId d, RegId s1, RegId s2);
+    void fcmps(RegId d, RegId s1, RegId s2);
+    void fcmpd(RegId d, RegId s1, RegId s2);
+    void fmuls(RegId d, RegId s1, RegId s2);
+    void fmuld(RegId d, RegId s1, RegId s2);
+    void fdivs(RegId d, RegId s1, RegId s2);
+    void fdivd(RegId d, RegId s1, RegId s2);
+    void fmov(RegId d, RegId s1);
+    void fcvt(RegId d, RegId s1);
+
+    // --- Calling-convention helpers ---------------------------------
+
+    /** addi sp, sp, -8 ; sw r, 0(sp) */
+    void push(RegId r);
+
+    /** lw r, 0(sp) ; addi sp, sp, 8 */
+    void pop(RegId r);
+
+    // --- Data segment -----------------------------------------------
+
+    /**
+     * Reserve @p num_words consecutive 8-byte words in the data
+     * segment. @return the byte address of the first word.
+     */
+    uint64_t allocWords(uint64_t num_words);
+
+    /** Set the initial value of the word at @p addr (8-aligned). */
+    void initWord(uint64_t addr, uint64_t value);
+
+    /** Set the initial value of the word at @p addr to a double. */
+    void initWordF(uint64_t addr, double value);
+
+    /** @return the byte address of the top of the stack region. */
+    uint64_t stackTop() const { return memBytes_; }
+
+    /** @return the current number of emitted instructions. */
+    size_t numInsts() const { return code_.size(); }
+
+    /**
+     * Resolve all label references and produce the final Program.
+     * Fails fatally on undefined labels.
+     */
+    Program build();
+
+  private:
+    void emit(Instruction inst);
+    void branchTo(Opcode op, RegId s1, RegId s2, const std::string &target);
+
+    std::string name_;
+    uint64_t memBytes_;
+    uint64_t dataBrk_;
+    std::vector<Instruction> code_;
+    std::vector<DataWord> data_;
+    std::unordered_map<std::string, uint32_t> labels_;
+    std::vector<std::pair<size_t, std::string>> fixups_;
+    bool built_ = false;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_ISA_PROGRAM_BUILDER_HH_

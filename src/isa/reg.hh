@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Register identifiers for the MicroISA.
+ *
+ * The machine has 32 integer registers (r0 hardwired to zero) and 32
+ * floating-point registers, flat-encoded as 0..31 and 32..63. This
+ * mirrors the MIPS-I register model the paper's binaries used.
+ */
+
+#ifndef RARPRED_ISA_REG_HH_
+#define RARPRED_ISA_REG_HH_
+
+#include <cstdint>
+
+namespace rarpred {
+
+/** Flat register index: 0..31 integer, 32..63 floating point. */
+using RegId = uint8_t;
+
+namespace reg {
+
+constexpr RegId kNumIntRegs = 32;
+constexpr RegId kNumFpRegs = 32;
+constexpr RegId kNumRegs = kNumIntRegs + kNumFpRegs;
+
+/** Sentinel meaning "no register operand". */
+constexpr RegId kNone = 0xff;
+
+/** The always-zero integer register. */
+constexpr RegId kZero = 0;
+
+/** Conventional stack pointer. */
+constexpr RegId kSp = 29;
+
+/** Conventional global/static base pointer. */
+constexpr RegId kGp = 28;
+
+/** Conventional return-address register written by CALL. */
+constexpr RegId kRa = 31;
+
+/** @return true when @p r names a floating-point register. */
+constexpr bool
+isFp(RegId r)
+{
+    return r >= kNumIntRegs && r < kNumRegs;
+}
+
+/** @return the i-th integer register id. */
+constexpr RegId
+intReg(unsigned i)
+{
+    return (RegId)i;
+}
+
+/** @return the i-th floating-point register id. */
+constexpr RegId
+fpReg(unsigned i)
+{
+    return (RegId)(kNumIntRegs + i);
+}
+
+} // namespace reg
+} // namespace rarpred
+
+#endif // RARPRED_ISA_REG_HH_

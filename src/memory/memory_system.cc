@@ -1,0 +1,66 @@
+#include "memory/memory_system.hh"
+
+namespace rarpred {
+
+MemorySystem::MemorySystem(const MemorySystemConfig &config)
+    : config_(config), l1d_(config.l1d), l1i_(config.l1i), l2_(config.l2),
+      l1ToL2_(config.writeBufferBlocks, config.l2.blockBytes,
+              config.l2.hitLatency),
+      l2ToMem_(config.writeBufferBlocks, config.l2.blockBytes,
+               config.memLatency)
+{
+}
+
+unsigned
+MemorySystem::l2Access(uint64_t addr, uint64_t cycle, bool is_write)
+{
+    std::optional<Cache::Writeback> wb;
+    if (l2_.access(addr, is_write, &wb)) {
+        return l2_.hitLatency();
+    }
+    if (wb)
+        l2ToMem_.push(wb->blockAddr, cycle);
+    // Hit-on-miss in the L2-to-memory write buffer: the block is still
+    // in flight downstream and can be returned quickly.
+    if (!is_write && l2ToMem_.contains(addr, cycle))
+        return l2_.hitLatency();
+    return l2_.hitLatency() + config_.memLatency;
+}
+
+unsigned
+MemorySystem::load(uint64_t addr, uint64_t cycle)
+{
+    std::optional<Cache::Writeback> wb;
+    if (l1d_.access(addr, false, &wb))
+        return l1d_.hitLatency();
+    if (wb)
+        l1ToL2_.push(wb->blockAddr, cycle);
+    if (l1ToL2_.contains(addr, cycle))
+        return l1d_.hitLatency() + 1; // hit on in-flight written block
+    return l1d_.hitLatency() + l2Access(addr, cycle, false);
+}
+
+unsigned
+MemorySystem::store(uint64_t addr, uint64_t cycle)
+{
+    std::optional<Cache::Writeback> wb;
+    if (l1d_.access(addr, true, &wb))
+        return l1d_.hitLatency();
+    if (wb)
+        l1ToL2_.push(wb->blockAddr, cycle);
+    // Write-allocate: the line is fetched, but the store itself only
+    // occupies the queue until it is handed to the write buffer.
+    const uint64_t ready = l1ToL2_.push(addr, cycle);
+    return l1d_.hitLatency() + (unsigned)(ready - cycle);
+}
+
+unsigned
+MemorySystem::ifetch(uint64_t pc, uint64_t cycle)
+{
+    std::optional<Cache::Writeback> wb;
+    if (l1i_.access(pc, false, &wb))
+        return l1i_.hitLatency();
+    return l1i_.hitLatency() + l2Access(pc, cycle, false);
+}
+
+} // namespace rarpred

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Combining write buffer between cache levels (Section 5.1: 32-block
+ * buffers between L1 and L2 and between L2 and memory, with write
+ * combining and load hits-on-miss).
+ */
+
+#ifndef RARPRED_MEMORY_WRITE_BUFFER_HH_
+#define RARPRED_MEMORY_WRITE_BUFFER_HH_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/bitutils.hh"
+#include "common/stats.hh"
+
+namespace rarpred {
+
+/**
+ * A combining write buffer.
+ *
+ * Entries hold block addresses with a drain-complete timestamp; a
+ * store to a block already buffered combines with it. Loads probe the
+ * buffer (hit-on-miss support). The buffer drains one block per
+ * drainLatency cycles; when full, a new store stalls until the oldest
+ * entry drains.
+ */
+class WriteBuffer
+{
+  public:
+    /**
+     * @param capacity Blocks buffered (paper: 32).
+     * @param block_bytes Block size of the downstream level.
+     * @param drain_latency Cycles to retire one block downstream.
+     */
+    WriteBuffer(size_t capacity, uint64_t block_bytes,
+                unsigned drain_latency)
+        : capacity_(capacity), blockBits_(floorLog2(block_bytes)),
+          drainLatency_(drain_latency)
+    {}
+
+    /**
+     * Insert a block write at @p cycle.
+     * @return the cycle at which the store can be considered complete
+     *         (equals @p cycle unless the buffer was full).
+     */
+    uint64_t
+    push(uint64_t addr, uint64_t cycle)
+    {
+        const uint64_t block = addr >> blockBits_;
+        drainUpTo(cycle);
+        for (auto &e : entries_) {
+            if (e.block == block) {
+                ++combines_;
+                return cycle; // write combining
+            }
+        }
+        uint64_t ready = cycle;
+        if (entries_.size() >= capacity_) {
+            // Stall until the oldest entry finishes draining.
+            ready = entries_.front().drainDone;
+            drainUpTo(ready);
+            ++fullStalls_;
+        }
+        const uint64_t start =
+            entries_.empty() ? ready : entries_.back().drainDone;
+        entries_.push_back({block, start + drainLatency_});
+        return ready;
+    }
+
+    /** @return true when @p addr's block is buffered at @p cycle. */
+    bool
+    contains(uint64_t addr, uint64_t cycle)
+    {
+        drainUpTo(cycle);
+        const uint64_t block = addr >> blockBits_;
+        for (const auto &e : entries_)
+            if (e.block == block)
+                return true;
+        return false;
+    }
+
+    size_t occupancy() const { return entries_.size(); }
+    uint64_t combines() const { return combines_.value(); }
+    uint64_t fullStalls() const { return fullStalls_.value(); }
+
+  private:
+    struct Entry
+    {
+        uint64_t block;
+        uint64_t drainDone;
+    };
+
+    void
+    drainUpTo(uint64_t cycle)
+    {
+        while (!entries_.empty() && entries_.front().drainDone <= cycle)
+            entries_.pop_front();
+    }
+
+    size_t capacity_;
+    unsigned blockBits_;
+    unsigned drainLatency_;
+    std::deque<Entry> entries_;
+    Counter combines_;
+    Counter fullStalls_;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_MEMORY_WRITE_BUFFER_HH_

@@ -1,0 +1,83 @@
+#include "predictor/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+BimodalPredictor::BimodalPredictor(size_t entries)
+    : mask_(entries - 1), table_(entries, SatCounter(2, 1))
+{
+    rarpred_assert(isPowerOf2(entries));
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc) const
+{
+    return table_[indexOf(pc)].predict();
+}
+
+void
+BimodalPredictor::update(uint64_t pc, bool taken)
+{
+    auto &counter = table_[indexOf(pc)];
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+}
+
+GsharePredictor::GsharePredictor(size_t entries, unsigned history_bits)
+    : mask_(entries - 1), historyMask_(mask(history_bits)),
+      table_(entries, SatCounter(2, 1))
+{
+    rarpred_assert(isPowerOf2(entries));
+}
+
+bool
+GsharePredictor::predict(uint64_t pc) const
+{
+    return table_[indexOf(pc)].predict();
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken)
+{
+    auto &counter = table_[indexOf(pc)];
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+CombinedPredictor::CombinedPredictor(size_t entries,
+                                     unsigned history_bits)
+    : mask_(entries - 1), bimodal_(entries),
+      gshare_(entries, history_bits),
+      chooser_(entries, SatCounter(2, 2))
+{
+    rarpred_assert(isPowerOf2(entries));
+}
+
+bool
+CombinedPredictor::predict(uint64_t pc) const
+{
+    const bool use_gshare = chooser_[indexOf(pc)].predict();
+    return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+CombinedPredictor::update(uint64_t pc, bool taken)
+{
+    const bool bim = bimodal_.predict(pc);
+    const bool gsh = gshare_.predict(pc);
+    auto &choice = chooser_[indexOf(pc)];
+    if (gsh == taken && bim != taken)
+        choice.increment();
+    else if (bim == taken && gsh != taken)
+        choice.decrement();
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+} // namespace rarpred

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dynamic instruction records and trace plumbing.
+ *
+ * Everything in the repo — the dependence analyses of Section 2, the
+ * cloaking predictors of Section 5, and the timing CPU of Section 5.6
+ * — consumes the same dynamic instruction stream defined here.
+ */
+
+#ifndef RARPRED_VM_TRACE_HH_
+#define RARPRED_VM_TRACE_HH_
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace rarpred {
+
+/**
+ * One executed (architecturally committed) instruction.
+ *
+ * For loads, value holds the loaded word; for stores, the stored
+ * word. eaddr is the 8-aligned effective byte address.
+ */
+struct DynInst
+{
+    uint64_t seq = 0;    ///< dynamic instruction number, from 0
+    uint64_t pc = 0;     ///< byte PC
+    uint64_t nextPc = 0; ///< byte PC of the next dynamic instruction
+    Opcode op = Opcode::Nop;
+    RegId dst = reg::kNone;
+    RegId src1 = reg::kNone;
+    RegId src2 = reg::kNone;
+    uint64_t eaddr = 0; ///< effective address (memory ops only)
+    uint64_t value = 0; ///< loaded/stored word (memory ops only)
+    bool taken = false; ///< control transfer was taken
+
+    bool isLoad() const { return rarpred::isLoad(op); }
+    bool isStore() const { return rarpred::isStore(op); }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isControl() const { return rarpred::isControl(op); }
+    bool isCondBranch() const { return rarpred::isCondBranch(op); }
+    InstClass instClass() const { return classOf(op); }
+    unsigned latency() const { return latencyOf(op); }
+};
+
+/** Push-style consumer of a dynamic instruction stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per committed instruction, in program order. */
+    virtual void onInst(const DynInst &di) = 0;
+};
+
+/** Pull-style producer of a dynamic instruction stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction in program order.
+     * @return false when the stream is exhausted (di left untouched).
+     */
+    virtual bool next(DynInst &di) = 0;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_VM_TRACE_HH_

@@ -1,0 +1,148 @@
+#include "vm/trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x52415254524143ull; // "RARTRAC"
+constexpr uint32_t kVersion = 1;
+
+/** On-disk record layout (fixed size, little-endian host assumed). */
+struct Record
+{
+    uint64_t seq;
+    uint64_t pc;
+    uint64_t nextPc;
+    uint64_t eaddr;
+    uint64_t value;
+    uint8_t op;
+    uint8_t dst;
+    uint8_t src1;
+    uint8_t src2;
+    uint8_t taken;
+    uint8_t pad[3];
+};
+
+static_assert(sizeof(Record) == 48, "trace record layout changed");
+
+struct Header
+{
+    uint64_t magic;
+    uint32_t version;
+    uint32_t reserved;
+    uint64_t count;
+};
+
+static_assert(sizeof(Header) == 24, "trace header layout changed");
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        rarpred_fatal("cannot open trace file for writing: " + path);
+    Header header{kMagic, kVersion, 0, 0};
+    out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    finish();
+}
+
+void
+TraceFileWriter::onInst(const DynInst &di)
+{
+    rarpred_assert(!finished_);
+    Record rec{};
+    rec.seq = di.seq;
+    rec.pc = di.pc;
+    rec.nextPc = di.nextPc;
+    rec.eaddr = di.eaddr;
+    rec.value = di.value;
+    rec.op = (uint8_t)di.op;
+    rec.dst = di.dst;
+    rec.src1 = di.src1;
+    rec.src2 = di.src2;
+    rec.taken = di.taken ? 1 : 0;
+    out_.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    ++count_;
+}
+
+void
+TraceFileWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    Header header{kMagic, kVersion, 0, count_};
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    out_.flush();
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        rarpred_fatal("cannot open trace file: " + path);
+    Header header{};
+    in_.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in_ || header.magic != kMagic)
+        rarpred_fatal("not a rarpred trace file: " + path);
+    if (header.version != kVersion)
+        rarpred_fatal("unsupported trace file version in " + path);
+    total_ = header.count;
+    dataStart_ = in_.tellg();
+}
+
+bool
+TraceFileReader::next(DynInst &di)
+{
+    if (read_ >= total_)
+        return false;
+    Record rec{};
+    in_.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+    if (!in_)
+        rarpred_fatal("truncated trace file");
+    di = DynInst{};
+    di.seq = rec.seq;
+    di.pc = rec.pc;
+    di.nextPc = rec.nextPc;
+    di.eaddr = rec.eaddr;
+    di.value = rec.value;
+    di.op = (Opcode)rec.op;
+    di.dst = rec.dst;
+    di.src1 = rec.src1;
+    di.src2 = rec.src2;
+    di.taken = rec.taken != 0;
+    ++read_;
+    return true;
+}
+
+void
+TraceFileReader::rewind()
+{
+    in_.clear();
+    in_.seekg(dataStart_);
+    read_ = 0;
+}
+
+uint64_t
+pumpTrace(TraceSource &source, TraceSink &sink, uint64_t max_insts)
+{
+    DynInst di;
+    uint64_t n = 0;
+    while (n < max_insts && source.next(di)) {
+        sink.onInst(di);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace rarpred

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Binary trace file format: record a committed instruction stream to
+ * disk and replay it later.
+ *
+ * Lets experiments decouple trace generation from analysis (the way
+ * the original work separated its functional and timing runs), and
+ * lets external traces drive the predictors without the MicroVM.
+ *
+ * Format: an 16-byte header (magic, version, count) followed by
+ * fixed-size little-endian records.
+ */
+
+#ifndef RARPRED_VM_TRACE_FILE_HH_
+#define RARPRED_VM_TRACE_FILE_HH_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "vm/trace.hh"
+
+namespace rarpred {
+
+/** Writes a trace to a file as it streams through. */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing; fails fatally if it cannot. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    void onInst(const DynInst &di) override;
+
+    /** Finish the file (writes the record count). Idempotent. */
+    void finish();
+
+    uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    uint64_t count_ = 0;
+    bool finished_ = false;
+};
+
+/** Replays a trace file as a TraceSource. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /** Open @p path; fails fatally on a missing or malformed file. */
+    explicit TraceFileReader(const std::string &path);
+
+    bool next(DynInst &di) override;
+
+    /** @return total records in the file. */
+    uint64_t totalRecords() const { return total_; }
+
+    /** Rewind to the first record. */
+    void rewind();
+
+  private:
+    std::ifstream in_;
+    uint64_t total_ = 0;
+    uint64_t read_ = 0;
+    std::streampos dataStart_;
+};
+
+/** Pump a TraceSource into a TraceSink. @return records pumped. */
+uint64_t pumpTrace(TraceSource &source, TraceSink &sink,
+                   uint64_t max_insts = ~0ull);
+
+} // namespace rarpred
+
+#endif // RARPRED_VM_TRACE_FILE_HH_

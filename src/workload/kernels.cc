@@ -1,0 +1,1039 @@
+#include "workload/kernels.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rarpred::kernels {
+
+namespace {
+
+// Kernel scratch registers (see the register convention in kernels.hh).
+constexpr RegId t0 = 8;
+constexpr RegId t1 = 9;
+constexpr RegId t2 = 10;
+constexpr RegId t3 = 11;
+constexpr RegId t4 = 12;
+constexpr RegId t5 = 13;
+constexpr RegId t6 = 14;
+constexpr RegId t7 = 15;
+constexpr RegId t8 = 16;
+constexpr RegId t9 = 17;
+constexpr RegId t10 = 18;
+constexpr RegId t11 = 19;
+constexpr RegId t12 = 20;
+constexpr RegId t13 = 21;
+
+// Registers for loop-invariant values hoisted out of kernel loops.
+constexpr RegId s0 = 22;
+constexpr RegId s1 = 23;
+constexpr RegId s2 = 24;
+constexpr RegId s3 = 25;
+constexpr RegId s4 = 26;
+constexpr RegId s5 = 27;
+
+constexpr RegId f0 = reg::fpReg(0);
+constexpr RegId f1 = reg::fpReg(1);
+constexpr RegId f2 = reg::fpReg(2);
+constexpr RegId f3 = reg::fpReg(3);
+constexpr RegId f4 = reg::fpReg(4);
+constexpr RegId f5 = reg::fpReg(5);
+constexpr RegId f6 = reg::fpReg(6);
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Data builders
+// ---------------------------------------------------------------------
+
+uint64_t
+allocList(ProgramBuilder &b, Rng &rng, size_t num_nodes, bool shuffled)
+{
+    rarpred_assert(num_nodes >= 1);
+    const uint64_t head_cell = b.allocWords(1);
+    const uint64_t base = b.allocWords(num_nodes * 4);
+
+    std::vector<size_t> order(num_nodes);
+    std::iota(order.begin(), order.end(), 0);
+    if (shuffled) {
+        for (size_t i = num_nodes - 1; i > 0; --i)
+            std::swap(order[i], order[rng.below(i + 1)]);
+    }
+
+    auto node_addr = [&](size_t i) { return base + (uint64_t)i * 32; };
+    for (size_t k = 0; k < num_nodes; ++k) {
+        const uint64_t addr = node_addr(order[k]);
+        b.initWord(addr + 0, rng.below(1000));  // data
+        b.initWord(addr + 8, rng.below(64));    // key
+        b.initWord(addr + 16, 0);               // pad
+        const uint64_t next =
+            k + 1 < num_nodes ? node_addr(order[k + 1]) : 0;
+        b.initWord(addr + 24, next);
+    }
+    b.initWord(head_cell, node_addr(order[0]));
+    return head_cell;
+}
+
+uint64_t
+allocHashTable(ProgramBuilder &b, Rng &rng, size_t num_buckets,
+               size_t num_keys)
+{
+    rarpred_assert(isPowerOf2(num_buckets));
+    const uint64_t buckets = b.allocWords(num_buckets);
+    const uint64_t pool = b.allocWords(num_keys * 3);
+
+    std::vector<uint64_t> head(num_buckets, 0);
+    for (size_t k = 0; k < num_keys; ++k) {
+        const uint64_t node = pool + (uint64_t)k * 24;
+        const uint64_t key = k;
+        const size_t bucket = key & (num_buckets - 1);
+        b.initWord(node + 0, key);
+        b.initWord(node + 8, rng.below(1 << 16)); // value
+        b.initWord(node + 16, head[bucket]);      // next (chain)
+        head[bucket] = node;
+    }
+    for (size_t i = 0; i < num_buckets; ++i)
+        b.initWord(buckets + (uint64_t)i * 8, head[i]);
+    return buckets;
+}
+
+uint64_t
+allocStream(ProgramBuilder &b, size_t length,
+            const std::vector<uint64_t> &values)
+{
+    rarpred_assert(values.size() == length);
+    const uint64_t base = b.allocWords(length);
+    for (size_t i = 0; i < length; ++i)
+        b.initWord(base + (uint64_t)i * 8, values[i]);
+    return base;
+}
+
+namespace {
+
+/** Recursively lay out a balanced BST over [lo, hi). */
+uint64_t
+buildTreeRange(ProgramBuilder &b, uint64_t base, size_t &next_slot,
+               uint64_t lo, uint64_t hi, Rng &rng)
+{
+    if (lo >= hi)
+        return 0;
+    const uint64_t mid = lo + (hi - lo) / 2;
+    const uint64_t node = base + (uint64_t)next_slot * 32;
+    ++next_slot;
+    const uint64_t left = buildTreeRange(b, base, next_slot, lo, mid, rng);
+    const uint64_t right =
+        buildTreeRange(b, base, next_slot, mid + 1, hi, rng);
+    b.initWord(node + 0, mid);           // key
+    b.initWord(node + 8, left);          // left
+    b.initWord(node + 16, right);        // right
+    b.initWord(node + 24, rng.below(97)); // value
+    return node;
+}
+
+} // namespace
+
+uint64_t
+allocTree(ProgramBuilder &b, Rng &rng, size_t num_nodes)
+{
+    const uint64_t base = b.allocWords(num_nodes * 4);
+    size_t next_slot = 0;
+    uint64_t root = buildTreeRange(b, base, next_slot, 1, num_nodes + 1,
+                                   rng);
+    rarpred_assert(next_slot == num_nodes);
+    return root;
+}
+
+uint64_t
+allocIntArray(ProgramBuilder &b, Rng &rng, size_t words,
+              uint64_t max_value)
+{
+    const uint64_t base = b.allocWords(words);
+    for (size_t i = 0; i < words; ++i)
+        b.initWord(base + (uint64_t)i * 8, rng.below(max_value));
+    return base;
+}
+
+uint64_t
+allocFpArray(ProgramBuilder &b, Rng &rng, size_t words)
+{
+    const uint64_t base = b.allocWords(words);
+    for (size_t i = 0; i < words; ++i)
+        b.initWordF(base + (uint64_t)i * 8, rng.uniform() + 1e-3);
+    return base;
+}
+
+uint64_t
+allocGlobal(ProgramBuilder &b, uint64_t initial)
+{
+    const uint64_t addr = b.allocWords(1);
+    b.initWord(addr, initial);
+    return addr;
+}
+
+std::vector<uint64_t>
+mixedStream(Rng &rng, size_t length, uint64_t universe,
+            uint64_t hot_count, double hot_frac)
+{
+    rarpred_assert(universe >= 1 && hot_count >= 1 &&
+                   hot_count <= universe);
+    // A fixed random hot set, so the hot values are spread through
+    // the universe rather than clustered at the low end.
+    std::vector<uint64_t> hot(hot_count);
+    for (auto &h : hot)
+        h = rng.below(universe);
+    std::vector<uint64_t> stream(length);
+    for (auto &v : stream) {
+        if (rng.chance(hot_frac))
+            v = hot[rng.below(hot_count)];
+        else
+            v = rng.below(universe);
+    }
+    return stream;
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+void
+emitMain(ProgramBuilder &b, const std::vector<std::string> &entries,
+         uint64_t outer_iters)
+{
+    rarpred_assert(b.numInsts() == 0); // main must start at PC 0
+    b.li(1, (int64_t)outer_iters);
+    b.label("main_loop");
+    for (const auto &entry : entries)
+        b.call(entry);
+    b.addi(1, 1, -1);
+    b.bne(1, reg::kZero, "main_loop");
+    b.halt();
+}
+
+void
+emitMainPeriodic(ProgramBuilder &b,
+                 const std::vector<PeriodicEntry> &entries,
+                 uint64_t outer_iters)
+{
+    rarpred_assert(b.numInsts() == 0); // main must start at PC 0
+    // r1: remaining outer iterations, counting down to 0.
+    // r2..: per-entry period countdowns (main driver registers).
+    b.li(1, (int64_t)outer_iters);
+    RegId counter = 2;
+    for (const auto &e : entries) {
+        rarpred_assert(e.period >= 1);
+        if (e.period > 1)
+            b.li(counter++, (int64_t)e.period);
+    }
+    rarpred_assert(counter <= 8); // r1..r7 reserved for the driver
+    b.label("main_loop");
+    counter = 2;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        if (e.period == 1) {
+            b.call(e.entry);
+            continue;
+        }
+        const std::string skip = "main_skip_" + std::to_string(i);
+        const RegId c = counter++;
+        b.addi(c, c, -1);
+        b.bne(c, reg::kZero, skip);
+        b.li(c, (int64_t)e.period);
+        b.call(e.entry);
+        b.label(skip);
+    }
+    b.addi(1, 1, -1);
+    b.bne(1, reg::kZero, "main_loop");
+    b.halt();
+}
+
+// ---------------------------------------------------------------------
+// Integer kernels
+// ---------------------------------------------------------------------
+
+void
+emitListWalk(ProgramBuilder &b, const std::string &name,
+             const ListWalkParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string skip = name + "_skip";
+    const std::string done = name + "_done";
+    const std::string foo_odd = name + "_fodd";
+    const std::string foo_end = name + "_fend";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.headPtrAddr);
+    b.lw(t0, t0, 0); // node = *head
+    b.li(s0, (int64_t)p.sumAddr);
+    b.li(s1, (int64_t)p.countAddr);
+    b.li(s2, p.matchKey);
+    b.label(loop);
+    b.beq(t0, reg::kZero, done);
+    // foo(l): sum += l->data -- sum lives in memory.
+    if (p.twoSiteFoo) {
+        // Site selected by key parity: the later bar re-read then has
+        // a node-dependent RAR source.
+        b.lw(t9, t0, 8); // l->key (site K0)
+        b.andi(t9, t9, 1);
+        b.bne(t9, reg::kZero, foo_odd);
+        b.lw(t1, t0, 0); // l->data (site A-even)
+        b.jump(foo_end);
+        b.label(foo_odd);
+        b.lw(t1, t0, 0); // l->data (site A-odd)
+        b.label(foo_end);
+    } else {
+        b.lw(t1, t0, 0); // l->data (site A)
+    }
+    b.lw(t3, s0, 0);
+    b.add(t3, t3, t1);
+    b.sw(s0, 0, t3);
+    // bar(l): if (l->data == matchKey) count++ -- re-reads l->data.
+    b.lw(t4, t0, 0); // l->data (site B) -> RAR with site A
+    b.lw(t5, t0, 8); // l->key
+    b.bne(t5, s2, skip);
+    b.lw(t8, s1, 0);
+    b.add(t8, t8, t4);
+    b.sw(s1, 0, t8);
+    b.label(skip);
+    b.lw(t0, t0, 24); // l = l->next
+    b.jump(loop);
+    b.label(done);
+    b.ret();
+}
+
+void
+emitListWalkUnrolled(ProgramBuilder &b, const std::string &name,
+                     const ListWalkUnrolledParams &p)
+{
+    rarpred_assert(p.depth >= 1 && p.depth <= 24);
+    b.label(name);
+    b.li(t0, (int64_t)p.headPtrAddr);
+    b.lw(t0, t0, 0);       // head node
+    b.mov(t2, reg::kZero); // register accumulator
+    for (size_t d = 0; d < p.depth; ++d) {
+        const std::string skip = name + "_s" + std::to_string(d);
+        b.lw(t1, t0, 0); // node->data (per-position site)
+        b.add(t2, t2, t1);
+        b.lw(t3, t0, 8); // node->key (per-position site)
+        // A biased, data-dependent branch per node.
+        b.slti(t4, t3, 60);
+        b.beq(t4, reg::kZero, skip);
+        b.xor_(t2, t2, t3);
+        b.label(skip);
+        b.lw(t0, t0, 24); // node->next (per-position site)
+    }
+    b.li(t5, (int64_t)p.sumAddr);
+    b.lw(t6, t5, 0);
+    b.add(t6, t6, t2);
+    b.sw(t5, 0, t6);
+    b.ret();
+}
+
+void
+emitHashProbe(ProgramBuilder &b, const std::string &name,
+              const HashProbeParams &p)
+{
+    rarpred_assert(isPowerOf2(p.numBuckets));
+    const std::string loop = name + "_loop";
+    const std::string chain = name + "_chain";
+    const std::string found = name + "_found";
+    const std::string next_key = name + "_next";
+    const std::string nowrap = name + "_nowrap";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.cursorAddr);
+    b.lw(t1, t0, 0); // cursor
+    b.li(t2, (int64_t)p.probesPerCall);
+    b.li(s0, (int64_t)p.streamAddr);
+    b.li(s1, (int64_t)p.tableAddr);
+    b.li(s2, (int64_t)p.streamLen);
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    // key = stream[cursor]
+    b.slli(t3, t1, 3);
+    b.add(t3, s0, t3);
+    b.lw(t5, t3, 0); // key
+    // head = table[key & (B-1)]
+    b.andi(t6, t5, (int64_t)(p.numBuckets - 1));
+    b.slli(t6, t6, 3);
+    b.add(t6, s1, t6);
+    b.lw(t8, t6, 0); // node = bucket head
+    b.label(chain);
+    b.beq(t8, reg::kZero, next_key);
+    b.lw(t9, t8, 0); // node->key
+    b.beq(t9, t5, found);
+    b.lw(t8, t8, 16); // node = node->next
+    b.jump(chain);
+    b.label(found);
+    b.lw(t10, t8, 8); // node->value
+    if (p.updateValues) {
+        b.addi(t10, t10, 1);
+        b.sw(t8, 8, t10); // write back -> future RAW on revisits
+    }
+    b.label(next_key);
+    b.addi(t1, t1, 1);
+    b.blt(t1, s2, nowrap);
+    b.mov(t1, reg::kZero);
+    b.label(nowrap);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.sw(t0, 0, t1); // persist cursor
+    b.ret();
+}
+
+void
+emitCallChain(ProgramBuilder &b, const std::string &name,
+              const CallChainParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string nowrap = name + "_nowrap";
+    const std::string done = name + "_done";
+    const std::string outer = name + "_outer";
+    const std::string leaf = name + "_leaf";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.cursorAddr);
+    b.lw(t1, t0, 0); // cursor
+    b.li(t2, (int64_t)p.elemsPerCall);
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    b.push(reg::kRa);
+    b.push(t0);
+    b.push(t2);
+    b.call(outer); // takes index in t1, preserves it
+    b.pop(t2);
+    b.pop(t0);
+    b.pop(reg::kRa);
+    b.addi(t1, t1, 1);
+    b.li(t3, (int64_t)p.arrayLen);
+    b.blt(t1, t3, nowrap);
+    b.mov(t1, reg::kZero);
+    b.label(nowrap);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.sw(t0, 0, t1); // persist cursor
+    b.ret();
+
+    // outer(index=t1): x = array[index]; spill x; y = leaf(x);
+    // acc += x + y
+    b.label(outer);
+    b.push(reg::kRa);
+    b.push(t1); // spill the index (restored after the call)
+    b.slli(t4, t1, 3);
+    b.li(t5, (int64_t)p.arrayAddr);
+    b.add(t4, t5, t4);
+    b.lw(t6, t4, 0); // x = array[index]
+    b.push(t6);      // spill x (short-distance stack RAW)
+    b.call(leaf);    // leaf reads t6, returns in t7
+    b.pop(t6);       // reload x
+    b.add(t7, t7, t6);
+    b.li(t8, (int64_t)p.accAddr);
+    b.lw(t9, t8, 0);
+    b.add(t9, t9, t7);
+    b.sw(t8, 0, t9);
+    b.pop(t1); // restore index
+    b.pop(reg::kRa);
+    b.ret();
+
+    // leaf(x=t6) -> t7 = ((x << 1) + x) ^ (x >> 3)
+    b.label(leaf);
+    b.slli(t7, t6, 1);
+    b.add(t7, t7, t6);
+    b.srli(t10, t6, 3);
+    b.xor_(t7, t7, t10);
+    b.ret();
+}
+
+void
+emitTreeSearch(ProgramBuilder &b, const std::string &name,
+               const TreeSearchParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string walk = name + "_walk";
+    const std::string left = name + "_left";
+    const std::string hit = name + "_hit";
+    const std::string miss = name + "_miss";
+    const std::string nowrap = name + "_nowrap";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.cursorAddr);
+    b.lw(t1, t0, 0);
+    b.li(t2, (int64_t)p.queriesPerCall);
+    b.li(s0, (int64_t)p.streamAddr);
+    b.li(s1, (int64_t)p.rootAddr);
+    b.li(s2, (int64_t)p.foundAddr);
+    b.li(s3, (int64_t)p.streamLen);
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    b.slli(t3, t1, 3);
+    b.add(t3, s0, t3);
+    b.lw(t5, t3, 0); // q = stream[cursor]
+    b.mov(t6, s1);   // node = root
+    b.label(walk);
+    b.beq(t6, reg::kZero, miss);
+    b.lw(t7, t6, 0); // node->key
+    b.beq(t7, t5, hit);
+    b.blt(t5, t7, left);
+    b.lw(t6, t6, 16); // node = node->right
+    b.jump(walk);
+    b.label(left);
+    b.lw(t6, t6, 8); // node = node->left
+    b.jump(walk);
+    b.label(hit);
+    b.lw(t8, t6, 24); // node->value
+    b.lw(t10, s2, 0);
+    b.add(t10, t10, t8);
+    b.sw(s2, 0, t10);
+    b.label(miss);
+    b.addi(t1, t1, 1);
+    b.blt(t1, s3, nowrap);
+    b.mov(t1, reg::kZero);
+    b.label(nowrap);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.sw(t0, 0, t1);
+    b.ret();
+}
+
+void
+emitIntSweep(ProgramBuilder &b, const std::string &name,
+             const IntSweepParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string skip = name + "_skip";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.arrayAddr);
+    b.li(t1, (int64_t)p.arrayLen);
+    b.mov(t2, reg::kZero); // sum
+    b.mov(t3, reg::kZero); // count
+    b.li(t4, (int64_t)p.threshold);
+    b.label(loop);
+    b.beq(t1, reg::kZero, done);
+    b.lw(t5, t0, 0);
+    // Dependent ALU chain to tune the memory-instruction density.
+    for (unsigned i = 0; i < p.extraAlu; ++i) {
+        if (i % 3 == 0)
+            b.slli(t5, t5, 1);
+        else if (i % 3 == 1)
+            b.addi(t5, t5, 13);
+        else
+            b.srli(t5, t5, 1);
+    }
+    b.add(t2, t2, t5);
+    if (p.writeBack)
+        b.sw(t0, 0, t5); // in-place transform
+    b.blt(t5, t4, skip); // data-dependent branch
+    b.addi(t3, t3, 1);
+    b.label(skip);
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, -1);
+    b.jump(loop);
+    b.label(done);
+    b.li(t6, (int64_t)p.sumAddr);
+    b.lw(t7, t6, 0);
+    b.add(t7, t7, t2);
+    b.sw(t6, 0, t7);
+    b.li(t8, (int64_t)p.cntAddr);
+    b.lw(t9, t8, 0);
+    b.add(t9, t9, t3);
+    b.sw(t8, 0, t9);
+    b.ret();
+}
+
+void
+emitDispatch(ProgramBuilder &b, const std::string &name,
+             const DispatchParams &p)
+{
+    rarpred_assert(isPowerOf2(p.numOps));
+    const std::string loop = name + "_loop";
+    const std::string nowrap = name + "_nowrap";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.cursorAddr);
+    b.lw(t1, t0, 0);
+    b.li(t2, (int64_t)p.opsPerCall);
+    b.li(s0, (int64_t)p.opStreamAddr);
+    b.li(s1, (int64_t)p.opTableAddr);
+    b.li(s2, (int64_t)p.cycleAddr);
+    b.li(s3, (int64_t)p.simRegsAddr);
+    b.li(s4, (int64_t)p.opStreamLen);
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    // op = opStream[cursor]
+    b.slli(t3, t1, 3);
+    b.add(t3, s0, t3);
+    b.lw(t5, t3, 0);
+    // lat = opTable[op] -- tiny, hot table: dense RAR
+    b.slli(t6, t5, 3);
+    b.add(t6, s1, t6);
+    b.lw(t8, t6, 0);
+    // cycles += lat (global RMW -> short RAW)
+    b.lw(t10, s2, 0);
+    b.add(t10, t10, t8);
+    b.sw(s2, 0, t10);
+    // simRegs[op & 31] = simRegs[op & 31] + lat (RAW across visits)
+    b.andi(t11, t5, 31);
+    b.slli(t11, t11, 3);
+    b.add(t11, s3, t11);
+    b.lw(t13, t11, 0);
+    b.add(t13, t13, t8);
+    b.sw(t11, 0, t13);
+    // advance
+    b.addi(t1, t1, 1);
+    b.blt(t1, s4, nowrap);
+    b.mov(t1, reg::kZero);
+    b.label(nowrap);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.sw(t0, 0, t1);
+    b.ret();
+}
+
+void
+emitRecordUpdate(ProgramBuilder &b, const std::string &name,
+                 const RecordUpdateParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string nowrap = name + "_nowrap";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.cursorAddr);
+    b.lw(t1, t0, 0);
+    b.li(t2, (int64_t)p.updatesPerCall);
+    b.li(s0, (int64_t)p.streamAddr);
+    b.li(s1, (int64_t)p.recordsAddr);
+    b.li(s2, (int64_t)p.streamLen);
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    // idx = stream[cursor]; rec = records + idx*32
+    b.slli(t3, t1, 3);
+    b.add(t3, s0, t3);
+    b.lw(t5, t3, 0);
+    b.slli(t5, t5, 5);
+    b.add(t5, s1, t5);
+    // read-modify-write all four record fields (store heavy)
+    b.lw(t7, t5, 0);
+    b.lw(t8, t5, 8);
+    b.lw(t12, t5, 24);
+    b.add(t9, t7, t8);
+    b.sw(t5, 0, t9);
+    b.addi(t8, t8, 1);
+    b.sw(t5, 8, t8);
+    b.sw(t5, 16, t7); // audit copy of the old first field
+    b.add(t12, t12, t9);
+    b.sw(t5, 24, t12);
+    // advance
+    b.addi(t1, t1, 1);
+    b.blt(t1, s2, nowrap);
+    b.mov(t1, reg::kZero);
+    b.label(nowrap);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.sw(t0, 0, t1);
+    b.ret();
+}
+
+void
+emitGlobalsRead(ProgramBuilder &b, const std::string &name,
+                const GlobalsReadParams &p)
+{
+    rarpred_assert(p.numGlobals >= 4);
+    const std::string rep = name + "_rep";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.repeatsPerCall);
+    b.li(t1, (int64_t)p.globalsAddr);
+    b.mov(t2, reg::kZero); // sum
+    b.label(rep);
+    b.beq(t0, reg::kZero, done);
+    for (size_t g = 0; g < p.numGlobals; ++g) {
+        b.lw(t3, t1, (int64_t)(g * 8));
+        b.add(t2, t2, t3);
+    }
+    // A couple of re-reads from distinct sites (cross-PC RAR).
+    b.lw(t4, t1, 0);
+    b.lw(t5, t1, 8);
+    b.add(t2, t2, t4);
+    b.add(t2, t2, t5);
+    b.addi(t0, t0, -1);
+    b.jump(rep);
+    b.label(done);
+    b.li(t6, (int64_t)p.sinkAddr);
+    b.lw(t7, t6, 0);
+    b.add(t7, t7, t2);
+    b.sw(t6, 0, t7);
+    b.ret();
+}
+
+void
+emitGlobalsRmw(ProgramBuilder &b, const std::string &name,
+               const GlobalsRmwParams &p)
+{
+    rarpred_assert(p.numGlobals >= 1 && p.numGlobals <= 8);
+    const std::string loop = name + "_loop";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.globalsAddr);
+    b.li(t1, (int64_t)p.roundsPerCall);
+    b.label(loop);
+    b.beq(t1, reg::kZero, done);
+    for (size_t g = 0; g < p.numGlobals; ++g) {
+        const int64_t off = (int64_t)g * 8;
+        b.lw(t2, t0, off);
+        b.addi(t2, t2, (int64_t)g + 1);
+        for (unsigned a = 0; a < p.chainAlu; ++a) {
+            if (a % 2 == 0)
+                b.xor_(t2, t2, t1);
+            else
+                b.addi(t2, t2, 3);
+        }
+        b.sw(t0, off, t2);
+    }
+    b.addi(t1, t1, -1);
+    b.jump(loop);
+    b.label(done);
+    b.ret();
+}
+
+void
+emitFill(ProgramBuilder &b, const std::string &name, const FillParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.dstAddr);
+    b.li(t1, (int64_t)p.words);
+    b.li(t2, (int64_t)p.seedAddr);
+    b.lw(t3, t2, 0); // seed value
+    b.label(loop);
+    b.beq(t1, reg::kZero, done);
+    b.sw(t0, 0, t3);
+    b.addi(t3, t3, 1);
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, -1);
+    b.jump(loop);
+    b.label(done);
+    b.sw(t2, 0, t3); // persist the rolling seed
+    b.ret();
+}
+
+void
+emitCopyTransform(ProgramBuilder &b, const std::string &name,
+                  const CopyTransformParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.srcAddr);
+    b.li(t1, (int64_t)p.dstAddr);
+    b.li(t2, (int64_t)p.words);
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    b.lw(t3, t0, 0);
+    b.slli(t4, t3, 1);
+    b.xor_(t4, t4, t3);
+    b.sw(t1, 0, t4);
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, 8);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.ret();
+}
+
+// ---------------------------------------------------------------------
+// Floating-point kernels
+// ---------------------------------------------------------------------
+
+void
+emitStencil(ProgramBuilder &b, const std::string &name,
+            const StencilParams &p)
+{
+    rarpred_assert(p.taps >= 3 && p.taps % 2 == 1);
+    rarpred_assert(p.words >= p.taps);
+    rarpred_assert(p.reloadWeights || p.taps == 3);
+    const std::string loop = name + "_loop";
+    const std::string done = name + "_done";
+    const int64_t half = (int64_t)(p.taps / 2);
+
+    b.label(name);
+    b.li(t0, (int64_t)(p.inAddr + 8 * (uint64_t)half));  // center ptr
+    b.li(t1, (int64_t)(p.outAddr + 8 * (uint64_t)half));
+    if (p.out2Addr != 0)
+        b.li(t4, (int64_t)(p.out2Addr + 8 * (uint64_t)half));
+    b.li(t2, (int64_t)(p.words - (p.taps - 1)));
+    if (!p.reloadWeights) {
+        b.li(t3, (int64_t)p.weightAddr);
+        b.lf(f1, t3, 0);
+        b.lf(f2, t3, 8);
+        b.lf(f3, t3, 16);
+    }
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    if (!p.reloadWeights) {
+        // Three-tap form with register-resident weights. Each in[]
+        // element is read by the three tap sites in consecutive
+        // iterations -> dense short-distance RAR.
+        b.lf(f4, t0, -8);
+        b.lf(f5, t0, 0);
+        b.lf(f6, t0, 8);
+        b.fmuld(f4, f4, f1);
+        b.fmuld(f5, f5, f2);
+        b.fmuld(f6, f6, f3);
+        b.faddd(f4, f4, f5);
+        b.faddd(f4, f4, f6);
+        b.sf(t1, 0, f4);
+        if (p.out2Addr != 0)
+            b.sf(t4, 0, f4);
+    } else {
+        // General form: weights live in memory and are re-read every
+        // iteration — the "long-lifetime variables that are not
+        // register allocated" of the paper's Fortran codes
+        // (self-RAR on every weight load).
+        b.li(t3, (int64_t)p.weightAddr);
+        b.fcvt(f0, reg::kZero); // acc = 0.0
+        for (unsigned tap = 0; tap < p.taps; ++tap) {
+            const int64_t in_off = ((int64_t)tap - half) * 8;
+            b.lf(f1, t0, in_off);
+            b.lf(f2, t3, (int64_t)tap * 8);
+            b.fmuld(f3, f1, f2);
+            b.faddd(f0, f0, f3);
+        }
+        b.sf(t1, 0, f0);
+        if (p.out2Addr != 0)
+            b.sf(t4, 0, f0);
+    }
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, 8);
+    if (p.out2Addr != 0)
+        b.addi(t4, t4, 8);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.ret();
+}
+
+void
+emitFpGlobals(ProgramBuilder &b, const std::string &name,
+              const FpGlobalsParams &p)
+{
+    rarpred_assert(p.numGlobals >= 8);
+    const std::string rep = name + "_rep";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.repeatsPerCall);
+    b.li(t1, (int64_t)p.globalsAddr);
+    b.li(t2, (int64_t)p.outAddr);
+    b.label(rep);
+    b.beq(t0, reg::kZero, done);
+    // Accumulate the globals in triples (two ops per three loads,
+    // fpppp-like memory density); each load is a distinct static site
+    // that re-reads the same never-stored word every repeat
+    // (self-RAR).
+    b.lf(f0, t1, 0);
+    for (size_t g = 1; g + 2 < p.numGlobals; g += 3) {
+        b.lf(f1, t1, (int64_t)(g * 8));
+        b.lf(f3, t1, (int64_t)((g + 1) * 8));
+        b.lf(f6, t1, (int64_t)((g + 2) * 8));
+        b.fmuld(f1, f1, f3);
+        b.faddd(f1, f1, f6);
+        b.faddd(f0, f0, f1);
+    }
+    if (p.mutateCursorAddr != 0) {
+        // Every 8th repeat, overwrite one rotating global between the
+        // first reads and the re-reads below: the affected re-read
+        // then sees a value the synonym file does not (occasional
+        // misspeculation), and the next block's read of that global
+        // experiences a short RAW instead of its usual self-RAR.
+        const std::string skip_mut = name + "_nomut";
+        const uint64_t mask = (uint64_t(1) << floorLog2(p.numGlobals)) - 1;
+        b.li(t3, (int64_t)p.mutateCursorAddr);
+        b.lw(t4, t3, 0);
+        b.addi(t4, t4, 1);
+        b.sw(t3, 0, t4);
+        b.andi(t5, t4, 7);
+        b.bne(t5, reg::kZero, skip_mut);
+        b.srli(t5, t4, 3);
+        b.andi(t5, t5, (int64_t)mask);
+        b.slli(t5, t5, 3);
+        b.add(t5, t1, t5);
+        b.sf(t5, 0, f0); // globals[rotation] = current accumulator
+        b.label(skip_mut);
+    }
+    // Re-read a few globals from different PCs (cross-PC RAR).
+    b.lf(f2, t1, 0);
+    b.lf(f3, t1, 16);
+    b.lf(f4, t1, 32);
+    b.faddd(f2, f2, f3);
+    b.fmuld(f2, f2, f4);
+    b.faddd(f0, f0, f2);
+    // Result stores to a separate area (keeps globals unstored).
+    rarpred_assert(p.storesPerRepeat >= 1);
+    b.fsubd(f5, f0, f2);
+    for (size_t s = 0; s < p.storesPerRepeat; ++s) {
+        const RegId src = s % 3 == 0 ? f0 : (s % 3 == 1 ? f2 : f5);
+        b.sf(t2, (int64_t)s * 8, src);
+    }
+    b.addi(t0, t0, -1);
+    b.jump(rep);
+    b.label(done);
+    b.ret();
+}
+
+void
+emitFpReduce(ProgramBuilder &b, const std::string &name,
+             const FpReduceParams &p)
+{
+    const std::string loop = name + "_loop";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.aAddr);
+    b.li(t1, (int64_t)p.bAddr);
+    b.li(t2, (int64_t)p.words);
+    b.fcvt(f0, reg::kZero); // acc = 0.0
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    b.lf(f1, t0, 0);
+    b.lf(f2, t1, 0);
+    b.fmuld(f3, f1, f2);
+    b.faddd(f0, f0, f3);
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, 8);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.li(t3, (int64_t)p.resultAddr);
+    b.sf(t3, 0, f0);
+    b.ret();
+}
+
+void
+emitMatMul(ProgramBuilder &b, const std::string &name,
+           const MatMulParams &p)
+{
+    const std::string i_loop = name + "_i";
+    const std::string j_loop = name + "_j";
+    const std::string k_loop = name + "_k";
+    const std::string k_done = name + "_kd";
+    const std::string j_done = name + "_jd";
+    const std::string done = name + "_done";
+    const int64_t n = (int64_t)p.n;
+    const int64_t row_bytes = n * 8;
+
+    b.label(name);
+    b.li(t0, 0); // i
+    b.li(t13, n);
+    b.label(i_loop);
+    b.beq(t0, t13, done);
+    b.li(t1, 0); // j
+    b.label(j_loop);
+    b.beq(t1, t13, j_done);
+    // a_ptr = A + i*n*8 ; b_ptr = B + j*8 ; c = C + (i*n + j)*8
+    b.li(t2, row_bytes);
+    b.mul(t3, t0, t2);
+    b.li(t4, (int64_t)p.aAddr);
+    b.add(t4, t4, t3); // a_ptr
+    b.slli(t5, t1, 3);
+    b.li(t6, (int64_t)p.bAddr);
+    b.add(t6, t6, t5); // b_ptr
+    b.li(t7, (int64_t)p.cAddr);
+    b.add(t7, t7, t3);
+    b.add(t7, t7, t5); // c addr
+    b.lf(f0, t7, 0);   // acc = C[i][j]
+    b.li(t8, 0);       // k
+    b.label(k_loop);
+    b.beq(t8, t13, k_done);
+    b.lf(f1, t4, 0); // A[i][k]
+    b.lf(f2, t6, 0); // B[k][j] -- re-read for every i: long-range RAR
+    b.fmuld(f3, f1, f2);
+    b.faddd(f0, f0, f3);
+    b.addi(t4, t4, 8);
+    b.add(t6, t6, t2);
+    b.addi(t8, t8, 1);
+    b.jump(k_loop);
+    b.label(k_done);
+    b.sf(t7, 0, f0);
+    b.addi(t1, t1, 1);
+    b.jump(j_loop);
+    b.label(j_done);
+    b.addi(t0, t0, 1);
+    b.jump(i_loop);
+    b.label(done);
+    b.ret();
+}
+
+void
+emitParticle(ProgramBuilder &b, const std::string &name,
+             const ParticleParams &p)
+{
+    rarpred_assert(isPowerOf2(p.gridWords));
+    const std::string loop = name + "_loop";
+    const std::string nowrap = name + "_nowrap";
+    const std::string done = name + "_done";
+
+    b.label(name);
+    b.li(t0, (int64_t)p.cursorAddr);
+    b.lw(t1, t0, 0); // particle index
+    b.li(t2, (int64_t)p.particlesPerCall);
+    b.li(s0, (int64_t)p.particlesAddr);
+    b.li(s1, (int64_t)p.gridAddr);
+    b.li(s2, (int64_t)p.dtAddr);
+    b.li(s3, (int64_t)p.numParticles);
+    b.label(loop);
+    b.beq(t2, reg::kZero, done);
+    // part = particles + idx*32
+    b.slli(t3, t1, 5);
+    b.add(t3, s0, t3);
+    b.lf(f0, t3, 0); // x
+    b.lf(f1, t3, 8); // v
+    // Two-point field gather: grid[g] and grid[g+1] with
+    // g = (idx*7) & mask -- a hot grid read by many particles (RAR).
+    b.slli(t6, t1, 3);
+    b.sub(t6, t6, t1); // idx*7
+    b.andi(t6, t6, (int64_t)(p.gridWords - 2));
+    b.slli(t6, t6, 3);
+    b.add(t6, s1, t6);
+    b.lf(f2, t6, 0);
+    b.lf(f6, t6, 8);
+    b.faddd(f2, f2, f6); // interpolated field
+    // dt reloaded every particle (never stored -> self-RAR)
+    b.lf(f3, s2, 0);
+    // v += field*dt ; x += v*dt
+    b.fmuld(f4, f2, f3);
+    b.faddd(f1, f1, f4);
+    b.fmuld(f5, f1, f3);
+    b.faddd(f0, f0, f5);
+    b.sf(t3, 0, f0);
+    b.sf(t3, 8, f1);
+    b.sf(t3, 16, f5); // last displacement (diagnostic field)
+    // advance
+    b.addi(t1, t1, 1);
+    b.blt(t1, s3, nowrap);
+    b.mov(t1, reg::kZero);
+    b.label(nowrap);
+    b.addi(t2, t2, -1);
+    b.jump(loop);
+    b.label(done);
+    b.sw(t0, 0, t1);
+    b.ret();
+}
+
+} // namespace rarpred::kernels

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Kernel library for the synthetic SPEC'95-like workloads.
+ *
+ * Each kernel emits one callable MicroISA function into a
+ * ProgramBuilder, plus helpers that allocate and initialize the data
+ * it operates on. The 18 synthetic benchmarks (spec_int.cc,
+ * spec_fp.cc) compose these kernels with per-benchmark parameters to
+ * reproduce the dependence character the paper reports for the
+ * corresponding SPEC'95 program: RAW-communication-heavy integer
+ * codes, RAR/data-sharing-heavy Fortran codes, and everything in
+ * between.
+ *
+ * Register convention:
+ *  - r1..r7   belong to the main driver (kernels must not touch them)
+ *  - r8..r27, r30 and f0..f27 are kernel scratch
+ *  - r28 (gp), r29 (sp), r31 (ra) have their usual roles
+ *  - kernels that make calls save ra on the stack
+ *
+ * Every kernel takes a unique @p name used as its entry label and as
+ * the prefix for its internal labels, so multiple instances can live
+ * in one program.
+ */
+
+#ifndef RARPRED_WORKLOAD_KERNELS_HH_
+#define RARPRED_WORKLOAD_KERNELS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+
+namespace rarpred::kernels {
+
+// ---------------------------------------------------------------------
+// Data builders
+// ---------------------------------------------------------------------
+
+/**
+ * Allocate and link a list of 4-word nodes {data, key, pad, next}.
+ * @param shuffled Link nodes in a pseudo-random order (pointer chasing
+ *        with poor spatial locality) instead of sequentially.
+ * @return byte address of a one-word cell holding the head pointer.
+ */
+uint64_t allocList(ProgramBuilder &b, Rng &rng, size_t num_nodes,
+                   bool shuffled);
+
+/**
+ * Allocate a chained hash table: @p num_buckets bucket-head words
+ * followed by a pool of 3-word nodes {key, value, next} holding
+ * @p num_keys keys 0..num_keys-1.
+ * @return byte address of bucket 0.
+ */
+uint64_t allocHashTable(ProgramBuilder &b, Rng &rng, size_t num_buckets,
+                        size_t num_keys);
+
+/**
+ * Allocate a stream of words drawn by @p pick.
+ * @return byte address of the first word.
+ */
+uint64_t allocStream(ProgramBuilder &b, size_t length,
+                     const std::vector<uint64_t> &values);
+
+/**
+ * Allocate a balanced binary search tree over keys 1..num_nodes as
+ * 4-word nodes {key, left, right, value} (left/right are byte
+ * addresses, 0 = null).
+ * @return byte address of the root node.
+ */
+uint64_t allocTree(ProgramBuilder &b, Rng &rng, size_t num_nodes);
+
+/** Allocate an array of @p words integer words initialized by rng. */
+uint64_t allocIntArray(ProgramBuilder &b, Rng &rng, size_t words,
+                       uint64_t max_value);
+
+/** Allocate an array of @p words doubles in (0, 1). */
+uint64_t allocFpArray(ProgramBuilder &b, Rng &rng, size_t words);
+
+/** Allocate a single zero-initialized global word. */
+uint64_t allocGlobal(ProgramBuilder &b, uint64_t initial = 0);
+
+/**
+ * Generate a reference stream with a hot set: each element is drawn
+ * from @p hot_count "hot" values with probability @p hot_frac, and
+ * uniformly from [0, universe) otherwise. Models the skewed reuse
+ * (popular symbols, hot records, repeated queries) that gives real
+ * programs their dependence locality.
+ */
+std::vector<uint64_t> mixedStream(Rng &rng, size_t length,
+                                  uint64_t universe, uint64_t hot_count,
+                                  double hot_frac);
+
+// ---------------------------------------------------------------------
+// Integer kernels
+// ---------------------------------------------------------------------
+
+/**
+ * The paper's Figure 3(c) motivating pattern: walk a linked list and
+ * read each node's fields from two distinct code sites ("foo" reads
+ * node->data into a memory-resident accumulator, "bar" re-reads
+ * node->data and node->key for a comparison). Produces dense RAR
+ * dependences between the foo and bar loads and short-distance RAW
+ * dependences through the accumulator.
+ */
+struct ListWalkParams
+{
+    uint64_t headPtrAddr; ///< from allocList()
+    uint64_t sumAddr;     ///< global accumulator cell
+    uint64_t countAddr;   ///< global match-count cell
+    int64_t matchKey;     ///< key "bar" compares against
+    /**
+     * Read node->data in "foo" from one of two static sites selected
+     * by the node key's parity. The later "bar" re-read then has a
+     * per-node-varying RAR source, giving the dependence stream the
+     * moderate (rather than perfect) locality real codes show.
+     */
+    bool twoSiteFoo = false;
+};
+void emitListWalk(ProgramBuilder &b, const std::string &name,
+                  const ListWalkParams &p);
+
+/**
+ * Fully-unrolled walk of a small, hot linked structure — the code
+ * shape produced by the paper's compiler flags (-O2 -funroll-loops
+ * -finline-functions) on hot evaluator/IR loops. Every node position
+ * gets its own static load sites for data/key/next, so each site
+ * re-reads the same location every call: the dependence working set
+ * per PC is 1 and RAR cloaking can collapse the whole pointer chain.
+ */
+struct ListWalkUnrolledParams
+{
+    uint64_t headPtrAddr; ///< from allocList(); list length >= depth
+    size_t depth;         ///< node positions to unroll (4..24)
+    uint64_t sumAddr;     ///< global accumulator cell
+};
+void emitListWalkUnrolled(ProgramBuilder &b, const std::string &name,
+                          const ListWalkUnrolledParams &p);
+
+/**
+ * Hash-table probe loop: reads keys from a stream (cursor kept in
+ * memory), hashes, walks the bucket chain comparing keys, and bumps
+ * the matched node's value (load+store). Repeated keys revisit nodes,
+ * creating RAR dependences across calls; the value update creates
+ * store->load RAW pairs on later visits.
+ */
+struct HashProbeParams
+{
+    uint64_t tableAddr;    ///< from allocHashTable()
+    size_t numBuckets;     ///< power of two
+    uint64_t streamAddr;   ///< key stream (allocStream)
+    size_t streamLen;
+    uint64_t cursorAddr;   ///< global stream cursor cell
+    size_t probesPerCall;  ///< keys processed per invocation
+    bool updateValues;     ///< store to matched nodes
+};
+void emitHashProbe(ProgramBuilder &b, const std::string &name,
+                   const HashProbeParams &p);
+
+/**
+ * Call-heavy computation: an outer function that spills/restores
+ * registers and its return address on the stack and calls a leaf
+ * helper per element. Exercises the short-distance stack RAW
+ * communication that dominates integer codes.
+ */
+struct CallChainParams
+{
+    uint64_t arrayAddr; ///< input words
+    size_t arrayLen;
+    uint64_t accAddr;   ///< global accumulator cell
+    size_t elemsPerCall;
+    uint64_t cursorAddr;
+};
+void emitCallChain(ProgramBuilder &b, const std::string &name,
+                   const CallChainParams &p);
+
+/**
+ * Binary-search-tree lookups from a query stream. Popular repeated
+ * queries revisit the same nodes: the key/left/right loads experience
+ * RAR dependences with their own previous executions and with each
+ * other across the search path.
+ */
+struct TreeSearchParams
+{
+    uint64_t rootAddr;
+    uint64_t streamAddr; ///< query keys
+    size_t streamLen;
+    uint64_t cursorAddr;
+    uint64_t foundAddr;  ///< global hit-count cell
+    size_t queriesPerCall;
+};
+void emitTreeSearch(ProgramBuilder &b, const std::string &name,
+                    const TreeSearchParams &p);
+
+/**
+ * Data-dependent-branchy integer array sweep with memory-resident
+ * accumulators. extraAlu inserts a dependent ALU chain per element to
+ * thin out the memory-instruction fraction (ijpeg-like codes).
+ */
+struct IntSweepParams
+{
+    uint64_t arrayAddr;
+    size_t arrayLen;
+    uint64_t sumAddr;
+    uint64_t cntAddr;
+    unsigned extraAlu;   ///< dependent ALU ops per element
+    uint64_t threshold;  ///< branch-biasing compare value
+    /** Store the transformed element back (in-place transform). */
+    bool writeBack = false;
+};
+void emitIntSweep(ProgramBuilder &b, const std::string &name,
+                  const IntSweepParams &p);
+
+/**
+ * m88ksim-like interpreter dispatch: fetch an opcode from a stream,
+ * index a small handler-latency table (heavily re-read -> RAR), then
+ * read-modify-write a simulated register file entry (RAW).
+ */
+struct DispatchParams
+{
+    uint64_t opStreamAddr;
+    size_t opStreamLen;
+    uint64_t opTableAddr;  ///< numOps words, re-read constantly
+    size_t numOps;         ///< power of two
+    uint64_t simRegsAddr;  ///< 32 words
+    uint64_t cursorAddr;
+    uint64_t cycleAddr;    ///< global cycle counter cell
+    size_t opsPerCall;
+};
+void emitDispatch(ProgramBuilder &b, const std::string &name,
+                  const DispatchParams &p);
+
+/**
+ * Record read-modify-write over an index stream (vortex-like): loads
+ * two fields of a record, combines, stores both back. Store-heavy;
+ * revisits create RAW pairs on record fields.
+ */
+struct RecordUpdateParams
+{
+    uint64_t recordsAddr; ///< records of 4 words each
+    size_t numRecords;
+    uint64_t streamAddr;  ///< record index stream
+    size_t streamLen;
+    uint64_t cursorAddr;
+    size_t updatesPerCall;
+};
+void emitRecordUpdate(ProgramBuilder &b, const std::string &name,
+                      const RecordUpdateParams &p);
+
+/**
+ * Read-only sweep over a block of integer globals from unrolled
+ * static sites (option flags, read-only tables such as ijpeg's
+ * quantization matrices). The values never change, so every load is
+ * a perfectly predictable RAR consumer — the integer-side data
+ * sharing that RAR cloaking covers.
+ */
+struct GlobalsReadParams
+{
+    uint64_t globalsAddr; ///< numGlobals consecutive words
+    size_t numGlobals;    ///< >= 4
+    size_t repeatsPerCall;
+    uint64_t sinkAddr;    ///< global RMW'd once per call with the sum
+};
+void emitGlobalsRead(ProgramBuilder &b, const std::string &name,
+                     const GlobalsReadParams &p);
+
+/**
+ * Dense read-modify-write of a handful of global counters (the
+ * in_count/out_count/checkpoint globals of compress, go's position
+ * statistics): per round each listed global is loaded, bumped and
+ * stored — the shortest-distance RAW communication in the suite.
+ */
+struct GlobalsRmwParams
+{
+    uint64_t globalsAddr; ///< numGlobals consecutive words
+    size_t numGlobals;    ///< 2..8
+    size_t roundsPerCall;
+    /** Dependent ALU ops between the load and the store of each
+     *  global (compiler-generated update expressions). Deepens the
+     *  serial memory-carried chain cloaking can attack. */
+    unsigned chainAlu = 0;
+};
+void emitGlobalsRmw(ProgramBuilder &b, const std::string &name,
+                    const GlobalsRmwParams &p);
+
+/**
+ * Store-only initialization sweep (vortex-like object creation /
+ * buffer zeroing): writes a data-derived value to consecutive words.
+ * The densest source of stores in the suite (~1 store per 4 insts).
+ */
+struct FillParams
+{
+    uint64_t dstAddr;
+    size_t words;
+    uint64_t seedAddr; ///< global word loaded once per call
+};
+void emitFill(ProgramBuilder &b, const std::string &name,
+              const FillParams &p);
+
+/**
+ * Word-wise copy with a transform (compress/perl string motion):
+ * load src[i], shift/mask, store dst[i].
+ */
+struct CopyTransformParams
+{
+    uint64_t srcAddr;
+    uint64_t dstAddr;
+    size_t words;
+};
+void emitCopyTransform(ProgramBuilder &b, const std::string &name,
+                       const CopyTransformParams &p);
+
+// ---------------------------------------------------------------------
+// Floating-point kernels
+// ---------------------------------------------------------------------
+
+/**
+ * 1D three-point stencil over rows of a 2D grid:
+ *   out[i] = w1*in[i-1] + w2*in[i] + w3*in[i+1]
+ * The three in[] loads read each element from three distinct PCs in
+ * consecutive iterations (dense short-distance RAR), and the three
+ * weights are re-loaded from memory every iteration (the
+ * long-lifetime, non-register-allocated Fortran globals the paper
+ * calls out).
+ */
+struct StencilParams
+{
+    uint64_t inAddr;
+    uint64_t outAddr;
+    size_t words;        ///< grid length; sweeps the interior
+    uint64_t weightAddr; ///< taps consecutive double words
+    bool reloadWeights;  ///< reload weights inside the loop
+    /** Optional second output array (0 = none): doubles the stores. */
+    uint64_t out2Addr = 0;
+    /**
+     * Stencil width (odd, >= 3). Wide stencils (mgrid's 27-point
+     * kernels) make the suite's most load-dominated programs: taps
+     * in-loads (+ taps weight loads when reloading) per single store.
+     * reloadWeights=false requires taps == 3 (weights held in
+     * registers).
+     */
+    unsigned taps = 3;
+};
+void emitStencil(ProgramBuilder &b, const std::string &name,
+                 const StencilParams &p);
+
+/**
+ * fpppp-like straight-line block: load a pile of distinct fp globals
+ * (several of them twice from different PCs), combine with fp
+ * arithmetic, store a few results back. RAR-dominated.
+ */
+struct FpGlobalsParams
+{
+    uint64_t globalsAddr; ///< numGlobals consecutive doubles
+    size_t numGlobals;    ///< >= 8
+    uint64_t outAddr;     ///< storesPerRepeat doubles written per repeat
+    size_t repeatsPerCall;
+    size_t storesPerRepeat = 3; ///< result stores per repeat (>= 1)
+    /**
+     * Overwrite one rotating global per repeat (cursor kept at
+     * mutateCursorAddr, which must be allocated when non-zero). The
+     * store lands between the block's first reads and its re-reads,
+     * so a mutated global's re-read sees a value the synonym file
+     * does not — the occasional misspeculation real fpppp exhibits.
+     */
+    uint64_t mutateCursorAddr = 0;
+};
+void emitFpGlobals(ProgramBuilder &b, const std::string &name,
+                   const FpGlobalsParams &p);
+
+/**
+ * Streaming dot product of two fp arrays with a register accumulator;
+ * mostly dependence-free loads (prefetch-friendly, cloaking-hostile).
+ */
+struct FpReduceParams
+{
+    uint64_t aAddr;
+    uint64_t bAddr;
+    size_t words;
+    uint64_t resultAddr;
+};
+void emitFpReduce(ProgramBuilder &b, const std::string &name,
+                  const FpReduceParams &p);
+
+/**
+ * Small dense matmul C += A*B (n x n doubles, row-major): B's column
+ * is re-read for every row of A, giving long-distance RAR reuse whose
+ * visibility depends on DDT capacity.
+ */
+struct MatMulParams
+{
+    uint64_t aAddr;
+    uint64_t bAddr;
+    uint64_t cAddr;
+    size_t n;
+};
+void emitMatMul(ProgramBuilder &b, const std::string &name,
+                const MatMulParams &p);
+
+/**
+ * Particle update (wave5-like): per particle load position/velocity
+ * (fp), advance, store back; field value gathered from a small grid
+ * re-read by many particles (RAR).
+ */
+struct ParticleParams
+{
+    uint64_t particlesAddr; ///< 4 doubles per particle: x, v, pad, pad
+    size_t numParticles;
+    uint64_t gridAddr;      ///< gridWords doubles
+    size_t gridWords;       ///< power of two
+    uint64_t dtAddr;        ///< global timestep double, reloaded
+    size_t particlesPerCall;
+    uint64_t cursorAddr;
+};
+void emitParticle(ProgramBuilder &b, const std::string &name,
+                  const ParticleParams &p);
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/**
+ * Emit the program entry: an outer loop that calls each listed kernel
+ * entry once per iteration, then halts. Must be called before any
+ * kernel is emitted so that the program starts at PC 0.
+ */
+void emitMain(ProgramBuilder &b, const std::vector<std::string> &entries,
+              uint64_t outer_iters);
+
+/**
+ * Like emitMain, but each kernel runs only every `period`-th outer
+ * iteration. Irregular interleaving makes loads that share data with
+ * another kernel alternate their RAR source over time — the
+ * control-path-dependent dependence sets of Section 5.1.
+ */
+struct PeriodicEntry
+{
+    std::string entry;
+    unsigned period = 1; ///< call when iteration % period == 0
+};
+void emitMainPeriodic(ProgramBuilder &b,
+                      const std::vector<PeriodicEntry> &entries,
+                      uint64_t outer_iters);
+
+} // namespace rarpred::kernels
+
+#endif // RARPRED_WORKLOAD_KERNELS_HH_

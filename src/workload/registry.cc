@@ -1,0 +1,42 @@
+#include "workload/workload.hh"
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"go", "099.go", false, buildGo},
+        {"m88", "124.m88ksim", false, buildM88ksim},
+        {"gcc", "126.gcc", false, buildGcc},
+        {"com", "129.compress", false, buildCompress},
+        {"li", "130.li", false, buildLi},
+        {"ijp", "132.ijpeg", false, buildIjpeg},
+        {"per", "134.perl", false, buildPerl},
+        {"vor", "147.vortex", false, buildVortex},
+        {"tom", "101.tomcatv", true, buildTomcatv},
+        {"swm", "102.swim", true, buildSwim},
+        {"su2", "103.su2cor", true, buildSu2cor},
+        {"hyd", "104.hydro2d", true, buildHydro2d},
+        {"mgd", "107.mgrid", true, buildMgrid},
+        {"apl", "110.applu", true, buildApplu},
+        {"trb", "125.turb3d", true, buildTurb3d},
+        {"aps", "141.apsi", true, buildApsi},
+        {"fp*", "145.fpppp", true, buildFpppp},
+        {"wav", "146.wave5", true, buildWave5},
+    };
+    return workloads;
+}
+
+const Workload &
+findWorkload(const std::string &abbrev)
+{
+    for (const auto &w : allWorkloads())
+        if (w.abbrev == abbrev)
+            return w;
+    rarpred_fatal("unknown workload: " + abbrev);
+}
+
+} // namespace rarpred

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * The ten SPECfp'95-like synthetic benchmarks.
+ *
+ * The paper observes that the Fortran codes are "dominated by a large
+ * number of variables with long lifetimes that are not register
+ * allocated", making RAR dependences more frequent than RAW ones —
+ * the reverse of the integer suite. These builders reproduce that:
+ * stencils whose neighbours are re-read by several static loads,
+ * coefficient/global words reloaded every iteration and never stored,
+ * and streaming kernels for the dependence-poor fraction.
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include <vector>
+
+#include "workload/kernels.hh"
+
+namespace rarpred {
+
+using namespace kernels;
+
+namespace {
+
+struct Bench
+{
+    ProgramBuilder b;
+    Rng rng;
+
+    Bench(const std::string &name, uint64_t seed)
+        : b(name), rng(seed)
+    {}
+};
+
+/**
+ * Allocate a weights vector of @p taps doubles. Normalized weights
+ * (sum 0.93) keep in-place Gauss-Seidel sweeps numerically bounded.
+ */
+uint64_t
+allocWeights(Bench &w, unsigned taps, bool normalized = false)
+{
+    const uint64_t addr = w.b.allocWords(taps);
+    std::vector<double> values(taps);
+    double sum = 0.0;
+    for (auto &v : values) {
+        v = 0.1 + 0.8 * w.rng.uniform();
+        sum += v;
+    }
+    for (unsigned i = 0; i < taps; ++i) {
+        const double v = normalized ? values[i] * 0.93 / sum : values[i];
+        w.b.initWordF(addr + (uint64_t)i * 8, v);
+    }
+    return addr;
+}
+
+} // namespace
+
+// 101.tomcatv: mesh generation — 1D sweeps of coupled stencils with
+// memory-resident coefficients. Paper: 31.9% loads, 8.8% stores.
+Program
+buildTomcatv(uint32_t scale)
+{
+    Bench w("101.tomcatv", 0x1011);
+    auto &b = w.b;
+
+    const uint64_t gx = allocFpArray(b, w.rng, 512);
+    const uint64_t gy = allocFpArray(b, w.rng, 512);
+    const uint64_t rx = allocFpArray(b, w.rng, 512);
+    const uint64_t ry = allocFpArray(b, w.rng, 512);
+    const uint64_t wx = allocWeights(w, 3, true);
+    const uint64_t wy = allocWeights(w, 3);
+    const uint64_t res = allocGlobal(b);
+
+    emitMain(b, {"relaxx", "relaxy", "residual"}, 330 * scale);
+
+    emitStencil(b, "relaxx", {gx, gx, 512, wx, true, rx, 3});
+    emitStencil(b, "relaxy", {gy, ry, 512, wy, true, 0, 3});
+    emitFpReduce(b, "residual", {rx, ry, 256, res});
+    return b.build();
+}
+
+// 102.swim: shallow-water equations — three coupled grid stencils;
+// the lowest store fraction after mgrid. Paper: 27.0% loads, 6.6%.
+Program
+buildSwim(uint32_t scale)
+{
+    Bench w("102.swim", 0x5141);
+    auto &b = w.b;
+
+    const uint64_t u = allocFpArray(b, w.rng, 640);
+    const uint64_t v = allocFpArray(b, w.rng, 640);
+    const uint64_t p = allocFpArray(b, w.rng, 640);
+    const uint64_t vn = allocFpArray(b, w.rng, 640);
+    const uint64_t pn = allocFpArray(b, w.rng, 640);
+    const uint64_t wu = allocWeights(w, 3, true);
+    const uint64_t wv = allocWeights(w, 3);
+    const uint64_t wp = allocWeights(w, 3);
+
+    emitMain(b, {"calcu", "calcv", "calcp"}, 260 * scale);
+
+    emitStencil(b, "calcu", {u, u, 640, wu, true, 0, 3});
+    emitStencil(b, "calcv", {v, vn, 640, wv, true, 0, 3});
+    emitStencil(b, "calcp", {p, pn, 640, wp, true, vn, 3});
+    return b.build();
+}
+
+// 103.su2cor: quantum physics Monte Carlo — small dense matrix
+// products (gauge links re-read across rows) plus vector reductions.
+// Paper: 33.8% loads, 10.1% stores.
+Program
+buildSu2cor(uint32_t scale)
+{
+    Bench w("103.su2cor", 0x5021);
+    auto &b = w.b;
+
+    const size_t n = 10;
+    const uint64_t ma = allocFpArray(b, w.rng, n * n);
+    const uint64_t mb = allocFpArray(b, w.rng, n * n);
+    const uint64_t mc = allocFpArray(b, w.rng, n * n);
+    const uint64_t va = allocFpArray(b, w.rng, 256);
+    const uint64_t vb = allocFpArray(b, w.rng, 256);
+    const uint64_t corr = allocGlobal(b);
+    const uint64_t gl = allocFpArray(b, w.rng, 21);
+    const uint64_t gout = b.allocWords(8);
+    const uint64_t wg = allocWeights(w, 7);
+    const uint64_t prop = allocFpArray(b, w.rng, 384);
+    const uint64_t propn = allocFpArray(b, w.rng, 384);
+
+    emitMain(b, {"gauge", "sweep", "correl", "observ", "refresh"},
+             110 * scale);
+
+    emitMatMul(b, "gauge", {ma, mb, mc, n});
+    emitStencil(b, "sweep", {prop, propn, 384, wg, true, mc, 7});
+    emitFpReduce(b, "correl", {va, vb, 256, corr});
+    emitFpGlobals(b, "observ", {gl, 21, gout, 20, 6});
+    emitFill(b, "refresh", {propn, 280, corr});
+    return b.build();
+}
+
+// 104.hydro2d: hydrodynamics — wide stencils over state grids with
+// memory-resident coefficients. Paper: 29.7% loads, 8.2% stores.
+Program
+buildHydro2d(uint32_t scale)
+{
+    Bench w("104.hydro2d", 0x4D21);
+    auto &b = w.b;
+
+    const uint64_t rho = allocFpArray(b, w.rng, 768);
+    const uint64_t mom = allocFpArray(b, w.rng, 768);
+    const uint64_t rhon = allocFpArray(b, w.rng, 768);
+    const uint64_t momn = allocFpArray(b, w.rng, 768);
+    const uint64_t w1 = allocWeights(w, 5);
+    const uint64_t w2 = allocWeights(w, 3, true);
+    const uint64_t gl = allocFpArray(b, w.rng, 16);
+    const uint64_t gout = b.allocWords(8);
+
+    emitMain(b, {"advrho", "advmom", "eos"}, 240 * scale);
+
+    emitStencil(b, "advrho", {rho, rhon, 768, w1, true, 0, 5});
+    emitStencil(b, "advmom", {mom, mom, 768, w2, true, momn, 3});
+    emitFpGlobals(b, "eos", {gl, 16, gout, 12, 5});
+    return b.build();
+}
+
+// 107.mgrid: multigrid solver — 27-point restriction/prolongation
+// stencils make it the most load-dominated program of the suite
+// (46.6% loads, only 3.0% stores).
+Program
+buildMgrid(uint32_t scale)
+{
+    Bench w("107.mgrid", 0x3D61);
+    auto &b = w.b;
+
+    const uint64_t fine = allocFpArray(b, w.rng, 1024);
+    const uint64_t coarse = allocFpArray(b, w.rng, 1024);
+    const uint64_t resid = allocFpArray(b, w.rng, 1024);
+    const uint64_t w27 = allocWeights(w, 13);
+    const uint64_t w9 = allocWeights(w, 9);
+
+    emitMain(b, {"resid", "psinv"}, 130 * scale);
+
+    emitStencil(b, "resid", {fine, resid, 1024, w27, true, 0, 13});
+    emitStencil(b, "psinv", {coarse, fine, 1024, w9, true, 0, 9});
+    return b.build();
+}
+
+// 110.applu: LU factorization PDE solver — 5-point stencils plus
+// small dense blocks. Paper: 31.4% loads, 7.9% stores.
+Program
+buildApplu(uint32_t scale)
+{
+    Bench w("110.applu", 0xAB01);
+    auto &b = w.b;
+
+    const size_t n = 8;
+    const uint64_t jaca = allocFpArray(b, w.rng, n * n);
+    const uint64_t jacb = allocFpArray(b, w.rng, n * n);
+    const uint64_t jacc = allocFpArray(b, w.rng, n * n);
+    const uint64_t rsd = allocFpArray(b, w.rng, 640);
+    const uint64_t rsdn = allocFpArray(b, w.rng, 640);
+    const uint64_t ws = allocWeights(w, 3, true);
+
+    emitMain(b, {"jacld", "buts"}, 220 * scale);
+
+    emitMatMul(b, "jacld", {jaca, jacb, jacc, n});
+    emitStencil(b, "buts", {rsd, rsd, 640, ws, true, rsdn, 3});
+    return b.build();
+}
+
+// 125.turb3d: turbulence FFT code — butterfly-like block products and
+// lots of buffer motion (store rich for an fp code).
+// Paper: 21.3% loads, 14.6% stores.
+Program
+buildTurb3d(uint32_t scale)
+{
+    Bench w("125.turb3d", 0x7B31);
+    auto &b = w.b;
+
+    const size_t n = 8;
+    const uint64_t ta = allocFpArray(b, w.rng, n * n);
+    const uint64_t tb = allocFpArray(b, w.rng, n * n);
+    const uint64_t tc = allocFpArray(b, w.rng, n * n);
+    const uint64_t buf1 = allocFpArray(b, w.rng, 112);
+    const uint64_t buf2 = allocFpArray(b, w.rng, 112);
+    const uint64_t work = allocFpArray(b, w.rng, 512);
+    const uint64_t seed = allocGlobal(b, 3);
+    const uint64_t energy = allocGlobal(b);
+    const uint64_t twiddle = allocFpArray(b, w.rng, 18);
+    const uint64_t tout = b.allocWords(4);
+
+    emitMain(b, {"fftblk", "twiddles", "transpose", "transpose2", "zero",
+                 "spectra"},
+             300 * scale);
+
+    emitMatMul(b, "fftblk", {ta, tb, tc, n});
+    emitCopyTransform(b, "transpose", {buf1, buf2, 112});
+    emitCopyTransform(b, "transpose2", {buf2, buf1, 112});
+    emitFill(b, "zero", {work, 300, seed});
+    // Read-only twiddle-factor table: re-read every butterfly pass.
+    emitFpGlobals(b, "twiddles", {twiddle, 18, tout, 10, 1});
+    emitFpReduce(b, "spectra", {buf1, buf2, 112, energy});
+    return b.build();
+}
+
+// 141.apsi: mesoscale weather — stencils plus pointwise physics with
+// many reloaded physical-constant globals.
+// Paper: 31.4% loads, 13.4% stores.
+Program
+buildApsi(uint32_t scale)
+{
+    Bench w("141.apsi", 0xA951);
+    auto &b = w.b;
+
+    const uint64_t temp = allocFpArray(b, w.rng, 512);
+    const uint64_t tempn = allocFpArray(b, w.rng, 512);
+    const uint64_t wt = allocWeights(w, 3, true);
+    const uint64_t consts = allocFpArray(b, w.rng, 24);
+    const uint64_t cout = b.allocWords(12);
+    const uint64_t parts = allocFpArray(b, w.rng, 256 * 4);
+    const uint64_t grid = allocFpArray(b, w.rng, 64);
+    const uint64_t dt = b.allocWords(1);
+    b.initWordF(dt, 0.01);
+    const uint64_t pcur = allocGlobal(b);
+
+    emitMain(b, {"advect", "physics", "trajec"}, 210 * scale);
+
+    emitStencil(b, "advect", {temp, temp, 512, wt, true, tempn, 3});
+    emitFpGlobals(b, "physics", {consts, 24, cout, 14, 11});
+    emitParticle(b, "trajec", {parts, 256, grid, 64, dt, 120, pcur});
+    return b.build();
+}
+
+// 145.fpppp: quantum chemistry — enormous straight-line basic blocks
+// reading hundreds of long-lived globals; the highest load fraction
+// in SPEC'95 (48.8% loads, 17.5% stores).
+Program
+buildFpppp(uint32_t scale)
+{
+    Bench w("145.fpppp", 0xF991);
+    auto &b = w.b;
+
+    const uint64_t gl1 = allocFpArray(b, w.rng, 40);
+    const uint64_t gl2 = allocFpArray(b, w.rng, 32);
+    const uint64_t out1 = b.allocWords(16);
+    const uint64_t out2 = b.allocWords(16);
+    const uint64_t mcur1 = allocGlobal(b);
+    const uint64_t mcur2 = allocGlobal(b);
+    const uint64_t basis1 = allocFpArray(b, w.rng, 384);
+    const uint64_t basis2 = allocFpArray(b, w.rng, 384);
+    const uint64_t norm = allocGlobal(b);
+
+    emitMain(b, {"twoel", "basis", "shell"}, 170 * scale);
+
+    emitFpGlobals(b, "twoel", {gl1, 40, out1, 40, 15, mcur1});
+    emitFpGlobals(b, "shell", {gl2, 32, out2, 30, 13, mcur2});
+    // Streaming basis-function sweep: churns the DDT so stale store
+    // records from the mutation do not pin hot globals to RAW.
+    emitFpReduce(b, "basis", {basis1, basis2, 384, norm});
+    return b.build();
+}
+
+// 146.wave5: plasma particle-in-cell — particle pushes gathering from
+// a hot field grid, plus moment reductions.
+// Paper: 30.2% loads, 13.0% stores.
+Program
+buildWave5(uint32_t scale)
+{
+    Bench w("146.wave5", 0x3A51);
+    auto &b = w.b;
+
+    const uint64_t parts = allocFpArray(b, w.rng, 512 * 4);
+    const uint64_t grid = allocFpArray(b, w.rng, 128);
+    const uint64_t dt = b.allocWords(1);
+    b.initWordF(dt, 0.005);
+    const uint64_t pcur = allocGlobal(b);
+    const uint64_t va = allocFpArray(b, w.rng, 256);
+    const uint64_t vb = allocFpArray(b, w.rng, 256);
+    const uint64_t mom = allocGlobal(b);
+
+    emitMain(b, {"push", "moments"}, 280 * scale);
+
+    emitParticle(b, "push", {parts, 512, grid, 128, dt, 260, pcur});
+    emitFpReduce(b, "moments", {va, vb, 32, mom});
+    return b.build();
+}
+
+} // namespace rarpred

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * The eight SPECint'95-like synthetic benchmarks.
+ *
+ * Each builder composes kernels to mimic the documented character of
+ * the original program: what its hot loops do, how much of its
+ * instruction mix is loads/stores (paper Table 5.1), and where its
+ * memory dependences come from (integer codes are dominated by
+ * short-distance RAW communication through stack slots and globals,
+ * with RAR arising from revisited heap structures).
+ */
+
+#include "workload/workload.hh"
+
+#include "common/rng.hh"
+#include "workload/kernels.hh"
+
+namespace rarpred {
+
+using namespace kernels;
+
+namespace {
+
+/** Shared assembly of the per-benchmark driver + kernels. */
+struct Bench
+{
+    ProgramBuilder b;
+    Rng rng;
+
+    Bench(const std::string &name, uint64_t seed)
+        : b(name), rng(seed)
+    {}
+};
+
+} // namespace
+
+// 099.go: game-tree search over a board. Dominated by repeated
+// position lookups (tree search with a skewed query stream), branchy
+// evaluation sweeps over board arrays, and moderate call overhead.
+// Paper: 20.9% loads, 7.3% stores.
+Program
+buildGo(uint32_t scale)
+{
+    Bench w("099.go", 0x6001);
+    auto &b = w.b;
+
+    const uint64_t root = allocTree(b, w.rng, 2047);
+    auto queries = mixedStream(w.rng, 4096, 2047, 8, 0.9);
+    for (auto &q : queries)
+        ++q; // tree keys are 1..2047
+    const uint64_t qstream = allocStream(b, queries.size(), queries);
+    const uint64_t board = allocIntArray(b, w.rng, 512, 256);
+    const uint64_t eval_acc = allocGlobal(b);
+    const uint64_t eval_cnt = allocGlobal(b);
+    const uint64_t found = allocGlobal(b);
+    const uint64_t qcursor = allocGlobal(b);
+    const uint64_t ccursor = allocGlobal(b);
+    const uint64_t cacc = allocGlobal(b);
+
+    const uint64_t stats = allocIntArray(b, w.rng, 4, 100);
+    const uint64_t rules = allocIntArray(b, w.rng, 16, 1 << 8);
+    const uint64_t racc = allocGlobal(b);
+    const uint64_t pattern = allocList(b, w.rng, 10, true);
+    const uint64_t pacc = allocGlobal(b);
+    const uint64_t pacc2 = allocGlobal(b);
+
+    emitMainPeriodic(b,
+                     {{"search", 1},
+                      {"patterns", 1},
+                      {"pattern2", 1},
+                      {"evalboard", 2},
+                      {"genmoves", 1},
+                      {"stats", 1},
+                      {"rules", 1}},
+                     260 * scale);
+    emitGlobalsRmw(b, "stats", {stats, 4, 40, 2});
+    emitListWalkUnrolled(b, "patterns", {pattern, 10, pacc});
+    emitListWalkUnrolled(b, "pattern2", {pattern, 10, pacc2});
+    emitGlobalsRead(b, "rules", {rules, 16, 10, racc});
+
+    emitTreeSearch(b, "search",
+                   {root, qstream, queries.size(), qcursor, found, 75});
+    emitIntSweep(b, "evalboard",
+                 {board, 400, eval_acc, eval_cnt, 4, 128, true});
+    emitCallChain(b, "genmoves", {board, 512, cacc, 40, ccursor});
+    return b.build();
+}
+
+// 124.m88ksim: a CPU simulator. The hot loop is instruction dispatch:
+// fetch opcode, consult small hot tables, update simulated machine
+// state. Paper: 18.8% loads, 9.6% stores.
+Program
+buildM88ksim(uint32_t scale)
+{
+    Bench w("124.m88ksim", 0x8801);
+    auto &b = w.b;
+
+    auto ops = mixedStream(w.rng, 4096, 64, 12, 0.85);
+    const uint64_t opstream = allocStream(b, ops.size(), ops);
+    const uint64_t optable = allocIntArray(b, w.rng, 64, 8);
+    const uint64_t simregs = allocIntArray(b, w.rng, 32, 1 << 20);
+    const uint64_t dcursor = allocGlobal(b);
+    const uint64_t cycles = allocGlobal(b);
+    const uint64_t mem = allocIntArray(b, w.rng, 1024, 1 << 16);
+    const uint64_t macc = allocGlobal(b);
+    const uint64_t mcnt = allocGlobal(b);
+    const uint64_t ccursor = allocGlobal(b);
+    const uint64_t cacc = allocGlobal(b);
+
+    const uint64_t cfg = allocIntArray(b, w.rng, 12, 1 << 8);
+    const uint64_t cfgacc = allocGlobal(b);
+    const uint64_t opdesc = allocList(b, w.rng, 10, true);
+    const uint64_t odsum = allocGlobal(b);
+    const uint64_t odsum2 = allocGlobal(b);
+
+    emitMain(b, {"dispatch", "decode", "decode2", "config", "checkmem",
+                 "trap"},
+             260 * scale);
+    emitGlobalsRead(b, "config", {cfg, 12, 6, cfgacc});
+    emitListWalkUnrolled(b, "decode", {opdesc, 10, odsum});
+    emitListWalkUnrolled(b, "decode2", {opdesc, 10, odsum2});
+
+    emitDispatch(b, "dispatch",
+                 {opstream, ops.size(), optable, 64, simregs, dcursor,
+                  cycles, 240});
+    emitIntSweep(b, "checkmem", {mem, 96, macc, mcnt, 5, 1 << 15});
+    emitCallChain(b, "trap", {mem, 1024, cacc, 16, ccursor});
+    return b.build();
+}
+
+// 126.gcc: pointer-chasing over IR lists, heavy function-call
+// traffic with register spills, and store-rich structure updates.
+// Paper: 24.3% loads, 17.5% stores.
+Program
+buildGcc(uint32_t scale)
+{
+    Bench w("126.gcc", 0xFCC1);
+    auto &b = w.b;
+
+    const uint64_t insns = allocList(b, w.rng, 64, true);
+    const uint64_t hotbb = allocList(b, w.rng, 12, true);
+    const uint64_t bbsum = allocGlobal(b);
+    const uint64_t bbsum2 = allocGlobal(b);
+    const uint64_t rtl = allocIntArray(b, w.rng, 4, 100);
+    const uint64_t sum = allocGlobal(b);
+    const uint64_t count = allocGlobal(b);
+    const uint64_t pool = allocIntArray(b, w.rng, 768, 1 << 12);
+    const uint64_t cacc1 = allocGlobal(b);
+    const uint64_t ccur1 = allocGlobal(b);
+    const uint64_t cacc2 = allocGlobal(b);
+    const uint64_t ccur2 = allocGlobal(b);
+    const uint64_t records = allocIntArray(b, w.rng, 256 * 4, 1 << 10);
+    auto ridx = mixedStream(w.rng, 2048, 256, 24, 0.7);
+    const uint64_t rstream = allocStream(b, ridx.size(), ridx);
+    const uint64_t rcursor = allocGlobal(b);
+
+    emitMain(b, {"walkir", "match", "match2", "rtlstat", "fold",
+                 "regalloc", "emit"},
+             210 * scale);
+
+    emitListWalk(b, "walkir", {insns, sum, count, 17, true});
+    emitListWalkUnrolled(b, "match", {hotbb, 12, bbsum});
+    emitListWalkUnrolled(b, "match2", {hotbb, 12, bbsum2});
+    emitGlobalsRmw(b, "rtlstat", {rtl, 4, 36, 2});
+    emitCallChain(b, "fold", {pool, 768, cacc1, 30, ccur1});
+    emitCallChain(b, "regalloc", {pool, 768, cacc2, 30, ccur2});
+    emitRecordUpdate(b, "emit",
+                     {records, 256, rstream, ridx.size(), rcursor, 130});
+    return b.build();
+}
+
+// 129.compress: dictionary (hash) lookups over a byte stream plus
+// buffer motion. Paper: 21.7% loads, 13.5% stores.
+Program
+buildCompress(uint32_t scale)
+{
+    Bench w("129.compress", 0xC0B1);
+    auto &b = w.b;
+
+    const uint64_t htab = allocHashTable(b, w.rng, 2048, 1024);
+    auto keys = mixedStream(w.rng, 4096, 1024, 12, 0.9);
+    const uint64_t kstream = allocStream(b, keys.size(), keys);
+    const uint64_t kcursor = allocGlobal(b);
+    const uint64_t inbuf = allocIntArray(b, w.rng, 512, 255);
+    const uint64_t outbuf = allocIntArray(b, w.rng, 512, 255);
+    const uint64_t sacc = allocGlobal(b);
+    const uint64_t scnt = allocGlobal(b);
+
+    const uint64_t counts = allocIntArray(b, w.rng, 4, 10);
+    const uint64_t magic = allocIntArray(b, w.rng, 12, 1 << 8);
+    const uint64_t magacc = allocGlobal(b);
+    const uint64_t dict = allocList(b, w.rng, 10, true);
+    const uint64_t dsum = allocGlobal(b);
+    const uint64_t dsum2 = allocGlobal(b);
+
+    emitMain(b, {"lookup", "header", "header2", "putbytes", "scan",
+                 "counts", "magic"},
+             240 * scale);
+    emitGlobalsRmw(b, "counts", {counts, 4, 50, 2});
+    emitGlobalsRead(b, "magic", {magic, 12, 10, magacc});
+    emitListWalkUnrolled(b, "header", {dict, 10, dsum});
+    emitListWalkUnrolled(b, "header2", {dict, 10, dsum2});
+
+    emitHashProbe(b, "lookup",
+                  {htab, 2048, kstream, keys.size(), kcursor, 150, true});
+    emitCopyTransform(b, "putbytes", {inbuf, outbuf, 420});
+    emitIntSweep(b, "scan", {inbuf, 128, sacc, scnt, 2, 128, true});
+    return b.build();
+}
+
+// 130.li: a lisp interpreter. Cons-cell chasing with repeated reads
+// of car/cdr from different evaluator sites, symbol-table lookups,
+// and deep recursion (stack RAW). Paper: 29.6% loads, 17.6% stores.
+Program
+buildLi(uint32_t scale)
+{
+    Bench w("130.li", 0x1151);
+    auto &b = w.b;
+
+    const uint64_t heap1 = allocList(b, w.rng, 48, true);
+    const uint64_t heap2 = heap1; // both evaluator paths walk one heap
+    const uint64_t expr = allocList(b, w.rng, 14, true);
+    const uint64_t esum1 = allocGlobal(b);
+    const uint64_t esum2 = allocGlobal(b);
+    const uint64_t gcw = allocIntArray(b, w.rng, 4, 100);
+    const uint64_t s1 = allocGlobal(b);
+    const uint64_t c1 = allocGlobal(b);
+    const uint64_t s2 = allocGlobal(b);
+    const uint64_t c2 = allocGlobal(b);
+    const uint64_t symtab = allocHashTable(b, w.rng, 512, 384);
+    auto syms = mixedStream(w.rng, 2048, 384, 32, 0.85);
+    const uint64_t sstream = allocStream(b, syms.size(), syms);
+    const uint64_t scursor = allocGlobal(b);
+    const uint64_t env = allocIntArray(b, w.rng, 256, 1 << 10);
+    const uint64_t eacc = allocGlobal(b);
+    const uint64_t ecur = allocGlobal(b);
+
+    emitMainPeriodic(b,
+                     {{"evalexpr", 1},
+                      {"evalbody", 1},
+                      {"gcstat", 1},
+                      {"evalcar", 1},
+                      {"evalcdr", 2},
+                      {"intern", 1},
+                      {"apply", 1}},
+                     340 * scale);
+
+    emitListWalkUnrolled(b, "evalexpr", {expr, 14, esum1});
+    emitListWalkUnrolled(b, "evalbody", {expr, 14, esum2});
+    emitGlobalsRmw(b, "gcstat", {gcw, 4, 36, 2});
+    emitListWalk(b, "evalcar", {heap1, s1, c1, 23, true});
+    emitListWalk(b, "evalcdr", {heap2, s2, c2, 41});
+    emitHashProbe(b, "intern",
+                  {symtab, 512, sstream, syms.size(), scursor, 40, false});
+    emitCallChain(b, "apply", {env, 256, eacc, 100, ecur});
+    return b.build();
+}
+
+// 132.ijpeg: image transforms — compute-dense sweeps over pixel
+// buffers with long ALU chains per element (lowest memory fraction in
+// the integer suite). Paper: 17.7% loads, 8.7% stores.
+Program
+buildIjpeg(uint32_t scale)
+{
+    Bench w("132.ijpeg", 0x1390);
+    auto &b = w.b;
+
+    const uint64_t img = allocIntArray(b, w.rng, 192, 255);
+    const uint64_t tmp = allocIntArray(b, w.rng, 192, 255);
+    const uint64_t sacc = allocGlobal(b);
+    const uint64_t scnt = allocGlobal(b);
+    const uint64_t qacc = allocGlobal(b);
+    const uint64_t qcnt = allocGlobal(b);
+
+    const uint64_t jstate = allocIntArray(b, w.rng, 6, 100);
+    const uint64_t qtab = allocIntArray(b, w.rng, 16, 256);
+    const uint64_t qtacc = allocGlobal(b);
+    const uint64_t comp = allocList(b, w.rng, 8, true);
+    const uint64_t csum = allocGlobal(b);
+    const uint64_t csum2 = allocGlobal(b);
+
+    emitMain(b, {"dct", "comps", "comps2", "quant", "huffcopy", "state",
+                 "qtable"},
+             320 * scale);
+    emitGlobalsRmw(b, "state", {jstate, 6, 30, 2});
+    emitGlobalsRead(b, "qtable", {qtab, 16, 12, qtacc});
+    emitListWalkUnrolled(b, "comps", {comp, 8, csum});
+    emitListWalkUnrolled(b, "comps2", {comp, 8, csum2});
+
+    emitIntSweep(b, "dct", {img, 192, sacc, scnt, 1, 128, false});
+    emitIntSweep(b, "quant", {tmp, 192, qacc, qcnt, 1, 100, true});
+    emitCopyTransform(b, "huffcopy", {img, tmp, 192});
+    return b.build();
+}
+
+// 134.perl: interpreter — hash lookups for variables, string buffer
+// motion, opcode dispatch and call-heavy evaluator.
+// Paper: 25.6% loads, 16.6% stores.
+Program
+buildPerl(uint32_t scale)
+{
+    Bench w("134.perl", 0x9E21);
+    auto &b = w.b;
+
+    const uint64_t vars = allocHashTable(b, w.rng, 1024, 512);
+    auto names = mixedStream(w.rng, 3072, 512, 24, 0.9);
+    const uint64_t nstream = allocStream(b, names.size(), names);
+    const uint64_t ncursor = allocGlobal(b);
+    auto ops = mixedStream(w.rng, 2048, 32, 8, 0.9);
+    const uint64_t opstream = allocStream(b, ops.size(), ops);
+    const uint64_t optable = allocIntArray(b, w.rng, 32, 6);
+    const uint64_t pregs = allocIntArray(b, w.rng, 32, 1 << 8);
+    const uint64_t ocursor = allocGlobal(b);
+    const uint64_t steps = allocGlobal(b);
+    const uint64_t sbuf = allocIntArray(b, w.rng, 384, 255);
+    const uint64_t dbuf = allocIntArray(b, w.rng, 384, 255);
+    const uint64_t stk = allocIntArray(b, w.rng, 256, 1 << 8);
+    const uint64_t oplist = allocList(b, w.rng, 10, true);
+    const uint64_t opsum = allocGlobal(b);
+    const uint64_t opsum2 = allocGlobal(b);
+    const uint64_t pflags = allocIntArray(b, w.rng, 4, 100);
+    const uint64_t kacc = allocGlobal(b);
+    const uint64_t kcur = allocGlobal(b);
+
+    const uint64_t special = allocIntArray(b, w.rng, 12, 1 << 8);
+    const uint64_t spacc = allocGlobal(b);
+
+    emitMain(b, {"getvar", "interp", "args", "args2", "flags", "strcopy",
+                 "evalsub", "special"},
+             190 * scale);
+    emitGlobalsRead(b, "special", {special, 12, 8, spacc});
+
+    emitListWalkUnrolled(b, "args", {oplist, 10, opsum});
+    emitGlobalsRmw(b, "flags", {pflags, 4, 40, 2});
+    emitListWalkUnrolled(b, "args2", {oplist, 10, opsum2});
+    emitHashProbe(b, "getvar",
+                  {vars, 1024, nstream, names.size(), ncursor, 90, true});
+    emitDispatch(b, "interp",
+                 {opstream, ops.size(), optable, 32, pregs, ocursor,
+                  steps, 60});
+    emitCopyTransform(b, "strcopy", {sbuf, dbuf, 480});
+    emitCallChain(b, "evalsub", {stk, 256, kacc, 48, kcur});
+    return b.build();
+}
+
+// 147.vortex: an object database — the most store-intensive program
+// in the suite (27.3% stores): record updates dominate, plus index
+// (hash) lookups and object list traversal.
+// Paper: 26.3% loads, 27.3% stores.
+Program
+buildVortex(uint32_t scale)
+{
+    Bench w("147.vortex", 0x7031);
+    auto &b = w.b;
+
+    const uint64_t objs = allocIntArray(b, w.rng, 512 * 4, 1 << 12);
+    auto oidx1 = mixedStream(w.rng, 3072, 512, 40, 0.75);
+    const uint64_t ostream1 = allocStream(b, oidx1.size(), oidx1);
+    const uint64_t ocursor1 = allocGlobal(b);
+    auto oidx2 = mixedStream(w.rng, 3072, 512, 40, 0.75);
+    const uint64_t ostream2 = allocStream(b, oidx2.size(), oidx2);
+    const uint64_t ocursor2 = allocGlobal(b);
+    const uint64_t index = allocHashTable(b, w.rng, 1024, 768);
+    auto keys = mixedStream(w.rng, 2048, 768, 48, 0.7);
+    const uint64_t kstream = allocStream(b, keys.size(), keys);
+    const uint64_t kcursor = allocGlobal(b);
+    const uint64_t chain = allocList(b, w.rng, 128, true);
+    const uint64_t lsum = allocGlobal(b);
+    const uint64_t lcnt = allocGlobal(b);
+    const uint64_t newobjs = allocIntArray(b, w.rng, 700, 1);
+    const uint64_t seed = allocGlobal(b, 7);
+
+    const uint64_t schema = allocIntArray(b, w.rng, 12, 1 << 8);
+    const uint64_t scacc = allocGlobal(b);
+    const uint64_t txn = allocIntArray(b, w.rng, 4, 100);
+
+    emitMain(b, {"update1", "update2", "lookup", "create", "validate",
+                 "validat2", "txnstat", "schema"},
+             170 * scale);
+    emitGlobalsRead(b, "schema", {schema, 12, 6, scacc});
+
+    emitRecordUpdate(b, "update1",
+                     {objs, 512, ostream1, oidx1.size(), ocursor1, 80});
+    emitRecordUpdate(b, "update2",
+                     {objs, 512, ostream2, oidx2.size(), ocursor2, 80});
+    emitHashProbe(b, "lookup",
+                  {index, 1024, kstream, keys.size(), kcursor, 80, true});
+    emitFill(b, "create", {newobjs, 350, seed});
+    emitListWalkUnrolled(b, "validate", {chain, 12, lsum});
+    emitListWalkUnrolled(b, "validat2", {chain, 12, lcnt});
+    emitGlobalsRmw(b, "txnstat", {txn, 4, 40, 2});
+    return b.build();
+}
+
+} // namespace rarpred

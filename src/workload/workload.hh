@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The synthetic SPEC'95-like benchmark suite.
+ *
+ * One deterministic MicroISA program per SPEC'95 benchmark the paper
+ * evaluates (Table 5.1): 8 integer and 10 floating-point codes. Each
+ * program composes the kernels of kernels.hh with parameters chosen
+ * to reproduce the corresponding benchmark's dependence character and
+ * (approximately) its load/store instruction fractions.
+ */
+
+#ifndef RARPRED_WORKLOAD_WORKLOAD_HH_
+#define RARPRED_WORKLOAD_WORKLOAD_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rarpred {
+
+/** Descriptor of one synthetic benchmark. */
+struct Workload
+{
+    std::string abbrev;   ///< paper's abbreviation, e.g. "go"
+    std::string fullName; ///< e.g. "099.go"
+    bool isFp = false;    ///< SPECfp'95 (vs SPECint'95)
+
+    /**
+     * Build the program. @p scale multiplies the outer iteration
+     * count; scale 1 yields a run of roughly 1-3M dynamic
+     * instructions.
+     */
+    std::function<Program(uint32_t scale)> build;
+};
+
+/** @return all 18 workloads in the paper's Table 5.1 order. */
+const std::vector<Workload> &allWorkloads();
+
+/**
+ * @return the workload with the given abbreviation.
+ * Fails fatally when the name is unknown.
+ */
+const Workload &findWorkload(const std::string &abbrev);
+
+/** Integer-suite workload builders (defined in spec_int.cc). */
+Program buildGo(uint32_t scale);
+Program buildM88ksim(uint32_t scale);
+Program buildGcc(uint32_t scale);
+Program buildCompress(uint32_t scale);
+Program buildLi(uint32_t scale);
+Program buildIjpeg(uint32_t scale);
+Program buildPerl(uint32_t scale);
+Program buildVortex(uint32_t scale);
+
+/** Floating-point-suite workload builders (defined in spec_fp.cc). */
+Program buildTomcatv(uint32_t scale);
+Program buildSwim(uint32_t scale);
+Program buildSu2cor(uint32_t scale);
+Program buildHydro2d(uint32_t scale);
+Program buildMgrid(uint32_t scale);
+Program buildApplu(uint32_t scale);
+Program buildTurb3d(uint32_t scale);
+Program buildApsi(uint32_t scale);
+Program buildFpppp(uint32_t scale);
+Program buildWave5(uint32_t scale);
+
+} // namespace rarpred
+
+#endif // RARPRED_WORKLOAD_WORKLOAD_HH_

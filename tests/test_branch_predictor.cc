@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the branch predictors and return address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/branch_predictor.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor p(64);
+    for (int i = 0; i < 4; ++i)
+        p.update(0x100, true);
+    EXPECT_TRUE(p.predict(0x100));
+    for (int i = 0; i < 8; ++i)
+        p.update(0x100, false);
+    EXPECT_FALSE(p.predict(0x100));
+}
+
+TEST(Bimodal, HysteresisSurvivesOneFlip)
+{
+    BimodalPredictor p(64);
+    for (int i = 0; i < 4; ++i)
+        p.update(0x100, true);
+    p.update(0x100, false); // one not-taken
+    EXPECT_TRUE(p.predict(0x100));
+}
+
+TEST(Bimodal, SeparateCountersPerPc)
+{
+    BimodalPredictor p(64);
+    for (int i = 0; i < 4; ++i) {
+        p.update(0x100, true);
+        p.update(0x104, false);
+    }
+    EXPECT_TRUE(p.predict(0x100));
+    EXPECT_FALSE(p.predict(0x104));
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // Bimodal cannot learn strict alternation, gshare can.
+    GsharePredictor p(1024, 8);
+    bool taken = false;
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        taken = !taken;
+        if (i >= 100 && p.predict(0x100) == taken)
+            ++correct;
+        p.update(0x100, taken);
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(Combined, TracksBetterComponent)
+{
+    CombinedPredictor p(1024, 8);
+    // Strict alternation: gshare wins, the chooser should migrate.
+    bool taken = false;
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        taken = !taken;
+        if (i >= 200 && p.predict(0x100) == taken)
+            ++correct;
+        p.update(0x100, taken);
+    }
+    EXPECT_GT(correct, 190);
+}
+
+TEST(Combined, PredictAndUpdateCountsAccuracy)
+{
+    CombinedPredictor p(1024, 8);
+    for (int i = 0; i < 100; ++i)
+        p.predictAndUpdate(0x100, true);
+    EXPECT_EQ(p.lookups(), 100u);
+    EXPECT_GT(p.correct(), 90u);
+}
+
+TEST(Combined, BiasedBranchesHighAccuracy)
+{
+    CombinedPredictor p(16384, 12);
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i) {
+        bool taken = (i % 10) != 0; // 90% taken
+        if (p.predictAndUpdate(0x200, taken))
+            ++correct;
+    }
+    EXPECT_GT(correct, 850);
+}
+
+TEST(Ras, PushPopMatches)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x104);
+    ras.push(0x208);
+    EXPECT_EQ(ras.pop(), 0x208u);
+    EXPECT_EQ(ras.pop(), 0x104u);
+}
+
+TEST(Ras, EmptyPopReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300); // drops 0x100
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, SizeTracksDepth)
+{
+    ReturnAddressStack ras(8);
+    EXPECT_EQ(ras.size(), 0u);
+    ras.push(1);
+    ras.push(2);
+    EXPECT_EQ(ras.size(), 2u);
+    ras.pop();
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+} // namespace
+} // namespace rarpred

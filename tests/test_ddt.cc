@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the Dependence Detection Table: the recording rules
+ * of Section 3.1, LRU capacity effects, and the separate-tables
+ * variant of Section 5.6.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ddt.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(Ddt, DetectsRawDependence)
+{
+    DependenceDetector d(DdtConfig{});
+    d.onStore(0x100, 0x8000);
+    auto dep = d.onLoad(0x200, 0x8000);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->type, DepType::Raw);
+    EXPECT_EQ(dep->sourcePc, 0x100u);
+    EXPECT_EQ(dep->sinkPc, 0x200u);
+}
+
+TEST(Ddt, DetectsRarDependence)
+{
+    DependenceDetector d(DdtConfig{});
+    EXPECT_FALSE(d.onLoad(0x100, 0x8000).has_value());
+    auto dep = d.onLoad(0x200, 0x8000);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->type, DepType::Rar);
+    EXPECT_EQ(dep->sourcePc, 0x100u);
+    EXPECT_EQ(dep->sinkPc, 0x200u);
+}
+
+TEST(Ddt, EarliestLoadStaysRecorded)
+{
+    // LD1 A, LD2 A, LD3 A: dependences are (LD1,LD2) and (LD1,LD3),
+    // never (LD2,LD3) -- Section 2's source-only definition.
+    DependenceDetector d(DdtConfig{});
+    d.onLoad(0x100, 0x8000);
+    auto dep2 = d.onLoad(0x200, 0x8000);
+    auto dep3 = d.onLoad(0x300, 0x8000);
+    ASSERT_TRUE(dep2 && dep3);
+    EXPECT_EQ(dep2->sourcePc, 0x100u);
+    EXPECT_EQ(dep3->sourcePc, 0x100u);
+}
+
+TEST(Ddt, StoreDisplacesLoadRecord)
+{
+    DependenceDetector d(DdtConfig{});
+    d.onLoad(0x100, 0x8000);
+    d.onStore(0x300, 0x8000);
+    auto dep = d.onLoad(0x200, 0x8000);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->type, DepType::Raw);
+    EXPECT_EQ(dep->sourcePc, 0x300u);
+}
+
+TEST(Ddt, StoreStaysRecordedAfterLoads)
+{
+    // After a store, every subsequent load sees the store (no RAR
+    // chains start behind a recorded store).
+    DependenceDetector d(DdtConfig{});
+    d.onStore(0x300, 0x8000);
+    auto dep1 = d.onLoad(0x100, 0x8000);
+    auto dep2 = d.onLoad(0x200, 0x8000);
+    ASSERT_TRUE(dep1 && dep2);
+    EXPECT_EQ(dep1->type, DepType::Raw);
+    EXPECT_EQ(dep2->type, DepType::Raw);
+    EXPECT_EQ(dep2->sourcePc, 0x300u);
+}
+
+TEST(Ddt, WordGranularityGroupsSameWord)
+{
+    DependenceDetector d(DdtConfig{});
+    d.onLoad(0x100, 0x8000);
+    // Same 8-byte word, different byte address.
+    auto dep = d.onLoad(0x200, 0x8004);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->sourcePc, 0x100u);
+    // Different word: no dependence.
+    EXPECT_FALSE(d.onLoad(0x300, 0x8008).has_value());
+}
+
+TEST(Ddt, CoarserGranularityWidensMatches)
+{
+    DdtConfig config;
+    config.granularityLog2 = 6; // 64-byte lines
+    DependenceDetector d(config);
+    d.onLoad(0x100, 0x8000);
+    auto dep = d.onLoad(0x200, 0x8030);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->sourcePc, 0x100u);
+}
+
+TEST(Ddt, CapacityEvictsOldEntries)
+{
+    DdtConfig config;
+    config.entries = 4;
+    DependenceDetector d(config);
+    d.onLoad(0x100, 0x8000);
+    for (uint64_t i = 1; i <= 4; ++i)
+        d.onLoad(0x100 + i * 4, 0x8000 + i * 8);
+    // 0x8000 has been evicted: the new load records itself instead.
+    EXPECT_FALSE(d.onLoad(0x200, 0x8000).has_value());
+}
+
+TEST(Ddt, LruKeepsRecentlyTouchedEntries)
+{
+    DdtConfig config;
+    config.entries = 2;
+    DependenceDetector d(config);
+    d.onLoad(0x100, 0x8000);
+    d.onLoad(0x104, 0x8008);
+    d.onLoad(0x200, 0x8000); // touch 0x8000 (RAR detected)
+    d.onLoad(0x108, 0x8010); // evicts 0x8008, not 0x8000
+    auto dep = d.onLoad(0x300, 0x8000);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->sourcePc, 0x100u);
+}
+
+TEST(Ddt, RawOnlyConfigDetectsNoRar)
+{
+    DdtConfig config;
+    config.trackLoads = false;
+    DependenceDetector d(config);
+    d.onLoad(0x100, 0x8000);
+    EXPECT_FALSE(d.onLoad(0x200, 0x8000).has_value());
+    d.onStore(0x300, 0x8000);
+    auto dep = d.onLoad(0x200, 0x8000);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->type, DepType::Raw);
+}
+
+TEST(Ddt, RarOnlyConfigStoresKillChains)
+{
+    DdtConfig config;
+    config.trackStores = false;
+    DependenceDetector d(config);
+    d.onLoad(0x100, 0x8000);
+    d.onStore(0x300, 0x8000); // erases, records nothing
+    auto dep = d.onLoad(0x200, 0x8000);
+    EXPECT_FALSE(dep.has_value()); // neither RAW (untracked) nor RAR
+    // The load re-established itself as the chain head.
+    auto dep2 = d.onLoad(0x400, 0x8000);
+    ASSERT_TRUE(dep2.has_value());
+    EXPECT_EQ(dep2->type, DepType::Rar);
+    EXPECT_EQ(dep2->sourcePc, 0x200u);
+}
+
+TEST(Ddt, SeparateTablesDetectBothTypes)
+{
+    DdtConfig config;
+    config.separateTables = true;
+    DependenceDetector d(config);
+    d.onStore(0x100, 0x8000);
+    auto raw = d.onLoad(0x200, 0x8000);
+    ASSERT_TRUE(raw && raw->type == DepType::Raw);
+    d.onLoad(0x300, 0x9000);
+    auto rar = d.onLoad(0x400, 0x9000);
+    ASSERT_TRUE(rar && rar->type == DepType::Rar);
+    EXPECT_EQ(rar->sourcePc, 0x300u);
+}
+
+TEST(Ddt, SeparateTablesStoreInvalidatesLoadEntry)
+{
+    DdtConfig config;
+    config.separateTables = true;
+    DependenceDetector d(config);
+    d.onLoad(0x100, 0x8000);
+    d.onStore(0x300, 0x8000);
+    auto dep = d.onLoad(0x200, 0x8000);
+    // Must be a RAW with the store, not a stale RAR with 0x100.
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->type, DepType::Raw);
+    EXPECT_EQ(dep->sourcePc, 0x300u);
+}
+
+TEST(Ddt, SeparateTablesAvoidLoadStoreEvictionAnomaly)
+{
+    // The Section 5.6.2 anomaly: in a common DDT, loads to other
+    // addresses can evict a store; separate tables keep it.
+    DdtConfig common;
+    common.entries = 2;
+    DependenceDetector dc(common);
+    dc.onStore(0x100, 0x8000);
+    dc.onLoad(0x104, 0x9000);
+    dc.onLoad(0x108, 0xa000); // evicts the store from the shared table
+    auto miss = dc.onLoad(0x200, 0x8000);
+    EXPECT_FALSE(miss.has_value());
+
+    DdtConfig separate = common;
+    separate.separateTables = true;
+    DependenceDetector ds(separate);
+    ds.onStore(0x100, 0x8000);
+    ds.onLoad(0x104, 0x9000);
+    ds.onLoad(0x108, 0xa000);
+    auto hit = ds.onLoad(0x200, 0x8000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->type, DepType::Raw);
+}
+
+TEST(Ddt, SelfRarDependence)
+{
+    // The same static load re-reading an unwritten address is RAR
+    // dependent on itself.
+    DependenceDetector d(DdtConfig{});
+    d.onLoad(0x100, 0x8000);
+    auto dep = d.onLoad(0x100, 0x8000);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->type, DepType::Rar);
+    EXPECT_EQ(dep->sourcePc, 0x100u);
+    EXPECT_EQ(dep->sinkPc, 0x100u);
+}
+
+TEST(Ddt, ClearForgetsEverything)
+{
+    DependenceDetector d(DdtConfig{});
+    d.onLoad(0x100, 0x8000);
+    d.clear();
+    EXPECT_FALSE(d.onLoad(0x200, 0x8000).has_value());
+}
+
+TEST(Ddt, UnboundedNeverEvicts)
+{
+    DdtConfig config;
+    config.entries = 0;
+    DependenceDetector d(config);
+    d.onLoad(0x100, 0x8000);
+    for (uint64_t i = 0; i < 10000; ++i)
+        d.onLoad(0x200, 0x10000 + i * 8);
+    auto dep = d.onLoad(0x300, 0x8000);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(dep->sourcePc, 0x100u);
+}
+
+} // namespace
+} // namespace rarpred

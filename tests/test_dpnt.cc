@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the DPNT: synonym allocation, the two merge policies
+ * of Section 5.1, and the two confidence mechanisms of Section 5.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dpnt.hh"
+
+namespace rarpred {
+namespace {
+
+Dependence
+rar(uint64_t src, uint64_t sink)
+{
+    return {DepType::Rar, src, sink};
+}
+
+Dependence
+raw(uint64_t src, uint64_t sink)
+{
+    return {DepType::Raw, src, sink};
+}
+
+TEST(Dpnt, TrainCreatesSharedSynonym)
+{
+    Dpnt dpnt(DpntConfig{});
+    dpnt.train(rar(0x100, 0x200));
+    DpntEntry *src = dpnt.lookup(0x100);
+    DpntEntry *sink = dpnt.lookup(0x200);
+    ASSERT_TRUE(src && sink);
+    EXPECT_NE(src->synonym, kNoSynonym);
+    EXPECT_EQ(src->synonym, sink->synonym);
+    EXPECT_TRUE(src->producer.valid);
+    EXPECT_FALSE(src->producerIsStore);
+    EXPECT_TRUE(sink->consumer.valid);
+    EXPECT_FALSE(sink->producer.valid);
+}
+
+TEST(Dpnt, RawTrainingMarksStoreProducer)
+{
+    Dpnt dpnt(DpntConfig{});
+    dpnt.train(raw(0x100, 0x200));
+    EXPECT_TRUE(dpnt.lookup(0x100)->producerIsStore);
+}
+
+TEST(Dpnt, ExistingSynonymPropagatesToNewPartner)
+{
+    Dpnt dpnt(DpntConfig{});
+    dpnt.train(rar(0x100, 0x200));
+    Synonym s = dpnt.lookup(0x100)->synonym;
+    dpnt.train(rar(0x100, 0x300)); // new sink joins the group
+    EXPECT_EQ(dpnt.lookup(0x300)->synonym, s);
+    dpnt.train(rar(0x400, 0x300)); // new source joins via the sink
+    EXPECT_EQ(dpnt.lookup(0x400)->synonym, s);
+    EXPECT_EQ(dpnt.synonymsAllocated(), 1u);
+}
+
+TEST(Dpnt, SelfDependenceSetsBothRoles)
+{
+    Dpnt dpnt(DpntConfig{});
+    dpnt.train(rar(0x100, 0x100));
+    DpntEntry *e = dpnt.lookup(0x100);
+    ASSERT_TRUE(e);
+    EXPECT_TRUE(e->producer.valid);
+    EXPECT_TRUE(e->consumer.valid);
+    EXPECT_NE(e->synonym, kNoSynonym);
+}
+
+TEST(Dpnt, FullMergeRewritesAllInstances)
+{
+    // The paper's ST1 A, LD1 A, ST2 B, LD2 B, ST1 C, LD2 C scenario.
+    DpntConfig config;
+    config.merge = MergePolicy::FullMerge;
+    Dpnt dpnt(config);
+    dpnt.train(raw(0x10, 0x20)); // synonym X
+    dpnt.train(raw(0x30, 0x40)); // synonym Y
+    Synonym x = dpnt.lookup(0x10)->synonym;
+    Synonym y = dpnt.lookup(0x30)->synonym;
+    EXPECT_NE(x, y);
+    dpnt.train(raw(0x10, 0x40)); // cross dependence: merge
+    EXPECT_EQ(dpnt.mergeCount(), 1u);
+    Synonym merged = std::min(x, y);
+    // Full merge: every member of both groups now shares one synonym.
+    EXPECT_EQ(dpnt.lookup(0x10)->synonym, merged);
+    EXPECT_EQ(dpnt.lookup(0x20)->synonym, merged);
+    EXPECT_EQ(dpnt.lookup(0x30)->synonym, merged);
+    EXPECT_EQ(dpnt.lookup(0x40)->synonym, merged);
+}
+
+TEST(Dpnt, IncrementalMergeOnlyChangesOneInstruction)
+{
+    DpntConfig config;
+    config.merge = MergePolicy::Incremental;
+    Dpnt dpnt(config);
+    dpnt.train(raw(0x10, 0x20)); // synonym X (smaller)
+    dpnt.train(raw(0x30, 0x40)); // synonym Y (larger)
+    Synonym x = dpnt.lookup(0x10)->synonym;
+    Synonym y = dpnt.lookup(0x30)->synonym;
+    ASSERT_LT(x, y);
+    dpnt.train(raw(0x10, 0x40));
+    // Only LD2 (0x40), the larger-synonym side, was rewritten.
+    EXPECT_EQ(dpnt.lookup(0x40)->synonym, x);
+    EXPECT_EQ(dpnt.lookup(0x20)->synonym, x);
+    EXPECT_EQ(dpnt.lookup(0x30)->synonym, y); // untouched
+}
+
+TEST(Dpnt, IncrementalMergeConvergesEventually)
+{
+    // Because the smaller synonym always wins, repeated detections
+    // pull the whole group to one name.
+    DpntConfig config;
+    config.merge = MergePolicy::Incremental;
+    Dpnt dpnt(config);
+    dpnt.train(raw(0x10, 0x20));
+    dpnt.train(raw(0x30, 0x40));
+    Synonym x = dpnt.lookup(0x10)->synonym;
+    for (int round = 0; round < 3; ++round) {
+        dpnt.train(raw(0x10, 0x40));
+        dpnt.train(raw(0x30, 0x40));
+        dpnt.train(raw(0x30, 0x20));
+    }
+    EXPECT_EQ(dpnt.lookup(0x10)->synonym, x);
+    EXPECT_EQ(dpnt.lookup(0x20)->synonym, x);
+    EXPECT_EQ(dpnt.lookup(0x30)->synonym, x);
+    EXPECT_EQ(dpnt.lookup(0x40)->synonym, x);
+}
+
+TEST(Dpnt, LookupMissReturnsNull)
+{
+    Dpnt dpnt(DpntConfig{});
+    EXPECT_EQ(dpnt.lookup(0x1234), nullptr);
+}
+
+TEST(Dpnt, FiniteGeometryEvictsSafely)
+{
+    DpntConfig config;
+    config.geometry = {8, 2};
+    Dpnt dpnt(config);
+    for (uint64_t i = 0; i < 100; ++i)
+        dpnt.train(rar(0x1000 + i * 64, 0x2000 + i * 64));
+    // No crash, and recent entries are present.
+    EXPECT_NE(dpnt.lookup(0x1000 + 99 * 64), nullptr);
+}
+
+TEST(Dpnt, ClearResetsState)
+{
+    Dpnt dpnt(DpntConfig{});
+    dpnt.train(rar(0x100, 0x200));
+    dpnt.clear();
+    EXPECT_EQ(dpnt.lookup(0x100), nullptr);
+    EXPECT_EQ(dpnt.synonymsAllocated(), 0u);
+}
+
+// ---------------------------------------------------- role predictors
+
+TEST(RolePredictor, PredictsImmediatelyAfterAllocation)
+{
+    RolePredictor p;
+    EXPECT_FALSE(p.use(ConfidenceKind::TwoBitAdaptive));
+    p.allocate();
+    EXPECT_TRUE(p.use(ConfidenceKind::TwoBitAdaptive));
+    EXPECT_TRUE(p.use(ConfidenceKind::OneBitNonAdaptive));
+}
+
+TEST(RolePredictor, AdaptiveRequiresTwoCorrectAfterMiss)
+{
+    // Section 5.3: "once a misprediction is encountered it requires
+    // two correct predictions before allowing a predicted value to be
+    // used again."
+    RolePredictor p;
+    p.allocate();
+    p.onIncorrect();
+    EXPECT_FALSE(p.use(ConfidenceKind::TwoBitAdaptive));
+    p.onCorrect();
+    EXPECT_FALSE(p.use(ConfidenceKind::TwoBitAdaptive));
+    p.onCorrect();
+    EXPECT_TRUE(p.use(ConfidenceKind::TwoBitAdaptive));
+}
+
+TEST(RolePredictor, OneBitIgnoresMispredictions)
+{
+    RolePredictor p;
+    p.allocate();
+    p.onIncorrect();
+    p.onIncorrect();
+    EXPECT_TRUE(p.use(ConfidenceKind::OneBitNonAdaptive));
+}
+
+TEST(RolePredictor, ReallocationDoesNotResetConfidence)
+{
+    // A repeated detection must not erase the penalty state.
+    RolePredictor p;
+    p.allocate();
+    p.onIncorrect();
+    p.allocate(); // dependence detected again
+    EXPECT_FALSE(p.use(ConfidenceKind::TwoBitAdaptive));
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Death tests: user-error paths must fail fast with a clear message
+ * (the fatal()/panic() discipline of common/logging.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "isa/program_builder.hh"
+#include "vm/trace_file.hh"
+#include "workload/workload.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(FatalPaths, UndefinedLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            ProgramBuilder b("t");
+            b.jump("nowhere");
+            b.halt();
+            (void)b.build();
+        },
+        ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(FatalPaths, DuplicateLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            ProgramBuilder b("t");
+            b.label("x");
+            b.nop();
+            b.label("x");
+        },
+        ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(FatalPaths, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT((void)findWorkload("no-such-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(FatalPaths, MissingTraceFileIsFatal)
+{
+    EXPECT_EXIT(TraceFileReader reader("/nonexistent/path/trace.rar"),
+                ::testing::ExitedWithCode(1), "cannot open trace file");
+}
+
+TEST(FatalPaths, GarbageTraceFileIsFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_garbage.rar";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all, not even close";
+    }
+    EXPECT_EXIT(TraceFileReader reader(path),
+                ::testing::ExitedWithCode(1), "not a rarpred trace");
+    std::remove(path.c_str());
+}
+
+TEST(FatalPaths, AssertionPanicsAbort)
+{
+    EXPECT_DEATH(rarpred_assert(1 == 2), "assertion failed");
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cross-module integration tests: the full stack (workload -> VM ->
+ * cloaking engine / timing CPU) must reproduce the paper's headline
+ * relationships on representative programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/locality.hh"
+#include "core/cloaking.hh"
+#include "core/value_predictor.hh"
+#include "cpu/ooo_cpu.hh"
+#include "vm/micro_vm.hh"
+#include "workload/workload.hh"
+
+namespace rarpred {
+namespace {
+
+CloakingConfig
+paperAccuracyConfig(CloakingMode mode = CloakingMode::RawPlusRar,
+                    ConfidenceKind conf = ConfidenceKind::TwoBitAdaptive)
+{
+    CloakingConfig config;
+    config.mode = mode;
+    config.ddt.entries = 128;
+    config.dpnt.confidence = conf;
+    return config;
+}
+
+CloakingStats
+runAccuracy(const std::string &abbrev, const CloakingConfig &config)
+{
+    CloakingEngine engine(config);
+    Program p = findWorkload(abbrev).build(1);
+    MicroVM vm(p);
+    vm.run(engine, 50'000'000ull);
+    return engine.stats();
+}
+
+TEST(Integration, RarLocalityIsHighEverywhere)
+{
+    // Section 2's headline: locality(4) above 70% for every program.
+    for (const char *abbrev : {"gcc", "li", "tom", "fp*"}) {
+        RarLocalityAnalyzer analyzer(0, 4);
+        Program p = findWorkload(abbrev).build(1);
+        MicroVM vm(p);
+        vm.run(analyzer, 50'000'000ull);
+        ASSERT_GT(analyzer.sinkExecutions(), 0u) << abbrev;
+        EXPECT_GT(analyzer.locality()[3], 0.7) << abbrev;
+    }
+}
+
+TEST(Integration, AdaptiveCutsMisspeculationByOrderOfMagnitude)
+{
+    // Section 5.3: the 2-bit automaton trades a sliver of coverage
+    // for roughly an order of magnitude fewer misspeculations.
+    for (const char *abbrev : {"li", "tom"}) {
+        auto naive = runAccuracy(
+            abbrev, paperAccuracyConfig(
+                        CloakingMode::RawPlusRar,
+                        ConfidenceKind::OneBitNonAdaptive));
+        auto adaptive = runAccuracy(abbrev, paperAccuracyConfig());
+        ASSERT_GT(naive.mispredicted(), 0u) << abbrev;
+        EXPECT_LT(adaptive.mispredictionRate() * 5,
+                  naive.mispredictionRate())
+            << abbrev;
+        EXPECT_GT(adaptive.coverage(), naive.coverage() * 0.7)
+            << abbrev;
+    }
+}
+
+TEST(Integration, RarExtensionAddsCoverage)
+{
+    // RAW+RAR must cover strictly more loads than RAW alone, and the
+    // gain must be larger for fp codes than for int codes (Figure 6).
+    auto gain = [&](const char *abbrev) {
+        auto raw =
+            runAccuracy(abbrev, paperAccuracyConfig(CloakingMode::RawOnly));
+        auto both = runAccuracy(abbrev, paperAccuracyConfig());
+        return both.coverage() - raw.coverage();
+    };
+    double fp_gain = gain("hyd");
+    double int_gain = gain("gcc");
+    EXPECT_GT(fp_gain, 0.2);  // fp codes gain a lot
+    EXPECT_GT(int_gain, 0.0); // int codes gain some
+    EXPECT_GT(fp_gain, int_gain);
+}
+
+TEST(Integration, IntCodesRawDominatedFpCodesRarDominated)
+{
+    // Figure 5's key asymmetry at the 128-entry DDT design point.
+    auto li = runAccuracy("li", paperAccuracyConfig());
+    EXPECT_GT(li.detectedRaw, li.detectedRar);
+    auto hyd = runAccuracy("hyd", paperAccuracyConfig());
+    EXPECT_GT(hyd.detectedRar, hyd.detectedRaw * 2);
+}
+
+TEST(Integration, MisspeculationRatesAreSmallWithAdaptive)
+{
+    for (const char *abbrev : {"gcc", "li", "tom", "hyd", "fp*"}) {
+        auto stats = runAccuracy(abbrev, paperAccuracyConfig());
+        EXPECT_LT(stats.mispredictionRate(), 0.05) << abbrev;
+    }
+}
+
+TEST(Integration, CloakingComplementsValuePrediction)
+{
+    // Table 5.2: loads exist that cloaking gets and the last-value
+    // predictor does not, and vice versa.
+    CloakingEngine engine(paperAccuracyConfig());
+    LastValuePredictor vp({16384, 0});
+    Program p = findWorkload("gcc").build(1);
+    MicroVM vm(p);
+    DynInst di;
+    uint64_t cloak_only = 0, vp_only = 0;
+    while (vm.next(di)) {
+        auto o = engine.processInst(di);
+        bool v = vp.processInst(di);
+        if (!o.wasLoad)
+            continue;
+        bool c = o.used && o.correct;
+        cloak_only += c && !v;
+        vp_only += v && !c;
+    }
+    EXPECT_GT(cloak_only, 0u);
+    EXPECT_GT(vp_only, 0u);
+    EXPECT_GT(cloak_only, vp_only); // paper: usually cloaking wins
+}
+
+TEST(Integration, TimingSelectiveSpeedupNonNegative)
+{
+    // Figure 9 with selective invalidation: cloaking/bypassing must
+    // not slow a program down (within noise), and must help an
+    // RAR-friendly fp code measurably.
+    auto cycles = [&](const char *abbrev, bool cloak_on) {
+        CpuConfig config;
+        CloakTimingConfig cloak;
+        if (cloak_on) {
+            cloak.enabled = true;
+            cloak.engine.ddt.entries = 128;
+            cloak.engine.dpnt.geometry = {8192, 2};
+            cloak.engine.sf = {1024, 2};
+        }
+        OooCpu cpu(config, cloak);
+        Program p = findWorkload(abbrev).build(1);
+        MicroVM vm(p);
+        vm.run(cpu, 50'000'000ull);
+        return cpu.stats().cycles;
+    };
+    uint64_t base = cycles("tom", false);
+    uint64_t mech = cycles("tom", true);
+    EXPECT_LT((double)mech, 0.99 * (double)base); // > 1% speedup
+    uint64_t base_i = cycles("m88", false);
+    uint64_t mech_i = cycles("m88", true);
+    EXPECT_LE((double)mech_i, 1.005 * (double)base_i);
+}
+
+TEST(Integration, SeparateDdtsFixEvictionAnomaly)
+{
+    // Section 5.6.2: with separate load/store DDTs, RAW detection can
+    // only improve.
+    CloakingConfig common = paperAccuracyConfig();
+    CloakingConfig separate = paperAccuracyConfig();
+    separate.ddt.separateTables = true;
+    for (const char *abbrev : {"m88", "li"}) {
+        auto c = runAccuracy(abbrev, common);
+        auto s = runAccuracy(abbrev, separate);
+        EXPECT_GE(s.detectedRaw + s.detectedRaw / 100 + 1000,
+                  c.detectedRaw)
+            << abbrev;
+    }
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the MicroISA: opcode classification, the paper's
+ * functional-unit latencies, and the ProgramBuilder assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/program_builder.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(Opcode, LoadStoreClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::Lw));
+    EXPECT_TRUE(isLoad(Opcode::Lf));
+    EXPECT_FALSE(isLoad(Opcode::Sw));
+    EXPECT_TRUE(isStore(Opcode::Sw));
+    EXPECT_TRUE(isStore(Opcode::Sf));
+    EXPECT_FALSE(isStore(Opcode::Add));
+}
+
+TEST(Opcode, ControlClassification)
+{
+    for (Opcode op : {Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge,
+                      Opcode::Jump, Opcode::Call, Opcode::Ret})
+        EXPECT_TRUE(isControl(op));
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_FALSE(isControl(Opcode::Lw));
+}
+
+TEST(Opcode, CondBranchSubset)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::Beq));
+    EXPECT_TRUE(isCondBranch(Opcode::Bge));
+    EXPECT_FALSE(isCondBranch(Opcode::Jump));
+    EXPECT_FALSE(isCondBranch(Opcode::Call));
+    EXPECT_FALSE(isCondBranch(Opcode::Ret));
+}
+
+// Latencies from Section 5.1 of the paper.
+TEST(Opcode, PaperLatencies)
+{
+    EXPECT_EQ(latencyOf(Opcode::Add), 1u);
+    EXPECT_EQ(latencyOf(Opcode::Mul), 4u);
+    EXPECT_EQ(latencyOf(Opcode::Div), 12u);
+    EXPECT_EQ(latencyOf(Opcode::FaddS), 2u);
+    EXPECT_EQ(latencyOf(Opcode::FaddD), 2u);
+    EXPECT_EQ(latencyOf(Opcode::FcmpD), 2u);
+    EXPECT_EQ(latencyOf(Opcode::FmulS), 4u);
+    EXPECT_EQ(latencyOf(Opcode::FmulD), 5u);
+    EXPECT_EQ(latencyOf(Opcode::FdivS), 12u);
+    EXPECT_EQ(latencyOf(Opcode::FdivD), 15u);
+}
+
+TEST(Opcode, ClassOfCoversFpBuckets)
+{
+    EXPECT_EQ(classOf(Opcode::FmulS), InstClass::FpMulS);
+    EXPECT_EQ(classOf(Opcode::FmulD), InstClass::FpMulD);
+    EXPECT_EQ(classOf(Opcode::FdivS), InstClass::FpDivS);
+    EXPECT_EQ(classOf(Opcode::FdivD), InstClass::FpDivD);
+    EXPECT_EQ(classOf(Opcode::Fcvt), InstClass::FpAdd);
+    EXPECT_EQ(classOf(Opcode::Lw), InstClass::Load);
+    EXPECT_EQ(classOf(Opcode::Sf), InstClass::Store);
+    EXPECT_EQ(classOf(Opcode::Ret), InstClass::Branch);
+}
+
+TEST(Reg, Classification)
+{
+    EXPECT_FALSE(reg::isFp(0));
+    EXPECT_FALSE(reg::isFp(31));
+    EXPECT_TRUE(reg::isFp(32));
+    EXPECT_TRUE(reg::isFp(63));
+    EXPECT_FALSE(reg::isFp(reg::kNone));
+    EXPECT_EQ(reg::fpReg(3), 35);
+    EXPECT_EQ(reg::intReg(3), 3);
+}
+
+TEST(Instruction, PcIndexRoundTrip)
+{
+    EXPECT_EQ(pcOfIndex(0), 0u);
+    EXPECT_EQ(pcOfIndex(3), 12u);
+    EXPECT_EQ(indexOfPc(12), 3u);
+}
+
+TEST(ProgramBuilder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("t");
+    b.jump("fwd");       // index 0, forward reference
+    b.label("back");     // index 1
+    b.nop();             // index 1
+    b.label("fwd");      // index 2
+    b.beq(0, 0, "back"); // backward reference
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.numInsts(), 4u);
+    EXPECT_EQ(p.code()[0].target, 2u);
+    EXPECT_EQ(p.code()[2].target, 1u);
+}
+
+TEST(ProgramBuilder, EmitsExpectedEncodings)
+{
+    ProgramBuilder b("t");
+    b.addi(5, 6, -8);
+    b.lw(7, 8, 16);
+    b.sw(9, 24, 10);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.code()[0].op, Opcode::Addi);
+    EXPECT_EQ(p.code()[0].dst, 5);
+    EXPECT_EQ(p.code()[0].src1, 6);
+    EXPECT_EQ(p.code()[0].imm, -8);
+    EXPECT_EQ(p.code()[1].op, Opcode::Lw);
+    EXPECT_EQ(p.code()[1].imm, 16);
+    EXPECT_EQ(p.code()[2].op, Opcode::Sw);
+    EXPECT_EQ(p.code()[2].src1, 9);
+    EXPECT_EQ(p.code()[2].src2, 10);
+    EXPECT_EQ(p.code()[2].imm, 24);
+}
+
+TEST(ProgramBuilder, PushPopExpandToStackOps)
+{
+    ProgramBuilder b("t");
+    b.push(5);
+    b.pop(5);
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.numInsts(), 5u);
+    EXPECT_EQ(p.code()[0].op, Opcode::Addi); // sp -= 8
+    EXPECT_EQ(p.code()[0].imm, -8);
+    EXPECT_EQ(p.code()[1].op, Opcode::Sw);
+    EXPECT_EQ(p.code()[2].op, Opcode::Lw);
+    EXPECT_EQ(p.code()[3].op, Opcode::Addi); // sp += 8
+    EXPECT_EQ(p.code()[3].imm, 8);
+}
+
+TEST(ProgramBuilder, DataAllocationIsConsecutive)
+{
+    ProgramBuilder b("t");
+    uint64_t a = b.allocWords(4);
+    uint64_t c = b.allocWords(2);
+    EXPECT_EQ(c, a + 32);
+    b.initWord(a, 7);
+    b.initWordF(c, 1.5);
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.initialData().size(), 2u);
+    EXPECT_EQ(p.initialData()[0].addr, a);
+    EXPECT_EQ(p.initialData()[0].value, 7u);
+}
+
+TEST(ProgramBuilder, CallWritesRaAndTargets)
+{
+    ProgramBuilder b("t");
+    b.call("f"); // 0
+    b.halt();    // 1
+    b.label("f");
+    b.ret(); // 2
+    Program p = b.build();
+    EXPECT_EQ(p.code()[0].op, Opcode::Call);
+    EXPECT_EQ(p.code()[0].dst, reg::kRa);
+    EXPECT_EQ(p.code()[0].target, 2u);
+    EXPECT_EQ(p.code()[2].op, Opcode::Ret);
+    EXPECT_EQ(p.code()[2].src1, reg::kRa);
+}
+
+TEST(ProgramBuilder, ListingMentionsEveryInstruction)
+{
+    ProgramBuilder b("t");
+    b.li(1, 5);
+    b.add(2, 1, 1);
+    b.halt();
+    Program p = b.build();
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("li r1, 5"), std::string::npos);
+    EXPECT_NE(listing.find("add r2, r1, r1"), std::string::npos);
+    EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(Disassemble, MemoryAndBranchFormats)
+{
+    Instruction lw;
+    lw.op = Opcode::Lw;
+    lw.dst = 5;
+    lw.src1 = 6;
+    lw.imm = 16;
+    EXPECT_EQ(disassemble(lw), "lw r5, 16(r6)");
+
+    Instruction beq;
+    beq.op = Opcode::Beq;
+    beq.src1 = 1;
+    beq.src2 = 2;
+    beq.target = 7;
+    EXPECT_EQ(disassemble(beq), "beq r1, r2, @7");
+
+    Instruction lf;
+    lf.op = Opcode::Lf;
+    lf.dst = reg::fpReg(2);
+    lf.src1 = 4;
+    lf.imm = -8;
+    EXPECT_EQ(disassemble(lf), "lf f2, -8(r4)");
+}
+
+TEST(Program, MemBytesPropagated)
+{
+    ProgramBuilder b("t", 1 << 20);
+    EXPECT_EQ(b.stackTop(), 1u << 20);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.memBytes(), 1u << 20);
+    EXPECT_EQ(p.name(), "t");
+}
+
+} // namespace
+} // namespace rarpred

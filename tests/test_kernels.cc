@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Unit tests for the workload kernel library: every emitter must
+ * produce a program that assembles, runs to completion, touches the
+ * data it was given, and respects the register convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/inst_mix.hh"
+#include "common/rng.hh"
+#include "vm/micro_vm.hh"
+#include "workload/kernels.hh"
+
+namespace rarpred {
+namespace {
+
+using namespace kernels;
+
+/** Run a single-kernel program for a few iterations. */
+InstMixCounter
+runKernel(ProgramBuilder &b, uint64_t iters = 5)
+{
+    // emitMain must come first; callers emit their kernel after.
+    Program p = b.build();
+    MicroVM vm(p);
+    InstMixCounter mix;
+    vm.run(mix, 10'000'000ull);
+    EXPECT_TRUE(vm.halted()) << "kernel did not halt";
+    (void)iters;
+    return mix;
+}
+
+TEST(Kernels, ListWalkRunsAndAccumulates)
+{
+    ProgramBuilder b("k");
+    Rng rng(1);
+    uint64_t head = allocList(b, rng, 16, true);
+    uint64_t sum = allocGlobal(b);
+    uint64_t count = allocGlobal(b);
+    emitMain(b, {"walk"}, 5);
+    emitListWalk(b, "walk", {head, sum, count, 17});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(10'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_GT(vm.readWord(sum), 0u); // accumulated node data
+}
+
+TEST(Kernels, ListWalkTwoSiteVariant)
+{
+    ProgramBuilder b("k");
+    Rng rng(2);
+    uint64_t head = allocList(b, rng, 16, false);
+    uint64_t sum = allocGlobal(b);
+    uint64_t count = allocGlobal(b);
+    emitMain(b, {"walk"}, 5);
+    emitListWalk(b, "walk", {head, sum, count, 17, true});
+    auto mix = runKernel(b);
+    EXPECT_GT(mix.loads(), 0u);
+}
+
+TEST(Kernels, ListWalkUnrolledReadsExactDepth)
+{
+    ProgramBuilder b("k");
+    Rng rng(3);
+    uint64_t head = allocList(b, rng, 12, true);
+    uint64_t sum = allocGlobal(b);
+    emitMain(b, {"walk"}, 1);
+    emitListWalkUnrolled(b, "walk", {head, 12, sum});
+    Program p = b.build();
+    MicroVM vm(p);
+    InstMixCounter mix;
+    vm.run(mix, 1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    // 12 positions x 3 loads + head + sum = 38 loads in one call.
+    EXPECT_EQ(mix.loads(), 12u * 3 + 2);
+    EXPECT_GT(vm.readWord(sum), 0u);
+}
+
+TEST(Kernels, HashProbeFindsKeys)
+{
+    ProgramBuilder b("k");
+    Rng rng(4);
+    uint64_t table = allocHashTable(b, rng, 16, 32);
+    auto keys = mixedStream(rng, 64, 32, 4, 0.8);
+    uint64_t stream = allocStream(b, keys.size(), keys);
+    uint64_t cursor = allocGlobal(b);
+    emitMain(b, {"probe"}, 3);
+    emitHashProbe(b, "probe",
+                  {table, 16, stream, keys.size(), cursor, 10, true});
+    auto mix = runKernel(b);
+    EXPECT_GT(mix.loads(), 30u); // stream + bucket + chain per probe
+    EXPECT_GT(mix.stores(), 0u); // value updates on hits
+}
+
+TEST(Kernels, HashProbeCursorAdvancesAndWraps)
+{
+    ProgramBuilder b("k");
+    Rng rng(5);
+    uint64_t table = allocHashTable(b, rng, 16, 16);
+    auto keys = mixedStream(rng, 8, 16, 2, 0.9);
+    uint64_t stream = allocStream(b, keys.size(), keys);
+    uint64_t cursor = allocGlobal(b);
+    emitMain(b, {"probe"}, 1);
+    emitHashProbe(b, "probe",
+                  {table, 16, stream, keys.size(), cursor, 10, false});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    // 10 probes over an 8-entry stream: cursor wrapped to 2.
+    EXPECT_EQ(vm.readWord(cursor), 2u);
+}
+
+TEST(Kernels, CallChainBalancesStack)
+{
+    ProgramBuilder b("k");
+    Rng rng(6);
+    uint64_t arr = allocIntArray(b, rng, 32, 100);
+    uint64_t acc = allocGlobal(b);
+    uint64_t cursor = allocGlobal(b);
+    emitMain(b, {"calls"}, 4);
+    emitCallChain(b, "calls", {arr, 32, acc, 8, cursor});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_EQ(vm.readReg(reg::kSp), vm.memBytes()); // stack balanced
+    EXPECT_GT(vm.readWord(acc), 0u);
+}
+
+TEST(Kernels, TreeSearchCountsHits)
+{
+    ProgramBuilder b("k");
+    Rng rng(7);
+    uint64_t root = allocTree(b, rng, 31);
+    std::vector<uint64_t> queries(16);
+    for (size_t i = 0; i < queries.size(); ++i)
+        queries[i] = 1 + (i % 31);
+    uint64_t stream = allocStream(b, queries.size(), queries);
+    uint64_t cursor = allocGlobal(b);
+    uint64_t found = allocGlobal(b);
+    emitMain(b, {"search"}, 2);
+    emitTreeSearch(b, "search",
+                   {root, stream, queries.size(), cursor, found, 8});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    // Every query key exists in the 31-node tree.
+    EXPECT_GT(vm.readWord(found), 0u);
+}
+
+TEST(Kernels, IntSweepWriteBackMutatesArray)
+{
+    ProgramBuilder b("k");
+    Rng rng(8);
+    uint64_t arr = allocIntArray(b, rng, 16, 100);
+    uint64_t sum = allocGlobal(b);
+    uint64_t cnt = allocGlobal(b);
+    emitMain(b, {"sweep"}, 1);
+    emitIntSweep(b, "sweep", {arr, 16, sum, cnt, 2, 50, true});
+    Program p = b.build();
+    MicroVM vm(p);
+    MicroVM reference(p);
+    uint64_t before = reference.readWord(arr);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    // extraAlu=2 transforms each element before writing back.
+    EXPECT_NE(vm.readWord(arr), before);
+}
+
+TEST(Kernels, DispatchUpdatesCycleCounter)
+{
+    ProgramBuilder b("k");
+    Rng rng(9);
+    auto ops = mixedStream(rng, 32, 16, 4, 0.9);
+    uint64_t stream = allocStream(b, ops.size(), ops);
+    uint64_t table = allocIntArray(b, rng, 16, 8);
+    uint64_t regs = allocIntArray(b, rng, 32, 100);
+    uint64_t cursor = allocGlobal(b);
+    uint64_t cycles = allocGlobal(b);
+    emitMain(b, {"disp"}, 2);
+    emitDispatch(b, "disp",
+                 {stream, ops.size(), table, 16, regs, cursor, cycles,
+                  10});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_GT(vm.readWord(cycles), 0u);
+}
+
+TEST(Kernels, RecordUpdateWritesAllFourFields)
+{
+    ProgramBuilder b("k");
+    Rng rng(10);
+    uint64_t records = allocIntArray(b, rng, 8 * 4, 10);
+    std::vector<uint64_t> idx = {3, 3, 3, 3};
+    uint64_t stream = allocStream(b, idx.size(), idx);
+    uint64_t cursor = allocGlobal(b);
+    emitMain(b, {"upd"}, 1);
+    emitRecordUpdate(b, "upd", {records, 8, stream, idx.size(), cursor, 2});
+    Program p = b.build();
+    MicroVM vm(p);
+    uint64_t rec3 = records + 3 * 32;
+    MicroVM fresh(p);
+    uint64_t f0 = fresh.readWord(rec3), f1 = fresh.readWord(rec3 + 8);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_NE(vm.readWord(rec3), f0);
+    EXPECT_NE(vm.readWord(rec3 + 8), f1);
+    EXPECT_NE(vm.readWord(rec3 + 16), 0u); // audit copy written
+}
+
+TEST(Kernels, FillWritesRange)
+{
+    ProgramBuilder b("k");
+    uint64_t dst = b.allocWords(16);
+    uint64_t seed = allocGlobal(b, 5);
+    emitMain(b, {"fill"}, 1);
+    emitFill(b, "fill", {dst, 16, seed});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_EQ(vm.readWord(dst), 5u);
+    EXPECT_EQ(vm.readWord(dst + 15 * 8), 20u);
+    EXPECT_EQ(vm.readWord(seed), 21u); // rolling seed persisted
+}
+
+TEST(Kernels, CopyTransformMovesData)
+{
+    ProgramBuilder b("k");
+    Rng rng(11);
+    uint64_t src = allocIntArray(b, rng, 8, 100);
+    uint64_t dst = b.allocWords(8);
+    emitMain(b, {"copy"}, 1);
+    emitCopyTransform(b, "copy", {src, dst, 8});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    uint64_t s0 = vm.readWord(src);
+    EXPECT_EQ(vm.readWord(dst), (s0 << 1) ^ s0);
+}
+
+TEST(Kernels, StencilComputesWeightedSum)
+{
+    ProgramBuilder b("k");
+    Rng rng(12);
+    uint64_t in = allocFpArray(b, rng, 16);
+    uint64_t out = b.allocWords(16);
+    uint64_t w = b.allocWords(3);
+    for (int i = 0; i < 3; ++i)
+        b.initWordF(w + i * 8, 0.25);
+    emitMain(b, {"st"}, 1);
+    emitStencil(b, "st", {in, out, 16, w, true, 0, 3});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    // out[1] = 0.25*(in[0]+in[1]+in[2]) > 0 for positive inputs.
+    EXPECT_NE(vm.readWord(out + 8), 0u);
+    EXPECT_EQ(vm.readWord(out), 0u); // boundary untouched
+}
+
+TEST(Kernels, WideStencilRuns)
+{
+    ProgramBuilder b("k");
+    Rng rng(13);
+    uint64_t in = allocFpArray(b, rng, 32);
+    uint64_t out = b.allocWords(32);
+    uint64_t w = b.allocWords(9);
+    for (int i = 0; i < 9; ++i)
+        b.initWordF(w + i * 8, 0.1);
+    emitMain(b, {"st"}, 1);
+    emitStencil(b, "st", {in, out, 32, w, true, 0, 9});
+    runKernel(b);
+}
+
+TEST(Kernels, FpGlobalsMutationRotates)
+{
+    ProgramBuilder b("k");
+    Rng rng(14);
+    uint64_t globals = allocFpArray(b, rng, 16);
+    uint64_t out = b.allocWords(8);
+    uint64_t cursor = allocGlobal(b);
+    emitMain(b, {"g"}, 1);
+    emitFpGlobals(b, "g", {globals, 16, out, 20, 3, cursor});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_EQ(vm.readWord(cursor), 20u); // one bump per repeat
+}
+
+TEST(Kernels, FpReduceWritesResult)
+{
+    ProgramBuilder b("k");
+    Rng rng(15);
+    uint64_t a = allocFpArray(b, rng, 16);
+    uint64_t v = allocFpArray(b, rng, 16);
+    uint64_t result = allocGlobal(b);
+    emitMain(b, {"dot"}, 1);
+    emitFpReduce(b, "dot", {a, v, 16, result});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_NE(vm.readWord(result), 0u);
+}
+
+TEST(Kernels, MatMulAccumulatesIntoC)
+{
+    ProgramBuilder b("k");
+    Rng rng(16);
+    uint64_t ma = allocFpArray(b, rng, 16);
+    uint64_t mb = allocFpArray(b, rng, 16);
+    uint64_t mc = allocFpArray(b, rng, 16);
+    emitMain(b, {"mm"}, 1);
+    emitMatMul(b, "mm", {ma, mb, mc, 4});
+    Program p = b.build();
+    MicroVM vm(p);
+    MicroVM fresh(p);
+    uint64_t before = fresh.readWord(mc);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_NE(vm.readWord(mc), before);
+}
+
+TEST(Kernels, ParticleAdvancesCursor)
+{
+    ProgramBuilder b("k");
+    Rng rng(17);
+    uint64_t parts = allocFpArray(b, rng, 8 * 4);
+    uint64_t grid = allocFpArray(b, rng, 16);
+    uint64_t dt = b.allocWords(1);
+    b.initWordF(dt, 0.01);
+    uint64_t cursor = allocGlobal(b);
+    emitMain(b, {"push"}, 1);
+    emitParticle(b, "push", {parts, 8, grid, 16, dt, 5, cursor});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_EQ(vm.readWord(cursor), 5u);
+}
+
+TEST(Kernels, GlobalsRmwIncrements)
+{
+    ProgramBuilder b("k");
+    Rng rng(18);
+    uint64_t globals = allocIntArray(b, rng, 4, 1);
+    emitMain(b, {"rmw"}, 1);
+    emitGlobalsRmw(b, "rmw", {globals, 4, 10, 0});
+    Program p = b.build();
+    MicroVM vm(p);
+    MicroVM fresh(p);
+    uint64_t before = fresh.readWord(globals);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_EQ(vm.readWord(globals), before + 10u); // +1 per round
+}
+
+TEST(Kernels, GlobalsReadLeavesGlobalsUntouched)
+{
+    ProgramBuilder b("k");
+    Rng rng(19);
+    uint64_t globals = allocIntArray(b, rng, 8, 100);
+    uint64_t sink = allocGlobal(b);
+    emitMain(b, {"cfg"}, 2);
+    emitGlobalsRead(b, "cfg", {globals, 8, 4, sink});
+    Program p = b.build();
+    MicroVM vm(p);
+    MicroVM fresh(p);
+    uint64_t before = fresh.readWord(globals + 3 * 8);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_EQ(vm.readWord(globals + 3 * 8), before);
+    EXPECT_GT(vm.readWord(sink), 0u);
+}
+
+TEST(Kernels, PeriodicMainSkipsByPeriod)
+{
+    ProgramBuilder b("k");
+    uint64_t c1 = allocGlobal(b);
+    uint64_t c2 = allocGlobal(b);
+    emitMainPeriodic(b, {{"every", 1}, {"third", 3}}, 9);
+    emitGlobalsRmw(b, "every", {c1, 1, 1, 0});
+    emitGlobalsRmw(b, "third", {c2, 1, 1, 0});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_EQ(vm.readWord(c1), 9u);
+    EXPECT_EQ(vm.readWord(c2), 3u); // iterations 3, 6, 9
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the Section 2 locality analyses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/inst_mix.hh"
+#include "analysis/locality.hh"
+
+namespace rarpred {
+namespace {
+
+DynInst
+load(uint64_t pc, uint64_t addr, uint64_t value = 0, uint64_t seq = 0)
+{
+    DynInst di;
+    di.seq = seq;
+    di.pc = pc;
+    di.op = Opcode::Lw;
+    di.dst = 1;
+    di.eaddr = addr;
+    di.value = value;
+    return di;
+}
+
+DynInst
+store(uint64_t pc, uint64_t addr, uint64_t value = 0)
+{
+    DynInst di;
+    di.pc = pc;
+    di.op = Opcode::Sw;
+    di.src2 = 1;
+    di.eaddr = addr;
+    di.value = value;
+    return di;
+}
+
+TEST(RarLocality, SingleStableDependenceHasLocality1)
+{
+    RarLocalityAnalyzer a(0, 4);
+    for (int i = 0; i < 10; ++i) {
+        a.onInst(load(0x100, 0xA000)); // source (re-reads)
+        a.onInst(load(0x200, 0xA000)); // sink
+    }
+    // Source executions are themselves self-RAR sinks too; restrict
+    // to the measured totals.
+    EXPECT_GT(a.sinkExecutions(), 0u);
+    auto loc = a.locality();
+    // After warmup every sink sees the dependence it saw last time.
+    EXPECT_GT(loc[0], 0.8);
+    EXPECT_LE(loc[0], 1.0);
+}
+
+TEST(RarLocality, AlternatingSourcesNeedDepthTwo)
+{
+    RarLocalityAnalyzer a(0, 4);
+    // The sink at 0x300 alternates between sources 0x100 and 0x200:
+    // each round a store clears the address, then one of the two
+    // sources re-reads it first.
+    for (int i = 0; i < 40; ++i) {
+        a.onInst(store(0x50, 0xA000));
+        uint64_t src = (i % 2 == 0) ? 0x100 : 0x200;
+        a.onInst(load(src, 0xA000));
+        a.onInst(load(0x300, 0xA000));
+    }
+    auto loc = a.locality();
+    // locality(1) fails (the previous dependence had the other
+    // source); locality(2) captures the alternation.
+    EXPECT_LT(loc[0], 0.2);
+    EXPECT_GT(loc[1], 0.9);
+}
+
+TEST(RarLocality, StoreEndsChains)
+{
+    RarLocalityAnalyzer a(0, 4);
+    a.onInst(load(0x100, 0xA000));
+    a.onInst(store(0x50, 0xA000));
+    a.onInst(load(0x200, 0xA000)); // no RAR: the store intervened
+    EXPECT_EQ(a.sinkExecutions(), 0u);
+}
+
+TEST(RarLocality, BoundedWindowMissesDistantDeps)
+{
+    RarLocalityAnalyzer bounded(4, 4);
+    RarLocalityAnalyzer infinite(0, 4);
+    auto run = [](RarLocalityAnalyzer &a) {
+        a.onInst(load(0x100, 0xA000));
+        // More unique addresses than the window holds.
+        for (uint64_t i = 0; i < 8; ++i)
+            a.onInst(load(0x300, 0xB000 + i * 8));
+        a.onInst(load(0x200, 0xA000));
+    };
+    run(bounded);
+    run(infinite);
+    EXPECT_LT(bounded.sinkExecutions(), infinite.sinkExecutions());
+}
+
+TEST(RarLocality, TotalLoadsCounted)
+{
+    RarLocalityAnalyzer a(0, 4);
+    a.onInst(load(0x100, 0xA000));
+    a.onInst(load(0x200, 0xB000));
+    a.onInst(store(0x50, 0xC000));
+    EXPECT_EQ(a.totalLoads(), 2u);
+}
+
+TEST(AddrValueLocality, AddressLocalityDetected)
+{
+    AddressValueLocalityAnalyzer a(DdtConfig{});
+    a.onInst(load(0x100, 0xA000, 1));
+    a.onInst(load(0x100, 0xA000, 1));
+    a.onInst(load(0x100, 0xB000, 1));
+    const auto &addr = a.address();
+    EXPECT_EQ(addr.loads, 3u);
+    // Second execution: same address (local). Third: different.
+    uint64_t local_total = addr.localByCategory[0] +
+                           addr.localByCategory[1] +
+                           addr.localByCategory[2];
+    EXPECT_EQ(local_total, 1u);
+}
+
+TEST(AddrValueLocality, ValueLocalityIndependentOfAddress)
+{
+    AddressValueLocalityAnalyzer a(DdtConfig{});
+    a.onInst(load(0x100, 0xA000, 7));
+    a.onInst(load(0x100, 0xB000, 7)); // new address, same value
+    const auto &value = a.value();
+    uint64_t local_total = value.localByCategory[0] +
+                           value.localByCategory[1] +
+                           value.localByCategory[2];
+    EXPECT_EQ(local_total, 1u);
+    const auto &addr = a.address();
+    uint64_t addr_local = addr.localByCategory[0] +
+                          addr.localByCategory[1] +
+                          addr.localByCategory[2];
+    EXPECT_EQ(addr_local, 0u);
+}
+
+TEST(AddrValueLocality, CategorizesByDetectedDependence)
+{
+    AddressValueLocalityAnalyzer a(DdtConfig{});
+    // RAW-categorized load.
+    a.onInst(store(0x50, 0xA000, 1));
+    a.onInst(load(0x100, 0xA000, 1));
+    // RAR-categorized load.
+    a.onInst(load(0x200, 0xB000, 2));
+    a.onInst(load(0x300, 0xB000, 2));
+    // No-dependence load.
+    a.onInst(load(0x400, 0xC000, 3));
+    const auto &addr = a.address();
+    EXPECT_EQ(addr.byCategory[(int)DepCategory::Raw], 1u);
+    EXPECT_EQ(addr.byCategory[(int)DepCategory::Rar], 1u);
+    // The first load of 0xB000 and the load of 0xC000.
+    EXPECT_EQ(addr.byCategory[(int)DepCategory::None], 2u);
+}
+
+TEST(WorkingSet, CountsUniqueSourcesPerSink)
+{
+    DependenceWorkingSetAnalyzer a(0);
+    // Sink 0x300 sees two distinct sources across rounds.
+    for (int i = 0; i < 10; ++i) {
+        a.onInst(store(0x50, 0xA000));
+        a.onInst(load(i % 2 ? 0x100 : 0x200, 0xA000));
+        a.onInst(load(0x300, 0xA000));
+    }
+    EXPECT_EQ(a.staticSinks(), 1u);
+    EXPECT_DOUBLE_EQ(a.meanWorkingSet(), 2.0);
+    EXPECT_DOUBLE_EQ(a.fractionWithWorkingSetAtMost(1), 0.0);
+    EXPECT_DOUBLE_EQ(a.fractionWithWorkingSetAtMost(2), 1.0);
+}
+
+TEST(WorkingSet, EmptyWhenNoRarDeps)
+{
+    DependenceWorkingSetAnalyzer a(0);
+    a.onInst(load(0x100, 0xA000));
+    a.onInst(store(0x50, 0xA000));
+    a.onInst(load(0x200, 0xB000));
+    EXPECT_EQ(a.staticSinks(), 0u);
+    EXPECT_DOUBLE_EQ(a.meanWorkingSet(), 0.0);
+}
+
+TEST(InstMix, CountsClasses)
+{
+    InstMixCounter mix;
+    mix.onInst(load(0x100, 0xA000));
+    mix.onInst(store(0x50, 0xA000));
+    DynInst branch;
+    branch.op = Opcode::Beq;
+    mix.onInst(branch);
+    DynInst fp;
+    fp.op = Opcode::FmulD;
+    mix.onInst(fp);
+    EXPECT_EQ(mix.total(), 4u);
+    EXPECT_EQ(mix.loads(), 1u);
+    EXPECT_EQ(mix.stores(), 1u);
+    EXPECT_EQ(mix.control(), 1u);
+    EXPECT_EQ(mix.fpOps(), 1u);
+    EXPECT_DOUBLE_EQ(mix.loadFraction(), 0.25);
+}
+
+TEST(InstMix, TeeFansOut)
+{
+    InstMixCounter a, b;
+    TeeSink tee{&a, &b};
+    tee.onInst(load(0x100, 0xA000));
+    EXPECT_EQ(a.loads(), 1u);
+    EXPECT_EQ(b.loads(), 1u);
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Full-stack matrix: every synthetic benchmark through the cloaking
+ * engine and the timing model, checking the invariants that must hold
+ * regardless of workload shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_cpu.hh"
+#include "vm/micro_vm.hh"
+#include "workload/workload.hh"
+
+namespace rarpred {
+namespace {
+
+constexpr uint64_t kCap = 500'000; // instructions per run: keep it fast
+
+class MatrixTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const Workload &workload() const { return findWorkload(GetParam()); }
+};
+
+TEST_P(MatrixTest, AdaptiveCloakingInvariants)
+{
+    CloakingConfig config;
+    config.ddt.entries = 128;
+    config.dpnt.geometry = {8192, 2};
+    config.sf = {1024, 2};
+    CloakingEngine engine(config);
+    Program p = workload().build(1);
+    MicroVM vm(p);
+    vm.run(engine, kCap);
+    const auto &s = engine.stats();
+    ASSERT_GT(s.loads, 0u);
+    // The adaptive automaton keeps misspeculation low on every
+    // program (Figure 6's defining property).
+    EXPECT_LT(s.mispredictionRate(), 0.05) << GetParam();
+    // Speculated loads are a subset of all loads.
+    EXPECT_LE(s.covered() + s.mispredicted(), s.loads);
+    // Detections are per-load events.
+    EXPECT_LE(s.detectedRaw + s.detectedRar, s.loads);
+}
+
+TEST_P(MatrixTest, RawOnlyCoverageIsSubsetOfCombined)
+{
+    auto run = [&](CloakingMode mode) {
+        CloakingConfig config;
+        config.mode = mode;
+        config.ddt.entries = 128;
+        CloakingEngine engine(config);
+        Program p = workload().build(1);
+        MicroVM vm(p);
+        vm.run(engine, kCap);
+        return engine.stats().coverage();
+    };
+    // The combined mechanism never covers fewer loads than RAW alone
+    // by more than a whisker (shared-DDT interference is the paper's
+    // anomaly and stays small).
+    EXPECT_GE(run(CloakingMode::RawPlusRar) + 0.02,
+              run(CloakingMode::RawOnly))
+        << GetParam();
+}
+
+TEST_P(MatrixTest, TimingModelBounds)
+{
+    CpuConfig config;
+    OooCpu cpu(config, {});
+    Program p = workload().build(1);
+    MicroVM vm(p);
+    vm.run(cpu, kCap);
+    const auto &s = cpu.stats();
+    EXPECT_GT(s.ipc(), 0.1) << GetParam();
+    EXPECT_LE(s.ipc(), 8.0) << GetParam();
+    EXPECT_EQ(s.loads + s.stores > 0, true);
+}
+
+TEST_P(MatrixTest, SelectiveCloakingNeverHurtsMuch)
+{
+    auto cycles = [&](bool cloak_on) {
+        CpuConfig config;
+        CloakTimingConfig cloak;
+        if (cloak_on) {
+            cloak.enabled = true;
+            cloak.engine.ddt.entries = 128;
+            cloak.engine.dpnt.geometry = {8192, 2};
+            cloak.engine.sf = {1024, 2};
+        }
+        OooCpu cpu(config, cloak);
+        Program p = workload().build(1);
+        MicroVM vm(p);
+        vm.run(cpu, kCap);
+        return cpu.stats().cycles;
+    };
+    // Selective invalidation bounds the downside (Figure 9: speedups
+    // or noise, never real slowdowns).
+    EXPECT_LT((double)cycles(true), 1.02 * (double)cycles(false))
+        << GetParam();
+}
+
+TEST_P(MatrixTest, ConservativeNeverFasterThanNaive)
+{
+    auto cycles = [&](MemDepPolicy policy) {
+        CpuConfig config;
+        config.memDep = policy;
+        OooCpu cpu(config, {});
+        Program p = workload().build(1);
+        MicroVM vm(p);
+        vm.run(cpu, kCap);
+        return cpu.stats().cycles;
+    };
+    EXPECT_LE((double)cycles(MemDepPolicy::Naive),
+              1.01 * (double)cycles(MemDepPolicy::Conservative))
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, MatrixTest,
+    ::testing::Values("go", "m88", "gcc", "com", "li", "ijp", "per",
+                      "vor", "tom", "swm", "su2", "hyd", "mgd", "apl",
+                      "trb", "aps", "fp*", "wav"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (!isalnum((unsigned char)c))
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy: cache tag store, combining
+ * write buffers and the full latency model of Section 5.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+#include "memory/memory_system.hh"
+#include "memory/write_buffer.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(Cache, MissThenHit)
+{
+    Cache c({"c", 1024, 16, 2, 2});
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x100, false));
+    // Same block, different offset.
+    EXPECT_TRUE(c.access(0x10f, false));
+    // Next block misses.
+    EXPECT_FALSE(c.access(0x110, false));
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, SetConflictEviction)
+{
+    // 4 blocks, 2-way: 2 sets, 16-byte blocks. Blocks 0x000, 0x020,
+    // 0x040 share set 0.
+    Cache c({"c", 64, 16, 2, 1});
+    c.access(0x000, false);
+    c.access(0x020, false);
+    c.access(0x040, false); // evicts 0x000
+    EXPECT_FALSE(c.probe(0x000));
+    EXPECT_TRUE(c.probe(0x020));
+    EXPECT_TRUE(c.probe(0x040));
+}
+
+TEST(Cache, LruWithinSet)
+{
+    Cache c({"c", 64, 16, 2, 1});
+    c.access(0x000, false);
+    c.access(0x020, false);
+    c.access(0x000, false); // touch -> MRU
+    c.access(0x040, false); // evicts 0x020
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x020));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c({"c", 64, 16, 2, 1});
+    std::optional<Cache::Writeback> wb;
+    c.access(0x000, true, &wb); // write miss, allocate dirty
+    EXPECT_FALSE(wb.has_value());
+    c.access(0x020, false, &wb);
+    c.access(0x040, false, &wb); // evicts dirty 0x000
+    ASSERT_TRUE(wb.has_value());
+    EXPECT_EQ(wb->blockAddr, 0x000u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache c({"c", 64, 16, 2, 1});
+    std::optional<Cache::Writeback> wb;
+    c.access(0x000, false, &wb);
+    c.access(0x020, false, &wb);
+    c.access(0x040, false, &wb);
+    EXPECT_FALSE(wb.has_value());
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c({"c", 64, 16, 2, 1});
+    std::optional<Cache::Writeback> wb;
+    c.access(0x000, false, &wb); // clean allocate
+    c.access(0x000, true, &wb);  // hit, mark dirty
+    c.access(0x020, false, &wb);
+    c.access(0x040, false, &wb); // evicts 0x000, now dirty
+    ASSERT_TRUE(wb.has_value());
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c({"c", 64, 16, 2, 1});
+    c.access(0x000, false);
+    c.invalidate(0x000);
+    EXPECT_FALSE(c.probe(0x000));
+}
+
+TEST(WriteBuffer, CombinesSameBlock)
+{
+    WriteBuffer wb(4, 64, 10);
+    wb.push(0x100, 0);
+    wb.push(0x108, 0); // same 64-byte block
+    EXPECT_EQ(wb.occupancy(), 1u);
+    EXPECT_EQ(wb.combines(), 1u);
+}
+
+TEST(WriteBuffer, DrainsOverTime)
+{
+    WriteBuffer wb(4, 64, 10);
+    wb.push(0x100, 0); // drains at cycle 10
+    EXPECT_TRUE(wb.contains(0x100, 5));
+    EXPECT_FALSE(wb.contains(0x100, 10));
+}
+
+TEST(WriteBuffer, FullBufferStallsUntilDrain)
+{
+    WriteBuffer wb(2, 64, 10);
+    EXPECT_EQ(wb.push(0x000, 0), 0u); // drains at 10
+    EXPECT_EQ(wb.push(0x040, 0), 0u); // drains at 20
+    // Buffer full: the third push stalls until the first drains.
+    EXPECT_EQ(wb.push(0x080, 0), 10u);
+    EXPECT_EQ(wb.fullStalls(), 1u);
+}
+
+TEST(WriteBuffer, SerialDrainOrder)
+{
+    WriteBuffer wb(8, 64, 10);
+    wb.push(0x000, 0);
+    wb.push(0x040, 0);
+    // The second block drains behind the first.
+    EXPECT_TRUE(wb.contains(0x040, 15));
+    EXPECT_FALSE(wb.contains(0x040, 20));
+}
+
+TEST(MemorySystem, L1HitLatency)
+{
+    MemorySystem mem({});
+    (void)mem.load(0x1000, 0);           // cold miss
+    EXPECT_EQ(mem.load(0x1000, 100), 2u); // L1 hit
+}
+
+TEST(MemorySystem, ColdMissGoesToMainMemory)
+{
+    MemorySystem mem({});
+    // L1 (2) + L2 (10) + memory (50)
+    EXPECT_EQ(mem.load(0x1000, 0), 62u);
+}
+
+TEST(MemorySystem, L2HitAfterL1Eviction)
+{
+    MemorySystemConfig config;
+    // Shrink L1 so we can evict easily; keep L2 big.
+    config.l1d = {"l1d", 64, 16, 2, 2};
+    MemorySystem mem(config);
+    (void)mem.load(0x000, 0);
+    // Evict 0x000 from L1 set 0 (blocks 0x020, 0x040).
+    (void)mem.load(0x020, 1);
+    (void)mem.load(0x040, 2);
+    // Now an L1 miss, L2 hit: 2 + 10.
+    EXPECT_EQ(mem.load(0x000, 3), 12u);
+}
+
+TEST(MemorySystem, StoresAbsorbedByHierarchy)
+{
+    MemorySystem mem({});
+    unsigned first = mem.store(0x2000, 0);
+    EXPECT_GE(first, 2u);
+    EXPECT_EQ(mem.store(0x2000, 10), 2u); // L1 hit after allocate
+}
+
+TEST(MemorySystem, IfetchUsesICache)
+{
+    MemorySystem mem({});
+    unsigned cold = mem.ifetch(0x0, 0);
+    EXPECT_GT(cold, 2u);
+    EXPECT_EQ(mem.ifetch(0x4, 1), 2u); // same block, L1I hit
+}
+
+TEST(MemorySystem, ICacheAndDCacheAreSeparate)
+{
+    MemorySystem mem({});
+    (void)mem.load(0x3000, 0);
+    // Same address on the instruction side still cold.
+    EXPECT_GT(mem.ifetch(0x3000, 1), 2u);
+}
+
+TEST(MemorySystem, StatsAccumulate)
+{
+    MemorySystem mem({});
+    (void)mem.load(0x1000, 0);
+    (void)mem.load(0x1000, 1);
+    EXPECT_EQ(mem.l1d().misses(), 1u);
+    EXPECT_EQ(mem.l1d().hits(), 1u);
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Synonym Rename Table (bypassing, Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/srt.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(Srt, LookupMissWhenEmpty)
+{
+    SynonymRenameTable srt;
+    EXPECT_FALSE(srt.lookup(5).has_value());
+}
+
+TEST(Srt, RenameThenLookup)
+{
+    SynonymRenameTable srt;
+    srt.rename(5, 100);
+    auto seq = srt.lookup(5);
+    ASSERT_TRUE(seq.has_value());
+    EXPECT_EQ(*seq, 100u);
+}
+
+TEST(Srt, NewestProducerWins)
+{
+    SynonymRenameTable srt;
+    srt.rename(5, 100);
+    srt.rename(5, 200);
+    EXPECT_EQ(*srt.lookup(5), 200u);
+}
+
+TEST(Srt, RetireRemovesMatchingProducer)
+{
+    SynonymRenameTable srt;
+    srt.rename(5, 100);
+    srt.retire(5, 100);
+    EXPECT_FALSE(srt.lookup(5).has_value());
+}
+
+TEST(Srt, RetireIgnoresStaleProducer)
+{
+    // A newer rename must survive the older producer's commit.
+    SynonymRenameTable srt;
+    srt.rename(5, 100);
+    srt.rename(5, 200);
+    srt.retire(5, 100);
+    ASSERT_TRUE(srt.lookup(5).has_value());
+    EXPECT_EQ(*srt.lookup(5), 200u);
+}
+
+TEST(Srt, DistinctSynonymsIndependent)
+{
+    SynonymRenameTable srt;
+    srt.rename(5, 100);
+    srt.rename(6, 200);
+    EXPECT_EQ(*srt.lookup(5), 100u);
+    EXPECT_EQ(*srt.lookup(6), 200u);
+    srt.retire(5, 100);
+    EXPECT_TRUE(srt.lookup(6).has_value());
+}
+
+TEST(Srt, FiniteCapacityEvicts)
+{
+    SynonymRenameTable srt({4, 0});
+    for (Synonym s = 1; s <= 8; ++s)
+        srt.rename(s, s * 10);
+    EXPECT_FALSE(srt.lookup(1).has_value());
+    EXPECT_TRUE(srt.lookup(8).has_value());
+    EXPECT_EQ(srt.size(), 4u);
+}
+
+TEST(Srt, CountsRenames)
+{
+    SynonymRenameTable srt;
+    srt.rename(1, 1);
+    srt.rename(1, 2);
+    srt.rename(2, 3);
+    EXPECT_EQ(srt.renames(), 3u);
+}
+
+TEST(Srt, ClearEmptiesTable)
+{
+    SynonymRenameTable srt;
+    srt.rename(1, 1);
+    srt.clear();
+    EXPECT_FALSE(srt.lookup(1).has_value());
+    EXPECT_EQ(srt.size(), 0u);
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the Synonym File.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/synonym_file.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(SynonymFile, AllocateCreatesEmptyEntry)
+{
+    SynonymFile sf({0, 0});
+    sf.allocate(7);
+    SfEntry *e = sf.consume(7);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(e->full);
+}
+
+TEST(SynonymFile, ProduceThenConsume)
+{
+    SynonymFile sf({0, 0});
+    sf.produce(7, 0xdead, true, 0x100, 42);
+    SfEntry *e = sf.consume(7);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->full);
+    EXPECT_EQ(e->value, 0xdeadu);
+    EXPECT_TRUE(e->fromStore);
+    EXPECT_EQ(e->producerPc, 0x100u);
+    EXPECT_EQ(e->producerSeq, 42u);
+}
+
+TEST(SynonymFile, ProduceOverwritesPreviousValue)
+{
+    SynonymFile sf({0, 0});
+    sf.produce(7, 1, true, 0x100, 1);
+    sf.produce(7, 2, false, 0x200, 2);
+    SfEntry *e = sf.consume(7);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->value, 2u);
+    EXPECT_FALSE(e->fromStore);
+}
+
+TEST(SynonymFile, MissReturnsNull)
+{
+    SynonymFile sf({0, 0});
+    EXPECT_EQ(sf.consume(3), nullptr);
+    EXPECT_EQ(sf.peek(3), nullptr);
+}
+
+TEST(SynonymFile, FiniteGeometryEvicts)
+{
+    SynonymFile sf({4, 0}); // 4-entry fully associative
+    for (Synonym s = 1; s <= 8; ++s)
+        sf.produce(s, s, false, 0, 0);
+    EXPECT_EQ(sf.consume(1), nullptr);
+    ASSERT_NE(sf.consume(8), nullptr);
+    EXPECT_EQ(sf.size(), 4u);
+}
+
+TEST(SynonymFile, SetAssociativeConflicts)
+{
+    SynonymFile sf({8, 2}); // 4 sets; synonyms 1, 5, 9 share set 1
+    sf.produce(1, 11, false, 0, 0);
+    sf.produce(5, 55, false, 0, 0);
+    sf.produce(9, 99, false, 0, 0); // evicts synonym 1
+    EXPECT_EQ(sf.consume(1), nullptr);
+    ASSERT_NE(sf.consume(5), nullptr);
+    ASSERT_NE(sf.consume(9), nullptr);
+}
+
+TEST(SynonymFile, ClearEmptiesTable)
+{
+    SynonymFile sf({0, 0});
+    sf.produce(7, 1, false, 0, 0);
+    sf.clear();
+    EXPECT_EQ(sf.consume(7), nullptr);
+    EXPECT_EQ(sf.size(), 0u);
+}
+
+} // namespace
+} // namespace rarpred

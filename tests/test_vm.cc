@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the MicroVM functional executor: semantics of every
+ * opcode, control flow, the trace records, and run bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "isa/program_builder.hh"
+#include "vm/micro_vm.hh"
+
+namespace rarpred {
+namespace {
+
+/** Collects the full trace of a program. */
+class Collector : public TraceSink
+{
+  public:
+    void onInst(const DynInst &di) override { trace.push_back(di); }
+    std::vector<DynInst> trace;
+};
+
+/** Build, run to halt, and return final VM state + trace. */
+std::vector<DynInst>
+runProgram(ProgramBuilder &b, MicroVM **vm_out = nullptr)
+{
+    static std::vector<std::unique_ptr<Program>> programs;
+    static std::vector<std::unique_ptr<MicroVM>> vms;
+    programs.push_back(std::make_unique<Program>(b.build()));
+    vms.push_back(std::make_unique<MicroVM>(*programs.back()));
+    Collector c;
+    vms.back()->run(c, 1'000'000);
+    if (vm_out)
+        *vm_out = vms.back().get();
+    return c.trace;
+}
+
+TEST(MicroVM, IntArithmetic)
+{
+    ProgramBuilder b("t");
+    b.li(1, 7);
+    b.li(2, 3);
+    b.add(3, 1, 2);
+    b.sub(4, 1, 2);
+    b.mul(5, 1, 2);
+    b.div(6, 1, 2);
+    b.and_(7, 1, 2);
+    b.or_(8, 1, 2);
+    b.xor_(9, 1, 2);
+    b.slt(10, 2, 1);
+    b.slt(11, 1, 2);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(3), 10u);
+    EXPECT_EQ(vm->readReg(4), 4u);
+    EXPECT_EQ(vm->readReg(5), 21u);
+    EXPECT_EQ(vm->readReg(6), 2u);
+    EXPECT_EQ(vm->readReg(7), 3u);
+    EXPECT_EQ(vm->readReg(8), 7u);
+    EXPECT_EQ(vm->readReg(9), 4u);
+    EXPECT_EQ(vm->readReg(10), 1u);
+    EXPECT_EQ(vm->readReg(11), 0u);
+}
+
+TEST(MicroVM, ImmediateForms)
+{
+    ProgramBuilder b("t");
+    b.li(1, 12);
+    b.addi(2, 1, -2);
+    b.andi(3, 1, 5);
+    b.ori(4, 1, 3);
+    b.slti(5, 1, 13);
+    b.slti(6, 1, 12);
+    b.slli(7, 1, 2);
+    b.srli(8, 1, 1);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(2), 10u);
+    EXPECT_EQ(vm->readReg(3), 4u);
+    EXPECT_EQ(vm->readReg(4), 15u);
+    EXPECT_EQ(vm->readReg(5), 1u);
+    EXPECT_EQ(vm->readReg(6), 0u);
+    EXPECT_EQ(vm->readReg(7), 48u);
+    EXPECT_EQ(vm->readReg(8), 6u);
+}
+
+TEST(MicroVM, DivByZeroYieldsZero)
+{
+    ProgramBuilder b("t");
+    b.li(1, 9);
+    b.div(2, 1, reg::kZero);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(2), 0u);
+}
+
+TEST(MicroVM, NegativeArithmeticIsSigned)
+{
+    ProgramBuilder b("t");
+    b.li(1, -6);
+    b.li(2, 2);
+    b.div(3, 1, 2);
+    b.slt(4, 1, 2);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ((int64_t)vm->readReg(3), -3);
+    EXPECT_EQ(vm->readReg(4), 1u);
+}
+
+TEST(MicroVM, ZeroRegisterIsImmutable)
+{
+    ProgramBuilder b("t");
+    b.li(reg::kZero, 99);
+    b.add(1, reg::kZero, reg::kZero);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(reg::kZero), 0u);
+    EXPECT_EQ(vm->readReg(1), 0u);
+}
+
+TEST(MicroVM, LoadStoreRoundTrip)
+{
+    ProgramBuilder b("t");
+    uint64_t addr = b.allocWords(2);
+    b.initWord(addr, 1234);
+    b.li(1, (int64_t)addr);
+    b.lw(2, 1, 0);
+    b.addi(3, 2, 1);
+    b.sw(1, 8, 3);
+    b.lw(4, 1, 8);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(2), 1234u);
+    EXPECT_EQ(vm->readReg(4), 1235u);
+    EXPECT_EQ(vm->readWord(addr + 8), 1235u);
+}
+
+TEST(MicroVM, FpArithmetic)
+{
+    ProgramBuilder b("t");
+    uint64_t addr = b.allocWords(2);
+    b.initWordF(addr, 1.5);
+    b.initWordF(addr + 8, 2.5);
+    b.li(1, (int64_t)addr);
+    b.lf(reg::fpReg(0), 1, 0);
+    b.lf(reg::fpReg(1), 1, 8);
+    b.faddd(reg::fpReg(2), reg::fpReg(0), reg::fpReg(1));
+    b.fsubd(reg::fpReg(3), reg::fpReg(1), reg::fpReg(0));
+    b.fmuld(reg::fpReg(4), reg::fpReg(0), reg::fpReg(1));
+    b.fdivd(reg::fpReg(5), reg::fpReg(1), reg::fpReg(0));
+    b.fcmpd(2, reg::fpReg(0), reg::fpReg(1));
+    b.fcmpd(3, reg::fpReg(1), reg::fpReg(0));
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(vm->readReg(reg::fpReg(2))),
+                     4.0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(vm->readReg(reg::fpReg(3))),
+                     1.0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(vm->readReg(reg::fpReg(4))),
+                     3.75);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(vm->readReg(reg::fpReg(5))),
+                     2.5 / 1.5);
+    EXPECT_EQ(vm->readReg(2), 1u);
+    EXPECT_EQ(vm->readReg(3), 0u);
+}
+
+TEST(MicroVM, FcvtConvertsIntToDouble)
+{
+    ProgramBuilder b("t");
+    b.li(1, -3);
+    b.fcvt(reg::fpReg(0), 1);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(vm->readReg(reg::fpReg(0))),
+                     -3.0);
+}
+
+TEST(MicroVM, BranchesTakenAndNotTaken)
+{
+    ProgramBuilder b("t");
+    b.li(1, 1);
+    b.li(2, 2);
+    b.beq(1, 2, "skip1"); // not taken
+    b.li(3, 10);
+    b.label("skip1");
+    b.bne(1, 2, "skip2"); // taken
+    b.li(3, 20);          // skipped
+    b.label("skip2");
+    b.blt(1, 2, "skip3"); // taken
+    b.li(4, 30);          // skipped
+    b.label("skip3");
+    b.bge(1, 2, "skip4"); // not taken
+    b.li(5, 40);
+    b.label("skip4");
+    b.halt();
+    MicroVM *vm = nullptr;
+    auto trace = runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(3), 10u);
+    EXPECT_EQ(vm->readReg(4), 0u);
+    EXPECT_EQ(vm->readReg(5), 40u);
+    // taken flags recorded in the trace
+    int taken = 0;
+    for (const auto &di : trace)
+        if (di.isCondBranch() && di.taken)
+            ++taken;
+    EXPECT_EQ(taken, 2);
+}
+
+TEST(MicroVM, CallAndRet)
+{
+    ProgramBuilder b("t");
+    b.call("f"); // 0
+    b.li(2, 5);  // 1 (after return)
+    b.halt();    // 2
+    b.label("f");
+    b.li(1, 9); // 3
+    b.ret();    // 4
+    MicroVM *vm = nullptr;
+    auto trace = runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(1), 9u);
+    EXPECT_EQ(vm->readReg(2), 5u);
+    // call wrote the return address
+    EXPECT_EQ(trace[0].nextPc, pcOfIndex(3));
+    EXPECT_EQ(trace[2].op, Opcode::Ret);
+    EXPECT_EQ(trace[2].nextPc, pcOfIndex(1));
+}
+
+TEST(MicroVM, StackPushPop)
+{
+    ProgramBuilder b("t");
+    b.li(1, 77);
+    b.push(1);
+    b.li(1, 0);
+    b.pop(2);
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(2), 77u);
+    // SP restored to the top
+    EXPECT_EQ(vm->readReg(reg::kSp), vm->memBytes());
+}
+
+TEST(MicroVM, TraceRecordsLoadsAndStores)
+{
+    ProgramBuilder b("t");
+    uint64_t addr = b.allocWords(1);
+    b.initWord(addr, 55);
+    b.li(1, (int64_t)addr);
+    b.lw(2, 1, 0);
+    b.sw(1, 0, 2);
+    b.halt();
+    auto trace = runProgram(b);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_TRUE(trace[1].isLoad());
+    EXPECT_EQ(trace[1].eaddr, addr);
+    EXPECT_EQ(trace[1].value, 55u);
+    EXPECT_TRUE(trace[2].isStore());
+    EXPECT_EQ(trace[2].eaddr, addr);
+    EXPECT_EQ(trace[2].value, 55u);
+}
+
+TEST(MicroVM, SeqAndPcAreSequential)
+{
+    ProgramBuilder b("t");
+    b.nop();
+    b.nop();
+    b.halt();
+    auto trace = runProgram(b);
+    ASSERT_EQ(trace.size(), 3u);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].seq, i);
+        EXPECT_EQ(trace[i].pc, pcOfIndex(i));
+    }
+    EXPECT_EQ(trace[0].nextPc, pcOfIndex(1));
+}
+
+TEST(MicroVM, RunRespectsMaxInsts)
+{
+    ProgramBuilder b("t");
+    b.label("loop");
+    b.jump("loop"); // infinite
+    Program p = b.build();
+    MicroVM vm(p);
+    EXPECT_EQ(vm.run(100), 100u);
+    EXPECT_FALSE(vm.halted());
+}
+
+TEST(MicroVM, HaltStopsExecution)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    b.nop(); // unreachable
+    Program p = b.build();
+    MicroVM vm(p);
+    EXPECT_EQ(vm.run(100), 1u);
+    EXPECT_TRUE(vm.halted());
+    DynInst di;
+    EXPECT_FALSE(vm.next(di));
+}
+
+TEST(MicroVM, InitialDataApplied)
+{
+    ProgramBuilder b("t");
+    uint64_t addr = b.allocWords(3);
+    b.initWord(addr, 1);
+    b.initWord(addr + 16, 3);
+    b.halt();
+    Program p = b.build();
+    MicroVM vm(p);
+    EXPECT_EQ(vm.readWord(addr), 1u);
+    EXPECT_EQ(vm.readWord(addr + 8), 0u);
+    EXPECT_EQ(vm.readWord(addr + 16), 3u);
+}
+
+TEST(MicroVM, MovAndFmov)
+{
+    ProgramBuilder b("t");
+    b.li(1, 42);
+    b.mov(2, 1);
+    b.fcvt(reg::fpReg(0), 1);
+    b.fmov(reg::fpReg(1), reg::fpReg(0));
+    b.halt();
+    MicroVM *vm = nullptr;
+    runProgram(b, &vm);
+    EXPECT_EQ(vm->readReg(2), 42u);
+    EXPECT_EQ(vm->readReg(reg::fpReg(1)), vm->readReg(reg::fpReg(0)));
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Parameterized property tests over the 18 synthetic SPEC'95-like
+ * workloads: every program must build, run to completion, stay within
+ * plausible instruction-mix bands, and be bit-for-bit deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/inst_mix.hh"
+#include "vm/micro_vm.hh"
+#include "workload/workload.hh"
+
+namespace rarpred {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const Workload &workload() const { return findWorkload(GetParam()); }
+};
+
+TEST_P(WorkloadTest, BuildsNonTrivialProgram)
+{
+    Program p = workload().build(1);
+    EXPECT_GT(p.numInsts(), 50u);
+    EXPECT_GT(p.memBytes(), 0u);
+    EXPECT_FALSE(p.initialData().empty());
+}
+
+TEST_P(WorkloadTest, RunsToHaltWithinBudget)
+{
+    Program p = workload().build(1);
+    MicroVM vm(p);
+    uint64_t executed = vm.run(50'000'000ull);
+    EXPECT_TRUE(vm.halted()) << "did not halt within 50M instructions";
+    EXPECT_GT(executed, 100'000u) << "suspiciously short run";
+    EXPECT_LT(executed, 50'000'000ull);
+}
+
+TEST_P(WorkloadTest, InstructionMixInPlausibleBand)
+{
+    Program p = workload().build(1);
+    MicroVM vm(p);
+    InstMixCounter mix;
+    vm.run(mix, 50'000'000ull);
+    EXPECT_GT(mix.loadFraction(), 0.05);
+    EXPECT_LT(mix.loadFraction(), 0.55);
+    EXPECT_GT(mix.storeFraction(), 0.005);
+    EXPECT_LT(mix.storeFraction(), 0.35);
+    // Loads outnumber stores in every SPEC'95 program.
+    EXPECT_GT(mix.loads(), mix.stores());
+}
+
+TEST_P(WorkloadTest, FpSuiteUsesFpOps)
+{
+    Program p = workload().build(1);
+    MicroVM vm(p);
+    InstMixCounter mix;
+    vm.run(mix, 50'000'000ull);
+    if (workload().isFp)
+        EXPECT_GT((double)mix.fpOps() / mix.total(), 0.05);
+    else
+        EXPECT_LT((double)mix.fpOps() / mix.total(), 0.05);
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossBuilds)
+{
+    Program p1 = workload().build(1);
+    Program p2 = workload().build(1);
+    ASSERT_EQ(p1.numInsts(), p2.numInsts());
+    MicroVM vm1(p1), vm2(p2);
+    DynInst a, b;
+    for (int i = 0; i < 200'000; ++i) {
+        bool more1 = vm1.next(a);
+        bool more2 = vm2.next(b);
+        ASSERT_EQ(more1, more2);
+        if (!more1)
+            break;
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.eaddr, b.eaddr);
+        ASSERT_EQ(a.value, b.value);
+    }
+}
+
+TEST_P(WorkloadTest, ScaleMultipliesWork)
+{
+    Program p1 = workload().build(1);
+    Program p2 = workload().build(2);
+    MicroVM vm1(p1), vm2(p2);
+    uint64_t n1 = vm1.run(100'000'000ull);
+    uint64_t n2 = vm2.run(200'000'000ull);
+    EXPECT_TRUE(vm1.halted());
+    EXPECT_TRUE(vm2.halted());
+    EXPECT_GT(n2, (uint64_t)((double)n1 * 1.7));
+    EXPECT_LT(n2, (uint64_t)((double)n1 * 2.3));
+}
+
+TEST_P(WorkloadTest, MemoryAccessesStayAligned)
+{
+    Program p = workload().build(1);
+    MicroVM vm(p);
+    DynInst di;
+    for (int i = 0; i < 500'000 && vm.next(di); ++i) {
+        if (di.isMem()) {
+            ASSERT_EQ(di.eaddr % 8, 0u);
+            ASSERT_LT(di.eaddr, p.memBytes());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::Values("go", "m88", "gcc", "com", "li", "ijp", "per",
+                      "vor", "tom", "swm", "su2", "hyd", "mgd", "apl",
+                      "trb", "aps", "fp*", "wav"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (!isalnum((unsigned char)c))
+                c = '_';
+        return name;
+    });
+
+TEST(WorkloadRegistry, HasEighteenPrograms)
+{
+    EXPECT_EQ(allWorkloads().size(), 18u);
+    int fp = 0;
+    for (const auto &w : allWorkloads())
+        if (w.isFp)
+            ++fp;
+    EXPECT_EQ(fp, 10);
+}
+
+TEST(WorkloadRegistry, FindByAbbrev)
+{
+    EXPECT_EQ(findWorkload("go").fullName, "099.go");
+    EXPECT_EQ(findWorkload("fp*").fullName, "145.fpppp");
+}
+
+} // namespace
+} // namespace rarpred

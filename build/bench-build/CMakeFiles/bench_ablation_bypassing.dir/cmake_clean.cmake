@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bypassing"
+  "../bench/bench_ablation_bypassing.pdb"
+  "CMakeFiles/bench_ablation_bypassing.dir/bench_ablation_bypassing.cc.o"
+  "CMakeFiles/bench_ablation_bypassing.dir/bench_ablation_bypassing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bypassing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_memdep"
+  "../bench/bench_ablation_memdep.pdb"
+  "CMakeFiles/bench_ablation_memdep.dir/bench_ablation_memdep.cc.o"
+  "CMakeFiles/bench_ablation_memdep.dir/bench_ablation_memdep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_renaming"
+  "../bench/bench_ext_renaming.pdb"
+  "CMakeFiles/bench_ext_renaming.dir/bench_ext_renaming.cc.o"
+  "CMakeFiles/bench_ext_renaming.dir/bench_ext_renaming.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

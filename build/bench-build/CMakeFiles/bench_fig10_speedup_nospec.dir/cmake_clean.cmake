@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_speedup_nospec"
+  "../bench/bench_fig10_speedup_nospec.pdb"
+  "CMakeFiles/bench_fig10_speedup_nospec.dir/bench_fig10_speedup_nospec.cc.o"
+  "CMakeFiles/bench_fig10_speedup_nospec.dir/bench_fig10_speedup_nospec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_speedup_nospec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_locality"
+  "../bench/bench_fig2_locality.pdb"
+  "CMakeFiles/bench_fig2_locality.dir/bench_fig2_locality.cc.o"
+  "CMakeFiles/bench_fig2_locality.dir/bench_fig2_locality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_5_2_vp_overlap"
+  "../bench/bench_table_5_2_vp_overlap.pdb"
+  "CMakeFiles/bench_table_5_2_vp_overlap.dir/bench_table_5_2_vp_overlap.cc.o"
+  "CMakeFiles/bench_table_5_2_vp_overlap.dir/bench_table_5_2_vp_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_5_2_vp_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

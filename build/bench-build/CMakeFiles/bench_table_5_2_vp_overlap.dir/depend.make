@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_5_2_vp_overlap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_sharing.dir/list_sharing.cpp.o"
+  "CMakeFiles/list_sharing.dir/list_sharing.cpp.o.d"
+  "list_sharing"
+  "list_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_speedup.dir/pipeline_speedup.cpp.o"
+  "CMakeFiles/pipeline_speedup.dir/pipeline_speedup.cpp.o.d"
+  "pipeline_speedup"
+  "pipeline_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

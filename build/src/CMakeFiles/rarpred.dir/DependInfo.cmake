@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/locality.cc" "src/CMakeFiles/rarpred.dir/analysis/locality.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/analysis/locality.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rarpred.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rarpred.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/cloaking.cc" "src/CMakeFiles/rarpred.dir/core/cloaking.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/cloaking.cc.o.d"
+  "/root/repo/src/core/ddt.cc" "src/CMakeFiles/rarpred.dir/core/ddt.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/ddt.cc.o.d"
+  "/root/repo/src/core/dpnt.cc" "src/CMakeFiles/rarpred.dir/core/dpnt.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/dpnt.cc.o.d"
+  "/root/repo/src/core/profile_cloaking.cc" "src/CMakeFiles/rarpred.dir/core/profile_cloaking.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/profile_cloaking.cc.o.d"
+  "/root/repo/src/cpu/ooo_cpu.cc" "src/CMakeFiles/rarpred.dir/cpu/ooo_cpu.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/cpu/ooo_cpu.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/rarpred.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/rarpred.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/isa/program.cc.o.d"
+  "/root/repo/src/isa/program_builder.cc" "src/CMakeFiles/rarpred.dir/isa/program_builder.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/isa/program_builder.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/rarpred.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/memory_system.cc" "src/CMakeFiles/rarpred.dir/memory/memory_system.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/memory/memory_system.cc.o.d"
+  "/root/repo/src/predictor/branch_predictor.cc" "src/CMakeFiles/rarpred.dir/predictor/branch_predictor.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/predictor/branch_predictor.cc.o.d"
+  "/root/repo/src/predictor/store_sets.cc" "src/CMakeFiles/rarpred.dir/predictor/store_sets.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/predictor/store_sets.cc.o.d"
+  "/root/repo/src/vm/micro_vm.cc" "src/CMakeFiles/rarpred.dir/vm/micro_vm.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/vm/micro_vm.cc.o.d"
+  "/root/repo/src/vm/trace_file.cc" "src/CMakeFiles/rarpred.dir/vm/trace_file.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/vm/trace_file.cc.o.d"
+  "/root/repo/src/workload/kernels.cc" "src/CMakeFiles/rarpred.dir/workload/kernels.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/workload/kernels.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/CMakeFiles/rarpred.dir/workload/registry.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/workload/registry.cc.o.d"
+  "/root/repo/src/workload/spec_fp.cc" "src/CMakeFiles/rarpred.dir/workload/spec_fp.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/workload/spec_fp.cc.o.d"
+  "/root/repo/src/workload/spec_int.cc" "src/CMakeFiles/rarpred.dir/workload/spec_int.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/workload/spec_int.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

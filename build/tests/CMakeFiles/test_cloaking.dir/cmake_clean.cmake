@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloaking.dir/test_cloaking.cc.o"
+  "CMakeFiles/test_cloaking.dir/test_cloaking.cc.o.d"
+  "test_cloaking"
+  "test_cloaking.pdb"
+  "test_cloaking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

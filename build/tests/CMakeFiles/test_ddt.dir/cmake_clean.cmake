@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddt.dir/test_ddt.cc.o"
+  "CMakeFiles/test_ddt.dir/test_ddt.cc.o.d"
+  "test_ddt"
+  "test_ddt.pdb"
+  "test_ddt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpnt.dir/test_dpnt.cc.o"
+  "CMakeFiles/test_dpnt.dir/test_dpnt.cc.o.d"
+  "test_dpnt"
+  "test_dpnt.pdb"
+  "test_dpnt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

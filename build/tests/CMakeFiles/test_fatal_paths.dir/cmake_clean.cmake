@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fatal_paths.dir/test_fatal_paths.cc.o"
+  "CMakeFiles/test_fatal_paths.dir/test_fatal_paths.cc.o.d"
+  "test_fatal_paths"
+  "test_fatal_paths.pdb"
+  "test_fatal_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fatal_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synonym_file.dir/test_synonym_file.cc.o"
+  "CMakeFiles/test_synonym_file.dir/test_synonym_file.cc.o.d"
+  "test_synonym_file"
+  "test_synonym_file.pdb"
+  "test_synonym_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synonym_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

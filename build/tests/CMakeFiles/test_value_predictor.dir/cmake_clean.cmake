@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_predictor.dir/test_value_predictor.cc.o"
+  "CMakeFiles/test_value_predictor.dir/test_value_predictor.cc.o.d"
+  "test_value_predictor"
+  "test_value_predictor.pdb"
+  "test_value_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

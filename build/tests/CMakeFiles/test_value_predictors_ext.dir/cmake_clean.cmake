@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_predictors_ext.dir/test_value_predictors_ext.cc.o"
+  "CMakeFiles/test_value_predictors_ext.dir/test_value_predictors_ext.cc.o.d"
+  "test_value_predictors_ext"
+  "test_value_predictors_ext.pdb"
+  "test_value_predictors_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_predictors_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

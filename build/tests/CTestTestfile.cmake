@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_ddt[1]_include.cmake")
+include("/root/repo/build/tests/test_dpnt[1]_include.cmake")
+include("/root/repo/build/tests/test_synonym_file[1]_include.cmake")
+include("/root/repo/build/tests/test_cloaking[1]_include.cmake")
+include("/root/repo/build/tests/test_value_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_locality[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_branch_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_srt[1]_include.cmake")
+include("/root/repo/build/tests/test_store_sets[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_value_predictors_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_fatal_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")

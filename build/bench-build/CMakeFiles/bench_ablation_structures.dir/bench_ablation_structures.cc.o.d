@@ -140,7 +140,10 @@ bench-build/CMakeFiles/bench_ablation_structures.dir/bench_ablation_structures.c
  /root/repo/src/vm/micro_vm.hh /root/repo/src/isa/program.hh \
  /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
  /root/repo/src/isa/reg.hh /root/repo/src/vm/trace.hh \
- /root/repo/src/workload/workload.hh /root/repo/src/core/cloaking.hh \
+ /root/repo/src/workload/workload.hh /root/repo/src/common/status.hh \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/logging.hh /root/repo/src/core/cloaking.hh \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
@@ -180,10 +183,9 @@ bench-build/CMakeFiles/bench_ablation_structures.dir/bench_ablation_structures.c
  /usr/include/c++/12/cstddef /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
- /root/repo/src/core/dependence.hh /root/repo/src/core/dpnt.hh \
- /root/repo/src/common/hybrid_table.hh /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/core/dependence.hh \
+ /root/repo/src/core/dpnt.hh /root/repo/src/common/hybrid_table.hh \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -220,6 +222,7 @@ bench-build/CMakeFiles/bench_ablation_structures.dir/bench_ablation_structures.c
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/bitutils.hh \
  /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/common/sat_counter.hh \
- /root/repo/src/core/synonym_file.hh
+ /root/repo/src/common/sat_counter.hh /root/repo/src/core/synonym_file.hh \
+ /root/repo/src/common/rng.hh

@@ -153,4 +153,6 @@ bench-build/CMakeFiles/bench_fig2_locality.dir/bench_fig2_locality.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/common/status.hh /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h

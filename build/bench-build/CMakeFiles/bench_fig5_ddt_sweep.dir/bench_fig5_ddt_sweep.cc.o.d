@@ -141,7 +141,11 @@ bench-build/CMakeFiles/bench_fig5_ddt_sweep.dir/bench_fig5_ddt_sweep.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/ddt.hh \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/common/status.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/logging.hh /root/repo/src/core/ddt.hh \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
@@ -149,6 +153,4 @@ bench-build/CMakeFiles/bench_fig5_ddt_sweep.dir/bench_fig5_ddt_sweep.cc.o: \
  /root/repo/src/common/lru_table.hh /usr/include/c++/12/cstddef \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
- /root/repo/src/core/dependence.hh
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/core/dependence.hh

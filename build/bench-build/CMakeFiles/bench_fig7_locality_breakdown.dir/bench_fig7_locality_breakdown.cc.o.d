@@ -154,9 +154,10 @@ bench-build/CMakeFiles/bench_fig7_locality_breakdown.dir/bench_fig7_locality_bre
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/cloaking.hh /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /root/repo/src/common/status.hh /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/core/cloaking.hh \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -224,6 +225,7 @@ bench-build/CMakeFiles/bench_fig7_locality_breakdown.dir/bench_fig7_locality_bre
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/bitutils.hh \
  /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/common/sat_counter.hh \
- /root/repo/src/core/synonym_file.hh
+ /root/repo/src/common/sat_counter.hh /root/repo/src/core/synonym_file.hh \
+ /root/repo/src/common/rng.hh

@@ -142,9 +142,12 @@ bench-build/CMakeFiles/bench_fig9_speedup.dir/bench_fig9_speedup.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/cpu/ooo_cpu.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/memory \
+ /root/repo/src/common/status.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/logging.hh /root/repo/src/cpu/ooo_cpu.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -218,18 +221,17 @@ bench-build/CMakeFiles/bench_fig9_speedup.dir/bench_fig9_speedup.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/srt.hh \
  /usr/include/c++/12/optional /root/repo/src/common/hybrid_table.hh \
- /root/repo/src/common/lru_table.hh /usr/include/c++/12/cstddef \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
- /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/core/dpnt.hh \
+ /root/repo/src/common/bitutils.hh /root/repo/src/common/lru_table.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/common/set_assoc_table.hh /root/repo/src/core/dpnt.hh \
  /root/repo/src/common/sat_counter.hh /root/repo/src/core/dependence.hh \
  /root/repo/src/cpu/cpu_config.hh /root/repo/src/core/cloaking.hh \
  /root/repo/src/core/ddt.hh /root/repo/src/core/synonym_file.hh \
- /root/repo/src/memory/memory_system.hh /root/repo/src/memory/cache.hh \
- /root/repo/src/common/stats.hh /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/common/rng.hh /root/repo/src/memory/memory_system.hh \
+ /root/repo/src/memory/cache.hh /root/repo/src/common/stats.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/memory/write_buffer.hh \
  /root/repo/src/predictor/branch_predictor.hh \

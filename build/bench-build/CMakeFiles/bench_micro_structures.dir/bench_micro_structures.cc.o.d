@@ -199,19 +199,20 @@ bench-build/CMakeFiles/bench_micro_structures.dir/bench_micro_structures.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/core/ddt.hh \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/ostream.tcc /root/repo/src/common/status.hh \
+ /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/lru_table.hh /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/logging.hh /root/repo/src/core/ddt.hh \
+ /usr/include/c++/12/optional /root/repo/src/common/lru_table.hh \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/common/logging.hh /root/repo/src/core/dependence.hh \
- /root/repo/src/core/dpnt.hh /root/repo/src/common/hybrid_table.hh \
- /usr/include/c++/12/memory \
+ /root/repo/src/core/dependence.hh /root/repo/src/core/dpnt.hh \
+ /root/repo/src/common/hybrid_table.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -223,8 +224,8 @@ bench-build/CMakeFiles/bench_micro_structures.dir/bench_micro_structures.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/common/bitutils.hh \
  /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/common/sat_counter.hh \
- /root/repo/src/core/synonym_file.hh /root/repo/src/vm/trace.hh \
- /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
- /root/repo/src/isa/reg.hh
+ /root/repo/src/common/sat_counter.hh /root/repo/src/core/synonym_file.hh \
+ /root/repo/src/vm/trace.hh /root/repo/src/isa/instruction.hh \
+ /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh

@@ -153,11 +153,15 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/core/ddt.hh \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/ostream.tcc /root/repo/src/common/status.hh \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/lru_table.hh /usr/include/c++/12/cstddef \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/logging.hh /root/repo/src/core/ddt.hh \
+ /usr/include/c++/12/optional /root/repo/src/common/lru_table.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/unordered_map \
@@ -166,11 +170,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
- /root/repo/src/core/dependence.hh /root/repo/src/core/dpnt.hh \
- /root/repo/src/common/hybrid_table.hh /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/dependence.hh \
+ /root/repo/src/core/dpnt.hh /root/repo/src/common/hybrid_table.hh \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -208,11 +210,12 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/bitutils.hh \
  /root/repo/src/common/set_assoc_table.hh /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/bitutils.hh \
- /root/repo/src/common/sat_counter.hh /root/repo/src/core/synonym_file.hh \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/sat_counter.hh \
+ /root/repo/src/core/synonym_file.hh /root/repo/src/common/rng.hh \
  /root/repo/src/vm/trace.hh /root/repo/src/isa/instruction.hh \
  /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh \
  /root/repo/src/isa/program_builder.hh /root/repo/src/isa/program.hh \

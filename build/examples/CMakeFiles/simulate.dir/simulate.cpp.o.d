@@ -196,7 +196,8 @@ examples/CMakeFiles/simulate.dir/simulate.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/cpu/ooo_cpu.hh \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/logging.hh /root/repo/src/cpu/ooo_cpu.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
@@ -209,15 +210,16 @@ examples/CMakeFiles/simulate.dir/simulate.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/srt.hh \
  /usr/include/c++/12/optional /root/repo/src/common/hybrid_table.hh \
- /root/repo/src/common/lru_table.hh /usr/include/c++/12/cstddef \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
- /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/core/dpnt.hh \
- /root/repo/src/common/sat_counter.hh /root/repo/src/core/dependence.hh \
- /root/repo/src/cpu/cpu_config.hh /root/repo/src/core/cloaking.hh \
- /root/repo/src/core/ddt.hh /root/repo/src/core/synonym_file.hh \
+ /root/repo/src/common/bitutils.hh /root/repo/src/common/lru_table.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/set_assoc_table.hh /root/repo/src/common/status.hh \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/dpnt.hh /root/repo/src/common/sat_counter.hh \
+ /root/repo/src/core/dependence.hh /root/repo/src/cpu/cpu_config.hh \
+ /root/repo/src/core/cloaking.hh /root/repo/src/core/ddt.hh \
+ /root/repo/src/core/synonym_file.hh /root/repo/src/common/rng.hh \
  /root/repo/src/vm/trace.hh /root/repo/src/isa/instruction.hh \
  /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh \
  /root/repo/src/memory/memory_system.hh /root/repo/src/memory/cache.hh \

@@ -11,11 +11,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/analysis/locality.cc" "src/CMakeFiles/rarpred.dir/analysis/locality.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/analysis/locality.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/rarpred.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/common/logging.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/CMakeFiles/rarpred.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rarpred.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/common/status.cc.o.d"
   "/root/repo/src/core/cloaking.cc" "src/CMakeFiles/rarpred.dir/core/cloaking.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/cloaking.cc.o.d"
   "/root/repo/src/core/ddt.cc" "src/CMakeFiles/rarpred.dir/core/ddt.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/ddt.cc.o.d"
   "/root/repo/src/core/dpnt.cc" "src/CMakeFiles/rarpred.dir/core/dpnt.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/dpnt.cc.o.d"
   "/root/repo/src/core/profile_cloaking.cc" "src/CMakeFiles/rarpred.dir/core/profile_cloaking.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/core/profile_cloaking.cc.o.d"
   "/root/repo/src/cpu/ooo_cpu.cc" "src/CMakeFiles/rarpred.dir/cpu/ooo_cpu.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/cpu/ooo_cpu.cc.o.d"
+  "/root/repo/src/faultinject/fault_injector.cc" "src/CMakeFiles/rarpred.dir/faultinject/fault_injector.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/faultinject/fault_injector.cc.o.d"
+  "/root/repo/src/faultinject/safety_oracle.cc" "src/CMakeFiles/rarpred.dir/faultinject/safety_oracle.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/faultinject/safety_oracle.cc.o.d"
   "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/rarpred.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/isa/instruction.cc.o.d"
   "/root/repo/src/isa/program.cc" "src/CMakeFiles/rarpred.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/isa/program.cc.o.d"
   "/root/repo/src/isa/program_builder.cc" "src/CMakeFiles/rarpred.dir/isa/program_builder.cc.o" "gcc" "src/CMakeFiles/rarpred.dir/isa/program_builder.cc.o.d"

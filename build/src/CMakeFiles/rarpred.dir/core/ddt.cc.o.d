@@ -136,4 +136,4 @@ src/CMakeFiles/rarpred.dir/core/ddt.cc.o: /root/repo/src/core/ddt.cc \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/core/dependence.hh
+ /root/repo/src/core/dependence.hh /root/repo/src/common/rng.hh

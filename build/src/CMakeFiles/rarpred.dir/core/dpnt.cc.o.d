@@ -201,15 +201,17 @@ src/CMakeFiles/rarpred.dir/core/dpnt.cc.o: /root/repo/src/core/dpnt.cc \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/lru_table.hh \
- /usr/include/c++/12/cstddef /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/bitutils.hh \
+ /root/repo/src/common/lru_table.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/logging.hh \
  /root/repo/src/common/set_assoc_table.hh /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/bitutils.hh \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.hh \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/common/sat_counter.hh /root/repo/src/core/dependence.hh \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -217,4 +219,5 @@ src/CMakeFiles/rarpred.dir/core/dpnt.cc.o: /root/repo/src/core/dpnt.cc \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/rng.hh

@@ -164,16 +164,17 @@ src/CMakeFiles/rarpred.dir/core/profile_cloaking.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/core/ddt.hh \
+ /usr/include/c++/12/bits/ostream.tcc /root/repo/src/common/status.hh \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/logging.hh /root/repo/src/core/ddt.hh \
  /usr/include/c++/12/optional /root/repo/src/common/lru_table.hh \
  /usr/include/c++/12/cstddef /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
- /root/repo/src/core/dependence.hh /root/repo/src/core/dpnt.hh \
- /root/repo/src/common/hybrid_table.hh /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/core/dependence.hh \
+ /root/repo/src/core/dpnt.hh /root/repo/src/common/hybrid_table.hh \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -210,8 +211,9 @@ src/CMakeFiles/rarpred.dir/core/profile_cloaking.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/bitutils.hh \
  /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/common/sat_counter.hh \
- /root/repo/src/core/synonym_file.hh /root/repo/src/vm/trace.hh \
+ /root/repo/src/common/sat_counter.hh /root/repo/src/core/synonym_file.hh \
+ /root/repo/src/common/rng.hh /root/repo/src/vm/trace.hh \
  /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
  /root/repo/src/isa/reg.hh

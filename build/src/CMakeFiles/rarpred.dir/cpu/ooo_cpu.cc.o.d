@@ -206,15 +206,17 @@ src/CMakeFiles/rarpred.dir/cpu/ooo_cpu.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/srt.hh \
  /usr/include/c++/12/optional /root/repo/src/common/hybrid_table.hh \
- /root/repo/src/common/lru_table.hh /usr/include/c++/12/cstddef \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.hh \
- /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/core/dpnt.hh \
- /root/repo/src/common/sat_counter.hh /root/repo/src/core/dependence.hh \
- /root/repo/src/cpu/cpu_config.hh /root/repo/src/core/cloaking.hh \
- /root/repo/src/core/ddt.hh /root/repo/src/core/synonym_file.hh \
+ /root/repo/src/common/bitutils.hh /root/repo/src/common/lru_table.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/logging.hh \
+ /root/repo/src/common/set_assoc_table.hh /root/repo/src/common/status.hh \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/dpnt.hh /root/repo/src/common/sat_counter.hh \
+ /root/repo/src/core/dependence.hh /root/repo/src/cpu/cpu_config.hh \
+ /root/repo/src/core/cloaking.hh /root/repo/src/core/ddt.hh \
+ /root/repo/src/core/synonym_file.hh /root/repo/src/common/rng.hh \
  /root/repo/src/vm/trace.hh /root/repo/src/isa/instruction.hh \
  /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh \
  /root/repo/src/memory/memory_system.hh /root/repo/src/memory/cache.hh \

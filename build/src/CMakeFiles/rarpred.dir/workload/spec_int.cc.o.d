@@ -136,7 +136,11 @@ src/CMakeFiles/rarpred.dir/workload/spec_int.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/isa/program.hh \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/common/status.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/logging.hh /root/repo/src/isa/program.hh \
  /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
  /root/repo/src/isa/reg.hh /root/repo/src/common/rng.hh \
  /root/repo/src/workload/kernels.hh /root/repo/src/isa/program_builder.hh

@@ -13,3 +13,4 @@ subdirs("analysis")
 subdirs("memory")
 subdirs("predictor")
 subdirs("cpu")
+subdirs("faultinject")

@@ -297,5 +297,6 @@ tests/CMakeFiles/test_common.dir/test_common.cc.o: \
  /root/repo/src/common/lru_table.hh /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/common/logging.hh \
- /root/repo/src/common/set_assoc_table.hh /root/repo/src/common/rng.hh \
- /root/repo/src/common/sat_counter.hh /root/repo/src/common/stats.hh
+ /root/repo/src/common/set_assoc_table.hh /root/repo/src/common/status.hh \
+ /root/repo/src/common/rng.hh /root/repo/src/common/sat_counter.hh \
+ /root/repo/src/common/stats.hh

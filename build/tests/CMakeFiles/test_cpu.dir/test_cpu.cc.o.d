@@ -296,14 +296,14 @@ tests/CMakeFiles/test_cpu.dir/test_cpu.cc.o: /root/repo/tests/test_cpu.cc \
  /root/repo/src/cpu/ooo_cpu.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/core/srt.hh /root/repo/src/common/hybrid_table.hh \
- /root/repo/src/common/lru_table.hh /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/common/logging.hh \
- /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/core/dpnt.hh \
- /root/repo/src/common/sat_counter.hh /root/repo/src/core/dependence.hh \
- /root/repo/src/cpu/cpu_config.hh /root/repo/src/core/cloaking.hh \
- /root/repo/src/core/ddt.hh /root/repo/src/core/synonym_file.hh \
+ /root/repo/src/common/bitutils.hh /root/repo/src/common/lru_table.hh \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.hh \
+ /root/repo/src/common/set_assoc_table.hh /root/repo/src/common/status.hh \
+ /root/repo/src/core/dpnt.hh /root/repo/src/common/sat_counter.hh \
+ /root/repo/src/core/dependence.hh /root/repo/src/cpu/cpu_config.hh \
+ /root/repo/src/core/cloaking.hh /root/repo/src/core/ddt.hh \
+ /root/repo/src/core/synonym_file.hh /root/repo/src/common/rng.hh \
  /root/repo/src/vm/trace.hh /root/repo/src/isa/instruction.hh \
  /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh \
  /root/repo/src/memory/memory_system.hh /root/repo/src/memory/cache.hh \

@@ -294,9 +294,8 @@ tests/CMakeFiles/test_dpnt.dir/test_dpnt.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/dpnt.hh /root/repo/src/common/hybrid_table.hh \
- /root/repo/src/common/lru_table.hh /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/common/logging.hh \
- /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/common/sat_counter.hh \
- /root/repo/src/core/dependence.hh
+ /root/repo/src/common/bitutils.hh /root/repo/src/common/lru_table.hh \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.hh \
+ /root/repo/src/common/set_assoc_table.hh /root/repo/src/common/status.hh \
+ /root/repo/src/common/sat_counter.hh /root/repo/src/core/dependence.hh

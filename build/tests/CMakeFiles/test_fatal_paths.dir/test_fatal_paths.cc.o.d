@@ -297,7 +297,8 @@ tests/CMakeFiles/test_fatal_paths.dir/test_fatal_paths.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/logging.hh \
- /root/repo/src/isa/program_builder.hh /root/repo/src/isa/program.hh \
- /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
- /root/repo/src/isa/reg.hh /root/repo/src/vm/trace_file.hh \
+ /root/repo/src/common/status.hh /root/repo/src/isa/program_builder.hh \
+ /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
+ /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh \
+ /root/repo/src/vm/trace_file.hh /root/repo/src/common/stats.hh \
  /root/repo/src/vm/trace.hh /root/repo/src/workload/workload.hh

@@ -293,10 +293,17 @@ tests/CMakeFiles/test_trace_file.dir/test_trace_file.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/vm/micro_vm.hh /root/repo/src/isa/program.hh \
- /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
- /root/repo/src/isa/reg.hh /root/repo/src/vm/trace.hh \
- /root/repo/src/vm/trace_file.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/cstring /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/workload/workload.hh
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/crc32.hh \
+ /root/repo/src/common/stats.hh /root/repo/src/vm/micro_vm.hh \
+ /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
+ /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh \
+ /root/repo/src/vm/trace.hh /root/repo/src/vm/trace_file.hh \
+ /root/repo/src/common/status.hh /root/repo/src/common/logging.hh \
+ /root/repo/src/workload/workload.hh

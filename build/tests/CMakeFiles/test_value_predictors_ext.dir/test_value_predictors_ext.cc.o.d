@@ -294,10 +294,10 @@ tests/CMakeFiles/test_value_predictors_ext.dir/test_value_predictors_ext.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/value_predictor.hh \
- /root/repo/src/common/hybrid_table.hh /root/repo/src/common/lru_table.hh \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/common/logging.hh \
- /root/repo/src/common/set_assoc_table.hh \
- /root/repo/src/common/bitutils.hh /root/repo/src/vm/trace.hh \
- /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
- /root/repo/src/isa/reg.hh
+ /root/repo/src/common/hybrid_table.hh /root/repo/src/common/bitutils.hh \
+ /root/repo/src/common/lru_table.hh /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/common/logging.hh \
+ /root/repo/src/common/set_assoc_table.hh /root/repo/src/common/status.hh \
+ /root/repo/src/vm/trace.hh /root/repo/src/isa/instruction.hh \
+ /root/repo/src/isa/opcode.hh /root/repo/src/isa/reg.hh

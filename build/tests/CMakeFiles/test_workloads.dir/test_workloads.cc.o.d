@@ -296,4 +296,5 @@ tests/CMakeFiles/test_workloads.dir/test_workloads.cc.o: \
  /root/repo/src/analysis/inst_mix.hh /root/repo/src/vm/trace.hh \
  /root/repo/src/isa/instruction.hh /root/repo/src/isa/opcode.hh \
  /root/repo/src/isa/reg.hh /root/repo/src/vm/micro_vm.hh \
- /root/repo/src/isa/program.hh /root/repo/src/workload/workload.hh
+ /root/repo/src/isa/program.hh /root/repo/src/workload/workload.hh \
+ /root/repo/src/common/status.hh /root/repo/src/common/logging.hh

@@ -26,4 +26,6 @@ include("/root/repo/build/tests/test_value_predictors_ext[1]_include.cmake")
 include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
 include("/root/repo/build/tests/test_kernels[1]_include.cmake")
 include("/root/repo/build/tests/test_fatal_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_status[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
 include("/root/repo/build/tests/test_matrix[1]_include.cmake")

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "common/logging.hh"
 #include "cpu/ooo_cpu.hh"
 #include "vm/micro_vm.hh"
 #include "vm/trace_file.hh"
@@ -81,6 +82,18 @@ parse(int argc, char **argv)
             usage("missing argument value");
         return argv[++i];
     };
+    auto need_uint = [&](int &i) -> uint64_t {
+        const char *text = need(i);
+        try {
+            size_t used = 0;
+            const uint64_t v = std::stoul(text, &used);
+            if (used != std::string(text).size())
+                throw std::invalid_argument(text);
+            return v;
+        } catch (const std::exception &) {
+            usage(("not a number: " + std::string(text)).c_str());
+        }
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list") {
@@ -95,7 +108,9 @@ parse(int argc, char **argv)
         } else if (arg == "--record") {
             opt.record = need(i);
         } else if (arg == "--scale") {
-            opt.scale = (uint32_t)std::stoul(need(i));
+            opt.scale = (uint32_t)need_uint(i);
+            if (opt.scale == 0)
+                usage("--scale must be >= 1");
         } else if (arg == "--mode") {
             const std::string v = need(i);
             if (v == "raw")
@@ -107,11 +122,11 @@ parse(int argc, char **argv)
             else
                 usage("bad --mode");
         } else if (arg == "--ddt") {
-            opt.ddt = std::stoul(need(i));
+            opt.ddt = need_uint(i);
         } else if (arg == "--dpnt") {
-            opt.dpnt = std::stoul(need(i));
+            opt.dpnt = need_uint(i);
         } else if (arg == "--sf") {
-            opt.sf = std::stoul(need(i));
+            opt.sf = need_uint(i);
         } else if (arg == "--confidence") {
             const std::string v = need(i);
             if (v == "1bit")
@@ -153,14 +168,34 @@ parse(int argc, char **argv)
     return opt;
 }
 
+// The library reports problems as Status values; this driver is the
+// process entry point, so here — and only here — they become fatal.
 std::unique_ptr<TraceSource>
 makeSource(const Options &opt, std::unique_ptr<Program> &program)
 {
-    if (!opt.trace.empty())
-        return std::make_unique<TraceFileReader>(opt.trace);
-    program = std::make_unique<Program>(
-        findWorkload(opt.workload).build(opt.scale));
+    if (!opt.trace.empty()) {
+        auto reader = TraceFileReader::open(opt.trace);
+        if (!reader.ok())
+            rarpred_fatal(reader.status().toString());
+        return std::move(*reader);
+    }
+    auto workload = lookupWorkload(opt.workload);
+    if (!workload.ok())
+        rarpred_fatal(workload.status().toString());
+    program = std::make_unique<Program>((*workload)->build(opt.scale));
     return std::make_unique<MicroVM>(*program);
+}
+
+// next() returns false both at end of stream and on error; a trace
+// replay that stopped on a damaged record must not be reported as a
+// (shorter) successful run.
+void
+checkSourceDrained(const TraceSource &source)
+{
+    if (auto *reader = dynamic_cast<const TraceFileReader *>(&source);
+        reader && !reader->status().ok()) {
+        rarpred_fatal(reader->status().toString());
+    }
 }
 
 } // namespace
@@ -176,6 +211,8 @@ main(int argc, char **argv)
     cloaking.dpnt.geometry = {opt.dpnt, opt.dpnt ? 2u : 0u};
     cloaking.dpnt.confidence = opt.confidence;
     cloaking.sf = {opt.sf, opt.sf ? 2u : 0u};
+    if (Status s = cloaking.validate(); !s.ok())
+        usage(s.toString().c_str());
 
     // --- functional accuracy pass (and optional recording) ---
     CloakingEngine engine(cloaking);
@@ -184,14 +221,23 @@ main(int argc, char **argv)
         std::unique_ptr<Program> program;
         auto source = makeSource(opt, program);
         std::unique_ptr<TraceFileWriter> writer;
-        if (!opt.record.empty())
-            writer = std::make_unique<TraceFileWriter>(opt.record);
+        if (!opt.record.empty()) {
+            auto opened = TraceFileWriter::open(opt.record);
+            if (!opened.ok())
+                rarpred_fatal(opened.status().toString());
+            writer = std::move(*opened);
+        }
         DynInst di;
         while (source->next(di)) {
             engine.onInst(di);
             if (writer)
                 writer->onInst(di);
             ++executed;
+        }
+        checkSourceDrained(*source);
+        if (writer) {
+            if (Status s = writer->finish(); !s.ok())
+                rarpred_fatal(s.toString());
         }
     }
     const auto &s = engine.stats();
@@ -231,6 +277,7 @@ main(int argc, char **argv)
             DynInst di;
             while (source->next(di))
                 cpu.onInst(di);
+            checkSourceDrained(*source);
             return cpu.stats();
         };
         auto base = run(false);

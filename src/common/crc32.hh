@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+ *
+ * Used by the trace file format to detect header and record
+ * corruption. Table-driven software implementation; no hardware
+ * dependency, identical results on every platform.
+ */
+
+#ifndef RARPRED_COMMON_CRC32_HH_
+#define RARPRED_COMMON_CRC32_HH_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rarpred {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/**
+ * Incrementally extend a CRC-32.
+ * @param crc Running CRC (start with 0 for a fresh computation).
+ * @param data Bytes to absorb.
+ * @param len Number of bytes.
+ */
+inline uint32_t
+crc32Update(uint32_t crc, const void *data, size_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ detail::kCrc32Table[(crc ^ bytes[i]) & 0xff];
+    return ~crc;
+}
+
+/** @return the CRC-32 of @p len bytes at @p data. */
+inline uint32_t
+crc32(const void *data, size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace rarpred
+
+#endif // RARPRED_COMMON_CRC32_HH_

@@ -18,10 +18,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
+#include "common/bitutils.hh"
 #include "common/lru_table.hh"
 #include "common/set_assoc_table.hh"
+#include "common/status.hh"
 
 namespace rarpred {
 
@@ -31,6 +34,32 @@ struct TableGeometry
     size_t entries = 0; ///< 0 = unbounded
     size_t assoc = 0;   ///< 0 = fully associative (ignored if unbounded)
 };
+
+/**
+ * Check that @p geom describes a constructible table: a set-associative
+ * organization needs entries divisible by assoc and a power-of-two set
+ * count. Validate user-supplied geometries with this *before* handing
+ * them to a table; construction treats violations as internal bugs
+ * (panic), not user errors.
+ * @param what Name of the table being configured, for the message.
+ */
+inline Status
+validateGeometry(const TableGeometry &geom, const std::string &what)
+{
+    if (geom.entries == 0 || geom.assoc == 0 || geom.assoc >= geom.entries)
+        return Status{}; // unbounded or fully associative
+    if (geom.entries % geom.assoc != 0)
+        return Status::invalidArgument(
+            what + ": entries (" + std::to_string(geom.entries) +
+            ") not a multiple of associativity (" +
+            std::to_string(geom.assoc) + ")");
+    if (!isPowerOf2(geom.entries / geom.assoc))
+        return Status::invalidArgument(
+            what + ": set count (" +
+            std::to_string(geom.entries / geom.assoc) +
+            ") is not a power of two");
+    return Status{};
+}
 
 /** A 64-bit-keyed table whose organization is chosen at run time. */
 template <typename Value>

@@ -1,0 +1,35 @@
+#include "common/status.hh"
+
+namespace rarpred {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "ok";
+      case StatusCode::InvalidArgument:
+        return "invalid-argument";
+      case StatusCode::NotFound:
+        return "not-found";
+      case StatusCode::IoError:
+        return "io-error";
+      case StatusCode::Corruption:
+        return "corruption";
+      case StatusCode::OutOfRange:
+        return "out-of-range";
+      case StatusCode::FailedPrecondition:
+        return "failed-precondition";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+} // namespace rarpred

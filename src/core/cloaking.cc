@@ -2,6 +2,19 @@
 
 namespace rarpred {
 
+Status
+CloakingConfig::validate() const
+{
+    RARPRED_RETURN_IF_ERROR(validateGeometry(dpnt.geometry, "dpnt"));
+    RARPRED_RETURN_IF_ERROR(validateGeometry(sf, "synonym file"));
+    if (ddt.granularityLog2 > 12)
+        return Status::outOfRange(
+            "ddt: detection granularity log2 (" +
+            std::to_string(ddt.granularityLog2) +
+            ") exceeds the supported maximum of 12 (4KiB)");
+    return Status{};
+}
+
 DdtConfig
 CloakingEngine::ddtConfigFor(const CloakingConfig &config)
 {
@@ -68,6 +81,7 @@ CloakingEngine::processInst(const DynInst &di)
                 if (use) {
                     outcome.used = true;
                     outcome.correct = correct;
+                    outcome.specValue = sf->value;
                     outcome.type =
                         sf->fromStore ? DepType::Raw : DepType::Rar;
                     outcome.producerSeq = sf->producerSeq;

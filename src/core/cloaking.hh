@@ -18,6 +18,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/status.hh"
 #include "core/ddt.hh"
 #include "core/dpnt.hh"
 #include "core/synonym_file.hh"
@@ -50,6 +51,14 @@ struct CloakingConfig
      * profile and only prediction/verification run in hardware.
      */
     bool onlineTraining = true;
+
+    /**
+     * Check that every geometry and parameter in this configuration
+     * is constructible. User-facing drivers must call this before
+     * building a CloakingEngine; a violation reported here would
+     * otherwise surface as a panic inside table construction.
+     */
+    Status validate() const;
 };
 
 /** Accuracy statistics over all executed loads (Figure 6 metrics). */
@@ -113,6 +122,8 @@ struct LoadOutcome
     bool used = false;
     /** The used value was correct. */
     bool correct = false;
+    /** The speculative value that was used (valid when used). */
+    uint64_t specValue = 0;
     /** Producer type of the used value (valid when used). */
     DepType type = DepType::Raw;
     /** Dynamic seq of the producing instruction (valid when used). */

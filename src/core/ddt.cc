@@ -1,5 +1,7 @@
 #include "core/ddt.hh"
 
+#include "common/rng.hh"
+
 namespace rarpred {
 
 DependenceDetector::DependenceDetector(const DdtConfig &config)
@@ -64,6 +66,32 @@ DependenceDetector::clear()
 {
     table_.clear();
     loadTable_.clear();
+}
+
+bool
+DependenceDetector::injectFault(Rng &rng)
+{
+    const size_t total = table_.size() + loadTable_.size();
+    if (total == 0)
+        return false;
+    size_t victim = (size_t)rng.below(total);
+    auto &table = victim < table_.size() ? table_ : loadTable_;
+    if (victim >= table_.size())
+        victim -= table_.size();
+    bool injected = false;
+    size_t i = 0;
+    table.forEach([&](uint64_t, Entry &e) {
+        if (i++ != victim)
+            return;
+        // One spare bit position beyond the PC toggles the kind flag.
+        const unsigned bit = (unsigned)rng.below(65);
+        if (bit == 64)
+            e.isStore = !e.isStore;
+        else
+            e.pc ^= 1ull << bit;
+        injected = true;
+    });
+    return injected;
 }
 
 } // namespace rarpred

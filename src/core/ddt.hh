@@ -33,6 +33,8 @@
 
 namespace rarpred {
 
+class Rng;
+
 /** Configuration of a DependenceDetector. */
 struct DdtConfig
 {
@@ -83,6 +85,15 @@ class DependenceDetector
 
     /** Forget everything. */
     void clear();
+
+    /**
+     * Fault-injection hook (src/faultinject): flip one random bit of
+     * one random entry's payload. DDT contents are performance-only —
+     * a corrupted producer PC may train a bogus synonym, but the
+     * cloaking verification load must still catch any wrong value.
+     * @return false when the table is empty (nothing to corrupt).
+     */
+    bool injectFault(Rng &rng);
 
     const DdtConfig &config() const { return config_; }
 

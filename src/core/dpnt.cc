@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace rarpred {
 
@@ -82,6 +83,44 @@ Dpnt::train(const Dependence &dep)
     src->producer.allocate();
     src->producerIsStore = (dep.type == DepType::Raw);
     sink->consumer.allocate();
+}
+
+bool
+Dpnt::injectFault(Rng &rng)
+{
+    if (table_.size() == 0)
+        return false;
+    const size_t victim = (size_t)rng.below(table_.size());
+    bool injected = false;
+    size_t i = 0;
+    table_.forEach([&](uint64_t, DpntEntry &e) {
+        if (i++ != victim)
+            return;
+        switch (rng.below(6)) {
+          case 0:
+            e.synonym ^= 1ull << rng.below(64);
+            break;
+          case 1:
+            e.producer.valid = !e.producer.valid;
+            break;
+          case 2:
+            e.consumer.valid = !e.consumer.valid;
+            break;
+          case 3:
+            e.producer.conf.set(
+                (uint8_t)rng.below(e.producer.conf.maxValue() + 1u));
+            break;
+          case 4:
+            e.consumer.conf.set(
+                (uint8_t)rng.below(e.consumer.conf.maxValue() + 1u));
+            break;
+          default:
+            e.producerIsStore = !e.producerIsStore;
+            break;
+        }
+        injected = true;
+    });
+    return injected;
 }
 
 void

@@ -37,6 +37,8 @@
 
 namespace rarpred {
 
+class Rng;
+
 /** A value name in the cloaking name space. 0 means "none". */
 using Synonym = uint64_t;
 
@@ -138,6 +140,16 @@ class Dpnt
     uint64_t mergeCount() const { return merges_; }
 
     const DpntConfig &config() const { return config_; }
+
+    /**
+     * Fault-injection hook (src/faultinject): corrupt one random
+     * field of one random entry — a synonym bit, a role-valid flag, a
+     * confidence counter, or the producer-kind flag. DPNT state is
+     * performance-only: any wrong prediction it induces must be
+     * caught by cloaking verification.
+     * @return false when the table is empty (nothing to corrupt).
+     */
+    bool injectFault(Rng &rng);
 
     void clear();
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/hybrid_table.hh"
+#include "common/rng.hh"
 #include "core/dpnt.hh"
 
 namespace rarpred {
@@ -70,6 +71,44 @@ class SynonymFile
     const SfEntry *peek(Synonym synonym) { return table_.find(synonym); }
 
     void clear() { table_.clear(); }
+
+    /**
+     * Fault-injection hook (src/faultinject): corrupt one random
+     * field of one random entry. Flipping a bit of a stored value is
+     * the most dangerous fault in the whole mechanism — a consumer
+     * may read the corrupted word — so the verification load *must*
+     * reject it; the speculation-safety oracle proves it does.
+     * @return false when the file is empty (nothing to corrupt).
+     */
+    bool
+    injectFault(Rng &rng)
+    {
+        if (table_.size() == 0)
+            return false;
+        const size_t victim = (size_t)rng.below(table_.size());
+        bool injected = false;
+        size_t i = 0;
+        table_.forEach([&](uint64_t, SfEntry &e) {
+            if (i++ != victim)
+                return;
+            switch (rng.below(4)) {
+              case 0:
+                e.value ^= 1ull << rng.below(64);
+                break;
+              case 1:
+                e.full = !e.full;
+                break;
+              case 2:
+                e.fromStore = !e.fromStore;
+                break;
+              default:
+                e.producerPc ^= 1ull << rng.below(64);
+                break;
+            }
+            injected = true;
+        });
+        return injected;
+    }
 
     size_t size() const { return table_.size(); }
 

@@ -1,0 +1,84 @@
+#include "faultinject/fault_injector.hh"
+
+#include <fstream>
+
+#include "core/cloaking.hh"
+#include "predictor/store_sets.hh"
+#include "vm/trace_file.hh"
+
+namespace rarpred {
+
+FaultInjector::FaultInjector(const FaultInjectorConfig &config)
+    : config_(config), rng_(config.seed)
+{
+}
+
+void
+FaultInjector::step()
+{
+    if (config_.ratePerStep <= 0.0)
+        return;
+    if (engine_) {
+        if (config_.targetDdt && rng_.chance(config_.ratePerStep) &&
+            engine_->detector().injectFault(rng_)) {
+            ++faultsDdt_;
+        }
+        if (config_.targetDpnt && rng_.chance(config_.ratePerStep) &&
+            engine_->dpnt().injectFault(rng_)) {
+            ++faultsDpnt_;
+        }
+        if (config_.targetSynonymFile && rng_.chance(config_.ratePerStep) &&
+            engine_->synonymFile().injectFault(rng_)) {
+            ++faultsSf_;
+        }
+    }
+    if (storeSets_ && config_.targetStoreSets &&
+        rng_.chance(config_.ratePerStep) && storeSets_->injectFault(rng_)) {
+        ++faultsStoreSets_;
+    }
+}
+
+void
+FaultInjector::registerStats(StatGroup &group)
+{
+    group.registerCounter("faultsDdt", &faultsDdt_);
+    group.registerCounter("faultsDpnt", &faultsDpnt_);
+    group.registerCounter("faultsSynonymFile", &faultsSf_);
+    group.registerCounter("faultsStoreSets", &faultsStoreSets_);
+}
+
+Result<uint64_t>
+corruptTraceFile(const std::string &path, uint64_t bits, uint64_t seed)
+{
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    if (!file)
+        return Status::ioError("cannot open trace file for corruption: " +
+                               path);
+    file.seekg(0, std::ios::end);
+    const uint64_t size = (uint64_t)file.tellg();
+    const uint64_t header = traceHeaderBytes();
+    if (size <= header)
+        return (uint64_t)0; // no record bytes to damage
+    Rng rng(seed);
+    uint64_t flipped = 0;
+    for (uint64_t i = 0; i < bits; ++i) {
+        const uint64_t offset = header + rng.below(size - header);
+        file.seekg((std::streamoff)offset);
+        char byte;
+        file.read(&byte, 1);
+        byte = (char)(byte ^ (char)(1u << rng.below(8)));
+        file.seekp((std::streamoff)offset);
+        file.write(&byte, 1);
+        if (!file)
+            return Status::ioError("read/write failed while corrupting: " +
+                                   path);
+        ++flipped;
+    }
+    file.flush();
+    if (!file)
+        return Status::ioError("flush failed while corrupting: " + path);
+    return flipped;
+}
+
+} // namespace rarpred

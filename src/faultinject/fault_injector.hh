@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic fault injection into speculation state.
+ *
+ * The central safety claim of cloaking/bypassing (and of this repo) is
+ * that predictor state — DDT, DPNT, synonym file, store sets — is
+ * *performance-only*: arbitrary corruption may change how often values
+ * are predicted or how fast loads issue, but the verification load
+ * guarantees it can never change an architectural result. FaultInjector
+ * makes that claim testable by flipping bits in live predictor state at
+ * a configurable, seed-reproducible rate while a simulation runs; the
+ * speculation-safety oracle (safety_oracle.hh) then checks the
+ * architectural stream against a golden run.
+ *
+ * A separate utility corrupts trace files on disk, for exercising the
+ * trace format's CRC detection and resync recovery.
+ */
+
+#ifndef RARPRED_FAULTINJECT_FAULT_INJECTOR_HH_
+#define RARPRED_FAULTINJECT_FAULT_INJECTOR_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/status.hh"
+
+namespace rarpred {
+
+class CloakingEngine;
+class StoreSetPredictor;
+
+/** Injection knobs. All rates are per attached target, per step(). */
+struct FaultInjectorConfig
+{
+    /** RNG seed; the same seed replays the same fault sequence. */
+    uint64_t seed = 1;
+
+    /**
+     * Probability that one bit flip is injected into each enabled
+     * target on each step() (one step per simulated instruction).
+     * 0 disables injection entirely.
+     */
+    double ratePerStep = 0.0;
+
+    bool targetDdt = true;         ///< dependence detection table
+    bool targetDpnt = true;        ///< prediction/naming table
+    bool targetSynonymFile = true; ///< speculative value storage
+    bool targetStoreSets = true;   ///< SSIT/LFST
+};
+
+/**
+ * Flips bits in attached predictor structures at a configured rate.
+ *
+ * Drive it with step() once per simulated instruction, between
+ * instructions — exactly where a particle strike or a latent array
+ * fault would land relative to the pipeline's commit stream.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultInjectorConfig &config);
+
+    /** Target the DDT, DPNT and synonym file inside @p engine. */
+    void attach(CloakingEngine *engine) { engine_ = engine; }
+
+    /** Target the SSIT/LFST of @p store_sets. */
+    void attach(StoreSetPredictor *store_sets)
+    {
+        storeSets_ = store_sets;
+    }
+
+    /** Advance one instruction: maybe inject into each enabled target. */
+    void step();
+
+    /** @return total bit flips injected across all targets. */
+    uint64_t
+    faultsInjected() const
+    {
+        return faultsDdt_.value() + faultsDpnt_.value() + faultsSf_.value() +
+               faultsStoreSets_.value();
+    }
+
+    uint64_t faultsDdt() const { return faultsDdt_.value(); }
+    uint64_t faultsDpnt() const { return faultsDpnt_.value(); }
+    uint64_t faultsSynonymFile() const { return faultsSf_.value(); }
+    uint64_t faultsStoreSets() const { return faultsStoreSets_.value(); }
+
+    /** Register per-target fault counters under @p group. */
+    void registerStats(StatGroup &group);
+
+    const FaultInjectorConfig &config() const { return config_; }
+
+  private:
+    FaultInjectorConfig config_;
+    Rng rng_;
+    CloakingEngine *engine_ = nullptr;
+    StoreSetPredictor *storeSets_ = nullptr;
+    Counter faultsDdt_;
+    Counter faultsDpnt_;
+    Counter faultsSf_;
+    Counter faultsStoreSets_;
+};
+
+/**
+ * Flip @p bits random bits inside the *record region* of the trace
+ * file at @p path (the header is left intact), deterministically from
+ * @p seed. Used to prove the reader's CRC catches payload damage.
+ * @return the number of bits actually flipped (0 for an empty trace).
+ */
+Result<uint64_t> corruptTraceFile(const std::string &path, uint64_t bits,
+                                  uint64_t seed);
+
+} // namespace rarpred
+
+#endif // RARPRED_FAULTINJECT_FAULT_INJECTOR_HH_

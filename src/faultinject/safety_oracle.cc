@@ -1,0 +1,153 @@
+#include "faultinject/safety_oracle.hh"
+
+#include <algorithm>
+
+#include "isa/reg.hh"
+#include "predictor/store_sets.hh"
+#include "vm/micro_vm.hh"
+
+namespace rarpred {
+
+namespace {
+
+/** splitmix64-style mix, folded into a running stream digest. */
+uint64_t
+digestMix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    return h ^ (h >> 33);
+}
+
+uint64_t
+digestInst(uint64_t h, const DynInst &di, uint64_t committed_value)
+{
+    h = digestMix(h, di.seq);
+    h = digestMix(h, di.pc);
+    h = digestMix(h, di.nextPc);
+    h = digestMix(h, di.eaddr);
+    h = digestMix(h, committed_value);
+    return h;
+}
+
+std::string
+describeDivergence(const char *what, const DynInst &di, uint64_t golden,
+                   uint64_t faulted)
+{
+    return std::string(what) + " diverged at seq " +
+           std::to_string(di.seq) + " (pc 0x" + std::to_string(di.pc) +
+           "): golden " + std::to_string(golden) + " vs faulted " +
+           std::to_string(faulted);
+}
+
+} // namespace
+
+Result<OracleReport>
+runSafetyOracle(const Program &program, const OracleConfig &config)
+{
+    RARPRED_RETURN_IF_ERROR(config.cloaking.validate());
+
+    MicroVM golden(program);
+    MicroVM faulted(program);
+    CloakingEngine engine(config.cloaking);
+    StoreSetPredictor storeSets;
+    FaultInjector injector(config.faults);
+    injector.attach(&engine);
+    if (config.exerciseStoreSets)
+        injector.attach(&storeSets);
+
+    OracleReport report;
+    auto diverge = [&](std::string what) {
+        if (report.divergences == 0)
+            report.firstDivergence = std::move(what);
+        ++report.divergences;
+    };
+
+    DynInst gi, fi;
+    while (report.instructions < config.maxInsts) {
+        const bool golden_has = golden.next(gi);
+        const bool faulted_has = faulted.next(fi);
+        if (golden_has != faulted_has) {
+            diverge("stream length diverged at seq " +
+                    std::to_string(report.instructions));
+            break;
+        }
+        if (!golden_has)
+            break;
+
+        // Faults land between instructions, exactly where a particle
+        // strike would relative to the commit stream.
+        injector.step();
+
+        LoadOutcome outcome = engine.processInst(fi);
+
+        // Commit the value the mechanism would commit: the speculative
+        // value when used and verified correct, the architectural
+        // value otherwise (including after a verification squash).
+        uint64_t committed = fi.value;
+        if (outcome.used) {
+            ++report.specUsed;
+            if (outcome.correct) {
+                committed = outcome.specValue;
+            } else {
+                ++report.specSquashed; // recovery replays the real load
+            }
+        }
+
+        if (config.exerciseStoreSets && fi.isMem()) {
+            // Drive the (possibly corrupted) store-set tables the way
+            // the LSQ would; predictions affect timing only, so the
+            // oracle merely requires the calls to stay well-defined.
+            if (fi.isStore()) {
+                (void)storeSets.onStoreDispatch(fi.pc, fi.seq);
+                storeSets.onStoreRetire(fi.pc, fi.seq);
+            } else {
+                (void)storeSets.onLoadDispatch(fi.pc);
+            }
+        }
+
+        if (gi.pc != fi.pc || gi.nextPc != fi.nextPc ||
+            gi.eaddr != fi.eaddr) {
+            diverge(describeDivergence("control/address", gi, gi.pc,
+                                       fi.pc));
+        }
+        if (committed != gi.value) {
+            diverge(describeDivergence("committed value", gi, gi.value,
+                                       committed));
+        }
+
+        report.goldenDigest = digestInst(report.goldenDigest, gi, gi.value);
+        report.faultedDigest =
+            digestInst(report.faultedDigest, fi, committed);
+        ++report.instructions;
+        if (gi.isLoad())
+            ++report.loads;
+    }
+
+    // Architectural end-state must also match: register file...
+    for (RegId r = 0; r < reg::kNumRegs; ++r) {
+        if (golden.readReg(r) != faulted.readReg(r)) {
+            diverge("register r" + std::to_string(r) +
+                    " diverged: golden " +
+                    std::to_string(golden.readReg(r)) + " vs faulted " +
+                    std::to_string(faulted.readReg(r)));
+        }
+    }
+    // ...and every word of data memory.
+    const uint64_t mem_bytes =
+        std::min(golden.memBytes(), faulted.memBytes());
+    for (uint64_t addr = 0; addr < mem_bytes; addr += 8) {
+        if (golden.readWord(addr) != faulted.readWord(addr)) {
+            diverge("memory word at 0x" + std::to_string(addr) +
+                    " diverged");
+            break; // one is enough; don't spam the report
+        }
+    }
+
+    report.faultsInjected = injector.faultsInjected();
+    report.passed = report.divergences == 0 &&
+                    report.goldenDigest == report.faultedDigest;
+    return report;
+}
+
+} // namespace rarpred

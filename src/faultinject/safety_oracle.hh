@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Speculation-safety oracle.
+ *
+ * Proves, per run, the property the paper only argues: cloaking and
+ * bypassing speculation can change *performance*, never *correctness*.
+ * Two functional executions of the same program run in lockstep:
+ *
+ *  - the golden side is a bare MicroVM — the architectural reference;
+ *  - the faulted side runs the full cloaking mechanism with a
+ *    FaultInjector flipping bits in its predictor state between
+ *    instructions, and commits each load the way the hardware would:
+ *    the speculative value when one was used and verified correct,
+ *    the architectural value after a verification-triggered squash.
+ *
+ * The oracle asserts the two committed streams (seq, pc, nextPc,
+ * eaddr, value) are bit-identical instruction by instruction, and that
+ * final register files and data memories match. Any path by which a
+ * corrupted speculative value escapes verification shows up as a
+ * divergence. Store-set state is optionally exercised and corrupted
+ * too; it gates issue timing only, so it participates as a
+ * must-not-crash target.
+ */
+
+#ifndef RARPRED_FAULTINJECT_SAFETY_ORACLE_HH_
+#define RARPRED_FAULTINJECT_SAFETY_ORACLE_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hh"
+#include "core/cloaking.hh"
+#include "faultinject/fault_injector.hh"
+#include "isa/program.hh"
+
+namespace rarpred {
+
+/** Oracle run configuration. */
+struct OracleConfig
+{
+    /** Mechanism under test. Validated before the run starts. */
+    CloakingConfig cloaking{};
+
+    /** Fault injection knobs (ratePerStep 0 = fault-free check). */
+    FaultInjectorConfig faults{};
+
+    /** Stop after this many committed instructions. */
+    uint64_t maxInsts = ~0ull;
+
+    /** Also drive and corrupt a StoreSetPredictor alongside. */
+    bool exerciseStoreSets = true;
+};
+
+/** What the oracle observed. */
+struct OracleReport
+{
+    /** No architectural divergence — the safety property held. */
+    bool passed = false;
+
+    uint64_t instructions = 0; ///< committed instructions compared
+    uint64_t loads = 0;        ///< loads among them
+
+    uint64_t faultsInjected = 0; ///< total bit flips landed
+    uint64_t specUsed = 0;       ///< loads committed via a spec value
+    uint64_t specSquashed = 0;   ///< wrong spec values caught+squashed
+
+    uint64_t divergences = 0;      ///< mismatching comparisons
+    std::string firstDivergence;   ///< description of the first one
+    uint64_t goldenDigest = 0;     ///< digest of the golden stream
+    uint64_t faultedDigest = 0;    ///< digest of the faulted stream
+};
+
+/**
+ * Run the oracle over @p program.
+ * @return the report, or an error when the configuration is invalid.
+ * A completed run with a violated safety property is NOT an error:
+ * check report.passed (and report.firstDivergence).
+ */
+Result<OracleReport> runSafetyOracle(const Program &program,
+                                     const OracleConfig &config);
+
+} // namespace rarpred
+
+#endif // RARPRED_FAULTINJECT_SAFETY_ORACLE_HH_

@@ -1,6 +1,7 @@
 #include "predictor/store_sets.hh"
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace rarpred {
 
@@ -72,6 +73,19 @@ StoreSetPredictor::onViolation(uint64_t load_pc, uint64_t store_pc)
         else
             load_ssid = store_ssid;
     }
+}
+
+bool
+StoreSetPredictor::injectFault(Rng &rng)
+{
+    if (rng.below(2) == 0) {
+        uint32_t &slot = ssit_[(size_t)rng.below(ssit_.size())];
+        slot ^= 1u << rng.below(32);
+    } else {
+        uint64_t &slot = lfst_[(size_t)rng.below(lfst_.size())];
+        slot ^= 1ull << rng.below(64);
+    }
+    return true;
 }
 
 void

@@ -27,6 +27,8 @@
 
 namespace rarpred {
 
+class Rng;
+
 /** The store-set predictor. */
 class StoreSetPredictor
 {
@@ -65,6 +67,15 @@ class StoreSetPredictor
 
     /** Clear all assignments (cyclic clearing in the original). */
     void clear();
+
+    /**
+     * Fault-injection hook (src/faultinject): flip one random bit in
+     * a random SSIT or LFST slot. Store-set state only gates *when*
+     * loads issue, never what they read, so any corruption here must
+     * at worst cost performance (extra waits or extra violations).
+     * @return true (these tables are direct-mapped and always exist).
+     */
+    bool injectFault(Rng &rng);
 
     uint64_t assignments() const { return assignments_; }
     uint64_t merges() const { return merges_; }

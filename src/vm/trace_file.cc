@@ -2,16 +2,17 @@
 
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
+#include "isa/reg.hh"
 
 namespace rarpred {
 
 namespace {
 
 constexpr uint64_t kMagic = 0x52415254524143ull; // "RARTRAC"
-constexpr uint32_t kVersion = 1;
 
-/** On-disk record layout (fixed size, little-endian host assumed). */
+/** On-disk record payload (fixed size, little-endian host assumed). */
 struct Record
 {
     uint64_t seq;
@@ -29,7 +30,18 @@ struct Record
 
 static_assert(sizeof(Record) == 48, "trace record layout changed");
 
-struct Header
+/** Version-2 record: payload plus a CRC-32 of its 48 bytes. */
+struct RecordV2
+{
+    Record payload;
+    uint32_t crc;
+    uint32_t pad;
+};
+
+static_assert(sizeof(RecordV2) == 56, "trace v2 record layout changed");
+
+/** Version-1 header (no integrity checking). */
+struct HeaderV1
 {
     uint64_t magic;
     uint32_t version;
@@ -37,79 +49,47 @@ struct Header
     uint64_t count;
 };
 
-static_assert(sizeof(Header) == 24, "trace header layout changed");
+static_assert(sizeof(HeaderV1) == 24, "trace v1 header layout changed");
 
-} // namespace
-
-TraceFileWriter::TraceFileWriter(const std::string &path)
-    : out_(path, std::ios::binary | std::ios::trunc)
+/** Version-2 header; crc covers the 24 bytes that precede it. */
+struct HeaderV2
 {
-    if (!out_)
-        rarpred_fatal("cannot open trace file for writing: " + path);
-    Header header{kMagic, kVersion, 0, 0};
-    out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    uint64_t magic;
+    uint32_t version;
+    uint32_t flags;
+    uint64_t count;
+    uint32_t headerCrc;
+    uint32_t pad;
+};
+
+static_assert(sizeof(HeaderV2) == 32, "trace v2 header layout changed");
+
+constexpr size_t kHeaderCrcCoverage = 24;
+
+HeaderV2
+makeHeader(uint64_t count)
+{
+    HeaderV2 header{kMagic, kTraceVersion, 0, count, 0, 0};
+    header.headerCrc = crc32(&header, kHeaderCrcCoverage);
+    return header;
 }
 
-TraceFileWriter::~TraceFileWriter()
-{
-    finish();
-}
-
-void
-TraceFileWriter::onInst(const DynInst &di)
-{
-    rarpred_assert(!finished_);
-    Record rec{};
-    rec.seq = di.seq;
-    rec.pc = di.pc;
-    rec.nextPc = di.nextPc;
-    rec.eaddr = di.eaddr;
-    rec.value = di.value;
-    rec.op = (uint8_t)di.op;
-    rec.dst = di.dst;
-    rec.src1 = di.src1;
-    rec.src2 = di.src2;
-    rec.taken = di.taken ? 1 : 0;
-    out_.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
-    ++count_;
-}
-
-void
-TraceFileWriter::finish()
-{
-    if (finished_)
-        return;
-    finished_ = true;
-    Header header{kMagic, kVersion, 0, count_};
-    out_.seekp(0);
-    out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
-    out_.flush();
-}
-
-TraceFileReader::TraceFileReader(const std::string &path)
-    : in_(path, std::ios::binary)
-{
-    if (!in_)
-        rarpred_fatal("cannot open trace file: " + path);
-    Header header{};
-    in_.read(reinterpret_cast<char *>(&header), sizeof(header));
-    if (!in_ || header.magic != kMagic)
-        rarpred_fatal("not a rarpred trace file: " + path);
-    if (header.version != kVersion)
-        rarpred_fatal("unsupported trace file version in " + path);
-    total_ = header.count;
-    dataStart_ = in_.tellg();
-}
-
+/** @return true when every field of @p rec has a legal encoding. */
 bool
-TraceFileReader::next(DynInst &di)
+validRecordFields(const Record &rec)
 {
-    if (read_ >= total_)
+    if (rec.op > (uint8_t)Opcode::Halt)
         return false;
-    Record rec{};
-    in_.read(reinterpret_cast<char *>(&rec), sizeof(rec));
-    if (!in_)
-        rarpred_fatal("truncated trace file");
+    auto reg_ok = [](uint8_t r) {
+        return r < reg::kNumRegs || r == reg::kNone;
+    };
+    return reg_ok(rec.dst) && reg_ok(rec.src1) && reg_ok(rec.src2) &&
+           rec.taken <= 1;
+}
+
+void
+unpackRecord(const Record &rec, DynInst &di)
+{
     di = DynInst{};
     di.seq = rec.seq;
     di.pc = rec.pc;
@@ -121,16 +101,270 @@ TraceFileReader::next(DynInst &di)
     di.src1 = rec.src1;
     di.src2 = rec.src2;
     di.taken = rec.taken != 0;
-    ++read_;
-    return true;
+}
+
+} // namespace
+
+uint64_t
+traceHeaderBytes(uint32_t version)
+{
+    return version >= 2 ? sizeof(HeaderV2) : sizeof(HeaderV1);
+}
+
+uint64_t
+traceRecordBytes(uint32_t version)
+{
+    return version >= 2 ? sizeof(RecordV2) : sizeof(Record);
+}
+
+// --- TraceFileWriter -------------------------------------------------
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_) {
+        latchError(Status::ioError(
+            "cannot open trace file for writing: " + path));
+        return;
+    }
+    HeaderV2 header = makeHeader(0);
+    out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    if (!out_)
+        latchError(Status::ioError("cannot write trace header: " + path));
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    Status s = finish();
+    if (!s.ok())
+        rarpred_warn("trace file writer: " + s.toString());
+}
+
+Result<std::unique_ptr<TraceFileWriter>>
+TraceFileWriter::open(const std::string &path)
+{
+    auto writer = std::make_unique<TraceFileWriter>(path);
+    if (!writer->status().ok())
+        return writer->status();
+    return writer;
+}
+
+void
+TraceFileWriter::latchError(Status status)
+{
+    if (status_.ok())
+        status_ = std::move(status);
+}
+
+void
+TraceFileWriter::onInst(const DynInst &di)
+{
+    rarpred_assert(!finished_);
+    if (!status_.ok())
+        return;
+    RecordV2 rec{};
+    rec.payload.seq = di.seq;
+    rec.payload.pc = di.pc;
+    rec.payload.nextPc = di.nextPc;
+    rec.payload.eaddr = di.eaddr;
+    rec.payload.value = di.value;
+    rec.payload.op = (uint8_t)di.op;
+    rec.payload.dst = di.dst;
+    rec.payload.src1 = di.src1;
+    rec.payload.src2 = di.src2;
+    rec.payload.taken = di.taken ? 1 : 0;
+    rec.crc = crc32(&rec.payload, sizeof(rec.payload));
+    out_.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    if (!out_) {
+        latchError(Status::ioError(
+            "short write to trace file (disk full?): " + path_));
+        return;
+    }
+    ++count_;
+}
+
+Status
+TraceFileWriter::finish()
+{
+    if (finished_)
+        return status_;
+    finished_ = true;
+    if (!out_.is_open())
+        return status_;
+    HeaderV2 header = makeHeader(count_);
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    out_.flush();
+    if (!out_)
+        latchError(Status::ioError(
+            "cannot finalize trace file header: " + path_));
+    out_.close();
+    if (out_.fail())
+        latchError(Status::ioError("cannot close trace file: " + path_));
+    return status_;
+}
+
+// --- TraceFileReader -------------------------------------------------
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : TraceFileReader(path, Options{})
+{
+}
+
+TraceFileReader::TraceFileReader(const std::string &path,
+                                 const Options &options)
+    : in_(path, std::ios::binary), options_(options)
+{
+    status_ = readHeader(path);
+}
+
+Result<std::unique_ptr<TraceFileReader>>
+TraceFileReader::open(const std::string &path)
+{
+    return open(path, Options{});
+}
+
+Result<std::unique_ptr<TraceFileReader>>
+TraceFileReader::open(const std::string &path, const Options &options)
+{
+    auto reader = std::make_unique<TraceFileReader>(path, options);
+    if (!reader->status().ok())
+        return reader->status();
+    return reader;
+}
+
+Status
+TraceFileReader::readHeader(const std::string &path)
+{
+    if (!in_)
+        return Status::ioError("cannot open trace file: " + path);
+
+    // Magic and version live at the same offsets in every format
+    // revision; read them first, then the rest of the header.
+    uint8_t raw[sizeof(HeaderV2)] = {};
+    in_.read(reinterpret_cast<char *>(raw), 12);
+    if (!in_ || in_.gcount() != 12)
+        return Status::corruption("not a rarpred trace file (too short): " +
+                                  path);
+    uint64_t magic;
+    uint32_t version;
+    std::memcpy(&magic, raw, sizeof(magic));
+    std::memcpy(&version, raw + 8, sizeof(version));
+    if (magic != kMagic)
+        return Status::corruption("not a rarpred trace file: " + path);
+    if (version < kTraceMinVersion || version > kTraceVersion)
+        return Status::invalidArgument(
+            "unsupported trace file version " + std::to_string(version) +
+            " in " + path);
+
+    const std::streamsize rest =
+        (std::streamsize)traceHeaderBytes(version) - 12;
+    in_.read(reinterpret_cast<char *>(raw + 12), rest);
+    if (!in_ || in_.gcount() != rest)
+        return Status::corruption("truncated trace file header: " + path);
+
+    if (version >= 2) {
+        HeaderV2 header;
+        std::memcpy(&header, raw, sizeof(header));
+        if (header.headerCrc != crc32(raw, kHeaderCrcCoverage))
+            return Status::corruption(
+                "trace file header failed its checksum: " + path);
+        total_ = header.count;
+    } else {
+        HeaderV1 header;
+        std::memcpy(&header, raw, sizeof(header));
+        total_ = header.count;
+    }
+    version_ = version;
+    dataStart_ = in_.tellg();
+    return Status{};
+}
+
+Status
+TraceFileReader::readRecord(DynInst &di, bool &at_eof)
+{
+    at_eof = false;
+    const std::streamsize want =
+        (std::streamsize)traceRecordBytes(version_);
+    uint8_t raw[sizeof(RecordV2)];
+    in_.read(reinterpret_cast<char *>(raw), want);
+    const std::streamsize got = in_.gcount();
+    if (got != want) {
+        at_eof = true;
+        stats_.truncatedBytes += (uint64_t)(want - got);
+        return Status::corruption(
+            "truncated trace file: record " + std::to_string(pos_) +
+            " of " + std::to_string(total_) + " is incomplete");
+    }
+
+    Record payload;
+    std::memcpy(&payload, raw, sizeof(payload));
+    if (version_ >= 2) {
+        uint32_t stored;
+        std::memcpy(&stored, raw + sizeof(Record), sizeof(stored));
+        if (stored != crc32(&payload, sizeof(payload))) {
+            ++stats_.corruptionsDetected;
+            return Status::corruption(
+                "trace record " + std::to_string(pos_) +
+                " failed its CRC");
+        }
+    }
+    if (!validRecordFields(payload)) {
+        ++stats_.invalidRecords;
+        return Status::corruption(
+            "trace record " + std::to_string(pos_) +
+            " has illegal field encodings");
+    }
+    unpackRecord(payload, di);
+    return Status{};
+}
+
+bool
+TraceFileReader::next(DynInst &di)
+{
+    if (!status_.ok())
+        return false;
+    while (pos_ < total_) {
+        bool at_eof = false;
+        Status s = readRecord(di, at_eof);
+        if (s.ok()) {
+            ++pos_;
+            ++read_;
+            return true;
+        }
+        if (at_eof || !options_.resyncOnCorruption) {
+            // Truncation cannot be skipped past; and without the
+            // recovery option any corruption stops the stream.
+            status_ = std::move(s);
+            return false;
+        }
+        // Records are fixed-size, so the stream already sits at the
+        // next record boundary: drop the damaged one and resume.
+        ++pos_;
+        ++stats_.recordsSkipped;
+    }
+    return false;
 }
 
 void
 TraceFileReader::rewind()
 {
+    if (version_ == 0)
+        return; // the header never parsed; nothing to rewind to
     in_.clear();
     in_.seekg(dataStart_);
+    pos_ = 0;
     read_ = 0;
+    status_ = Status{};
+}
+
+void
+TraceFileReader::ReadStats::registerStats(StatGroup &group)
+{
+    group.registerCounter("corruptionsDetected", &corruptionsDetected);
+    group.registerCounter("invalidRecords", &invalidRecords);
+    group.registerCounter("recordsSkipped", &recordsSkipped);
+    group.registerCounter("truncatedBytes", &truncatedBytes);
 }
 
 uint64_t

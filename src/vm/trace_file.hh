@@ -7,8 +7,16 @@
  * the original work separated its functional and timing runs), and
  * lets external traces drive the predictors without the MicroVM.
  *
- * Format: an 16-byte header (magic, version, count) followed by
- * fixed-size little-endian records.
+ * Format v2: a 32-byte header (magic, version, count, header CRC-32)
+ * followed by fixed-size little-endian records, each carrying a
+ * CRC-32 of its payload so corruption and truncation are detected at
+ * read time instead of being silently replayed. Version-1 files
+ * (24-byte header, unchecksummed 48-byte records) are still readable.
+ *
+ * Error handling follows the repo policy (common/status.hh): all
+ * failure paths — unopenable files, bad magic or version, CRC
+ * mismatches, truncation, invalid field encodings, write errors —
+ * surface as Status values; nothing in here exits the process.
  */
 
 #ifndef RARPRED_VM_TRACE_FILE_HH_
@@ -16,53 +24,158 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "common/stats.hh"
+#include "common/status.hh"
 #include "vm/trace.hh"
 
 namespace rarpred {
+
+/** Current (written) trace file format version. */
+constexpr uint32_t kTraceVersion = 2;
+
+/** Oldest readable trace file format version. */
+constexpr uint32_t kTraceMinVersion = 1;
+
+/** @return on-disk header size in bytes for format @p version. */
+uint64_t traceHeaderBytes(uint32_t version = kTraceVersion);
+
+/** @return on-disk record size in bytes for format @p version. */
+uint64_t traceRecordBytes(uint32_t version = kTraceVersion);
 
 /** Writes a trace to a file as it streams through. */
 class TraceFileWriter : public TraceSink
 {
   public:
-    /** Open @p path for writing; fails fatally if it cannot. */
+    /**
+     * Open @p path for writing. Never exits the process: on failure
+     * the writer is created in an error state — check status().
+     * Prefer open() when the caller wants the error directly.
+     */
     explicit TraceFileWriter(const std::string &path);
     ~TraceFileWriter() override;
 
+    /** Open @p path for writing, or explain why not. */
+    static Result<std::unique_ptr<TraceFileWriter>>
+    open(const std::string &path);
+
+    /**
+     * Append one record. Errors (e.g. a full disk) latch into
+     * status(); once in error, further records are dropped.
+     */
     void onInst(const DynInst &di) override;
 
-    /** Finish the file (writes the record count). Idempotent. */
-    void finish();
+    /**
+     * Finish the file: rewrite the header with the final record count
+     * and checksum, flush, and verify the stream survived every
+     * seek/write/flush. Idempotent; returns the first error observed
+     * over the writer's whole life (a non-OK result means the file on
+     * disk must not be trusted).
+     */
+    Status finish();
+
+    /** First error observed so far (OK while everything is fine). */
+    const Status &status() const { return status_; }
 
     uint64_t recordsWritten() const { return count_; }
 
   private:
+    void latchError(Status status);
+
+    std::string path_;
     std::ofstream out_;
     uint64_t count_ = 0;
     bool finished_ = false;
+    Status status_;
 };
 
 /** Replays a trace file as a TraceSource. */
 class TraceFileReader : public TraceSource
 {
   public:
-    /** Open @p path; fails fatally on a missing or malformed file. */
-    explicit TraceFileReader(const std::string &path);
+    /** Knobs controlling how defensively the reader behaves. */
+    struct Options
+    {
+        /**
+         * Corruption recovery: instead of stopping at the first bad
+         * record (CRC mismatch, invalid field encoding) or at an
+         * unexpected end of file, skip the damaged record(s), count
+         * them, and resume at the next record boundary. Detection
+         * still happens — see stats() — but the stream keeps playing.
+         */
+        bool resyncOnCorruption = false;
+    };
 
+    /** Corruption/recovery counters, exposable via common/stats. */
+    struct ReadStats
+    {
+        Counter corruptionsDetected; ///< records failing their CRC
+        Counter invalidRecords;      ///< CRC-clean but illegal fields
+        Counter recordsSkipped;      ///< records dropped by resync
+        Counter truncatedBytes;      ///< payload bytes missing at EOF
+
+        /** Register all counters under @p group. */
+        void registerStats(StatGroup &group);
+    };
+
+    /**
+     * Open @p path. Never exits the process: on a missing or
+     * malformed file the reader is created in an error state — check
+     * status(). Prefer open() when the caller wants the error
+     * directly.
+     */
+    explicit TraceFileReader(const std::string &path);
+    TraceFileReader(const std::string &path, const Options &options);
+
+    /** Open @p path, or explain why not (bad magic, version, ...). */
+    static Result<std::unique_ptr<TraceFileReader>>
+    open(const std::string &path);
+    static Result<std::unique_ptr<TraceFileReader>>
+    open(const std::string &path, const Options &options);
+
+    /**
+     * Produce the next record.
+     * @return false at end of stream *or* on error; the two are told
+     *         apart by status(), which stays OK on a clean end.
+     */
     bool next(DynInst &di) override;
 
-    /** @return total records in the file. */
+    /** First unrecovered error observed (OK while healthy). */
+    const Status &status() const { return status_; }
+
+    /** @return total records the header claims the file holds. */
     uint64_t totalRecords() const { return total_; }
 
-    /** Rewind to the first record. */
+    /** @return records successfully produced so far. */
+    uint64_t recordsRead() const { return read_; }
+
+    /** @return format version of the opened file (0 when unopened). */
+    uint32_t formatVersion() const { return version_; }
+
+    /** Corruption/recovery counters (cumulative across rewinds). */
+    const ReadStats &stats() const { return stats_; }
+    ReadStats &stats() { return stats_; }
+
+    /** Rewind to the first record; clears a latched read error. */
     void rewind();
 
   private:
+    Status readHeader(const std::string &path);
+    /** Read+validate the record at the current position. @p at_eof is
+     *  set when the failure was running out of file (no resync). */
+    Status readRecord(DynInst &di, bool &at_eof);
+
     std::ifstream in_;
+    Options options_;
     uint64_t total_ = 0;
-    uint64_t read_ = 0;
+    uint64_t read_ = 0; ///< records produced to the caller
+    uint64_t pos_ = 0;  ///< record slots consumed (produced + skipped)
+    uint32_t version_ = 0;
     std::streampos dataStart_;
+    Status status_;
+    ReadStats stats_;
 };
 
 /** Pump a TraceSource into a TraceSink. @return records pumped. */

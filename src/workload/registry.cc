@@ -30,13 +30,22 @@ allWorkloads()
     return workloads;
 }
 
-const Workload &
-findWorkload(const std::string &abbrev)
+Result<const Workload *>
+lookupWorkload(const std::string &abbrev)
 {
     for (const auto &w : allWorkloads())
         if (w.abbrev == abbrev)
-            return w;
-    rarpred_fatal("unknown workload: " + abbrev);
+            return &w;
+    return Status::notFound("unknown workload: " + abbrev);
+}
+
+const Workload &
+findWorkload(const std::string &abbrev)
+{
+    Result<const Workload *> found = lookupWorkload(abbrev);
+    if (!found.ok())
+        rarpred_fatal(found.status().message());
+    return **found;
 }
 
 } // namespace rarpred

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "isa/program.hh"
 
 namespace rarpred {
@@ -39,8 +40,16 @@ struct Workload
 const std::vector<Workload> &allWorkloads();
 
 /**
+ * @return the workload with the given abbreviation, or NotFound. This
+ * is the library-level lookup: unknown names are a recoverable error.
+ */
+Result<const Workload *> lookupWorkload(const std::string &abbrev);
+
+/**
  * @return the workload with the given abbreviation.
- * Fails fatally when the name is unknown.
+ * Fails fatally when the name is unknown — a convenience for CLI
+ * drivers, examples and tests only; library code that can propagate
+ * errors must use lookupWorkload() instead.
  */
 const Workload &findWorkload(const std::string &abbrev);
 

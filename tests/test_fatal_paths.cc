@@ -1,7 +1,12 @@
 /**
  * @file
- * Death tests: user-error paths must fail fast with a clear message
- * (the fatal()/panic() discipline of common/logging.hh).
+ * Error-policy tests, both halves of the discipline documented in
+ * common/status.hh:
+ *  - entry-point helpers and internal invariants still die loudly
+ *    (fatal()/panic() death tests);
+ *  - library-level failure paths — bad trace files, unknown
+ *    workloads, invalid configs — are *recoverable*: they must return
+ *    Status and must NOT exit the process.
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +14,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "isa/program_builder.hh"
 #include "vm/trace_file.hh"
 #include "workload/workload.hh"
@@ -40,34 +46,70 @@ TEST(FatalPaths, DuplicateLabelIsFatal)
         ::testing::ExitedWithCode(1), "duplicate label");
 }
 
-TEST(FatalPaths, UnknownWorkloadIsFatal)
+TEST(FatalPaths, UnknownWorkloadIsFatalInConvenienceWrapper)
 {
+    // findWorkload() is the CLI/test convenience; the recoverable
+    // library API is lookupWorkload(), tested below.
     EXPECT_EXIT((void)findWorkload("no-such-benchmark"),
                 ::testing::ExitedWithCode(1), "unknown workload");
-}
-
-TEST(FatalPaths, MissingTraceFileIsFatal)
-{
-    EXPECT_EXIT(TraceFileReader reader("/nonexistent/path/trace.rar"),
-                ::testing::ExitedWithCode(1), "cannot open trace file");
-}
-
-TEST(FatalPaths, GarbageTraceFileIsFatal)
-{
-    const std::string path =
-        ::testing::TempDir() + "rarpred_garbage.rar";
-    {
-        std::ofstream out(path, std::ios::binary);
-        out << "this is not a trace file at all, not even close";
-    }
-    EXPECT_EXIT(TraceFileReader reader(path),
-                ::testing::ExitedWithCode(1), "not a rarpred trace");
-    std::remove(path.c_str());
 }
 
 TEST(FatalPaths, AssertionPanicsAbort)
 {
     EXPECT_DEATH(rarpred_assert(1 == 2), "assertion failed");
+}
+
+// --- recoverable library paths ---------------------------------------
+
+TEST(RecoverablePaths, UnknownWorkloadIsNotFoundStatus)
+{
+    auto found = lookupWorkload("no-such-benchmark");
+    ASSERT_FALSE(found.ok());
+    EXPECT_EQ(found.status().code(), StatusCode::NotFound);
+    EXPECT_NE(found.status().message().find("no-such-benchmark"),
+              std::string::npos);
+}
+
+TEST(RecoverablePaths, KnownWorkloadLooksUp)
+{
+    auto found = lookupWorkload("gcc");
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ((*found)->fullName, "126.gcc");
+}
+
+TEST(RecoverablePaths, MissingTraceFileIsIoErrorNotExit)
+{
+    auto reader = TraceFileReader::open("/nonexistent/path/trace.rar");
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::IoError);
+
+    // The constructor form must not exit either: it latches the error.
+    TraceFileReader direct("/nonexistent/path/trace.rar");
+    EXPECT_FALSE(direct.status().ok());
+    DynInst di;
+    EXPECT_FALSE(direct.next(di));
+}
+
+TEST(RecoverablePaths, GarbageTraceFileIsCorruptionNotExit)
+{
+    const std::string path = ::testing::TempDir() + "rarpred_garbage.rar";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all, not even close";
+    }
+    auto reader = TraceFileReader::open(path);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+    EXPECT_NE(reader.status().message().find("not a rarpred trace"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(RecoverablePaths, UnwritableTracePathIsIoErrorNotExit)
+{
+    auto writer = TraceFileWriter::open("/nonexistent/dir/out.rar");
+    ASSERT_FALSE(writer.ok());
+    EXPECT_EQ(writer.status().code(), StatusCode::IoError);
 }
 
 } // namespace

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Fault-injection harness and speculation-safety oracle tests.
+ *
+ * The headline property: with bits flipping in the DDT, DPNT, synonym
+ * file and store-set tables while a program runs, the committed
+ * architectural results must be bit-identical to a fault-free golden
+ * execution — on every workload in the suite. Predictor state is
+ * performance-only; the verification load is the safety net, and these
+ * tests tear holes in everything above it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/cloaking.hh"
+#include "faultinject/fault_injector.hh"
+#include "faultinject/safety_oracle.hh"
+#include "predictor/store_sets.hh"
+#include "vm/micro_vm.hh"
+#include "vm/trace_file.hh"
+#include "workload/workload.hh"
+
+namespace rarpred {
+namespace {
+
+/** Run @p n instructions of a small workload through @p engine so its
+ *  tables hold live state worth corrupting. */
+void
+warmEngine(CloakingEngine &engine, uint64_t n)
+{
+    const Program program = findWorkload("com").build(1);
+    MicroVM vm(program); // the Program must outlive the VM
+    DynInst di;
+    for (uint64_t i = 0; i < n && vm.next(di); ++i)
+        engine.processInst(di);
+}
+
+TEST(FaultInjector, InjectsIntoEveryWarmedStructure)
+{
+    CloakingEngine engine{CloakingConfig{}};
+    warmEngine(engine, 20'000);
+    ASSERT_GT(engine.synonymFile().size(), 0u);
+    StoreSetPredictor store_sets;
+
+    FaultInjectorConfig config;
+    config.seed = 42;
+    config.ratePerStep = 1.0; // hit every structure on every step
+    FaultInjector injector(config);
+    injector.attach(&engine);
+    injector.attach(&store_sets);
+    for (int i = 0; i < 200; ++i)
+        injector.step();
+
+    EXPECT_GT(injector.faultsDdt(), 0u);
+    EXPECT_GT(injector.faultsDpnt(), 0u);
+    EXPECT_GT(injector.faultsSynonymFile(), 0u);
+    EXPECT_GT(injector.faultsStoreSets(), 0u);
+    EXPECT_EQ(injector.faultsInjected(),
+              injector.faultsDdt() + injector.faultsDpnt() +
+                  injector.faultsSynonymFile() +
+                  injector.faultsStoreSets());
+}
+
+TEST(FaultInjector, SameSeedReplaysSameFaultSequence)
+{
+    auto run = [](uint64_t seed) {
+        CloakingEngine engine{CloakingConfig{}};
+        warmEngine(engine, 10'000);
+        FaultInjectorConfig config;
+        config.seed = seed;
+        config.ratePerStep = 0.25;
+        FaultInjector injector(config);
+        injector.attach(&engine);
+        for (int i = 0; i < 1000; ++i)
+            injector.step();
+        return injector.faultsInjected();
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8)); // and the seed actually matters
+}
+
+TEST(FaultInjector, DisabledTargetsAreNeverTouched)
+{
+    CloakingEngine engine{CloakingConfig{}};
+    warmEngine(engine, 10'000);
+    FaultInjectorConfig config;
+    config.ratePerStep = 1.0;
+    config.targetDdt = false;
+    config.targetSynonymFile = false;
+    FaultInjector injector(config);
+    injector.attach(&engine);
+    for (int i = 0; i < 100; ++i)
+        injector.step();
+    EXPECT_EQ(injector.faultsDdt(), 0u);
+    EXPECT_EQ(injector.faultsSynonymFile(), 0u);
+    EXPECT_GT(injector.faultsDpnt(), 0u);
+}
+
+TEST(FaultInjector, ZeroRateIsInert)
+{
+    CloakingEngine engine{CloakingConfig{}};
+    warmEngine(engine, 5'000);
+    FaultInjector injector(FaultInjectorConfig{});
+    injector.attach(&engine);
+    for (int i = 0; i < 100; ++i)
+        injector.step();
+    EXPECT_EQ(injector.faultsInjected(), 0u);
+}
+
+TEST(FaultInjector, StoreSetInjectionAlwaysLands)
+{
+    // SSIT/LFST are plain arrays: every injection attempt must land.
+    StoreSetPredictor store_sets;
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(store_sets.injectFault(rng));
+}
+
+TEST(FaultInjector, RegisterStatsExposesPerTargetCounters)
+{
+    CloakingEngine engine{CloakingConfig{}};
+    warmEngine(engine, 10'000);
+    FaultInjectorConfig config;
+    config.ratePerStep = 1.0;
+    FaultInjector injector(config);
+    injector.attach(&engine);
+    StatGroup group("faults");
+    injector.registerStats(group);
+    for (int i = 0; i < 50; ++i)
+        injector.step();
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("faults.faultsDdt"), std::string::npos);
+    EXPECT_NE(os.str().find("faults.faultsDpnt"), std::string::npos);
+    EXPECT_NE(os.str().find("faults.faultsSynonymFile"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("faults.faultsStoreSets"), std::string::npos);
+}
+
+TEST(CorruptTraceFile, DamageIsCaughtByReaderCrc)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_corrupt_me.rar";
+    {
+        TraceFileWriter writer(path);
+        const Program program = findWorkload("li").build(1);
+        MicroVM vm(program);
+        pumpTrace(vm, writer, 2'000);
+        ASSERT_TRUE(writer.finish().ok());
+    }
+
+    auto flipped = corruptTraceFile(path, 16, /*seed=*/11);
+    ASSERT_TRUE(flipped.ok());
+    EXPECT_EQ(*flipped, 16u);
+
+    TraceFileReader::Options options;
+    options.resyncOnCorruption = true;
+    TraceFileReader reader(path, options);
+    ASSERT_TRUE(reader.status().ok());
+    DynInst di;
+    while (reader.next(di)) {
+    }
+    // Flips can land in a record's trailing pad (harmless by design),
+    // but with 16 of them some must hit checksummed payload bytes.
+    EXPECT_GT(reader.stats().corruptionsDetected.value() +
+                  reader.stats().invalidRecords.value(),
+              0u);
+    EXPECT_EQ(reader.stats().recordsSkipped.value(),
+              reader.totalRecords() - reader.recordsRead());
+}
+
+TEST(CorruptTraceFile, MissingFileIsIoError)
+{
+    auto flipped = corruptTraceFile("/nonexistent/trace.rar", 4, 1);
+    ASSERT_FALSE(flipped.ok());
+    EXPECT_EQ(flipped.status().code(), StatusCode::IoError);
+}
+
+TEST(SafetyOracle, InvalidConfigIsRecoverable)
+{
+    OracleConfig config;
+    config.cloaking.dpnt.geometry = {24, 2}; // 12 sets: not a power of 2
+    auto report = runSafetyOracle(findWorkload("go").build(1), config);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(SafetyOracle, FaultFreeRunPasses)
+{
+    OracleConfig config;
+    config.maxInsts = 50'000;
+    auto report = runSafetyOracle(findWorkload("gcc").build(1), config);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->passed) << report->firstDivergence;
+    EXPECT_EQ(report->faultsInjected, 0u);
+    EXPECT_EQ(report->instructions, 50'000u);
+    EXPECT_GT(report->specUsed, 0u);
+    EXPECT_EQ(report->goldenDigest, report->faultedDigest);
+}
+
+TEST(SafetyOracle, ReportIsDeterministic)
+{
+    OracleConfig config;
+    config.maxInsts = 30'000;
+    config.faults.ratePerStep = 1e-2;
+    config.faults.seed = 99;
+    const Program program = findWorkload("swm").build(1);
+    auto a = runSafetyOracle(program, config);
+    auto b = runSafetyOracle(program, config);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->faultsInjected, b->faultsInjected);
+    EXPECT_EQ(a->specUsed, b->specUsed);
+    EXPECT_EQ(a->specSquashed, b->specSquashed);
+    EXPECT_EQ(a->faultedDigest, b->faultedDigest);
+}
+
+/** The headline suite: the safety property must hold on every workload
+ *  with faults landing at well above the required 1e-4 rate. */
+class SafetyOracleAllWorkloads
+    : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(SafetyOracleAllWorkloads, SurvivesFaultInjection)
+{
+    const Workload &wl = *GetParam();
+    OracleConfig config;
+    config.cloaking.dpnt.geometry = {8192, 2}; // the paper's tables:
+    config.cloaking.sf = {1024, 2};            // realistic conflict load
+    config.faults.ratePerStep = 1e-3;
+    config.faults.seed = 0xC0FFEE;
+    config.maxInsts = 120'000;
+    auto report = runSafetyOracle(wl.build(1), config);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_TRUE(report->passed)
+        << wl.fullName << ": " << report->firstDivergence;
+    EXPECT_GT(report->faultsInjected, 0u) << wl.fullName;
+    EXPECT_GT(report->instructions, 0u);
+    EXPECT_EQ(report->divergences, 0u);
+}
+
+std::vector<const Workload *>
+workloadPointers()
+{
+    std::vector<const Workload *> out;
+    for (const Workload &wl : allWorkloads())
+        out.push_back(&wl);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SafetyOracleAllWorkloads,
+    ::testing::ValuesIn(workloadPointers()),
+    [](const ::testing::TestParamInfo<const Workload *> &info) {
+        // Abbreviations like "fp*" aren't valid gtest identifiers;
+        // keep alphanumerics and index-suffix for uniqueness.
+        std::string name;
+        for (char c : info.param->abbrev)
+            if (std::isalnum((unsigned char)c))
+                name += c;
+        return name + "_" + std::to_string(info.index);
+    });
+
+} // namespace
+} // namespace rarpred

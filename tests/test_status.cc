@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the recoverable error-handling core: Status, Result<T>,
+ * and the config-validation helpers built on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/crc32.hh"
+#include "common/hybrid_table.hh"
+#include "common/status.hh"
+#include "core/cloaking.hh"
+
+namespace rarpred {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    Status s = Status::notFound("no such thing");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+    EXPECT_EQ(s.message(), "no such thing");
+    EXPECT_EQ(s.toString(), "not-found: no such thing");
+
+    EXPECT_EQ(Status::ioError("x").code(), StatusCode::IoError);
+    EXPECT_EQ(Status::corruption("x").code(), StatusCode::Corruption);
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::outOfRange("x").code(), StatusCode::OutOfRange);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::FailedPrecondition);
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::Corruption), "corruption");
+    EXPECT_STREQ(statusCodeName(StatusCode::IoError), "io-error");
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r(Status::notFound("nope"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(Result, MoveOnlyValue)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(**r, 7);
+    std::unique_ptr<int> taken = std::move(r.value());
+    EXPECT_EQ(*taken, 7);
+}
+
+TEST(Result, ValueOnErrorPanics)
+{
+    Result<int> r(Status::ioError("disk on fire"));
+    EXPECT_DEATH((void)r.value(), "disk on fire");
+}
+
+TEST(Result, ConstructingFromOkStatusPanics)
+{
+    EXPECT_DEATH(Result<int> r{Status{}}, "OK status");
+}
+
+TEST(ValidateGeometry, AcceptsUnboundedAndFullyAssociative)
+{
+    EXPECT_TRUE(validateGeometry({0, 0}, "t").ok());
+    EXPECT_TRUE(validateGeometry({128, 0}, "t").ok());
+    EXPECT_TRUE(validateGeometry({128, 128}, "t").ok());
+    EXPECT_TRUE(validateGeometry({8192, 2}, "t").ok());
+}
+
+TEST(ValidateGeometry, RejectsIndivisibleEntries)
+{
+    Status s = validateGeometry({100, 3}, "dpnt");
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("dpnt"), std::string::npos);
+}
+
+TEST(ValidateGeometry, RejectsNonPowerOfTwoSets)
+{
+    Status s = validateGeometry({24, 2}, "sf");
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("power of two"), std::string::npos);
+}
+
+TEST(ValidateCloakingConfig, DefaultIsValid)
+{
+    EXPECT_TRUE(CloakingConfig{}.validate().ok());
+}
+
+TEST(ValidateCloakingConfig, PaperGeometryIsValid)
+{
+    CloakingConfig config;
+    config.dpnt.geometry = {8192, 2};
+    config.sf = {1024, 2};
+    EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(ValidateCloakingConfig, BadDpntGeometryIsRecoverable)
+{
+    CloakingConfig config;
+    config.dpnt.geometry = {24, 2}; // 12 sets: not a power of two
+    EXPECT_EQ(config.validate().code(), StatusCode::InvalidArgument);
+}
+
+TEST(ValidateCloakingConfig, AbsurdGranularityIsRecoverable)
+{
+    CloakingConfig config;
+    config.ddt.granularityLog2 = 40;
+    EXPECT_EQ(config.validate().code(), StatusCode::OutOfRange);
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // The standard check value for CRC-32/IEEE.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string data = "read-after-read memory dependence";
+    uint32_t inc = crc32Update(0, data.data(), 10);
+    inc = crc32Update(inc, data.data() + 10, data.size() - 10);
+    EXPECT_EQ(inc, crc32(data.data(), data.size()));
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    uint64_t word = 0x0123456789abcdefull;
+    const uint32_t clean = crc32(&word, sizeof(word));
+    for (int bit = 0; bit < 64; ++bit) {
+        word ^= 1ull << bit;
+        EXPECT_NE(crc32(&word, sizeof(word)), clean) << "bit " << bit;
+        word ^= 1ull << bit;
+    }
+}
+
+} // namespace
+} // namespace rarpred

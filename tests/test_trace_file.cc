@@ -1,19 +1,69 @@
 /**
  * @file
- * Tests for the binary trace file writer/reader.
+ * Tests for the binary trace file writer/reader: round-trip fidelity,
+ * and the v2 format's integrity machinery — header checksum,
+ * per-record CRC-32, field validation, truncation detection, and the
+ * opt-in skip-and-resync recovery mode.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/crc32.hh"
+#include "common/stats.hh"
 #include "vm/micro_vm.hh"
 #include "vm/trace_file.hh"
 #include "workload/workload.hh"
 
 namespace rarpred {
 namespace {
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), (std::streamsize)bytes.size());
+}
+
+// v2 on-disk layout constants, asserted against the library so these
+// tests fail loudly if the format shifts under them.
+constexpr uint64_t kHdr = 32;     // header bytes
+constexpr uint64_t kRec = 56;     // record bytes (48 payload + crc + pad)
+constexpr uint64_t kPayload = 48; // checksummed payload bytes
+
+/** Byte offset of record @p i in a v2 trace file. */
+uint64_t
+recOffset(uint64_t i)
+{
+    return kHdr + i * kRec;
+}
+
+/** Patch one payload byte of record @p i and refresh its CRC, so the
+ *  damage is CRC-clean and only field validation can catch it. */
+void
+patchPayloadWithValidCrc(std::vector<char> &bytes, uint64_t i,
+                         uint64_t field_offset, char value)
+{
+    char *payload = bytes.data() + recOffset(i);
+    payload[field_offset] = value;
+    const uint32_t crc = crc32(payload, kPayload);
+    std::memcpy(payload + kPayload, &crc, sizeof(crc));
+}
 
 class TraceFileTest : public ::testing::Test
 {
@@ -124,6 +174,329 @@ TEST_F(TraceFileTest, PumpTraceMovesEverything)
     } counter;
     EXPECT_EQ(pumpTrace(reader, counter), 50u);
     EXPECT_EQ(counter.n, 50u);
+}
+
+TEST_F(TraceFileTest, LayoutConstantsMatchLibrary)
+{
+    EXPECT_EQ(traceHeaderBytes(), kHdr);
+    EXPECT_EQ(traceRecordBytes(), kRec);
+    EXPECT_EQ(traceHeaderBytes(1), 24u);
+    EXPECT_EQ(traceRecordBytes(1), 48u);
+}
+
+TEST_F(TraceFileTest, FinishReportsSuccess)
+{
+    TraceFileWriter writer(path_);
+    writer.onInst(sample(0));
+    EXPECT_TRUE(writer.finish().ok());
+    EXPECT_TRUE(writer.status().ok());
+}
+
+TEST_F(TraceFileTest, WriteFailureIsDetectedNotSilent)
+{
+    // /dev/full accepts the open but fails every flush with ENOSPC —
+    // exactly the "disk fills up mid-recording" scenario.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    TraceFileWriter writer("/dev/full");
+    for (uint64_t i = 0; i < 100'000 && writer.status().ok(); ++i)
+        writer.onInst(sample(i));
+    Status s = writer.finish();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::IoError);
+}
+
+TEST_F(TraceFileTest, FlippedPayloadByteFailsRecordCrc)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 20; ++i)
+            writer.onInst(sample(i));
+    }
+    auto bytes = readAll(path_);
+    bytes[recOffset(7) + 16] ^= 0x10; // one bit of record 7's nextPc
+    writeAll(path_, bytes);
+
+    TraceFileReader reader(path_);
+    ASSERT_TRUE(reader.status().ok());
+    DynInst di;
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(reader.next(di));
+    EXPECT_FALSE(reader.next(di)); // stops at the damaged record
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+    EXPECT_NE(reader.status().message().find("CRC"), std::string::npos);
+    EXPECT_EQ(reader.stats().corruptionsDetected.value(), 1u);
+}
+
+TEST_F(TraceFileTest, ResyncSkipsCorruptRecordsAndCounts)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 50; ++i)
+            writer.onInst(sample(i));
+    }
+    auto bytes = readAll(path_);
+    bytes[recOffset(3) + 0] ^= 0x01;  // damage record 3
+    bytes[recOffset(31) + 8] ^= 0x80; // and record 31
+    writeAll(path_, bytes);
+
+    TraceFileReader::Options options;
+    options.resyncOnCorruption = true;
+    TraceFileReader reader(path_, options);
+    ASSERT_TRUE(reader.status().ok());
+    DynInst di;
+    uint64_t seen = 0;
+    uint64_t sum_seq = 0;
+    while (reader.next(di)) {
+        ++seen;
+        sum_seq += di.seq;
+    }
+    EXPECT_TRUE(reader.status().ok()); // recovered; clean end of stream
+    EXPECT_EQ(seen, 48u);
+    // Exactly records 3 and 31 are missing from the seq sum.
+    EXPECT_EQ(sum_seq, 50u * 49u / 2 - 3 - 31);
+    EXPECT_EQ(reader.stats().corruptionsDetected.value(), 2u);
+    EXPECT_EQ(reader.stats().recordsSkipped.value(), 2u);
+}
+
+TEST_F(TraceFileTest, TruncatedFileIsDetected)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 20; ++i)
+            writer.onInst(sample(i));
+    }
+    // Chop the file mid-record 10.
+    std::filesystem::resize_file(path_, recOffset(10) + 13);
+
+    TraceFileReader reader(path_);
+    ASSERT_TRUE(reader.status().ok());
+    DynInst di;
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(reader.next(di));
+    EXPECT_FALSE(reader.next(di));
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+    EXPECT_NE(reader.status().message().find("truncated"),
+              std::string::npos);
+    EXPECT_EQ(reader.stats().truncatedBytes.value(), kRec - 13);
+}
+
+TEST_F(TraceFileTest, TruncationStopsEvenInResyncMode)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 20; ++i)
+            writer.onInst(sample(i));
+    }
+    std::filesystem::resize_file(path_, recOffset(15));
+
+    TraceFileReader::Options options;
+    options.resyncOnCorruption = true;
+    TraceFileReader reader(path_, options);
+    DynInst di;
+    uint64_t seen = 0;
+    while (reader.next(di))
+        ++seen;
+    EXPECT_EQ(seen, 15u);
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+}
+
+TEST_F(TraceFileTest, HeaderChecksumCatchesCountTampering)
+{
+    {
+        TraceFileWriter writer(path_);
+        writer.onInst(sample(0));
+    }
+    auto bytes = readAll(path_);
+    bytes[16] ^= 0x02; // the record-count field, within CRC coverage
+    writeAll(path_, bytes);
+
+    auto reader = TraceFileReader::open(path_);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+    EXPECT_NE(reader.status().message().find("checksum"),
+              std::string::npos);
+}
+
+TEST_F(TraceFileTest, WrongMagicIsRejected)
+{
+    {
+        TraceFileWriter writer(path_);
+        writer.onInst(sample(0));
+    }
+    auto bytes = readAll(path_);
+    bytes[0] ^= 0xff;
+    writeAll(path_, bytes);
+
+    auto reader = TraceFileReader::open(path_);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+    EXPECT_NE(reader.status().message().find("not a rarpred trace"),
+              std::string::npos);
+}
+
+TEST_F(TraceFileTest, UnsupportedVersionIsRejected)
+{
+    {
+        TraceFileWriter writer(path_);
+        writer.onInst(sample(0));
+    }
+    auto bytes = readAll(path_);
+    bytes[8] = 99; // future format revision
+    writeAll(path_, bytes);
+
+    auto reader = TraceFileReader::open(path_);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(reader.status().message().find("version"),
+              std::string::npos);
+}
+
+TEST_F(TraceFileTest, ZeroLengthFileIsRejected)
+{
+    writeAll(path_, {});
+    auto reader = TraceFileReader::open(path_);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+}
+
+TEST_F(TraceFileTest, InvalidOpcodeIsRejectedNotBlindCast)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 5; ++i)
+            writer.onInst(sample(i));
+    }
+    auto bytes = readAll(path_);
+    // Opcode byte sits at payload offset 40; give it an out-of-enum
+    // value but a *valid* CRC, so only field validation can object.
+    patchPayloadWithValidCrc(bytes, 2, 40, (char)0xee);
+    writeAll(path_, bytes);
+
+    TraceFileReader reader(path_);
+    DynInst di;
+    ASSERT_TRUE(reader.next(di));
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_FALSE(reader.next(di));
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+    EXPECT_NE(reader.status().message().find("illegal field"),
+              std::string::npos);
+    EXPECT_EQ(reader.stats().invalidRecords.value(), 1u);
+    EXPECT_EQ(reader.stats().corruptionsDetected.value(), 0u);
+}
+
+TEST_F(TraceFileTest, InvalidRegisterIsRejected)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 5; ++i)
+            writer.onInst(sample(i));
+    }
+    auto bytes = readAll(path_);
+    patchPayloadWithValidCrc(bytes, 0, 41, (char)200); // dst register
+    writeAll(path_, bytes);
+
+    TraceFileReader::Options options;
+    options.resyncOnCorruption = true;
+    TraceFileReader reader(path_, options);
+    DynInst di;
+    uint64_t seen = 0;
+    while (reader.next(di))
+        ++seen;
+    EXPECT_EQ(seen, 4u); // the bad record was skipped, not replayed
+    EXPECT_EQ(reader.stats().invalidRecords.value(), 1u);
+    EXPECT_EQ(reader.stats().recordsSkipped.value(), 1u);
+}
+
+TEST_F(TraceFileTest, VersionOneFilesAreStillReadable)
+{
+    // Hand-assemble a v1 file: 24-byte header, raw 48-byte records.
+    std::vector<char> bytes(24 + 2 * 48, 0);
+    const uint64_t magic = 0x52415254524143ull;
+    const uint32_t version = 1;
+    const uint64_t count = 2;
+    std::memcpy(bytes.data(), &magic, 8);
+    std::memcpy(bytes.data() + 8, &version, 4);
+    std::memcpy(bytes.data() + 16, &count, 8);
+    for (uint64_t i = 0; i < 2; ++i) {
+        char *rec = bytes.data() + 24 + i * 48;
+        DynInst di = sample(i);
+        std::memcpy(rec + 0, &di.seq, 8);
+        std::memcpy(rec + 8, &di.pc, 8);
+        std::memcpy(rec + 16, &di.nextPc, 8);
+        std::memcpy(rec + 24, &di.eaddr, 8);
+        std::memcpy(rec + 32, &di.value, 8);
+        rec[40] = (char)di.op;
+        rec[41] = (char)di.dst;
+        rec[42] = (char)di.src1;
+        rec[43] = (char)di.src2;
+        rec[44] = di.taken ? 1 : 0;
+    }
+    writeAll(path_, bytes);
+
+    TraceFileReader reader(path_);
+    ASSERT_TRUE(reader.status().ok());
+    EXPECT_EQ(reader.formatVersion(), 1u);
+    EXPECT_EQ(reader.totalRecords(), 2u);
+    DynInst di;
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_EQ(di.pc, sample(0).pc);
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_EQ(di.value, sample(1).value);
+    EXPECT_FALSE(reader.next(di));
+    EXPECT_TRUE(reader.status().ok());
+}
+
+TEST_F(TraceFileTest, ReadStatsRegisterWithStatGroup)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 3; ++i)
+            writer.onInst(sample(i));
+    }
+    auto bytes = readAll(path_);
+    bytes[recOffset(1) + 4] ^= 0x40;
+    writeAll(path_, bytes);
+
+    TraceFileReader::Options options;
+    options.resyncOnCorruption = true;
+    TraceFileReader reader(path_, options);
+    StatGroup group("trace");
+    reader.stats().registerStats(group);
+    DynInst di;
+    while (reader.next(di)) {
+    }
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("trace.corruptionsDetected 1"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("trace.recordsSkipped 1"),
+              std::string::npos);
+}
+
+TEST_F(TraceFileTest, RewindClearsLatchedErrorAndReplays)
+{
+    {
+        TraceFileWriter writer(path_);
+        for (uint64_t i = 0; i < 10; ++i)
+            writer.onInst(sample(i));
+    }
+    auto bytes = readAll(path_);
+    bytes[recOffset(9) + 2] ^= 0x08; // damage only the last record
+    writeAll(path_, bytes);
+
+    TraceFileReader reader(path_);
+    DynInst di;
+    uint64_t first_pass = 0;
+    while (reader.next(di))
+        ++first_pass;
+    EXPECT_EQ(first_pass, 9u);
+    EXPECT_FALSE(reader.status().ok());
+
+    reader.rewind();
+    EXPECT_TRUE(reader.status().ok());
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_EQ(di.seq, 0u);
 }
 
 TEST_F(TraceFileTest, WorkloadTraceRoundTrip)

@@ -4,51 +4,67 @@
  * Bypassing links the consumers of a cloaked load directly to the
  * producer; without it, every covered load costs one extra propagation
  * cycle on the speculative path.
+ *
+ * Runs as an 18 × 3 grid on the parallel sweep driver (--workers=N /
+ * --serial).
  */
 
 #include <cstdio>
+#include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "cpu/ooo_cpu.hh"
+#include "driver/sweep.hh"
 
 namespace {
 
-uint64_t
-run(const rarpred::Workload &w, bool enabled, bool bypassing)
+/** Config points: base, cloaking only, cloaking + bypassing. */
+rarpred::CloakTimingConfig
+variant(size_t ci)
 {
-    rarpred::CpuConfig config;
     rarpred::CloakTimingConfig cloak;
-    if (enabled) {
+    if (ci > 0) {
         cloak.enabled = true;
         cloak.engine.ddt.entries = 128;
         cloak.engine.dpnt.geometry = {8192, 2};
         cloak.engine.sf = {1024, 2};
-        cloak.bypassing = bypassing;
+        cloak.bypassing = ci == 2;
     }
-    rarpred::OooCpu cpu(config, cloak);
-    rarpred::benchutil::runWorkload(w, cpu);
-    return cpu.stats().cycles;
+    return cloak;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    const auto workloads = rarpred::driver::allWorkloadPtrs();
+
+    const std::vector<uint64_t> cycles = rarpred::driver::runSweep(
+        runner, workloads, 3,
+        [](const rarpred::Workload &, size_t ci,
+           rarpred::TraceSource &trace, rarpred::Rng &) {
+            rarpred::CpuConfig config;
+            rarpred::OooCpu cpu(config, variant(ci));
+            rarpred::drainTrace(trace, cpu);
+            return cpu.stats().cycles;
+        });
+
     std::printf("Ablation: cloaking alone vs cloaking + bypassing\n");
     std::printf("(speedup over the uncloaked base)\n\n");
     std::printf("%-6s | %12s %12s\n", "prog", "cloak only",
                 "cloak+bypass");
 
     double sums[2] = {};
-    for (const auto &w : rarpred::allWorkloads()) {
-        const uint64_t base = run(w, false, false);
-        const uint64_t cloak_only = run(w, true, false);
-        const uint64_t with_bypass = run(w, true, true);
-        const double s0 = 100.0 * ((double)base / cloak_only - 1.0);
-        const double s1 = 100.0 * ((double)base / with_bypass - 1.0);
-        std::printf("%-6s | %11.2f%% %11.2f%%\n", w.abbrev.c_str(), s0,
-                    s1);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const uint64_t *row = &cycles[wi * 3];
+        const double s0 = 100.0 * ((double)row[0] / row[1] - 1.0);
+        const double s1 = 100.0 * ((double)row[0] / row[2] - 1.0);
+        std::printf("%-6s | %11.2f%% %11.2f%%\n",
+                    workloads[wi]->abbrev.c_str(), s0, s1);
         sums[0] += s0;
         sums[1] += s1;
     }
@@ -57,5 +73,7 @@ main()
     std::printf("\nExpected: bypassing adds on top of cloaking by "
                 "removing the value-propagation\nhop from every covered "
                 "load's consumers.\n");
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

@@ -8,31 +8,44 @@
  * speculation performs "very close to ideal"; store sets should
  * therefore match naive closely while eliminating the order
  * violations, and the conservative machine should trail.
+ *
+ * Runs as an 18 × 3 grid on the parallel sweep driver (--workers=N /
+ * --serial).
  */
 
 #include <cstdio>
+#include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "cpu/ooo_cpu.hh"
-
-namespace {
-
-rarpred::CpuStats
-run(const rarpred::Workload &w, rarpred::MemDepPolicy policy)
-{
-    rarpred::CpuConfig config;
-    config.memDep = policy;
-    rarpred::OooCpu cpu(config, {});
-    rarpred::benchutil::runWorkload(w, cpu);
-    return cpu.stats();
-}
-
-} // namespace
+#include "driver/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using rarpred::MemDepPolicy;
+
+    const std::vector<MemDepPolicy> policies = {
+        MemDepPolicy::Conservative,
+        MemDepPolicy::Naive,
+        MemDepPolicy::StoreSets,
+    };
+
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    const auto workloads = rarpred::driver::allWorkloadPtrs();
+
+    const std::vector<rarpred::CpuStats> stats = rarpred::driver::runSweep(
+        runner, workloads, policies.size(),
+        [&policies](const rarpred::Workload &, size_t ci,
+                    rarpred::TraceSource &trace, rarpred::Rng &) {
+            rarpred::CpuConfig config;
+            config.memDep = policies[ci];
+            rarpred::OooCpu cpu(config, {});
+            rarpred::drainTrace(trace, cpu);
+            return cpu.stats();
+        });
 
     std::printf("Ablation: base-machine memory dependence policy\n");
     std::printf("(speedup over the conservative machine; order "
@@ -41,16 +54,17 @@ main()
                 "store sets [5]");
 
     double sums[2] = {0, 0};
-    for (const auto &w : rarpred::allWorkloads()) {
-        auto cons = run(w, MemDepPolicy::Conservative);
-        auto naive = run(w, MemDepPolicy::Naive);
-        auto ss = run(w, MemDepPolicy::StoreSets);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const rarpred::CpuStats *row = &stats[wi * policies.size()];
+        const auto &cons = row[0];
+        const auto &naive = row[1];
+        const auto &ss = row[2];
         const double s_naive =
             100.0 * ((double)cons.cycles / naive.cycles - 1.0);
         const double s_ss =
             100.0 * ((double)cons.cycles / ss.cycles - 1.0);
         std::printf("%-6s | %8.2f%% (%6llu) | %8.2f%% (%6llu)\n",
-                    w.abbrev.c_str(), s_naive,
+                    workloads[wi]->abbrev.c_str(), s_naive,
                     (unsigned long long)naive.memOrderViolations, s_ss,
                     (unsigned long long)ss.memOrderViolations);
         sums[0] += s_naive;
@@ -62,5 +76,7 @@ main()
                 "eliminating most\nviolations; both beat the "
                 "conservative machine where store addresses resolve\n"
                 "late.\n");
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

@@ -5,31 +5,46 @@
  * Chrysos & Emer's incremental merge and reports "no noticeable
  * difference in accuracy". This bench verifies that on our suite, and
  * also reports the never-merge strawman the paper argues against.
+ *
+ * Runs as an 18 × 2 grid on the parallel sweep driver (--workers=N /
+ * --serial).
  */
 
 #include <cstdio>
+#include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/cloaking.hh"
-
-namespace {
-
-rarpred::CloakingStats
-runWith(const rarpred::Workload &w, rarpred::MergePolicy merge)
-{
-    rarpred::CloakingConfig config;
-    config.ddt.entries = 128;
-    config.dpnt.merge = merge;
-    rarpred::CloakingEngine engine(config);
-    rarpred::benchutil::runWorkload(w, engine);
-    return engine.stats();
-}
-
-} // namespace
+#include "driver/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    using rarpred::MergePolicy;
+
+    const std::vector<MergePolicy> merges = {
+        MergePolicy::FullMerge,
+        MergePolicy::Incremental,
+    };
+
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    const auto workloads = rarpred::driver::allWorkloadPtrs();
+
+    const std::vector<rarpred::CloakingStats> stats =
+        rarpred::driver::runSweep(
+            runner, workloads, merges.size(),
+            [&merges](const rarpred::Workload &, size_t ci,
+                      rarpred::TraceSource &trace, rarpred::Rng &) {
+                rarpred::CloakingConfig config;
+                config.ddt.entries = 128;
+                config.dpnt.merge = merges[ci];
+                rarpred::CloakingEngine engine(config);
+                rarpred::drainTrace(trace, engine);
+                return engine.stats();
+            });
+
     std::printf("Ablation: synonym merge policy (coverage%% / misp%%)\n");
     std::printf("(128-entry DDT, infinite DPNT/SF, adaptive "
                 "confidence)\n\n");
@@ -37,11 +52,11 @@ main()
                 "incremental");
 
     double cov[2] = {0, 0};
-    for (const auto &w : rarpred::allWorkloads()) {
-        auto full = runWith(w, rarpred::MergePolicy::FullMerge);
-        auto inc = runWith(w, rarpred::MergePolicy::Incremental);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const auto &full = stats[wi * merges.size() + 0];
+        const auto &inc = stats[wi * merges.size() + 1];
         std::printf("%-6s | %6.2f%% / %5.3f%% | %6.2f%% / %5.3f%%\n",
-                    w.abbrev.c_str(), 100 * full.coverage(),
+                    workloads[wi]->abbrev.c_str(), 100 * full.coverage(),
                     100 * full.mispredictionRate(),
                     100 * inc.coverage(),
                     100 * inc.mispredictionRate());
@@ -51,5 +66,7 @@ main()
     std::printf("\nmean coverage: full %.2f%%, incremental %.2f%% "
                 "(paper: no noticeable difference)\n",
                 100 * cov[0] / 18, 100 * cov[1] / 18);
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

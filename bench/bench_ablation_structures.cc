@@ -8,15 +8,20 @@
  *  4. DDT detection granularity.
  *
  * Reported as mean coverage / misspeculation over the whole suite.
+ *
+ * Runs as an 18 × 9 grid on the parallel sweep driver (--workers=N /
+ * --serial); every variant replays the same recorded traces.
  */
 
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "core/cloaking.hh"
+#include "driver/sweep.hh"
 
 namespace {
 
@@ -29,7 +34,7 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using rarpred::CloakingConfig;
 
@@ -51,19 +56,31 @@ main()
          [](CloakingConfig &c) { c.ddt.granularityLog2 = 5; }},
     };
 
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    const auto workloads = rarpred::driver::allWorkloadPtrs();
+
+    const std::vector<rarpred::CloakingStats> stats =
+        rarpred::driver::runSweep(
+            runner, workloads, variants.size(),
+            [&variants](const rarpred::Workload &, size_t ci,
+                        rarpred::TraceSource &trace, rarpred::Rng &) {
+                CloakingConfig config;
+                config.ddt.entries = 128;
+                config.dpnt.geometry = {8192, 2};
+                config.sf = {1024, 2};
+                variants[ci].apply(config);
+                rarpred::CloakingEngine engine(config);
+                rarpred::drainTrace(trace, engine);
+                return engine.stats();
+            });
+
     std::printf("Ablation: structure geometry "
                 "(suite mean coverage / misspeculation)\n\n");
-    for (const auto &variant : variants) {
+    for (size_t ci = 0; ci < variants.size(); ++ci) {
         double cov = 0, misp = 0, raw = 0, rar = 0;
-        for (const auto &w : rarpred::allWorkloads()) {
-            CloakingConfig config;
-            config.ddt.entries = 128;
-            config.dpnt.geometry = {8192, 2};
-            config.sf = {1024, 2};
-            variant.apply(config);
-            rarpred::CloakingEngine engine(config);
-            rarpred::benchutil::runWorkload(w, engine);
-            const auto &s = engine.stats();
+        for (size_t wi = 0; wi < workloads.size(); ++wi) {
+            const auto &s = stats[wi * variants.size() + ci];
             cov += s.coverage();
             misp += s.mispredictionRate();
             raw += s.detectedRaw / (double)s.loads;
@@ -71,11 +88,13 @@ main()
         }
         std::printf("%-40s cov %6.2f%%  misp %6.3f%%  "
                     "(det RAW %5.1f%% RAR %5.1f%%)\n",
-                    variant.name.c_str(), 100 * cov / 18,
+                    variants[ci].name.c_str(), 100 * cov / 18,
                     100 * misp / 18, 100 * raw / 18, 100 * rar / 18);
     }
     std::printf("\nExpected: separate DDTs recover RAW detections the "
                 "shared table loses to load\nevictions; accuracy "
                 "degrades gracefully with smaller DPNT/SF.\n");
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

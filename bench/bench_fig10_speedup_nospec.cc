@@ -9,12 +9,18 @@
  * than over the speculating base of Figure 9 — paper averages 9.8%
  * (int) and 6.1% (fp) for RAW+RAR — though a few programs gain less
  * because the critical path becomes loads cloaking cannot attack.
+ *
+ * Execution: 18 × 3 grid on the parallel sweep driver (--workers=N /
+ * --serial), one recorded trace per workload shared by all cores.
  */
 
 #include <cstdio>
+#include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "cpu/ooo_cpu.hh"
+#include "driver/sweep.hh"
 
 namespace {
 
@@ -33,23 +39,33 @@ mechanism(rarpred::CloakingMode mode)
     return cloak;
 }
 
-uint64_t
-runCycles(const rarpred::Workload &w,
-          const rarpred::CloakTimingConfig &cloak)
-{
-    rarpred::CpuConfig config;
-    config.memDep = rarpred::MemDepPolicy::Conservative;
-    rarpred::OooCpu cpu(config, cloak);
-    rarpred::benchutil::runWorkload(w, cpu);
-    return cpu.stats().cycles;
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using rarpred::CloakingMode;
+
+    const std::vector<rarpred::CloakTimingConfig> configs = {
+        {},
+        mechanism(CloakingMode::RawOnly),
+        mechanism(CloakingMode::RawPlusRar),
+    };
+
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    const auto workloads = rarpred::driver::allWorkloadPtrs();
+
+    const std::vector<uint64_t> cycles = rarpred::driver::runSweep(
+        runner, workloads, configs.size(),
+        [&configs](const rarpred::Workload &, size_t ci,
+                   rarpred::TraceSource &trace, rarpred::Rng &) {
+            rarpred::CpuConfig config;
+            config.memDep = rarpred::MemDepPolicy::Conservative;
+            rarpred::OooCpu cpu(config, configs[ci]);
+            rarpred::drainTrace(trace, cpu);
+            return cpu.stats().cycles;
+        });
 
     std::printf("Figure 10: speedup when the base does not speculate on "
                 "memory dependences\n\n");
@@ -58,14 +74,11 @@ main()
     double sums[2][2] = {};
     int counts[2] = {0, 0};
 
-    for (const auto &w : rarpred::allWorkloads()) {
-        const uint64_t base = runCycles(w, {});
-        const uint64_t raw =
-            runCycles(w, mechanism(CloakingMode::RawOnly));
-        const uint64_t rr =
-            runCycles(w, mechanism(CloakingMode::RawPlusRar));
-        const double s0 = 100.0 * ((double)base / raw - 1.0);
-        const double s1 = 100.0 * ((double)base / rr - 1.0);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const rarpred::Workload &w = *workloads[wi];
+        const uint64_t *row = &cycles[wi * configs.size()];
+        const double s0 = 100.0 * ((double)row[0] / row[1] - 1.0);
+        const double s1 = 100.0 * ((double)row[0] / row[2] - 1.0);
         std::printf("%-6s | %9.2f%% %9.2f%%\n", w.abbrev.c_str(), s0,
                     s1);
         const int fp = w.isFp ? 1 : 0;
@@ -78,5 +91,7 @@ main()
                     sums[0][fp] / counts[fp], sums[1][fp] / counts[fp]);
     std::printf("\nPaper: RAW+RAR 9.8%% (int), 6.1%% (fp); speedups "
                 "often double those of Figure 9.\n");
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

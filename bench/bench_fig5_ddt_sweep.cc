@@ -9,13 +9,20 @@
  * codes are reversed; RAW detection keeps growing with DDT size and
  * converts some RAR dependences into RAW ones (loads whose store
  * producer is distant).
+ *
+ * Execution: the 18 × 7 grid runs on the parallel sweep driver
+ * (--workers=N / --serial); each workload's trace is generated once
+ * and replayed into every DDT size. Runner timing counters go to
+ * stderr; the table below is bit-identical for any worker count.
  */
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "bench_util.hh"
 #include "core/ddt.hh"
+#include "driver/sweep.hh"
 #include "vm/trace.hh"
 
 namespace {
@@ -56,12 +63,31 @@ class DdtSweepSink : public rarpred::TraceSink
     uint64_t rar_ = 0;
 };
 
+struct Cell
+{
+    double rawFrac = 0;
+    double rarFrac = 0;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<size_t> sizes = {32, 64, 128, 256, 512, 1024, 2048};
+
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    const auto workloads = rarpred::driver::allWorkloadPtrs();
+
+    const std::vector<Cell> cells = rarpred::driver::runSweep(
+        runner, workloads, sizes.size(),
+        [&sizes](const rarpred::Workload &, size_t ci,
+                 rarpred::TraceSource &trace, rarpred::Rng &) {
+            DdtSweepSink sink(sizes[ci]);
+            rarpred::drainTrace(trace, sink);
+            return Cell{sink.rawFrac(), sink.rarFrac()};
+        });
 
     std::printf("Figure 5: loads with RAW/RAR dependences vs DDT size\n");
     std::printf("(each cell: RAW%% / RAR%% of all loads)\n\n");
@@ -74,30 +100,19 @@ main()
     double fp_raw[8] = {}, fp_rar[8] = {};
     int n_int = 0, n_fp = 0;
 
-    for (const auto &w : rarpred::allWorkloads()) {
-        std::vector<DdtSweepSink> sinks;
-        sinks.reserve(sizes.size());
-        for (size_t s : sizes)
-            sinks.emplace_back(s);
-        std::vector<rarpred::TraceSink *> ptrs;
-        // Run the program once, feeding all DDT sizes in parallel.
-        rarpred::Program prog = w.build(1);
-        rarpred::MicroVM vm(prog);
-        rarpred::DynInst di;
-        while (vm.next(di))
-            for (auto &sink : sinks)
-                sink.onInst(di);
-
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const rarpred::Workload &w = *workloads[wi];
         std::printf("%-6s", w.abbrev.c_str());
         for (size_t i = 0; i < sizes.size(); ++i) {
-            std::printf("  %5.1f /%5.1f", 100 * sinks[i].rawFrac(),
-                        100 * sinks[i].rarFrac());
+            const Cell &cell = cells[wi * sizes.size() + i];
+            std::printf("  %5.1f /%5.1f", 100 * cell.rawFrac,
+                        100 * cell.rarFrac);
             if (w.isFp) {
-                fp_raw[i] += sinks[i].rawFrac();
-                fp_rar[i] += sinks[i].rarFrac();
+                fp_raw[i] += cell.rawFrac;
+                fp_rar[i] += cell.rarFrac;
             } else {
-                int_raw[i] += sinks[i].rawFrac();
-                int_rar[i] += sinks[i].rarFrac();
+                int_raw[i] += cell.rawFrac;
+                int_rar[i] += cell.rarFrac;
             }
         }
         std::printf("\n");
@@ -116,5 +131,7 @@ main()
         std::printf("  %5.1f /%5.1f", 100 * fp_raw[i] / n_fp,
                     100 * fp_rar[i] / n_fp);
     std::printf("\n");
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

@@ -11,13 +11,19 @@
  * Paper expectations: squash invalidation rarely wins; selective
  * invalidation gives speedups on all programs; RAW+RAR beats RAW
  * (averages 6.44% vs 4.28% int, 4.66% vs 3.20% fp).
+ *
+ * Execution: 18 workloads × 5 machine configurations on the parallel
+ * sweep driver (--workers=N / --serial); each workload executes
+ * functionally once and the recorded trace feeds all five cores.
  */
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "bench_util.hh"
 #include "cpu/ooo_cpu.hh"
+#include "driver/sweep.hh"
 
 namespace {
 
@@ -36,26 +42,37 @@ mechanism(rarpred::CloakingMode mode, rarpred::RecoveryModel recovery)
     return cloak;
 }
 
-uint64_t
-runCycles(const rarpred::Workload &w,
-          const rarpred::CloakTimingConfig &cloak,
-          bool mem_dep_speculation)
-{
-    rarpred::CpuConfig config;
-    config.memDep = mem_dep_speculation ? rarpred::MemDepPolicy::Naive
-                                    : rarpred::MemDepPolicy::Conservative;
-    rarpred::OooCpu cpu(config, cloak);
-    rarpred::benchutil::runWorkload(w, cpu);
-    return cpu.stats().cycles;
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using rarpred::CloakingMode;
     using rarpred::RecoveryModel;
+
+    // Config grid: base core plus the four mechanism variants.
+    const std::vector<rarpred::CloakTimingConfig> configs = {
+        {},
+        mechanism(CloakingMode::RawOnly, RecoveryModel::Selective),
+        mechanism(CloakingMode::RawPlusRar, RecoveryModel::Selective),
+        mechanism(CloakingMode::RawOnly, RecoveryModel::Squash),
+        mechanism(CloakingMode::RawPlusRar, RecoveryModel::Squash),
+    };
+
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    const auto workloads = rarpred::driver::allWorkloadPtrs();
+
+    const std::vector<uint64_t> cycles = rarpred::driver::runSweep(
+        runner, workloads, configs.size(),
+        [&configs](const rarpred::Workload &, size_t ci,
+                   rarpred::TraceSource &trace, rarpred::Rng &) {
+            rarpred::CpuConfig config;
+            config.memDep = rarpred::MemDepPolicy::Naive;
+            rarpred::OooCpu cpu(config, configs[ci]);
+            rarpred::drainTrace(trace, cpu);
+            return cpu.stats().cycles;
+        });
 
     std::printf("Figure 9: speedup of cloaking/bypassing over the base "
                 "processor\n(base uses naive memory dependence "
@@ -66,28 +83,15 @@ main()
     double sums[4][2] = {};
     int counts[2] = {0, 0};
 
-    for (const auto &w : rarpred::allWorkloads()) {
-        const uint64_t base = runCycles(w, {}, true);
-        const uint64_t sel_raw = runCycles(
-            w, mechanism(CloakingMode::RawOnly, RecoveryModel::Selective),
-            true);
-        const uint64_t sel_rr = runCycles(
-            w,
-            mechanism(CloakingMode::RawPlusRar, RecoveryModel::Selective),
-            true);
-        const uint64_t sq_raw = runCycles(
-            w, mechanism(CloakingMode::RawOnly, RecoveryModel::Squash),
-            true);
-        const uint64_t sq_rr = runCycles(
-            w,
-            mechanism(CloakingMode::RawPlusRar, RecoveryModel::Squash),
-            true);
-
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const rarpred::Workload &w = *workloads[wi];
+        const uint64_t *row = &cycles[wi * configs.size()];
+        const uint64_t base = row[0];
         const double s[4] = {
-            100.0 * ((double)base / sel_raw - 1.0),
-            100.0 * ((double)base / sel_rr - 1.0),
-            100.0 * ((double)base / sq_raw - 1.0),
-            100.0 * ((double)base / sq_rr - 1.0),
+            100.0 * ((double)base / row[1] - 1.0),
+            100.0 * ((double)base / row[2] - 1.0),
+            100.0 * ((double)base / row[3] - 1.0),
+            100.0 * ((double)base / row[4] - 1.0),
         };
         std::printf("%-6s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n",
                     w.abbrev.c_str(), s[0], s[1], s[2], s[3]);
@@ -110,5 +114,7 @@ main()
     std::printf("\nPaper: selective RAW 4.28%% int / 3.20%% fp; "
                 "selective RAW+RAR 6.44%% int / 4.66%% fp;\n"
                 "squash rarely improves performance.\n");
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

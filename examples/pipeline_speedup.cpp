@@ -4,28 +4,26 @@
  * through the out-of-order core with and without cloaking/bypassing,
  * for both misspeculation recovery mechanisms, and report speedups.
  *
- *   ./examples/pipeline_speedup [workload]   (default: tom)
+ * The four machine configurations run as one sweep on the parallel
+ * driver (src/driver): the workload executes functionally once, and
+ * the recorded trace feeds all four cores — on multi-core hosts,
+ * concurrently.
+ *
+ *   ./examples/pipeline_speedup [workload] [--workers=N|--serial]
+ *   (default workload: tom)
  */
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "cpu/ooo_cpu.hh"
-#include "vm/micro_vm.hh"
+#include "driver/sweep.hh"
 #include "workload/workload.hh"
 
 namespace {
-
-rarpred::CpuStats
-run(const rarpred::Workload &w, const rarpred::CloakTimingConfig &cloak)
-{
-    rarpred::CpuConfig config;
-    rarpred::OooCpu cpu(config, cloak);
-    rarpred::Program p = w.build(1);
-    rarpred::MicroVM vm(p);
-    vm.run(cpu, 100'000'000ull);
-    return cpu.stats();
-}
 
 rarpred::CloakTimingConfig
 mechanism(rarpred::RecoveryModel recovery)
@@ -45,29 +43,48 @@ mechanism(rarpred::RecoveryModel recovery)
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "tom";
+    std::string name = "tom";
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            name = argv[i];
     const rarpred::Workload &w = rarpred::findWorkload(name);
+
+    // Config grid: base plus the three recovery mechanisms.
+    const std::vector<rarpred::CloakTimingConfig> configs = {
+        {},
+        mechanism(rarpred::RecoveryModel::Selective),
+        mechanism(rarpred::RecoveryModel::Squash),
+        mechanism(rarpred::RecoveryModel::Oracle),
+    };
+
+    rarpred::driver::SimJobRunner runner(
+        rarpred::driver::runnerConfigFromArgs(argc, argv));
+
+    const std::vector<rarpred::CpuStats> stats = rarpred::driver::runSweep(
+        runner, {&w}, configs.size(),
+        [&configs](const rarpred::Workload &, size_t ci,
+                   rarpred::TraceSource &trace, rarpred::Rng &) {
+            rarpred::CpuConfig config;
+            rarpred::OooCpu cpu(config, configs[ci]);
+            rarpred::drainTrace(trace, cpu);
+            return cpu.stats();
+        });
 
     std::printf("workload %s (%s)\n\n", w.fullName.c_str(),
                 w.abbrev.c_str());
 
-    auto base = run(w, {});
+    const rarpred::CpuStats &base = stats[0];
     std::printf("base:       %10llu cycles  IPC %.2f  "
                 "branch misp %llu\n",
                 (unsigned long long)base.cycles, base.ipc(),
                 (unsigned long long)base.branchMispredicts);
 
-    for (auto recovery : {rarpred::RecoveryModel::Selective,
-                          rarpred::RecoveryModel::Squash,
-                          rarpred::RecoveryModel::Oracle}) {
-        auto s = run(w, mechanism(recovery));
-        const char *label =
-            recovery == rarpred::RecoveryModel::Selective ? "selective"
-            : recovery == rarpred::RecoveryModel::Squash  ? "squash"
-                                                          : "oracle";
+    const char *labels[3] = {"selective", "squash", "oracle"};
+    for (size_t i = 0; i < 3; ++i) {
+        const rarpred::CpuStats &s = stats[i + 1];
         std::printf("%-10s  %10llu cycles  IPC %.2f  speedup %+.2f%%  "
                     "(spec used %llu, wrong %llu)\n",
-                    label, (unsigned long long)s.cycles, s.ipc(),
+                    labels[i], (unsigned long long)s.cycles, s.ipc(),
                     100.0 * ((double)base.cycles / s.cycles - 1.0),
                     (unsigned long long)s.valueSpecUsed,
                     (unsigned long long)s.valueSpecWrong);
@@ -76,5 +93,7 @@ main(int argc, char **argv)
                 "instructions that read a wrong\nvalue; squash "
                 "invalidation re-fetches everything after it "
                 "(Section 5.6.1).\n");
+
+    runner.dumpStats(std::cerr);
     return 0;
 }

@@ -1,0 +1,120 @@
+#include "driver/sim_job_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace rarpred::driver {
+
+uint64_t
+jobSeed(std::string_view workload, uint64_t config_hash)
+{
+    uint64_t h = crc32(workload.data(), workload.size());
+    h = (h << 32) ^ (config_hash + 0x9e3779b97f4a7c15ull);
+    // splitmix64 finalizer: decorrelates nearby config hashes.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
+SimJobRunner::SimJobRunner(const RunnerConfig &config)
+    : config_(config),
+      workers_(config.workers != 0
+                   ? config.workers
+                   : std::max(1u, std::thread::hardware_concurrency())),
+      queueLatencyMs_(64, 10),
+      statGroup_("driver")
+{
+    statGroup_.registerCounter("sweepsRun", &sweepsRun_);
+    statGroup_.registerCounter("jobsCompleted", &jobsCompleted_);
+    statGroup_.registerCounter("jobMicrosTotal", &jobMicrosTotal_);
+    statGroup_.registerCounter("queueMicrosTotal", &queueMicrosTotal_);
+    statGroup_.registerCounter("sweepMicrosTotal", &sweepMicrosTotal_);
+}
+
+uint64_t
+SimJobRunner::nowMicros()
+{
+    using namespace std::chrono;
+    return (uint64_t)duration_cast<microseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+SimJobRunner::run(const std::vector<JobSpec> &jobs)
+{
+    next_.store(0, std::memory_order_relaxed);
+    const uint64_t sweep_start = nowMicros();
+
+    const unsigned n =
+        (unsigned)std::min<size_t>(workers_, std::max<size_t>(jobs.size(), 1));
+    if (n <= 1) {
+        // Serial mode: run inline, no thread spawn — gives clean
+        // baseline measurements for speedup comparisons.
+        workerLoop(jobs, sweep_start);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            pool.emplace_back(
+                [this, &jobs, sweep_start] { workerLoop(jobs, sweep_start); });
+        for (auto &t : pool)
+            t.join();
+    }
+
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++sweepsRun_;
+    sweepMicrosTotal_ += nowMicros() - sweep_start;
+}
+
+void
+SimJobRunner::workerLoop(const std::vector<JobSpec> &jobs,
+                         uint64_t sweep_start_us)
+{
+    while (true) {
+        const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size())
+            return;
+        const JobSpec &job = jobs[i];
+        rarpred_assert(job.workload != nullptr && job.run != nullptr);
+
+        const uint64_t start = nowMicros();
+        std::shared_ptr<const RecordedTrace> trace =
+            cache_.get(*job.workload, config_.scale, config_.maxInsts);
+        RecordedTraceSource replay(*trace);
+        Rng rng(jobSeed(job.workload->abbrev, job.configHash));
+        job.run(replay, rng);
+        const uint64_t end = nowMicros();
+
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++jobsCompleted_;
+        jobMicrosTotal_ += end - start;
+        queueMicrosTotal_ += start - sweep_start_us;
+        queueLatencyMs_.sample((start - sweep_start_us) / 1000);
+        jobMicrosMax_ = std::max(jobMicrosMax_, end - start);
+    }
+}
+
+void
+SimJobRunner::dumpStats(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    statGroup_.dump(os);
+    os << "driver.workers " << workers_ << "\n";
+    os << "driver.jobMicrosMax " << jobMicrosMax_ << "\n";
+    os << "driver.queueLatencyMsMean " << queueLatencyMs_.mean() << "\n";
+    const TraceCache::CacheStats cs = cache_.stats();
+    os << "driver.traceGenerations " << cs.generations << "\n";
+    os << "driver.traceCacheHits " << cs.hits << "\n";
+    os << "driver.traceResidentBytes " << cs.residentBytes << "\n";
+    os << "driver.traceResidentTraces " << cs.residentTraces << "\n";
+}
+
+} // namespace rarpred::driver

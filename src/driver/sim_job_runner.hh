@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Parallel sweep execution: a thread pool that fans a workload ×
+ * configuration grid out over std::thread workers.
+ *
+ * Design for determinism (the whole point — see tests/test_driver.cc):
+ *  - The job list is fixed before run() starts; workers claim jobs
+ *    with an atomic cursor, but every job writes results only into
+ *    its own pre-allocated slot, so the merged output is a pure
+ *    function of the job list, not of the interleaving.
+ *  - Each job gets a private Rng seeded by jobSeed(workload id,
+ *    config hash): the seed depends on *what* the job is, never on
+ *    which worker runs it or when.
+ *  - Traces come from a TraceCache: one functional execution per
+ *    workload, shared immutably by every job that replays it.
+ *
+ * Timing observability: the runner accumulates per-job wall-clock
+ * and queue-latency counters (common/stats.hh Counter/Histogram) so
+ * the speedup of a parallel sweep is measurable; dumpStats() writes
+ * them in the repo's "group.stat value" format. Timing counters are
+ * kept strictly out of the merged simulation stats — they are the
+ * only nondeterministic output, and they are clearly labelled.
+ */
+
+#ifndef RARPRED_DRIVER_SIM_JOB_RUNNER_HH_
+#define RARPRED_DRIVER_SIM_JOB_RUNNER_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "driver/trace_cache.hh"
+#include "vm/trace.hh"
+
+namespace rarpred::driver {
+
+/**
+ * Deterministic per-job RNG seed derived from (workload id, config
+ * hash). Stable across platforms, worker counts and runs.
+ */
+uint64_t jobSeed(std::string_view workload, uint64_t config_hash);
+
+/** Pool-wide knobs. */
+struct RunnerConfig
+{
+    /** Worker threads; 0 means hardware_concurrency (at least 1).
+     *  With 1 worker, jobs run inline on the calling thread. */
+    unsigned workers = 0;
+    uint32_t scale = 1;        ///< workload scale for trace generation
+    uint64_t maxInsts = ~0ull; ///< trace truncation (tests)
+};
+
+/** One unit of work: replay one workload trace into one simulator. */
+struct JobSpec
+{
+    const Workload *workload = nullptr;
+    /** Identifies the configuration point; feeds the job's RNG seed. */
+    uint64_t configHash = 0;
+    /**
+     * The job body. Receives a private replay cursor over the shared
+     * trace and a private deterministically-seeded Rng. Runs on a
+     * worker thread: it must only touch its own result slot.
+     */
+    std::function<void(TraceSource &trace, Rng &rng)> run;
+};
+
+/** The thread pool. One instance drives any number of sweeps. */
+class SimJobRunner
+{
+  public:
+    explicit SimJobRunner(const RunnerConfig &config = {});
+
+    /**
+     * Execute every job, fanning out over workers(); blocks until
+     * all jobs finished. Jobs are claimed in list order, so listing
+     * a sweep workload-major keeps each trace's consumers together.
+     */
+    void run(const std::vector<JobSpec> &jobs);
+
+    /** Effective worker count after resolving workers == 0. */
+    unsigned workers() const { return workers_; }
+
+    const RunnerConfig &config() const { return config_; }
+
+    /** Shared trace store (also usable directly by tests). */
+    TraceCache &traceCache() { return cache_; }
+
+    /**
+     * Write runner counters ("driver.jobsCompleted", per-job wall
+     * and queue-latency totals, trace-cache hit/generation counts)
+     * as "driver.stat value" lines. Wall-clock values are real time
+     * and intentionally excluded from merged simulation stats.
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void workerLoop(const std::vector<JobSpec> &jobs,
+                    uint64_t sweep_start_us);
+
+    static uint64_t nowMicros();
+
+    RunnerConfig config_;
+    unsigned workers_;
+    TraceCache cache_;
+    std::atomic<size_t> next_{0};
+
+    // Aggregated under statsMu_ when each job completes.
+    mutable std::mutex statsMu_;
+    Counter sweepsRun_;
+    Counter jobsCompleted_;
+    Counter jobMicrosTotal_;   ///< sum of per-job wall clock
+    Counter queueMicrosTotal_; ///< sum of (job start - sweep start)
+    Counter sweepMicrosTotal_; ///< wall clock of run() calls
+    uint64_t jobMicrosMax_ = 0;
+    Histogram queueLatencyMs_; ///< per-job queue latency, 10ms buckets
+    StatGroup statGroup_;
+};
+
+} // namespace rarpred::driver
+
+#endif // RARPRED_DRIVER_SIM_JOB_RUNNER_HH_

@@ -1,0 +1,105 @@
+#include "driver/stats_merger.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace rarpred::driver {
+
+StatsMerger::StatsMerger(size_t num_jobs) : rows_(num_jobs) {}
+
+void
+StatsMerger::setRowKey(size_t job, std::string key)
+{
+    rarpred_assert(job < rows_.size());
+    rows_[job].key = std::move(key);
+}
+
+void
+StatsMerger::recordCount(size_t job, std::string_view stat,
+                         uint64_t value)
+{
+    rarpred_assert(job < rows_.size());
+    rows_[job].entries.push_back({std::string(stat), true, value, 0.0});
+}
+
+void
+StatsMerger::record(size_t job, std::string_view stat, double value)
+{
+    rarpred_assert(job < rows_.size());
+    rows_[job].entries.push_back({std::string(stat), false, 0, value});
+}
+
+std::string
+StatsMerger::serialize() const
+{
+    std::string out;
+    char buf[256];
+    // Totals keyed by stat name; std::map gives a stable name order.
+    std::map<std::string, Entry> totals;
+    for (size_t job = 0; job < rows_.size(); ++job) {
+        const Row &row = rows_[job];
+        for (const Entry &e : row.entries) {
+            if (e.isCount) {
+                std::snprintf(buf, sizeof(buf), "%s.%s %" PRIu64 "\n",
+                              row.key.c_str(), e.name.c_str(), e.u);
+            } else {
+                // %.17g round-trips every double: equal bytes iff
+                // equal values.
+                std::snprintf(buf, sizeof(buf), "%s.%s %.17g\n",
+                              row.key.c_str(), e.name.c_str(), e.d);
+            }
+            out += buf;
+            auto [it, inserted] = totals.try_emplace(e.name, e);
+            if (!inserted) {
+                rarpred_assert(it->second.isCount == e.isCount);
+                // Accumulation happens in job order regardless of
+                // which worker ran the job: deterministic rounding.
+                it->second.u += e.u;
+                it->second.d += e.d;
+            }
+        }
+    }
+    for (const auto &[name, e] : totals) {
+        if (e.isCount)
+            std::snprintf(buf, sizeof(buf), "total.%s %" PRIu64 "\n",
+                          name.c_str(), e.u);
+        else
+            std::snprintf(buf, sizeof(buf), "total.%s %.17g\n",
+                          name.c_str(), e.d);
+        out += buf;
+    }
+    return out;
+}
+
+void
+StatsMerger::dump(std::ostream &os) const
+{
+    os << serialize();
+}
+
+uint64_t
+StatsMerger::sumCount(std::string_view stat) const
+{
+    uint64_t sum = 0;
+    for (const Row &row : rows_)
+        for (const Entry &e : row.entries)
+            if (e.isCount && e.name == stat)
+                sum += e.u;
+    return sum;
+}
+
+double
+StatsMerger::sum(std::string_view stat) const
+{
+    double sum = 0;
+    for (const Row &row : rows_)
+        for (const Entry &e : row.entries)
+            if (!e.isCount && e.name == stat)
+                sum += e.d;
+    return sum;
+}
+
+} // namespace rarpred::driver

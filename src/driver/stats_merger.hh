@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic reduction of per-job sweep statistics.
+ *
+ * Every job of a sweep owns one pre-allocated slot, indexed by its
+ * position in the job list. Workers write only their own slot, so no
+ * locking is needed and — crucially — the merged output depends only
+ * on the job list, never on how jobs were interleaved across worker
+ * threads. serialize() walks slots in job order and prints values in
+ * a canonical format, so the same sweep run with 1, 4 or 8 workers
+ * produces byte-identical bytes (asserted by tests/test_driver.cc).
+ */
+
+#ifndef RARPRED_DRIVER_STATS_MERGER_HH_
+#define RARPRED_DRIVER_STATS_MERGER_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rarpred::driver {
+
+/** Collects named per-job scalars; reduces them in job order. */
+class StatsMerger
+{
+  public:
+    /** @param num_jobs Number of job slots (fixed for the sweep). */
+    explicit StatsMerger(size_t num_jobs);
+
+    /**
+     * Name the row of job @p job (e.g. "li/ddt128"). Shown as the
+     * line prefix in the serialized table. Call from the owning job
+     * or before the sweep starts.
+     */
+    void setRowKey(size_t job, std::string key);
+
+    /**
+     * Record one named counter for job @p job. Thread-safe as long
+     * as each job index is written by a single thread at a time (the
+     * SimJobRunner guarantees this).
+     */
+    void recordCount(size_t job, std::string_view stat, uint64_t value);
+
+    /** Record one named real-valued result for job @p job. */
+    void record(size_t job, std::string_view stat, double value);
+
+    /**
+     * @return the canonical merged table: one "rowkey.stat value"
+     * line per recorded entry, in job order, followed by "total.*"
+     * sums of every counter name. Deterministic for any worker count.
+     */
+    std::string serialize() const;
+
+    /** Write serialize() to @p os. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Sum of counter @p stat over all jobs (entries recorded with
+     * recordCount only; exact 64-bit arithmetic).
+     */
+    uint64_t sumCount(std::string_view stat) const;
+
+    /**
+     * Sum of real-valued stat @p stat over all jobs, accumulated in
+     * job order so the rounding is reproducible.
+     */
+    double sum(std::string_view stat) const;
+
+    size_t numJobs() const { return rows_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        bool isCount;
+        uint64_t u;
+        double d;
+    };
+
+    struct Row
+    {
+        std::string key;
+        std::vector<Entry> entries;
+    };
+
+    std::vector<Row> rows_;
+};
+
+} // namespace rarpred::driver
+
+#endif // RARPRED_DRIVER_STATS_MERGER_HH_

@@ -1,0 +1,33 @@
+#include "driver/sweep.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rarpred::driver {
+
+std::vector<const Workload *>
+allWorkloadPtrs()
+{
+    std::vector<const Workload *> ptrs;
+    for (const Workload &w : allWorkloads())
+        ptrs.push_back(&w);
+    return ptrs;
+}
+
+RunnerConfig
+runnerConfigFromArgs(int argc, char **argv)
+{
+    RunnerConfig config;
+    if (const char *env = std::getenv("RARPRED_WORKERS"))
+        config.workers = (unsigned)std::strtoul(env, nullptr, 10);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--serial") == 0)
+            config.workers = 1;
+        else if (std::strncmp(argv[i], "--workers=", 10) == 0)
+            config.workers =
+                (unsigned)std::strtoul(argv[i] + 10, nullptr, 10);
+    }
+    return config;
+}
+
+} // namespace rarpred::driver

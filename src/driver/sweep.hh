@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Convenience layer for grid sweeps: run one callable per (workload,
+ * configuration) cell over a SimJobRunner and collect results in a
+ * deterministic, worker-count-independent layout.
+ *
+ * This is the API the bench/ drivers use. A sweep is embarrassingly
+ * parallel: every cell replays a shared immutable trace into its own
+ * private simulator instance, so the cell callable must not touch
+ * mutable shared state (read-only captures like config tables are
+ * fine).
+ */
+
+#ifndef RARPRED_DRIVER_SWEEP_HH_
+#define RARPRED_DRIVER_SWEEP_HH_
+
+#include <type_traits>
+#include <vector>
+
+#include "driver/sim_job_runner.hh"
+#include "workload/workload.hh"
+
+namespace rarpred::driver {
+
+/** Pointers to all 18 paper workloads, in Table 5.1 order. */
+std::vector<const Workload *> allWorkloadPtrs();
+
+/**
+ * Build a RunnerConfig from bench CLI flags, accepted anywhere in
+ * argv and ignored otherwise: --workers=N, --serial (same as
+ * --workers=1). The RARPRED_WORKERS environment variable applies
+ * when no flag is given; default is hardware concurrency.
+ */
+RunnerConfig runnerConfigFromArgs(int argc, char **argv);
+
+/**
+ * Run @p cell for every (workload, config index) pair, workload-
+ * major, fanned out over @p runner's workers.
+ *
+ * @param cell Callable (const Workload &, size_t config, TraceSource
+ *        &, Rng &) -> R; invoked concurrently from worker threads.
+ * @return results[wi * num_configs + ci], identical bytes for any
+ *         worker count.
+ */
+template <typename Fn>
+auto
+runSweep(SimJobRunner &runner,
+         const std::vector<const Workload *> &workloads,
+         size_t num_configs, Fn &&cell)
+{
+    using R = std::invoke_result_t<Fn &, const Workload &, size_t,
+                                   TraceSource &, Rng &>;
+    static_assert(!std::is_void_v<R>,
+                  "cell must return its per-cell result");
+    std::vector<R> results(workloads.size() * num_configs);
+    std::vector<JobSpec> jobs;
+    jobs.reserve(results.size());
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        for (size_t ci = 0; ci < num_configs; ++ci) {
+            const Workload *w = workloads[wi];
+            R *slot = &results[wi * num_configs + ci];
+            jobs.push_back(
+                {w, ci, [&cell, w, ci, slot](TraceSource &t, Rng &rng) {
+                     *slot = cell(*w, ci, t, rng);
+                 }});
+        }
+    }
+    runner.run(jobs);
+    return results;
+}
+
+} // namespace rarpred::driver
+
+#endif // RARPRED_DRIVER_SWEEP_HH_

@@ -1,0 +1,57 @@
+#include "driver/trace_cache.hh"
+
+namespace rarpred::driver {
+
+std::shared_ptr<const RecordedTrace>
+TraceCache::get(const Workload &w, uint32_t scale, uint64_t max_insts)
+{
+    Slot *slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &entry = slots_[Key{w.abbrev, scale, max_insts}];
+        if (!entry)
+            entry = std::make_unique<Slot>();
+        slot = entry.get();
+    }
+
+    bool generated = false;
+    std::call_once(slot->once, [&] {
+        // Build + execute outside mu_: other keys stay serviceable
+        // while this workload generates.
+        Program prog = w.build(scale);
+        slot->trace = std::make_shared<const RecordedTrace>(
+            RecordedTrace::record(prog, max_insts));
+        generated = true;
+        generations_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!generated)
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->trace;
+}
+
+TraceCache::CacheStats
+TraceCache::stats() const
+{
+    CacheStats s;
+    s.generations = generations_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[key, slot] : slots_) {
+        (void)key;
+        if (slot->trace) {
+            ++s.residentTraces;
+            s.residentBytes += slot->trace->memoryBytes();
+        }
+    }
+    return s;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.clear();
+}
+
+} // namespace rarpred::driver
+

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Workload trace memoization for parallel sweeps.
+ *
+ * A sweep over N predictor configurations replays every workload's
+ * execution N times. The functional execution itself is identical
+ * across configuration points, so the TraceCache generates each
+ * (workload, scale, max_insts) trace exactly once — even when many
+ * worker threads request it concurrently — and hands out shared
+ * ownership of the immutable recording.
+ *
+ * Concurrency contract:
+ *  - get() may be called from any number of threads.
+ *  - Generation is guarded by a per-slot std::once_flag: the first
+ *    caller executes the MicroVM, everyone else blocks until the
+ *    recording exists, then shares it.
+ *  - The returned RecordedTrace is immutable; replaying it requires
+ *    no synchronization (each replayer owns its own cursor).
+ *
+ * Memory: traces are retained for the cache's lifetime (a sweep over
+ * the full 18-workload suite holds ~75M packed records, ~2.4 GB).
+ * Sweeps that must bound residency can drop the cache between
+ * workload groups; jobs keep their shared_ptr alive regardless.
+ */
+
+#ifndef RARPRED_DRIVER_TRACE_CACHE_HH_
+#define RARPRED_DRIVER_TRACE_CACHE_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "vm/recorded_trace.hh"
+#include "workload/workload.hh"
+
+namespace rarpred::driver {
+
+/** Thread-safe generate-once cache of workload execution traces. */
+class TraceCache
+{
+  public:
+    /** Counters exposed for the runner's stat dump and for tests. */
+    struct CacheStats
+    {
+        uint64_t generations = 0; ///< traces actually executed
+        uint64_t hits = 0;        ///< get() calls served from cache
+        uint64_t residentBytes = 0;
+        uint64_t residentTraces = 0;
+    };
+
+    TraceCache() = default;
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * @return the recorded trace of @p w at @p scale, truncated to
+     * @p max_insts — generating it on first request.
+     */
+    std::shared_ptr<const RecordedTrace>
+    get(const Workload &w, uint32_t scale = 1, uint64_t max_insts = ~0ull);
+
+    CacheStats stats() const;
+
+    /**
+     * Drop all cached traces (outstanding shared_ptrs stay valid).
+     * Must not race with get(): call only between sweeps.
+     */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        std::shared_ptr<const RecordedTrace> trace;
+    };
+
+    using Key = std::tuple<std::string, uint32_t, uint64_t>;
+
+    mutable std::mutex mu_;
+    std::map<Key, std::unique_ptr<Slot>> slots_;
+    std::atomic<uint64_t> generations_{0};
+    std::atomic<uint64_t> hits_{0};
+};
+
+} // namespace rarpred::driver
+
+#endif // RARPRED_DRIVER_TRACE_CACHE_HH_

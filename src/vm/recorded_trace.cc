@@ -1,0 +1,76 @@
+#include "vm/recorded_trace.hh"
+
+#include "common/logging.hh"
+#include "vm/micro_vm.hh"
+
+namespace rarpred {
+
+namespace {
+
+PackedInst
+pack(const DynInst &di)
+{
+    rarpred_assert(di.pc <= UINT32_MAX && di.nextPc <= UINT32_MAX);
+    PackedInst p{};
+    p.eaddr = di.eaddr;
+    p.value = di.value;
+    p.pc = (uint32_t)di.pc;
+    p.nextPc = (uint32_t)di.nextPc;
+    p.op = (uint8_t)di.op;
+    p.dst = di.dst;
+    p.src1 = di.src1;
+    p.src2 = di.src2;
+    p.taken = di.taken ? 1 : 0;
+    return p;
+}
+
+} // namespace
+
+RecordedTrace
+RecordedTrace::record(const Program &program, uint64_t max_insts)
+{
+    MicroVM vm(program);
+    return record(vm, max_insts);
+}
+
+RecordedTrace
+RecordedTrace::record(TraceSource &source, uint64_t max_insts)
+{
+    RecordedTrace trace;
+    DynInst di;
+    while (trace.insts_.size() < max_insts && source.next(di)) {
+        // Replay regenerates seq from the record index; anything but
+        // a 0,1,2,... numbering would silently decode wrong.
+        rarpred_assert(di.seq == trace.insts_.size());
+        trace.insts_.push_back(pack(di));
+    }
+    trace.insts_.shrink_to_fit();
+    return trace;
+}
+
+DynInst
+RecordedTrace::decode(size_t i) const
+{
+    const PackedInst &p = insts_[i];
+    DynInst di;
+    di.seq = i;
+    di.pc = p.pc;
+    di.nextPc = p.nextPc;
+    di.op = (Opcode)p.op;
+    di.dst = p.dst;
+    di.src1 = p.src1;
+    di.src2 = p.src2;
+    di.eaddr = p.eaddr;
+    di.value = p.value;
+    di.taken = p.taken != 0;
+    return di;
+}
+
+void
+RecordedTrace::replayInto(TraceSink &sink) const
+{
+    for (size_t i = 0; i < insts_.size(); ++i)
+        sink.onInst(decode(i));
+}
+
+} // namespace rarpred

@@ -67,6 +67,22 @@ class TraceSource
     virtual bool next(DynInst &di) = 0;
 };
 
+/**
+ * Pump @p source dry into @p sink.
+ * @return the number of instructions transferred.
+ */
+inline uint64_t
+drainTrace(TraceSource &source, TraceSink &sink)
+{
+    DynInst di;
+    uint64_t count = 0;
+    while (source.next(di)) {
+        sink.onInst(di);
+        ++count;
+    }
+    return count;
+}
+
 } // namespace rarpred
 
 #endif // RARPRED_VM_TRACE_HH_

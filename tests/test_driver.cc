@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver (src/driver): trace recording
+ * fidelity, generate-once trace caching under concurrency, and —
+ * the property the whole subsystem hangs on — byte-identical merged
+ * sweep statistics for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cloaking.hh"
+#include "cpu/ooo_cpu.hh"
+#include "driver/stats_merger.hh"
+#include "driver/sweep.hh"
+#include "vm/micro_vm.hh"
+#include "vm/recorded_trace.hh"
+#include "workload/workload.hh"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RARPRED_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RARPRED_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace rarpred {
+namespace {
+
+// ------------------------------------------------ recorded traces
+
+TEST(RecordedTrace, ReplayReproducesEveryDynInstField)
+{
+    const Workload &w = findWorkload("li");
+    Program prog = w.build(1);
+    const uint64_t kMax = 100'000;
+
+    RecordedTrace trace = RecordedTrace::record(prog, kMax);
+    ASSERT_EQ(trace.size(), kMax);
+
+    MicroVM vm(prog);
+    DynInst want;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_TRUE(vm.next(want));
+        const DynInst got = trace.decode(i);
+        ASSERT_EQ(got.seq, want.seq);
+        ASSERT_EQ(got.pc, want.pc);
+        ASSERT_EQ(got.nextPc, want.nextPc);
+        ASSERT_EQ(got.op, want.op);
+        ASSERT_EQ(got.dst, want.dst);
+        ASSERT_EQ(got.src1, want.src1);
+        ASSERT_EQ(got.src2, want.src2);
+        ASSERT_EQ(got.eaddr, want.eaddr);
+        ASSERT_EQ(got.value, want.value);
+        ASSERT_EQ(got.taken, want.taken);
+    }
+}
+
+TEST(RecordedTrace, SourceRewindsAndDrains)
+{
+    const Workload &w = findWorkload("com");
+    Program prog = w.build(1);
+    RecordedTrace trace = RecordedTrace::record(prog, 5000);
+
+    RecordedTraceSource source(trace);
+    DynInst di;
+    uint64_t n = 0;
+    while (source.next(di))
+        ++n;
+    EXPECT_EQ(n, trace.size());
+    EXPECT_FALSE(source.next(di));
+
+    source.rewind();
+    ASSERT_TRUE(source.next(di));
+    EXPECT_EQ(di.seq, 0u);
+}
+
+// ---------------------------------------------------- trace cache
+
+TEST(TraceCache, GeneratesEachWorkloadExactlyOnceUnderConcurrency)
+{
+    driver::TraceCache cache;
+    const Workload &w = findWorkload("li");
+    constexpr unsigned kThreads = 8;
+
+    std::vector<std::shared_ptr<const RecordedTrace>> got(kThreads);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back(
+            [&, t] { got[t] = cache.get(w, 1, 50'000); });
+    for (auto &t : threads)
+        t.join();
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.generations, 1u);
+    EXPECT_EQ(s.hits, kThreads - 1);
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(got[t].get(), got[0].get());
+    EXPECT_EQ(got[0]->size(), 50'000u);
+}
+
+TEST(TraceCache, DistinctKeysGenerateSeparately)
+{
+    driver::TraceCache cache;
+    const Workload &li = findWorkload("li");
+    const Workload &com = findWorkload("com");
+
+    auto a = cache.get(li, 1, 10'000);
+    auto b = cache.get(com, 1, 10'000);
+    auto c = cache.get(li, 1, 20'000); // same workload, longer cap
+    auto a2 = cache.get(li, 1, 10'000);
+
+    EXPECT_EQ(cache.stats().generations, 3u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(a.get(), a2.get());
+    EXPECT_EQ(c->size(), 20'000u);
+}
+
+TEST(TraceCache, ClearDropsResidencyButNotOutstandingRefs)
+{
+    driver::TraceCache cache;
+    auto trace = cache.get(findWorkload("li"), 1, 10'000);
+    EXPECT_EQ(cache.stats().residentTraces, 1u);
+    EXPECT_GT(cache.stats().residentBytes, 0u);
+    cache.clear();
+    EXPECT_EQ(cache.stats().residentTraces, 0u);
+    EXPECT_EQ(trace->size(), 10'000u); // our ref stays valid
+}
+
+// ------------------------------------------------------- job seeds
+
+TEST(JobSeed, StableAndSensitiveToBothInputs)
+{
+    const uint64_t s = driver::jobSeed("li", 0);
+    EXPECT_EQ(s, driver::jobSeed("li", 0));
+    EXPECT_NE(s, driver::jobSeed("li", 1));
+    EXPECT_NE(s, driver::jobSeed("com", 0));
+    EXPECT_NE(driver::jobSeed("li", 1), driver::jobSeed("com", 1));
+}
+
+// ------------------------------------------- sweep determinism
+
+/**
+ * A small but real sweep: 3 workloads × 3 DDT sizes through the
+ * cloaking engine, merged stats recorded from the worker threads.
+ * @return the canonical serialized table.
+ */
+std::string
+runCloakingSweep(unsigned workers)
+{
+    const std::vector<const Workload *> workloads = {
+        &findWorkload("li"), &findWorkload("com"), &findWorkload("go")};
+    const std::vector<size_t> ddt_sizes = {32, 128, 512};
+
+    driver::RunnerConfig rc;
+    rc.workers = workers;
+    rc.maxInsts = 150'000;
+    driver::SimJobRunner runner(rc);
+
+    driver::StatsMerger merger(workloads.size() * ddt_sizes.size());
+    for (size_t wi = 0; wi < workloads.size(); ++wi)
+        for (size_t ci = 0; ci < ddt_sizes.size(); ++ci)
+            merger.setRowKey(wi * ddt_sizes.size() + ci,
+                             workloads[wi]->abbrev + "/ddt" +
+                                 std::to_string(ddt_sizes[ci]));
+
+    driver::runSweep(
+        runner, workloads, ddt_sizes.size(),
+        [&](const Workload &w, size_t ci, TraceSource &trace, Rng &rng) {
+            CloakingConfig config;
+            config.ddt.entries = ddt_sizes[ci];
+            CloakingEngine engine(config);
+            drainTrace(trace, engine);
+
+            // Exercise the per-job RNG so seeding feeds the output:
+            // deterministic per job, not per worker.
+            const uint64_t salt = rng.next();
+
+            size_t wi = 0;
+            while (workloads[wi]->abbrev != w.abbrev)
+                ++wi;
+            const size_t job = wi * ddt_sizes.size() + ci;
+            const auto &s = engine.stats();
+            merger.recordCount(job, "loads", s.loads);
+            merger.recordCount(job, "coveredRaw", s.coveredRaw);
+            merger.recordCount(job, "coveredRar", s.coveredRar);
+            merger.recordCount(job, "detectedRaw", s.detectedRaw);
+            merger.recordCount(job, "detectedRar", s.detectedRar);
+            merger.recordCount(job, "rngSalt", salt);
+            merger.record(job, "coverage", s.coverage());
+            return 0;
+        });
+
+    return merger.serialize();
+}
+
+TEST(SweepDeterminism, MergedStatsAreByteIdenticalForAnyWorkerCount)
+{
+    const std::string serial = runCloakingSweep(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("li/ddt32.loads "), std::string::npos);
+    EXPECT_NE(serial.find("total.loads "), std::string::npos);
+
+    const std::string four = runCloakingSweep(4);
+    const std::string eight = runCloakingSweep(8);
+    EXPECT_EQ(serial, four);
+    EXPECT_EQ(serial, eight);
+}
+
+TEST(SweepDeterminism, RepeatedRunsAreByteIdentical)
+{
+    EXPECT_EQ(runCloakingSweep(4), runCloakingSweep(4));
+}
+
+// ----------------------------------------------- runner plumbing
+
+TEST(SimJobRunner, CountsJobsTracesAndTiming)
+{
+    const std::vector<const Workload *> workloads = {
+        &findWorkload("li"), &findWorkload("com")};
+
+    driver::RunnerConfig rc;
+    rc.workers = 4;
+    rc.maxInsts = 20'000;
+    driver::SimJobRunner runner(rc);
+    EXPECT_EQ(runner.workers(), 4u);
+
+    auto loads = driver::runSweep(
+        runner, workloads, 3,
+        [](const Workload &, size_t, TraceSource &trace, Rng &) {
+            DynInst di;
+            uint64_t loads = 0;
+            while (trace.next(di))
+                loads += di.isLoad();
+            return loads;
+        });
+    ASSERT_EQ(loads.size(), 6u);
+    for (uint64_t l : loads)
+        EXPECT_GT(l, 0u);
+
+    // Each workload generated once, all other jobs were cache hits.
+    const auto cs = runner.traceCache().stats();
+    EXPECT_EQ(cs.generations, 2u);
+    EXPECT_EQ(cs.hits, 4u);
+
+    std::ostringstream os;
+    runner.dumpStats(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("driver.jobsCompleted 6"), std::string::npos);
+    EXPECT_NE(s.find("driver.sweepsRun 1"), std::string::npos);
+    EXPECT_NE(s.find("driver.traceGenerations 2"), std::string::npos);
+    EXPECT_NE(s.find("driver.jobMicrosTotal"), std::string::npos);
+    EXPECT_NE(s.find("driver.queueMicrosTotal"), std::string::npos);
+}
+
+TEST(SimJobRunner, ZeroWorkersResolvesToHardwareConcurrency)
+{
+    driver::SimJobRunner runner(driver::RunnerConfig{});
+    EXPECT_GE(runner.workers(), 1u);
+}
+
+// ------------------------------------------------ sweep speedup
+
+/** Wall-clock one OoO sweep at the given worker count. */
+double
+timeOooSweep(unsigned workers)
+{
+    const std::vector<const Workload *> workloads = {
+        &findWorkload("li"), &findWorkload("com")};
+
+    driver::RunnerConfig rc;
+    rc.workers = workers;
+    rc.maxInsts = 150'000;
+    driver::SimJobRunner runner(rc);
+    // Pre-generate traces so we time simulation, not generation.
+    for (const Workload *w : workloads)
+        runner.traceCache().get(*w, rc.scale, rc.maxInsts);
+
+    const auto start = std::chrono::steady_clock::now();
+    driver::runSweep(runner, workloads, 8,
+                     [](const Workload &, size_t, TraceSource &trace,
+                        Rng &) {
+                         OooCpu cpu(CpuConfig{}, {});
+                         drainTrace(trace, cpu);
+                         return cpu.stats().cycles;
+                     });
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+}
+
+TEST(SweepSpeedup, FourWorkersBeatSerialByTwoX)
+{
+#ifdef RARPRED_UNDER_SANITIZER
+    GTEST_SKIP() << "wall-clock ratios are not meaningful under "
+                    "sanitizers";
+#endif
+    if (std::thread::hardware_concurrency() < 4)
+        GTEST_SKIP() << "needs >= 4 hardware threads, have "
+                     << std::thread::hardware_concurrency();
+
+    // Best of two runs each, to damp scheduler noise.
+    const double serial =
+        std::min(timeOooSweep(1), timeOooSweep(1));
+    const double parallel =
+        std::min(timeOooSweep(4), timeOooSweep(4));
+    EXPECT_GE(serial / parallel, 2.0)
+        << "serial " << serial << "s, 4 workers " << parallel << "s";
+}
+
+} // namespace
+} // namespace rarpred

@@ -15,6 +15,7 @@
 #include "core/cloaking.hh"
 #include "core/ddt.hh"
 #include "cpu/ooo_cpu.hh"
+#include "driver/sim_job_runner.hh"
 #include "vm/micro_vm.hh"
 #include "workload/workload.hh"
 
@@ -256,6 +257,81 @@ INSTANTIATE_TEST_SUITE_P(
     Workloads, DdtSweepProperty,
     ::testing::Combine(::testing::Values("li", "com", "tom", "fp*"),
                        ::testing::Values(32, 128)));
+
+// ------------------------------------- driver/serial equivalence
+
+void
+expectEqualCpuStats(const CpuStats &a, const CpuStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.memOrderViolations, b.memOrderViolations);
+    EXPECT_EQ(a.valueSpecUsed, b.valueSpecUsed);
+    EXPECT_EQ(a.valueSpecCorrect, b.valueSpecCorrect);
+    EXPECT_EQ(a.valueSpecWrong, b.valueSpecWrong);
+    EXPECT_EQ(a.squashes, b.squashes);
+    EXPECT_EQ(a.specCyclesSaved, b.specCyclesSaved);
+}
+
+class DriverEquivalence : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DriverEquivalence, RunnerJobMatchesSerialOooExecution)
+{
+    // For any random workload/config pair, executing the OoO core
+    // serially off the MicroVM and executing it as a SimJobRunner
+    // job replaying the memoized trace produce identical Stats.
+    Rng rng(GetParam());
+    const auto &workloads = allWorkloads();
+    const Workload &w = workloads[rng.below(workloads.size())];
+
+    CpuConfig config;
+    config.memDep = (MemDepPolicy)rng.below(3);
+    CloakTimingConfig cloak;
+    if (rng.chance(0.7)) {
+        cloak.enabled = true;
+        cloak.engine.mode =
+            rng.chance(0.5) ? CloakingMode::RawPlusRar
+                            : CloakingMode::RawOnly;
+        cloak.engine.ddt.entries = 1ull << rng.range(5, 9);
+        cloak.engine.dpnt.geometry = {8192, 2};
+        cloak.engine.sf = {1024, 2};
+        cloak.recovery = (RecoveryModel)rng.below(3);
+        cloak.bypassing = rng.chance(0.5);
+    }
+    const uint64_t kMax = 120'000;
+
+    // Serial reference: MicroVM straight into the core.
+    Program prog = w.build(1);
+    MicroVM vm(prog);
+    OooCpu serial(config, cloak);
+    vm.run(serial, kMax);
+
+    // Driver path: one job replaying the cached recorded trace.
+    driver::RunnerConfig rc;
+    rc.workers = 2;
+    rc.maxInsts = kMax;
+    driver::SimJobRunner runner(rc);
+    CpuStats job_stats;
+    std::vector<driver::JobSpec> jobs;
+    jobs.push_back({&w, GetParam(),
+                    [&](TraceSource &trace, Rng &) {
+                        OooCpu cpu(config, cloak);
+                        drainTrace(trace, cpu);
+                        job_stats = cpu.stats();
+                    }});
+    runner.run(jobs);
+
+    expectEqualCpuStats(serial.stats(), job_stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DriverEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505,
+                                           606));
 
 } // namespace
 } // namespace rarpred

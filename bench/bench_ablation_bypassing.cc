@@ -39,11 +39,22 @@ variant(size_t ci)
 int
 main(int argc, char **argv)
 {
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
+
+    rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const std::vector<uint64_t> cycles = rarpred::driver::runSweep(
+    const auto cycles = rarpred::driver::runSweep(
         runner, workloads, 3,
         [](const rarpred::Workload &, size_t ci,
            rarpred::TraceSource &trace, rarpred::Rng &) {
@@ -51,7 +62,11 @@ main(int argc, char **argv)
             rarpred::OooCpu cpu(config, variant(ci));
             rarpred::drainTrace(trace, cpu);
             return cpu.stats().cycles;
-        });
+        },
+        parsed->io);
+    if (!cycles.status.ok())
+        return rarpred::driver::finishSweep(runner, cycles.status,
+                                            std::cerr);
 
     std::printf("Ablation: cloaking alone vs cloaking + bypassing\n");
     std::printf("(speedup over the uncloaked base)\n\n");
@@ -60,9 +75,11 @@ main(int argc, char **argv)
 
     double sums[2] = {};
     for (size_t wi = 0; wi < workloads.size(); ++wi) {
-        const uint64_t *row = &cycles[wi * 3];
-        const double s0 = 100.0 * ((double)row[0] / row[1] - 1.0);
-        const double s1 = 100.0 * ((double)row[0] / row[2] - 1.0);
+        const size_t row = wi * 3;
+        const double s0 =
+            100.0 * ((double)cycles[row] / cycles[row + 1] - 1.0);
+        const double s1 =
+            100.0 * ((double)cycles[row] / cycles[row + 2] - 1.0);
         std::printf("%-6s | %11.2f%% %11.2f%%\n",
                     workloads[wi]->abbrev.c_str(), s0, s1);
         sums[0] += s0;
@@ -74,6 +91,5 @@ main(int argc, char **argv)
                 "removing the value-propagation\nhop from every covered "
                 "load's consumers.\n");
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, cycles.status, std::cerr);
 }

@@ -32,11 +32,22 @@ main(int argc, char **argv)
         MemDepPolicy::StoreSets,
     };
 
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
+
+    rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const std::vector<rarpred::CpuStats> stats = rarpred::driver::runSweep(
+    const auto stats = rarpred::driver::runSweep(
         runner, workloads, policies.size(),
         [&policies](const rarpred::Workload &, size_t ci,
                     rarpred::TraceSource &trace, rarpred::Rng &) {
@@ -45,7 +56,11 @@ main(int argc, char **argv)
             rarpred::OooCpu cpu(config, {});
             rarpred::drainTrace(trace, cpu);
             return cpu.stats();
-        });
+        },
+        parsed->io);
+    if (!stats.status.ok())
+        return rarpred::driver::finishSweep(runner, stats.status,
+                                            std::cerr);
 
     std::printf("Ablation: base-machine memory dependence policy\n");
     std::printf("(speedup over the conservative machine; order "
@@ -55,10 +70,10 @@ main(int argc, char **argv)
 
     double sums[2] = {0, 0};
     for (size_t wi = 0; wi < workloads.size(); ++wi) {
-        const rarpred::CpuStats *row = &stats[wi * policies.size()];
-        const auto &cons = row[0];
-        const auto &naive = row[1];
-        const auto &ss = row[2];
+        const size_t row = wi * policies.size();
+        const auto &cons = stats[row];
+        const auto &naive = stats[row + 1];
+        const auto &ss = stats[row + 2];
         const double s_naive =
             100.0 * ((double)cons.cycles / naive.cycles - 1.0);
         const double s_ss =
@@ -77,6 +92,5 @@ main(int argc, char **argv)
                 "conservative machine where store addresses resolve\n"
                 "late.\n");
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, stats.status, std::cerr);
 }

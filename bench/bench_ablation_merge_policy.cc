@@ -28,22 +28,36 @@ main(int argc, char **argv)
         MergePolicy::Incremental,
     };
 
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
+
+    rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const std::vector<rarpred::CloakingStats> stats =
-        rarpred::driver::runSweep(
-            runner, workloads, merges.size(),
-            [&merges](const rarpred::Workload &, size_t ci,
-                      rarpred::TraceSource &trace, rarpred::Rng &) {
-                rarpred::CloakingConfig config;
-                config.ddt.entries = 128;
-                config.dpnt.merge = merges[ci];
-                rarpred::CloakingEngine engine(config);
-                rarpred::drainTrace(trace, engine);
-                return engine.stats();
-            });
+    const auto stats = rarpred::driver::runSweep(
+        runner, workloads, merges.size(),
+        [&merges](const rarpred::Workload &, size_t ci,
+                  rarpred::TraceSource &trace, rarpred::Rng &) {
+            rarpred::CloakingConfig config;
+            config.ddt.entries = 128;
+            config.dpnt.merge = merges[ci];
+            rarpred::CloakingEngine engine(config);
+            rarpred::drainTrace(trace, engine);
+            return engine.stats();
+        },
+        parsed->io);
+    if (!stats.status.ok())
+        return rarpred::driver::finishSweep(runner, stats.status,
+                                            std::cerr);
 
     std::printf("Ablation: synonym merge policy (coverage%% / misp%%)\n");
     std::printf("(128-entry DDT, infinite DPNT/SF, adaptive "
@@ -67,6 +81,5 @@ main(int argc, char **argv)
                 "(paper: no noticeable difference)\n",
                 100 * cov[0] / 18, 100 * cov[1] / 18);
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, stats.status, std::cerr);
 }

@@ -56,24 +56,38 @@ main(int argc, char **argv)
          [](CloakingConfig &c) { c.ddt.granularityLog2 = 5; }},
     };
 
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
+
+    rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const std::vector<rarpred::CloakingStats> stats =
-        rarpred::driver::runSweep(
-            runner, workloads, variants.size(),
-            [&variants](const rarpred::Workload &, size_t ci,
-                        rarpred::TraceSource &trace, rarpred::Rng &) {
-                CloakingConfig config;
-                config.ddt.entries = 128;
-                config.dpnt.geometry = {8192, 2};
-                config.sf = {1024, 2};
-                variants[ci].apply(config);
-                rarpred::CloakingEngine engine(config);
-                rarpred::drainTrace(trace, engine);
-                return engine.stats();
-            });
+    const auto stats = rarpred::driver::runSweep(
+        runner, workloads, variants.size(),
+        [&variants](const rarpred::Workload &, size_t ci,
+                    rarpred::TraceSource &trace, rarpred::Rng &) {
+            CloakingConfig config;
+            config.ddt.entries = 128;
+            config.dpnt.geometry = {8192, 2};
+            config.sf = {1024, 2};
+            variants[ci].apply(config);
+            rarpred::CloakingEngine engine(config);
+            rarpred::drainTrace(trace, engine);
+            return engine.stats();
+        },
+        parsed->io);
+    if (!stats.status.ok())
+        return rarpred::driver::finishSweep(runner, stats.status,
+                                            std::cerr);
 
     std::printf("Ablation: structure geometry "
                 "(suite mean coverage / misspeculation)\n\n");
@@ -95,6 +109,5 @@ main(int argc, char **argv)
                 "shared table loses to load\nevictions; accuracy "
                 "degrades gracefully with smaller DPNT/SF.\n");
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, stats.status, std::cerr);
 }

@@ -46,17 +46,28 @@ main(int argc, char **argv)
 {
     using rarpred::CloakingMode;
 
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
+
     const std::vector<rarpred::CloakTimingConfig> configs = {
         {},
         mechanism(CloakingMode::RawOnly),
         mechanism(CloakingMode::RawPlusRar),
     };
 
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const std::vector<uint64_t> cycles = rarpred::driver::runSweep(
+    const auto cycles = rarpred::driver::runSweep(
         runner, workloads, configs.size(),
         [&configs](const rarpred::Workload &, size_t ci,
                    rarpred::TraceSource &trace, rarpred::Rng &) {
@@ -65,7 +76,11 @@ main(int argc, char **argv)
             rarpred::OooCpu cpu(config, configs[ci]);
             rarpred::drainTrace(trace, cpu);
             return cpu.stats().cycles;
-        });
+        },
+        parsed->io);
+    if (!cycles.status.ok())
+        return rarpred::driver::finishSweep(runner, cycles.status,
+                                            std::cerr);
 
     std::printf("Figure 10: speedup when the base does not speculate on "
                 "memory dependences\n\n");
@@ -76,9 +91,11 @@ main(int argc, char **argv)
 
     for (size_t wi = 0; wi < workloads.size(); ++wi) {
         const rarpred::Workload &w = *workloads[wi];
-        const uint64_t *row = &cycles[wi * configs.size()];
-        const double s0 = 100.0 * ((double)row[0] / row[1] - 1.0);
-        const double s1 = 100.0 * ((double)row[0] / row[2] - 1.0);
+        const size_t row = wi * configs.size();
+        const double s0 =
+            100.0 * ((double)cycles[row] / cycles[row + 1] - 1.0);
+        const double s1 =
+            100.0 * ((double)cycles[row] / cycles[row + 2] - 1.0);
         std::printf("%-6s | %9.2f%% %9.2f%%\n", w.abbrev.c_str(), s0,
                     s1);
         const int fp = w.isFp ? 1 : 0;
@@ -92,6 +109,5 @@ main(int argc, char **argv)
     std::printf("\nPaper: RAW+RAR 9.8%% (int), 6.1%% (fp); speedups "
                 "often double those of Figure 9.\n");
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, cycles.status, std::cerr);
 }

@@ -76,18 +76,33 @@ main(int argc, char **argv)
 {
     const std::vector<size_t> sizes = {32, 64, 128, 256, 512, 1024, 2048};
 
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
+
+    rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const std::vector<Cell> cells = rarpred::driver::runSweep(
+    const auto cells = rarpred::driver::runSweep(
         runner, workloads, sizes.size(),
         [&sizes](const rarpred::Workload &, size_t ci,
                  rarpred::TraceSource &trace, rarpred::Rng &) {
             DdtSweepSink sink(sizes[ci]);
             rarpred::drainTrace(trace, sink);
             return Cell{sink.rawFrac(), sink.rarFrac()};
-        });
+        },
+        parsed->io);
+    if (!cells.status.ok())
+        return rarpred::driver::finishSweep(runner, cells.status,
+                                            std::cerr);
 
     std::printf("Figure 5: loads with RAW/RAR dependences vs DDT size\n");
     std::printf("(each cell: RAW%% / RAR%% of all loads)\n\n");
@@ -132,6 +147,5 @@ main(int argc, char **argv)
                     100 * fp_rar[i] / n_fp);
     std::printf("\n");
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, cells.status, std::cerr);
 }

@@ -50,6 +50,18 @@ main(int argc, char **argv)
     using rarpred::CloakingMode;
     using rarpred::RecoveryModel;
 
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
+
     // Config grid: base core plus the four mechanism variants.
     const std::vector<rarpred::CloakTimingConfig> configs = {
         {},
@@ -59,11 +71,10 @@ main(int argc, char **argv)
         mechanism(CloakingMode::RawPlusRar, RecoveryModel::Squash),
     };
 
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const std::vector<uint64_t> cycles = rarpred::driver::runSweep(
+    const auto cycles = rarpred::driver::runSweep(
         runner, workloads, configs.size(),
         [&configs](const rarpred::Workload &, size_t ci,
                    rarpred::TraceSource &trace, rarpred::Rng &) {
@@ -72,7 +83,11 @@ main(int argc, char **argv)
             rarpred::OooCpu cpu(config, configs[ci]);
             rarpred::drainTrace(trace, cpu);
             return cpu.stats().cycles;
-        });
+        },
+        parsed->io);
+    if (!cycles.status.ok())
+        return rarpred::driver::finishSweep(runner, cycles.status,
+                                            std::cerr);
 
     std::printf("Figure 9: speedup of cloaking/bypassing over the base "
                 "processor\n(base uses naive memory dependence "
@@ -85,13 +100,13 @@ main(int argc, char **argv)
 
     for (size_t wi = 0; wi < workloads.size(); ++wi) {
         const rarpred::Workload &w = *workloads[wi];
-        const uint64_t *row = &cycles[wi * configs.size()];
-        const uint64_t base = row[0];
+        const size_t row = wi * configs.size();
+        const uint64_t base = cycles[row];
         const double s[4] = {
-            100.0 * ((double)base / row[1] - 1.0),
-            100.0 * ((double)base / row[2] - 1.0),
-            100.0 * ((double)base / row[3] - 1.0),
-            100.0 * ((double)base / row[4] - 1.0),
+            100.0 * ((double)base / cycles[row + 1] - 1.0),
+            100.0 * ((double)base / cycles[row + 2] - 1.0),
+            100.0 * ((double)base / cycles[row + 3] - 1.0),
+            100.0 * ((double)base / cycles[row + 4] - 1.0),
         };
         std::printf("%-6s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n",
                     w.abbrev.c_str(), s[0], s[1], s[2], s[3]);
@@ -115,6 +130,5 @@ main(int argc, char **argv)
                 "selective RAW+RAR 6.44%% int / 4.66%% fp;\n"
                 "squash rarely improves performance.\n");
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, cycles.status, std::cerr);
 }

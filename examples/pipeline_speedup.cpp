@@ -43,10 +43,20 @@ mechanism(rarpred::RecoveryModel recovery)
 int
 main(int argc, char **argv)
 {
+    rarpred::driver::installStopHandlers();
+    const auto parsed = rarpred::driver::parseSweepArgs(argc, argv);
+    if (!parsed.ok()) {
+        std::cerr << parsed.status().toString() << "\n"
+                  << rarpred::driver::sweepUsage();
+        return 2;
+    }
+    if (parsed->help) {
+        std::fputs(rarpred::driver::sweepUsage(), stdout);
+        return 0;
+    }
     std::string name = "tom";
-    for (int i = 1; i < argc; ++i)
-        if (std::strncmp(argv[i], "--", 2) != 0)
-            name = argv[i];
+    if (!parsed->positional.empty())
+        name = parsed->positional.back();
     const rarpred::Workload &w = rarpred::findWorkload(name);
 
     // Config grid: base plus the three recovery mechanisms.
@@ -57,10 +67,9 @@ main(int argc, char **argv)
         mechanism(rarpred::RecoveryModel::Oracle),
     };
 
-    rarpred::driver::SimJobRunner runner(
-        rarpred::driver::runnerConfigFromArgs(argc, argv));
+    rarpred::driver::SimJobRunner runner(parsed->runner);
 
-    const std::vector<rarpred::CpuStats> stats = rarpred::driver::runSweep(
+    const auto stats = rarpred::driver::runSweep(
         runner, {&w}, configs.size(),
         [&configs](const rarpred::Workload &, size_t ci,
                    rarpred::TraceSource &trace, rarpred::Rng &) {
@@ -68,7 +77,11 @@ main(int argc, char **argv)
             rarpred::OooCpu cpu(config, configs[ci]);
             rarpred::drainTrace(trace, cpu);
             return cpu.stats();
-        });
+        },
+        parsed->io);
+    if (!stats.status.ok())
+        return rarpred::driver::finishSweep(runner, stats.status,
+                                            std::cerr);
 
     std::printf("workload %s (%s)\n\n", w.fullName.c_str(),
                 w.abbrev.c_str());
@@ -94,6 +107,5 @@ main(int argc, char **argv)
                 "invalidation re-fetches everything after it "
                 "(Section 5.6.1).\n");
 
-    runner.dumpStats(std::cerr);
-    return 0;
+    return rarpred::driver::finishSweep(runner, stats.status, std::cerr);
 }

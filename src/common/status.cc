@@ -20,6 +20,12 @@ statusCodeName(StatusCode code)
         return "out-of-range";
       case StatusCode::FailedPrecondition:
         return "failed-precondition";
+      case StatusCode::DeadlineExceeded:
+        return "deadline-exceeded";
+      case StatusCode::Cancelled:
+        return "cancelled";
+      case StatusCode::Internal:
+        return "internal";
     }
     return "unknown";
 }

@@ -37,6 +37,9 @@ enum class StatusCode : uint8_t
     Corruption,         ///< data failed an integrity check
     OutOfRange,         ///< a value exceeds its legal range
     FailedPrecondition, ///< object not in a state to do that
+    DeadlineExceeded,   ///< work exceeded its time budget
+    Cancelled,          ///< caller (or a signal) asked to stop
+    Internal,           ///< unexpected failure (e.g. a caught exception)
 };
 
 /** @return a stable lowercase name for @p code ("ok", "io-error", ...). */
@@ -89,6 +92,24 @@ class Status
         return {StatusCode::FailedPrecondition, std::move(msg)};
     }
 
+    static Status
+    deadlineExceeded(std::string msg)
+    {
+        return {StatusCode::DeadlineExceeded, std::move(msg)};
+    }
+
+    static Status
+    cancelled(std::string msg)
+    {
+        return {StatusCode::Cancelled, std::move(msg)};
+    }
+
+    static Status
+    internal(std::string msg)
+    {
+        return {StatusCode::Internal, std::move(msg)};
+    }
+
     bool ok() const { return code_ == StatusCode::Ok; }
     StatusCode code() const { return code_; }
     const std::string &message() const { return message_; }
@@ -111,6 +132,8 @@ template <typename T>
 class Result
 {
   public:
+    using value_type = T;
+
     /** Implicit from a value: success. */
     Result(T value) : state_(std::move(value)) {}
 

@@ -1,11 +1,17 @@
 #include "driver/sim_job_runner.hh"
 
+#include <csignal>
+#include <cstdio>
+
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <stdexcept>
 #include <thread>
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "faultinject/driver_faults.hh"
 
 namespace rarpred::driver {
 
@@ -23,16 +29,122 @@ jobSeed(std::string_view workload, uint64_t config_hash)
     return h;
 }
 
+// --------------------------------------------------- stop signals
+
+namespace {
+
+// sig_atomic_t + lock-free atomic: safe to set from a signal handler.
+std::atomic<int> g_stopSignal{0};
+
+extern "C" void
+stopSignalHandler(int sig)
+{
+    g_stopSignal.store(sig, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installStopHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = stopSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // interrupt blocking calls so the stop is seen
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+stopRequested()
+{
+    return g_stopSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+stopSignal()
+{
+    return g_stopSignal.load(std::memory_order_relaxed);
+}
+
+void
+requestStop()
+{
+    g_stopSignal.store(-1, std::memory_order_relaxed);
+}
+
+void
+clearStopRequest()
+{
+    g_stopSignal.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------ watchdog
+
+namespace {
+
+/** Thrown out of the job body when its deadline passes; caught by
+ *  the worker loop and converted to a DeadlineExceeded status. */
+struct JobDeadlineExceeded
+{
+};
+
+/**
+ * Cooperative watchdog: wraps the job's replay cursor and checks the
+ * wall clock every kCheckInterval records. Every simulation job
+ * pumps its trace source, so a runaway job is unwound — via ordinary
+ * stack unwinding on its own worker thread — at the next record
+ * boundary after the deadline. No thread is ever abandoned.
+ */
+class WatchdogTraceSource : public TraceSource
+{
+  public:
+    WatchdogTraceSource(TraceSource &inner,
+                        std::chrono::steady_clock::time_point deadline)
+        : inner_(inner), deadline_(deadline)
+    {
+    }
+
+    bool
+    next(DynInst &di) override
+    {
+        if (++sinceCheck_ >= kCheckInterval) {
+            sinceCheck_ = 0;
+            if (std::chrono::steady_clock::now() > deadline_)
+                throw JobDeadlineExceeded{};
+        }
+        return inner_.next(di);
+    }
+
+  private:
+    static constexpr uint32_t kCheckInterval = 1024;
+
+    TraceSource &inner_;
+    std::chrono::steady_clock::time_point deadline_;
+    uint32_t sinceCheck_ = 0;
+};
+
+} // namespace
+
+// ------------------------------------------------------- runner
+
 SimJobRunner::SimJobRunner(const RunnerConfig &config)
     : config_(config),
       workers_(config.workers != 0
                    ? config.workers
                    : std::max(1u, std::thread::hardware_concurrency())),
+      cache_(TraceCacheConfig{config.traceBudgetBytes,
+                              config.traceBudgetTraces}),
       queueLatencyMs_(64, 10),
       statGroup_("driver")
 {
     statGroup_.registerCounter("sweepsRun", &sweepsRun_);
     statGroup_.registerCounter("jobsCompleted", &jobsCompleted_);
+    statGroup_.registerCounter("retries", &retries_);
+    statGroup_.registerCounter("quarantined", &jobsQuarantined_);
+    statGroup_.registerCounter("journalReplayed", &journalReplayed_);
+    statGroup_.registerCounter("journalAppended", &journalAppended_);
+    statGroup_.registerCounter("journalTornRecords", &journalTorn_);
     statGroup_.registerCounter("jobMicrosTotal", &jobMicrosTotal_);
     statGroup_.registerCounter("queueMicrosTotal", &queueMicrosTotal_);
     statGroup_.registerCounter("sweepMicrosTotal", &sweepMicrosTotal_);
@@ -47,10 +159,14 @@ SimJobRunner::nowMicros()
         .count();
 }
 
-void
+Status
 SimJobRunner::run(const std::vector<JobSpec> &jobs)
 {
     next_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        quarantined_.clear();
+    }
     const uint64_t sweep_start = nowMicros();
 
     const unsigned n =
@@ -72,6 +188,77 @@ SimJobRunner::run(const std::vector<JobSpec> &jobs)
     std::lock_guard<std::mutex> lock(statsMu_);
     ++sweepsRun_;
     sweepMicrosTotal_ += nowMicros() - sweep_start;
+
+    if (stopRequested())
+        return Status::cancelled(
+            "sweep interrupted by signal " +
+            std::to_string(stopSignal()) +
+            "; completed jobs are journaled (if a journal was given)");
+    if (!quarantined_.empty())
+        return Status::failedPrecondition(
+            std::to_string(quarantined_.size()) +
+            " job(s) quarantined after " +
+            std::to_string(config_.maxAttempts) + " attempt(s)");
+    return Status{};
+}
+
+Status
+SimJobRunner::runAttempt(const JobSpec &job, size_t index,
+                         unsigned attempt)
+{
+    // Injected harness faults (tests and RARPRED_FAULT): see
+    // src/faultinject/driver_faults.hh.
+    if (driverFaultFires(DriverFaultPoint::JobKill, index)) {
+        // End-to-end crash drill: die the way a OOM-killed or
+        // segfaulted worker process dies — no unwinding, no flush.
+        std::raise(SIGKILL);
+    }
+
+    const bool has_deadline = config_.jobDeadlineMs != 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(has_deadline ? config_.jobDeadlineMs
+                                               : 1000);
+
+    try {
+        if (driverFaultFires(DriverFaultPoint::JobCrash, index))
+            throw std::runtime_error("injected job crash");
+        if (driverFaultFires(DriverFaultPoint::JobHang, index)) {
+            // Simulated wedge: burn wall clock the way a livelocked
+            // job would, until the watchdog deadline unwinds us.
+            while (std::chrono::steady_clock::now() < deadline &&
+                   !stopRequested())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            throw JobDeadlineExceeded{};
+        }
+
+        std::shared_ptr<const RecordedTrace> trace =
+            cache_.get(*job.workload, config_.scale, config_.maxInsts);
+        RecordedTraceSource replay(*trace);
+
+        // Retries draw a *fresh* deterministic RNG stream: same job
+        // identity, salted by the attempt, so a failure caused by an
+        // unlucky randomized path does not repeat verbatim.
+        const uint64_t base = jobSeed(job.workload->abbrev, job.configHash);
+        Rng rng(attempt == 0
+                    ? base
+                    : base ^ (0x517cc1b727220a95ull * (attempt + 1)));
+
+        if (has_deadline) {
+            WatchdogTraceSource watched(replay, deadline);
+            return job.run(watched, rng);
+        }
+        return job.run(replay, rng);
+    } catch (const JobDeadlineExceeded &) {
+        return Status::deadlineExceeded(
+            "job exceeded its " +
+            std::to_string(config_.jobDeadlineMs) + "ms deadline");
+    } catch (const std::exception &e) {
+        return Status::internal(std::string("job threw: ") + e.what());
+    } catch (...) {
+        return Status::internal("job threw a non-std exception");
+    }
 }
 
 void
@@ -79,6 +266,8 @@ SimJobRunner::workerLoop(const std::vector<JobSpec> &jobs,
                          uint64_t sweep_start_us)
 {
     while (true) {
+        if (stopRequested())
+            return; // graceful stop: finish nothing new
         const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobs.size())
             return;
@@ -86,20 +275,74 @@ SimJobRunner::workerLoop(const std::vector<JobSpec> &jobs,
         rarpred_assert(job.workload != nullptr && job.run != nullptr);
 
         const uint64_t start = nowMicros();
-        std::shared_ptr<const RecordedTrace> trace =
-            cache_.get(*job.workload, config_.scale, config_.maxInsts);
-        RecordedTraceSource replay(*trace);
-        Rng rng(jobSeed(job.workload->abbrev, job.configHash));
-        job.run(replay, rng);
+        Status last;
+        unsigned attempt = 0;
+        for (; attempt < std::max(1u, config_.maxAttempts); ++attempt) {
+            if (attempt > 0) {
+                {
+                    std::lock_guard<std::mutex> lock(statsMu_);
+                    ++retries_;
+                }
+                if (config_.retryBackoffMs != 0 && !stopRequested()) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(
+                        config_.retryBackoffMs << (attempt - 1)));
+                }
+            }
+            last = runAttempt(job, i, attempt);
+            if (last.ok())
+                break;
+            if (stopRequested())
+                break; // don't retry into a shutdown
+        }
         const uint64_t end = nowMicros();
 
         std::lock_guard<std::mutex> lock(statsMu_);
-        ++jobsCompleted_;
+        if (last.ok()) {
+            ++jobsCompleted_;
+        } else {
+            ++jobsQuarantined_;
+            quarantined_.push_back(JobFailure{
+                i, job.workload->abbrev, job.configHash,
+                std::min(attempt + 1, std::max(1u, config_.maxAttempts)),
+                last});
+        }
         jobMicrosTotal_ += end - start;
         queueMicrosTotal_ += start - sweep_start_us;
         queueLatencyMs_.sample((start - sweep_start_us) / 1000);
         jobMicrosMax_ = std::max(jobMicrosMax_, end - start);
     }
+}
+
+void
+SimJobRunner::dumpFailureTable(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    if (quarantined_.empty())
+        return;
+    os << "quarantined jobs (" << quarantined_.size() << "):\n";
+    os << "  job  workload  config            attempts  error\n";
+    char buf[64];
+    for (const JobFailure &f : quarantined_) {
+        std::snprintf(buf, sizeof(buf), "  %-4zu %-9s %-#18llx %-9u ",
+                      f.job, f.workload.c_str(),
+                      (unsigned long long)f.configHash, f.attempts);
+        os << buf << f.error.toString() << "\n";
+    }
+}
+
+void
+SimJobRunner::noteJournalReplay(uint64_t replayed, uint64_t torn)
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    journalReplayed_ += replayed;
+    journalTorn_ += torn;
+}
+
+void
+SimJobRunner::noteJournalAppend()
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++journalAppended_;
 }
 
 void
@@ -113,8 +356,12 @@ SimJobRunner::dumpStats(std::ostream &os) const
     const TraceCache::CacheStats cs = cache_.stats();
     os << "driver.traceGenerations " << cs.generations << "\n";
     os << "driver.traceCacheHits " << cs.hits << "\n";
+    os << "driver.cacheEvictions " << cs.evictions << "\n";
+    os << "driver.cacheRegenerations " << cs.regenerations << "\n";
     os << "driver.traceResidentBytes " << cs.residentBytes << "\n";
     os << "driver.traceResidentTraces " << cs.residentTraces << "\n";
+    os << "driver.tracePeakResidentTraces " << cs.peakResidentTraces
+       << "\n";
 }
 
 } // namespace rarpred::driver

@@ -1,7 +1,8 @@
 /**
  * @file
  * Parallel sweep execution: a thread pool that fans a workload ×
- * configuration grid out over std::thread workers.
+ * configuration grid out over std::thread workers, with per-job
+ * fault tolerance.
  *
  * Design for determinism (the whole point — see tests/test_driver.cc):
  *  - The job list is fixed before run() starts; workers claim jobs
@@ -10,16 +11,32 @@
  *    function of the job list, not of the interleaving.
  *  - Each job gets a private Rng seeded by jobSeed(workload id,
  *    config hash): the seed depends on *what* the job is, never on
- *    which worker runs it or when.
+ *    which worker runs it or when. A retried attempt derives a fresh
+ *    stream from the same identity plus the attempt number.
  *  - Traces come from a TraceCache: one functional execution per
- *    workload, shared immutably by every job that replays it.
+ *    workload, shared immutably by every job that replays it — and
+ *    regenerated transparently if a memory budget evicted it.
+ *
+ * Fault tolerance (see DESIGN.md §6b): a job that throws, returns a
+ * non-OK Status, or overruns its deadline is retried up to
+ * RunnerConfig::maxAttempts times with exponential backoff, then
+ * *quarantined* — recorded in a failure list and skipped — instead
+ * of aborting the pool. The deadline is enforced cooperatively by a
+ * watchdog wrapped around the job's trace source (every simulation
+ * job pumps its trace, so a wedged or pathologically slow job is
+ * caught at the next record boundary and unwound by exception — no
+ * detached threads, nothing to leak). run() returns non-OK when any
+ * job was quarantined or a stop signal interrupted the sweep.
  *
  * Timing observability: the runner accumulates per-job wall-clock
  * and queue-latency counters (common/stats.hh Counter/Histogram) so
  * the speedup of a parallel sweep is measurable; dumpStats() writes
- * them in the repo's "group.stat value" format. Timing counters are
- * kept strictly out of the merged simulation stats — they are the
- * only nondeterministic output, and they are clearly labelled.
+ * them in the repo's "group.stat value" format, together with the
+ * fault-tolerance counters (driver.retries, driver.quarantined,
+ * driver.cacheEvictions, journal replay/append counts). Timing
+ * counters are kept strictly out of the merged simulation stats —
+ * they are the only nondeterministic output, and they are clearly
+ * labelled.
  */
 
 #ifndef RARPRED_DRIVER_SIM_JOB_RUNNER_HH_
@@ -30,11 +47,13 @@
 #include <functional>
 #include <mutex>
 #include <ostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "driver/trace_cache.hh"
 #include "vm/trace.hh"
 
@@ -46,6 +65,27 @@ namespace rarpred::driver {
  */
 uint64_t jobSeed(std::string_view workload, uint64_t config_hash);
 
+/**
+ * Install SIGINT/SIGTERM handlers that request a *graceful* sweep
+ * stop: workers finish their current job (journal entries for
+ * completed jobs are already flushed), stop claiming new ones, and
+ * run() returns StatusCode::Cancelled so the caller can report how
+ * to resume. Idempotent; the benches call it once at startup.
+ */
+void installStopHandlers();
+
+/** True once a stop signal arrived (or requestStop() was called). */
+bool stopRequested();
+
+/** The signal that requested the stop (0 when none). */
+int stopSignal();
+
+/** Programmatic equivalent of a stop signal (tests). */
+void requestStop();
+
+/** Clear a pending stop request (tests only). */
+void clearStopRequest();
+
 /** Pool-wide knobs. */
 struct RunnerConfig
 {
@@ -54,6 +94,19 @@ struct RunnerConfig
     unsigned workers = 0;
     uint32_t scale = 1;        ///< workload scale for trace generation
     uint64_t maxInsts = ~0ull; ///< trace truncation (tests)
+
+    /** Total attempts per job before quarantine (1 = never retry). */
+    unsigned maxAttempts = 3;
+    /** Per-attempt deadline in milliseconds; 0 disables the
+     *  watchdog. Enforced at trace-record granularity. */
+    uint64_t jobDeadlineMs = 0;
+    /** Backoff before retry r (1-based) is retryBackoffMs << (r-1);
+     *  0 retries immediately. */
+    uint64_t retryBackoffMs = 0;
+
+    /** Trace residency budgets forwarded to the TraceCache. */
+    uint64_t traceBudgetBytes = 0;  ///< 0 = unlimited
+    uint32_t traceBudgetTraces = 0; ///< 0 = unlimited
 };
 
 /** One unit of work: replay one workload trace into one simulator. */
@@ -65,9 +118,21 @@ struct JobSpec
     /**
      * The job body. Receives a private replay cursor over the shared
      * trace and a private deterministically-seeded Rng. Runs on a
-     * worker thread: it must only touch its own result slot.
+     * worker thread: it must only touch its own result slot. A non-OK
+     * return (or a thrown exception) marks the attempt failed and
+     * triggers retry/quarantine.
      */
-    std::function<void(TraceSource &trace, Rng &rng)> run;
+    std::function<Status(TraceSource &trace, Rng &rng)> run;
+};
+
+/** One quarantined job, for the stderr failure table. */
+struct JobFailure
+{
+    size_t job = 0;            ///< index into the run's job list
+    std::string workload;      ///< workload abbrev
+    uint64_t configHash = 0;
+    unsigned attempts = 0;     ///< attempts consumed (== maxAttempts)
+    Status error;              ///< the final attempt's failure
 };
 
 /** The thread pool. One instance drives any number of sweeps. */
@@ -78,10 +143,24 @@ class SimJobRunner
 
     /**
      * Execute every job, fanning out over workers(); blocks until
-     * all jobs finished. Jobs are claimed in list order, so listing
-     * a sweep workload-major keeps each trace's consumers together.
+     * all jobs finished or were quarantined. Jobs are claimed in
+     * list order, so listing a sweep workload-major keeps each
+     * trace's consumers together.
+     *
+     * @return OK when every job completed; Cancelled when a stop
+     * signal interrupted the sweep; FailedPrecondition when jobs
+     * were quarantined (see quarantined() / dumpFailureTable()).
      */
-    void run(const std::vector<JobSpec> &jobs);
+    Status run(const std::vector<JobSpec> &jobs);
+
+    /** Jobs quarantined by the most recent run(). */
+    const std::vector<JobFailure> &quarantined() const
+    {
+        return quarantined_;
+    }
+
+    /** Write a human-readable table of quarantined jobs to @p os. */
+    void dumpFailureTable(std::ostream &os) const;
 
     /** Effective worker count after resolving workers == 0. */
     unsigned workers() const { return workers_; }
@@ -91,10 +170,15 @@ class SimJobRunner
     /** Shared trace store (also usable directly by tests). */
     TraceCache &traceCache() { return cache_; }
 
+    /** Journal bookkeeping, surfaced in dumpStats() (driver.*). */
+    void noteJournalReplay(uint64_t replayed, uint64_t torn);
+    void noteJournalAppend();
+
     /**
-     * Write runner counters ("driver.jobsCompleted", per-job wall
-     * and queue-latency totals, trace-cache hit/generation counts)
-     * as "driver.stat value" lines. Wall-clock values are real time
+     * Write runner counters ("driver.jobsCompleted", retry/
+     * quarantine/journal counts, per-job wall and queue-latency
+     * totals, trace-cache hit/generation/eviction counts) as
+     * "driver.stat value" lines. Wall-clock values are real time
      * and intentionally excluded from merged simulation stats.
      */
     void dumpStats(std::ostream &os) const;
@@ -102,6 +186,10 @@ class SimJobRunner
   private:
     void workerLoop(const std::vector<JobSpec> &jobs,
                     uint64_t sweep_start_us);
+
+    /** Run one attempt of @p job; non-OK on failure or deadline. */
+    Status runAttempt(const JobSpec &job, size_t index,
+                      unsigned attempt);
 
     static uint64_t nowMicros();
 
@@ -112,8 +200,14 @@ class SimJobRunner
 
     // Aggregated under statsMu_ when each job completes.
     mutable std::mutex statsMu_;
+    std::vector<JobFailure> quarantined_;
     Counter sweepsRun_;
     Counter jobsCompleted_;
+    Counter retries_;          ///< attempts beyond each job's first
+    Counter jobsQuarantined_;  ///< cumulative across sweeps
+    Counter journalReplayed_;  ///< jobs restored from a journal
+    Counter journalAppended_;  ///< jobs checkpointed to a journal
+    Counter journalTorn_;      ///< torn records dropped on resume
     Counter jobMicrosTotal_;   ///< sum of per-job wall clock
     Counter queueMicrosTotal_; ///< sum of (job start - sweep start)
     Counter sweepMicrosTotal_; ///< wall clock of run() calls

@@ -32,6 +32,25 @@ StatsMerger::record(size_t job, std::string_view stat, double value)
     rows_[job].entries.push_back({std::string(stat), false, 0, value});
 }
 
+void
+StatsMerger::setError(size_t job, Status error)
+{
+    rarpred_assert(job < rows_.size());
+    rarpred_assert(!error.ok());
+    rows_[job].failed = true;
+    rows_[job].error = std::move(error);
+}
+
+size_t
+StatsMerger::numErrors() const
+{
+    size_t n = 0;
+    for (const Row &row : rows_)
+        if (row.failed)
+            ++n;
+    return n;
+}
+
 std::string
 StatsMerger::serialize() const
 {
@@ -39,8 +58,17 @@ StatsMerger::serialize() const
     char buf[256];
     // Totals keyed by stat name; std::map gives a stable name order.
     std::map<std::string, Entry> totals;
+    uint64_t errors = 0;
     for (size_t job = 0; job < rows_.size(); ++job) {
         const Row &row = rows_[job];
+        if (row.failed) {
+            ++errors;
+            out += row.key;
+            out += ".error ";
+            out += row.error.toString();
+            out += "\n";
+            continue;
+        }
         for (const Entry &e : row.entries) {
             if (e.isCount) {
                 std::snprintf(buf, sizeof(buf), "%s.%s %" PRIu64 "\n",
@@ -69,6 +97,11 @@ StatsMerger::serialize() const
         else
             std::snprintf(buf, sizeof(buf), "total.%s %.17g\n",
                           name.c_str(), e.d);
+        out += buf;
+    }
+    if (errors != 0) {
+        std::snprintf(buf, sizeof(buf), "total.errors %" PRIu64 "\n",
+                      errors);
         out += buf;
     }
     return out;

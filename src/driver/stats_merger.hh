@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace rarpred::driver {
 
 /** Collects named per-job scalars; reduces them in job order. */
@@ -45,6 +47,19 @@ class StatsMerger
 
     /** Record one named real-valued result for job @p job. */
     void record(size_t job, std::string_view stat, double value);
+
+    /**
+     * Mark job @p job as failed. Its row serializes as a single
+     * "rowkey.error <code>: <message>" line (any stats recorded for
+     * it are suppressed — partial results from a failed job are not
+     * data), and a "total.errors N" line is appended after the usual
+     * totals. Sweeps with no errors serialize byte-identically to
+     * before this API existed.
+     */
+    void setError(size_t job, Status error);
+
+    /** Number of jobs marked failed via setError(). */
+    size_t numErrors() const;
 
     /**
      * @return the canonical merged table: one "rowkey.stat value"
@@ -83,6 +98,8 @@ class StatsMerger
     {
         std::string key;
         std::vector<Entry> entries;
+        bool failed = false;
+        Status error;
     };
 
     std::vector<Row> rows_;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "faultinject/driver_faults.hh"
+
 namespace rarpred::driver {
 
 std::vector<const Workload *>
@@ -28,6 +30,220 @@ runnerConfigFromArgs(int argc, char **argv)
                 (unsigned)std::strtoul(argv[i] + 10, nullptr, 10);
     }
     return config;
+}
+
+namespace {
+
+/** Strict decimal parse; rejects empty strings and trailing junk. */
+bool
+parseU64(const char *s, uint64_t *out)
+{
+    if (*s == '\0')
+        return false;
+    uint64_t v = 0;
+    for (; *s != '\0'; ++s) {
+        if (*s < '0' || *s > '9')
+            return false;
+        const uint64_t digit = (uint64_t)(*s - '0');
+        if (v > (~0ull - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+/** If @p arg is "--name=V", return V, else nullptr. */
+const char *
+flagValue(const char *arg, const char *name)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
+}
+
+Status
+numericFlag(const char *arg, const char *flag, uint64_t *out)
+{
+    const char *v = flagValue(arg, flag);
+    if (v == nullptr)
+        return Status::notFound(""); // not this flag
+    if (!parseU64(v, out))
+        return Status::invalidArgument(std::string(flag) +
+                                       " wants a decimal number, got '" +
+                                       v + "'");
+    return Status{};
+}
+
+} // namespace
+
+Result<SweepOptions>
+parseSweepArgs(int argc, char **argv)
+{
+    SweepOptions opts;
+    if (const char *env = std::getenv("RARPRED_WORKERS")) {
+        uint64_t v = 0;
+        if (!parseU64(env, &v))
+            return Status::invalidArgument(
+                std::string("RARPRED_WORKERS wants a decimal number, "
+                            "got '") +
+                env + "'");
+        opts.runner.workers = (unsigned)v;
+    }
+
+    // Crash-drill hook: lets CI and the resume tests inject faults
+    // into any sweep binary without recompiling.
+    RARPRED_RETURN_IF_ERROR(armDriverFaultsFromEnv());
+
+    struct U64Flag
+    {
+        const char *name;
+        uint64_t *slot;
+    };
+    uint64_t workers = 0, scale = 0, max_insts = 0, retries = 0;
+    bool saw_workers = false, saw_scale = false, saw_max_insts = false;
+    bool saw_retries = false;
+    const U64Flag numeric[] = {
+        {"--deadline-ms", &opts.runner.jobDeadlineMs},
+        {"--retry-backoff-ms", &opts.runner.retryBackoffMs},
+        {"--trace-budget-bytes", &opts.runner.traceBudgetBytes},
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            opts.help = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--serial") == 0) {
+            opts.runner.workers = 1;
+            continue;
+        }
+        if (std::strcmp(arg, "--resume") == 0) {
+            opts.io.resume = true;
+            continue;
+        }
+        if (const char *v = flagValue(arg, "--journal")) {
+            opts.io.journalPath = v;
+            continue;
+        }
+        if (const char *v = flagValue(arg, "--resume")) {
+            opts.io.journalPath = v;
+            opts.io.resume = true;
+            continue;
+        }
+        Status s = numericFlag(arg, "--workers", &workers);
+        if (s.ok()) {
+            saw_workers = true;
+            continue;
+        }
+        if (s.code() == StatusCode::InvalidArgument)
+            return s;
+        s = numericFlag(arg, "--scale", &scale);
+        if (s.ok()) {
+            saw_scale = true;
+            continue;
+        }
+        if (s.code() == StatusCode::InvalidArgument)
+            return s;
+        s = numericFlag(arg, "--max-insts", &max_insts);
+        if (s.ok()) {
+            saw_max_insts = true;
+            continue;
+        }
+        if (s.code() == StatusCode::InvalidArgument)
+            return s;
+        s = numericFlag(arg, "--retries", &retries);
+        if (s.ok()) {
+            saw_retries = true;
+            continue;
+        }
+        if (s.code() == StatusCode::InvalidArgument)
+            return s;
+        uint64_t budget_traces = 0;
+        s = numericFlag(arg, "--trace-budget", &budget_traces);
+        if (s.ok()) {
+            opts.runner.traceBudgetTraces = (uint32_t)budget_traces;
+            continue;
+        }
+        if (s.code() == StatusCode::InvalidArgument)
+            return s;
+        bool matched = false;
+        for (const U64Flag &f : numeric) {
+            s = numericFlag(arg, f.name, f.slot);
+            if (s.ok()) {
+                matched = true;
+                break;
+            }
+            if (s.code() == StatusCode::InvalidArgument)
+                return s;
+        }
+        if (matched)
+            continue;
+        if (std::strncmp(arg, "--", 2) == 0)
+            return Status::invalidArgument(std::string("unknown flag '") +
+                                           arg + "'");
+        opts.positional.push_back(arg);
+    }
+
+    if (saw_workers)
+        opts.runner.workers = (unsigned)workers;
+    if (saw_scale) {
+        if (scale == 0)
+            return Status::invalidArgument("--scale must be >= 1");
+        opts.runner.scale = (uint32_t)scale;
+    }
+    if (saw_max_insts)
+        opts.runner.maxInsts = max_insts == 0 ? ~0ull : max_insts;
+    if (saw_retries) {
+        // --retries counts *retries*; maxAttempts counts attempts.
+        opts.runner.maxAttempts = (unsigned)retries + 1;
+    }
+    if (opts.io.resume && opts.io.journalPath.empty())
+        return Status::invalidArgument(
+            "--resume needs a journal path (--journal=PATH or "
+            "--resume=PATH)");
+    return opts;
+}
+
+const char *
+sweepUsage()
+{
+    return
+        "common sweep flags:\n"
+        "  --workers=N | --serial   worker threads (default: hardware;\n"
+        "                           env RARPRED_WORKERS overrides)\n"
+        "  --scale=N                workload scale (default 1)\n"
+        "  --max-insts=N            truncate traces to N instructions\n"
+        "  --retries=N              retry failed jobs N times (default 2)\n"
+        "  --deadline-ms=N          per-attempt watchdog deadline\n"
+        "  --retry-backoff-ms=N     base backoff before retries\n"
+        "  --trace-budget=N         max resident traces in the cache\n"
+        "  --trace-budget-bytes=N   max resident trace bytes\n"
+        "  --journal=PATH           checkpoint completed jobs to PATH\n"
+        "  --resume[=PATH]          resume an interrupted sweep\n"
+        "  --help | -h              show this help\n"
+        "env RARPRED_FAULT=point:index[xN],... arms driver fault\n"
+        "points (job_crash, job_hang, job_kill, journal_torn,\n"
+        "cache_pressure) for crash drills.\n";
+}
+
+int
+finishSweep(SimJobRunner &runner, const Status &status, std::ostream &err)
+{
+    runner.dumpFailureTable(err);
+    runner.dumpStats(err);
+    if (status.ok())
+        return 0;
+    err << "sweep failed: " << status.toString() << "\n";
+    if (status.code() == StatusCode::Cancelled) {
+        err << "re-run with --resume to pick up where this sweep "
+               "stopped\n";
+        return 130;
+    }
+    return 1;
 }
 
 } // namespace rarpred::driver

@@ -1,32 +1,183 @@
 #include "driver/trace_cache.hh"
 
+#include "faultinject/driver_faults.hh"
+#include "vm/trace_file.hh"
+
 namespace rarpred::driver {
+
+namespace {
+
+/**
+ * A file trace recovered with resync has gaps where corrupt records
+ * were dropped; the survivors must be renumbered into the dense
+ * 0,1,2,... sequence RecordedTrace requires (replay regenerates seq
+ * from the record index).
+ */
+class RenumberingSource : public TraceSource
+{
+  public:
+    explicit RenumberingSource(TraceSource &inner) : inner_(inner) {}
+
+    bool
+    next(DynInst &di) override
+    {
+        if (!inner_.next(di))
+            return false;
+        di.seq = seq_++;
+        return true;
+    }
+
+  private:
+    TraceSource &inner_;
+    uint64_t seq_ = 0;
+};
+
+} // namespace
+
+std::shared_ptr<TraceCache::Entry>
+TraceCache::lookupEntry(const Key &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &entry = slots_[key];
+    if (!entry)
+        entry = std::make_shared<Entry>();
+    return entry;
+}
+
+template <typename Fn>
+std::shared_ptr<const RecordedTrace>
+TraceCache::getOrGenerate(const Key &key, Fn &&generate)
+{
+    std::shared_ptr<Entry> entry = lookupEntry(key);
+
+    std::unique_lock<std::mutex> el(entry->mu);
+    while (entry->generating)
+        entry->cv.wait(el);
+    if (std::shared_ptr<const RecordedTrace> alive = entry->weak.lock()) {
+        // Generated before and still reachable — resident, or evicted
+        // but kept alive by an in-flight job. Either way it's a hit;
+        // re-admit so the LRU order tracks actual use.
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        el.unlock();
+        admit(entry, alive);
+        return alive;
+    }
+
+    // Either never generated or evicted with no survivors: (re)run
+    // the generator. Other keys stay serviceable meanwhile.
+    entry->generating = true;
+    const bool regen = entry->everGenerated;
+    el.unlock();
+
+    std::shared_ptr<const RecordedTrace> trace = generate();
+
+    el.lock();
+    entry->generating = false;
+    if (trace) {
+        entry->weak = trace;
+        entry->everGenerated = true;
+        generations_.fetch_add(1, std::memory_order_relaxed);
+        if (regen)
+            regenerations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry->cv.notify_all();
+    el.unlock();
+
+    if (trace)
+        admit(entry, trace);
+    return trace;
+}
+
+void
+TraceCache::admit(const std::shared_ptr<Entry> &entry,
+                  const std::shared_ptr<const RecordedTrace> &trace)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->resident = trace;
+    entry->lastUse = ++lruClock_;
+
+    uint64_t budget_traces = config_.maxResidentTraces;
+    if (driverFaultFires(DriverFaultPoint::CachePressure, 0))
+        budget_traces = 1; // injected pressure: evict everything else
+
+    // Evict least-recently-used residents (never the one just
+    // admitted) until both budgets hold. Doing this before the lock
+    // drops means stats() can never observe an over-budget cache.
+    while (true) {
+        uint64_t resident_traces = 0;
+        uint64_t resident_bytes = 0;
+        Entry *lru = nullptr;
+        for (auto &[key, slot] : slots_) {
+            (void)key;
+            if (!slot->resident)
+                continue;
+            ++resident_traces;
+            resident_bytes += slot->resident->memoryBytes();
+            if (slot.get() != entry.get() &&
+                (lru == nullptr || slot->lastUse < lru->lastUse))
+                lru = slot.get();
+        }
+        const bool over_traces =
+            budget_traces != 0 && resident_traces > budget_traces;
+        const bool over_bytes = config_.maxResidentBytes != 0 &&
+                                resident_bytes > config_.maxResidentBytes;
+        if (peakResidentTraces_ < resident_traces &&
+            !(over_traces || over_bytes))
+            peakResidentTraces_ = resident_traces;
+        if (!(over_traces || over_bytes) || lru == nullptr)
+            break;
+        lru->resident.reset();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
 
 std::shared_ptr<const RecordedTrace>
 TraceCache::get(const Workload &w, uint32_t scale, uint64_t max_insts)
 {
-    Slot *slot;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto &entry = slots_[Key{w.abbrev, scale, max_insts}];
-        if (!entry)
-            entry = std::make_unique<Slot>();
-        slot = entry.get();
-    }
+    return getOrGenerate(
+        Key{w.abbrev, scale, max_insts}, [&]() {
+            Program prog = w.build(scale);
+            return std::make_shared<const RecordedTrace>(
+                RecordedTrace::record(prog, max_insts));
+        });
+}
 
-    bool generated = false;
-    std::call_once(slot->once, [&] {
-        // Build + execute outside mu_: other keys stay serviceable
-        // while this workload generates.
-        Program prog = w.build(scale);
-        slot->trace = std::make_shared<const RecordedTrace>(
-            RecordedTrace::record(prog, max_insts));
-        generated = true;
-        generations_.fetch_add(1, std::memory_order_relaxed);
-    });
-    if (!generated)
-        hits_.fetch_add(1, std::memory_order_relaxed);
-    return slot->trace;
+Result<std::shared_ptr<const RecordedTrace>>
+TraceCache::getFile(const std::string &path, uint64_t max_insts,
+                    bool resync)
+{
+    Status error;
+    std::shared_ptr<const RecordedTrace> trace = getOrGenerate(
+        Key{"file:" + path, resync ? 1u : 0u, max_insts}, [&]() {
+            TraceFileReader::Options options;
+            options.resyncOnCorruption = resync;
+            TraceFileReader reader(path, options);
+            if (!reader.status().ok()) {
+                error = reader.status();
+                return std::shared_ptr<const RecordedTrace>();
+            }
+            RenumberingSource renumbered(reader);
+            auto loaded = std::make_shared<const RecordedTrace>(
+                RecordedTrace::record(renumbered, max_insts));
+            if (!reader.status().ok()) {
+                error = reader.status();
+                return std::shared_ptr<const RecordedTrace>();
+            }
+            fileCorruptions_.fetch_add(
+                reader.stats().corruptionsDetected.value() +
+                    reader.stats().invalidRecords.value(),
+                std::memory_order_relaxed);
+            fileRecordsSkipped_.fetch_add(
+                reader.stats().recordsSkipped.value(),
+                std::memory_order_relaxed);
+            return loaded;
+        });
+    if (!trace) {
+        if (error.ok())
+            error = Status::ioError("trace file load failed: " + path);
+        return error;
+    }
+    return trace;
 }
 
 TraceCache::CacheStats
@@ -35,14 +186,22 @@ TraceCache::stats() const
     CacheStats s;
     s.generations = generations_.load(std::memory_order_relaxed);
     s.hits = hits_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.regenerations = regenerations_.load(std::memory_order_relaxed);
+    s.fileCorruptions = fileCorruptions_.load(std::memory_order_relaxed);
+    s.fileRecordsSkipped =
+        fileRecordsSkipped_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
+    s.peakResidentTraces = peakResidentTraces_;
     for (const auto &[key, slot] : slots_) {
         (void)key;
-        if (slot->trace) {
+        if (slot->resident) {
             ++s.residentTraces;
-            s.residentBytes += slot->trace->memoryBytes();
+            s.residentBytes += slot->resident->memoryBytes();
         }
     }
+    if (s.peakResidentTraces < s.residentTraces)
+        s.peakResidentTraces = s.residentTraces;
     return s;
 }
 
@@ -54,4 +213,3 @@ TraceCache::clear()
 }
 
 } // namespace rarpred::driver
-

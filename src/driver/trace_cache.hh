@@ -1,6 +1,7 @@
 /**
  * @file
- * Workload trace memoization for parallel sweeps.
+ * Workload trace memoization for parallel sweeps, with graceful
+ * degradation under memory pressure.
  *
  * A sweep over N predictor configurations replays every workload's
  * execution N times. The functional execution itself is identical
@@ -9,24 +10,32 @@
  * worker threads request it concurrently — and hands out shared
  * ownership of the immutable recording.
  *
+ * Memory budget: the full 18-workload suite holds ~75M packed
+ * records (~2.4 GB). A cache configured with a budget (bytes and/or
+ * trace count) keeps only the most-recently-used recordings
+ * *resident*; the least-recently-used are evicted and transparently
+ * regenerated on the next request. Degradation is graceful by
+ * construction — regeneration re-runs the deterministic MicroVM, so
+ * results are byte-identical, only slower. Outstanding shared_ptrs
+ * held by in-flight jobs keep evicted traces alive regardless, so
+ * the budget bounds what the *cache* pins, which is exactly the part
+ * a sweep can control.
+ *
  * Concurrency contract:
- *  - get() may be called from any number of threads.
- *  - Generation is guarded by a per-slot std::once_flag: the first
- *    caller executes the MicroVM, everyone else blocks until the
- *    recording exists, then shares it.
+ *  - get()/getFile() may be called from any number of threads.
+ *  - Generation is guarded per key: the first caller executes the
+ *    MicroVM (or reads the file), everyone else blocks until the
+ *    recording exists, then shares it. Distinct keys generate
+ *    concurrently.
  *  - The returned RecordedTrace is immutable; replaying it requires
  *    no synchronization (each replayer owns its own cursor).
- *
- * Memory: traces are retained for the cache's lifetime (a sweep over
- * the full 18-workload suite holds ~75M packed records, ~2.4 GB).
- * Sweeps that must bound residency can drop the cache between
- * workload groups; jobs keep their shared_ptr alive regardless.
  */
 
 #ifndef RARPRED_DRIVER_TRACE_CACHE_HH_
 #define RARPRED_DRIVER_TRACE_CACHE_HH_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,10 +43,18 @@
 #include <string>
 #include <tuple>
 
+#include "common/status.hh"
 #include "vm/recorded_trace.hh"
 #include "workload/workload.hh"
 
 namespace rarpred::driver {
+
+/** Residency limits; 0 means unlimited. */
+struct TraceCacheConfig
+{
+    uint64_t maxResidentBytes = 0;  ///< budget on pinned trace bytes
+    uint32_t maxResidentTraces = 0; ///< budget on pinned trace count
+};
 
 /** Thread-safe generate-once cache of workload execution traces. */
 class TraceCache
@@ -46,22 +63,46 @@ class TraceCache
     /** Counters exposed for the runner's stat dump and for tests. */
     struct CacheStats
     {
-        uint64_t generations = 0; ///< traces actually executed
-        uint64_t hits = 0;        ///< get() calls served from cache
+        uint64_t generations = 0;   ///< traces actually executed
+        uint64_t hits = 0;          ///< get() calls served from cache
+        uint64_t evictions = 0;     ///< traces dropped for the budget
+        uint64_t regenerations = 0; ///< generations of evicted keys
         uint64_t residentBytes = 0;
         uint64_t residentTraces = 0;
+        uint64_t peakResidentTraces = 0; ///< never exceeds the budget
+        uint64_t fileCorruptions = 0;    ///< file records failing CRC
+        uint64_t fileRecordsSkipped = 0; ///< records resync dropped
     };
 
     TraceCache() = default;
+    explicit TraceCache(const TraceCacheConfig &config)
+        : config_(config)
+    {
+    }
     TraceCache(const TraceCache &) = delete;
     TraceCache &operator=(const TraceCache &) = delete;
 
     /**
      * @return the recorded trace of @p w at @p scale, truncated to
-     * @p max_insts — generating it on first request.
+     * @p max_insts — generating it on first request or after an
+     * eviction.
      */
     std::shared_ptr<const RecordedTrace>
     get(const Workload &w, uint32_t scale = 1, uint64_t max_insts = ~0ull);
+
+    /**
+     * @return the recorded contents of the trace file at @p path
+     * (format v1/v2, see src/vm/trace_file.hh), loaded once and
+     * shared like a generated trace. With @p resync, corrupt records
+     * are skipped and counted (CacheStats::fileCorruptions /
+     * fileRecordsSkipped) instead of failing the load; without it,
+     * corruption surfaces as a non-OK Result.
+     */
+    Result<std::shared_ptr<const RecordedTrace>>
+    getFile(const std::string &path, uint64_t max_insts = ~0ull,
+            bool resync = false);
+
+    const TraceCacheConfig &config() const { return config_; }
 
     CacheStats stats() const;
 
@@ -72,18 +113,49 @@ class TraceCache
     void clear();
 
   private:
-    struct Slot
+    struct Entry
     {
-        std::once_flag once;
-        std::shared_ptr<const RecordedTrace> trace;
+        std::mutex mu;
+        std::condition_variable cv;
+        bool generating = false;
+        bool everGenerated = false;
+        /// Outstanding copies keep an evicted trace reachable here
+        /// until the last job drops it; re-admitting a still-alive
+        /// weak ref is a hit, not a regeneration.
+        std::weak_ptr<const RecordedTrace> weak;
+        /// Set while resident: the cache's own pin. Cleared by
+        /// eviction. Guarded by the cache-wide mutex, not entry mu.
+        std::shared_ptr<const RecordedTrace> resident;
+        uint64_t lastUse = 0; ///< LRU clock; cache-wide mutex
     };
 
     using Key = std::tuple<std::string, uint32_t, uint64_t>;
 
+    std::shared_ptr<Entry> lookupEntry(const Key &key);
+
+    /**
+     * Generate-once protocol around @p generate (which runs with no
+     * locks held and must return the new trace or nullptr on error).
+     */
+    template <typename Fn>
+    std::shared_ptr<const RecordedTrace>
+    getOrGenerate(const Key &key, Fn &&generate);
+
+    /** Pin @p trace for @p entry and evict past the budget. */
+    void admit(const std::shared_ptr<Entry> &entry,
+               const std::shared_ptr<const RecordedTrace> &trace);
+
+    TraceCacheConfig config_;
     mutable std::mutex mu_;
-    std::map<Key, std::unique_ptr<Slot>> slots_;
+    std::map<Key, std::shared_ptr<Entry>> slots_;
+    uint64_t lruClock_ = 0;
+    uint64_t peakResidentTraces_ = 0;
     std::atomic<uint64_t> generations_{0};
     std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> regenerations_{0};
+    std::atomic<uint64_t> fileCorruptions_{0};
+    std::atomic<uint64_t> fileRecordsSkipped_{0};
 };
 
 } // namespace rarpred::driver

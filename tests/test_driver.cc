@@ -10,6 +10,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,6 +23,8 @@
 #include "cpu/ooo_cpu.hh"
 #include "driver/stats_merger.hh"
 #include "driver/sweep.hh"
+#include "driver/sweep_journal.hh"
+#include "faultinject/driver_faults.hh"
 #include "vm/micro_vm.hh"
 #include "vm/recorded_trace.hh"
 #include "workload/workload.hh"
@@ -173,7 +179,7 @@ runCloakingSweep(unsigned workers)
                              workloads[wi]->abbrev + "/ddt" +
                                  std::to_string(ddt_sizes[ci]));
 
-    driver::runSweep(
+    const auto result = driver::runSweep(
         runner, workloads, ddt_sizes.size(),
         [&](const Workload &w, size_t ci, TraceSource &trace, Rng &rng) {
             CloakingConfig config;
@@ -200,6 +206,7 @@ runCloakingSweep(unsigned workers)
             return 0;
         });
 
+    EXPECT_TRUE(result.status.ok()) << result.status.toString();
     return merger.serialize();
 }
 
@@ -243,9 +250,10 @@ TEST(SimJobRunner, CountsJobsTracesAndTiming)
                 loads += di.isLoad();
             return loads;
         });
+    ASSERT_TRUE(loads.status.ok()) << loads.status.toString();
     ASSERT_EQ(loads.size(), 6u);
-    for (uint64_t l : loads)
-        EXPECT_GT(l, 0u);
+    for (size_t i = 0; i < loads.size(); ++i)
+        EXPECT_GT(loads[i], 0u);
 
     // Each workload generated once, all other jobs were cache hits.
     const auto cs = runner.traceCache().stats();
@@ -266,6 +274,725 @@ TEST(SimJobRunner, ZeroWorkersResolvesToHardwareConcurrency)
 {
     driver::SimJobRunner runner(driver::RunnerConfig{});
     EXPECT_GE(runner.workers(), 1u);
+}
+
+// --------------------------------------- cache budgets & eviction
+
+TEST(TraceCacheBudget, EvictsLeastRecentlyUsedWithinBudget)
+{
+    driver::TraceCache cache(driver::TraceCacheConfig{0, 2});
+    const Workload &a = findWorkload("li");
+    const Workload &b = findWorkload("com");
+    const Workload &c = findWorkload("go");
+
+    auto ta = cache.get(a, 1, 5'000);
+    auto tb = cache.get(b, 1, 5'000);
+    EXPECT_EQ(cache.stats().residentTraces, 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    auto tc = cache.get(c, 1, 5'000); // must evict 'a', the LRU
+    const auto s = cache.stats();
+    EXPECT_EQ(s.residentTraces, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_LE(s.peakResidentTraces, 2u);
+
+    // 'b' survived the eviction: getting it again is a plain hit.
+    EXPECT_EQ(cache.get(b, 1, 5'000).get(), tb.get());
+    // 'a' was evicted but our reference keeps it alive: the cache
+    // reuses it rather than re-running the generator.
+    EXPECT_EQ(cache.get(a, 1, 5'000).get(), ta.get());
+    EXPECT_EQ(cache.stats().regenerations, 0u);
+    EXPECT_EQ(cache.stats().generations, 3u);
+}
+
+TEST(TraceCacheBudget, RegeneratesEvictedTraceWithNoSurvivingRefs)
+{
+    driver::TraceCache cache(driver::TraceCacheConfig{0, 1});
+    const Workload &a = findWorkload("li");
+    const Workload &b = findWorkload("com");
+
+    cache.get(a, 1, 5'000); // ref dropped immediately
+    cache.get(b, 1, 5'000); // evicts 'a'; nothing keeps it alive
+    auto ta = cache.get(a, 1, 5'000); // generator must run again
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.generations, 3u);
+    EXPECT_EQ(s.regenerations, 1u);
+    EXPECT_GE(s.evictions, 1u);
+    EXPECT_EQ(s.peakResidentTraces, 1u);
+    EXPECT_EQ(ta->size(), 5'000u);
+}
+
+TEST(TraceCacheBudget, ByteBudgetEvictsToo)
+{
+    driver::TraceCache unbounded;
+    const uint64_t one_trace =
+        unbounded.get(findWorkload("li"), 1, 5'000)->memoryBytes();
+    ASSERT_GT(one_trace, 0u);
+
+    // Room for one trace but not two.
+    driver::TraceCache cache(driver::TraceCacheConfig{one_trace + 1, 0});
+    cache.get(findWorkload("li"), 1, 5'000);
+    cache.get(findWorkload("com"), 1, 5'000);
+    const auto s = cache.stats();
+    EXPECT_GE(s.evictions, 1u);
+    EXPECT_LE(s.residentBytes, one_trace + 1);
+}
+
+TEST(SweepDeterminism, TwoTraceBudgetOnFullSuiteIsByteIdentical)
+{
+    // The acceptance drill: all 18 workloads through a cache that may
+    // hold only 2 traces. Evictions and regenerations must occur, the
+    // budget must hold at every instant, and the merged table must be
+    // byte-identical to the unbudgeted run.
+    auto run = [](uint32_t budget, driver::TraceCache::CacheStats *out) {
+        const auto workloads = driver::allWorkloadPtrs();
+        driver::RunnerConfig rc;
+        rc.workers = 4;
+        rc.maxInsts = 5'000;
+        rc.traceBudgetTraces = budget;
+        driver::SimJobRunner runner(rc);
+
+        driver::StatsMerger merger(workloads.size());
+        for (size_t wi = 0; wi < workloads.size(); ++wi)
+            merger.setRowKey(wi, workloads[wi]->abbrev);
+
+        const auto result = driver::runSweep(
+            runner, workloads, 1,
+            [&](const Workload &w, size_t, TraceSource &trace, Rng &) {
+                CloakingEngine engine{CloakingConfig{}};
+                drainTrace(trace, engine);
+                size_t wi = 0;
+                while (workloads[wi]->abbrev != w.abbrev)
+                    ++wi;
+                merger.recordCount(wi, "loads", engine.stats().loads);
+                merger.recordCount(wi, "coveredRaw",
+                                   engine.stats().coveredRaw);
+                merger.recordCount(wi, "coveredRar",
+                                   engine.stats().coveredRar);
+                return 0;
+            });
+        EXPECT_TRUE(result.status.ok()) << result.status.toString();
+        if (out != nullptr)
+            *out = runner.traceCache().stats();
+        return merger.serialize();
+    };
+
+    driver::TraceCache::CacheStats budgeted_stats;
+    const std::string unbudgeted = run(0, nullptr);
+    const std::string budgeted = run(2, &budgeted_stats);
+    EXPECT_EQ(unbudgeted, budgeted);
+    EXPECT_GT(budgeted_stats.evictions, 0u);
+    EXPECT_LE(budgeted_stats.peakResidentTraces, 2u);
+    EXPECT_LE(budgeted_stats.residentTraces, 2u);
+}
+
+// ------------------------------------ retry, quarantine, watchdog
+
+/** Driver fault points and the stop flag are process-global state;
+ *  these tests must always leave both clean. */
+class RunnerFaults : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        disarmDriverFaults();
+        driver::clearStopRequest();
+    }
+
+    void TearDown() override
+    {
+        disarmDriverFaults();
+        driver::clearStopRequest();
+    }
+
+    /** Cell: count loads in the trace. Deterministic and cheap. */
+    static uint64_t
+    countLoads(TraceSource &trace)
+    {
+        DynInst di;
+        uint64_t loads = 0;
+        while (trace.next(di))
+            loads += di.isLoad();
+        return loads;
+    }
+};
+
+TEST_F(RunnerFaults, RetriesTransientCrashThenSucceeds)
+{
+    armDriverFault(DriverFaultPoint::JobCrash, 2, 1);
+
+    const std::vector<const Workload *> workloads = {
+        &findWorkload("li"), &findWorkload("com")};
+    driver::RunnerConfig rc;
+    rc.workers = 2;
+    rc.maxInsts = 10'000;
+    rc.maxAttempts = 3;
+    driver::SimJobRunner runner(rc);
+
+    const auto result = driver::runSweep(
+        runner, workloads, 2,
+        [](const Workload &, size_t, TraceSource &trace, Rng &) {
+            return countLoads(trace);
+        });
+
+    EXPECT_TRUE(result.status.ok()) << result.status.toString();
+    for (size_t i = 0; i < result.size(); ++i)
+        EXPECT_GT(result[i], 0u);
+    EXPECT_EQ(driverFaultFireCount(DriverFaultPoint::JobCrash), 1u);
+    EXPECT_TRUE(runner.quarantined().empty());
+
+    std::ostringstream os;
+    runner.dumpStats(os);
+    EXPECT_NE(os.str().find("driver.retries 1"), std::string::npos);
+    EXPECT_NE(os.str().find("driver.quarantined 0"), std::string::npos);
+    EXPECT_NE(os.str().find("driver.jobsCompleted 4"), std::string::npos);
+}
+
+TEST_F(RunnerFaults, QuarantinesPermanentCrashAndKeepsGoing)
+{
+    armDriverFault(DriverFaultPoint::JobCrash, 1, 100);
+
+    const std::vector<const Workload *> workloads = {
+        &findWorkload("li"), &findWorkload("com")};
+    driver::RunnerConfig rc;
+    rc.workers = 2;
+    rc.maxInsts = 10'000;
+    rc.maxAttempts = 2;
+    driver::SimJobRunner runner(rc);
+
+    const auto result = driver::runSweep(
+        runner, workloads, 2,
+        [](const Workload &, size_t, TraceSource &trace, Rng &) {
+            return countLoads(trace);
+        });
+
+    EXPECT_EQ(result.status.code(), StatusCode::FailedPrecondition);
+    ASSERT_EQ(runner.quarantined().size(), 1u);
+    const driver::JobFailure &f = runner.quarantined()[0];
+    EXPECT_EQ(f.job, 1u);
+    EXPECT_EQ(f.workload, "li");
+    EXPECT_EQ(f.attempts, 2u);
+    EXPECT_EQ(f.error.code(), StatusCode::Internal);
+    EXPECT_EQ(driverFaultFireCount(DriverFaultPoint::JobCrash), 2u);
+
+    // The failed cell carries its error; every other cell has data.
+    ASSERT_EQ(result.cells.size(), 4u);
+    EXPECT_FALSE(result.cells[1].ok());
+    EXPECT_EQ(result.cells[1].status().code(), StatusCode::Internal);
+    for (size_t i : {0u, 2u, 3u}) {
+        ASSERT_TRUE(result.cells[i].ok()) << "cell " << i;
+        EXPECT_GT(result[i], 0u);
+    }
+
+    std::ostringstream os;
+    runner.dumpFailureTable(os);
+    EXPECT_NE(os.str().find("quarantined jobs (1)"), std::string::npos);
+    EXPECT_NE(os.str().find("li"), std::string::npos);
+    EXPECT_NE(os.str().find("internal"), std::string::npos);
+}
+
+TEST_F(RunnerFaults, WatchdogUnwindsInjectedHang)
+{
+    armDriverFault(DriverFaultPoint::JobHang, 0, 1);
+
+    const std::vector<const Workload *> workloads = {
+        &findWorkload("li"), &findWorkload("com")};
+    driver::RunnerConfig rc;
+    rc.workers = 2;
+    rc.maxInsts = 10'000;
+    rc.maxAttempts = 1;
+    // Generous deadline: honest jobs must never trip it, even under
+    // a sanitizer's ~10x slowdown — only the injected hang (which
+    // sleeps out the whole deadline) may be quarantined.
+    rc.jobDeadlineMs = 1000;
+    driver::SimJobRunner runner(rc);
+
+    const auto result = driver::runSweep(
+        runner, workloads, 2,
+        [](const Workload &, size_t, TraceSource &trace, Rng &) {
+            return countLoads(trace);
+        });
+
+    EXPECT_EQ(result.status.code(), StatusCode::FailedPrecondition);
+    ASSERT_EQ(runner.quarantined().size(), 1u);
+    EXPECT_EQ(runner.quarantined()[0].error.code(),
+              StatusCode::DeadlineExceeded);
+    for (size_t i : {1u, 2u, 3u})
+        EXPECT_TRUE(result.cells[i].ok()) << "cell " << i;
+}
+
+TEST_F(RunnerFaults, WatchdogCatchesGenuinelySlowJobAtRecordBoundary)
+{
+    // Not an injected hang: the job body really does outlive its
+    // deadline, and the watchdog wrapped around its trace source must
+    // unwind it on its own worker thread — every other job completes
+    // and run() reports the quarantine. This is the no-leaked-threads
+    // acceptance drill; TSan runs this test in CI.
+    const std::vector<const Workload *> workloads = {&findWorkload("li")};
+    driver::RunnerConfig rc;
+    rc.workers = 2;
+    rc.maxInsts = 10'000;
+    rc.maxAttempts = 2;
+    // Same margin as above: only the deliberately oversleeping cell
+    // may exceed this, sanitizers included.
+    rc.jobDeadlineMs = 500;
+    driver::SimJobRunner runner(rc);
+
+    const auto result = driver::runSweep(
+        runner, workloads, 3,
+        [](const Workload &, size_t ci, TraceSource &trace, Rng &) {
+            if (ci == 1) // this cell is permanently too slow
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1000));
+            return countLoads(trace);
+        });
+
+    EXPECT_EQ(result.status.code(), StatusCode::FailedPrecondition);
+    ASSERT_EQ(runner.quarantined().size(), 1u);
+    const driver::JobFailure &f = runner.quarantined()[0];
+    EXPECT_EQ(f.job, 1u);
+    EXPECT_EQ(f.attempts, 2u);
+    EXPECT_EQ(f.error.code(), StatusCode::DeadlineExceeded);
+    EXPECT_TRUE(result.cells[0].ok());
+    EXPECT_TRUE(result.cells[2].ok());
+    EXPECT_FALSE(result.cells[1].ok());
+}
+
+TEST_F(RunnerFaults, StopRequestCancelsWithoutRunningJobs)
+{
+    driver::requestStop();
+
+    const std::vector<const Workload *> workloads = {&findWorkload("li")};
+    driver::RunnerConfig rc;
+    rc.workers = 2;
+    rc.maxInsts = 5'000;
+    driver::SimJobRunner runner(rc);
+
+    const auto result = driver::runSweep(
+        runner, workloads, 2,
+        [](const Workload &, size_t, TraceSource &trace, Rng &) {
+            return countLoads(trace);
+        });
+
+    EXPECT_EQ(result.status.code(), StatusCode::Cancelled);
+    for (const auto &cell : result.cells)
+        EXPECT_FALSE(cell.ok());
+
+    std::ostringstream os;
+    runner.dumpStats(os);
+    EXPECT_NE(os.str().find("driver.jobsCompleted 0"), std::string::npos);
+}
+
+// -------------------------------------------------- sweep journal
+
+TEST(SweepJournal, RoundTripsRecordsThroughLoad)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_journal_roundtrip.rarj";
+    auto journal = driver::SweepJournal::create(path, 0xabcdef, 6);
+    ASSERT_TRUE(journal.ok()) << journal.status().toString();
+
+    const uint64_t p0 = 111, p1 = 222;
+    EXPECT_TRUE((*journal)->append(4, &p0, sizeof(p0)).ok());
+    EXPECT_TRUE((*journal)->append(1, &p1, sizeof(p1)).ok());
+    EXPECT_EQ((*journal)->recordsAppended(), 2u);
+    EXPECT_TRUE((*journal)->status().ok());
+
+    auto replay = driver::SweepJournal::load(path);
+    ASSERT_TRUE(replay.ok()) << replay.status().toString();
+    EXPECT_EQ(replay->fingerprint, 0xabcdefull);
+    EXPECT_EQ(replay->numJobs, 6u);
+    EXPECT_EQ(replay->tornRecords, 0u);
+    ASSERT_EQ(replay->records.size(), 2u);
+    EXPECT_EQ(replay->records[0].job, 4u);
+    EXPECT_EQ(replay->records[1].job, 1u);
+    ASSERT_EQ(replay->records[0].payload.size(), sizeof(p0));
+    uint64_t got = 0;
+    std::memcpy(&got, replay->records[0].payload.data(), sizeof(got));
+    EXPECT_EQ(got, p0);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, TornTailIsDetectedByCrcAndTruncatedOnResume)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_journal_torn.rarj";
+    {
+        auto journal = driver::SweepJournal::create(path, 0x11, 4);
+        ASSERT_TRUE(journal.ok());
+        const uint64_t p = 7;
+        ASSERT_TRUE((*journal)->append(0, &p, sizeof(p)).ok());
+        ASSERT_TRUE((*journal)->append(1, &p, sizeof(p)).ok());
+    }
+    // Tear the final record the way a power cut would: chop bytes off
+    // the tail so its CRC can never validate.
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        const auto size = in.tellg();
+        ASSERT_GT(size, 3);
+        std::string bytes((size_t)size - 3, '\0');
+        in.seekg(0);
+        in.read(bytes.data(), (std::streamsize)bytes.size());
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            << bytes;
+    }
+
+    auto replay = driver::SweepJournal::load(path);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay->records.size(), 1u);
+    EXPECT_EQ(replay->tornRecords, 1u);
+
+    // Resume truncates the torn bytes and appends cleanly after them.
+    driver::SweepJournal::Replay resumed;
+    auto journal = driver::SweepJournal::openResume(path, 0x11, 4,
+                                                    &resumed);
+    ASSERT_TRUE(journal.ok()) << journal.status().toString();
+    EXPECT_EQ(resumed.records.size(), 1u);
+    const uint64_t p = 9;
+    EXPECT_TRUE((*journal)->append(1, &p, sizeof(p)).ok());
+
+    auto healed = driver::SweepJournal::load(path);
+    ASSERT_TRUE(healed.ok());
+    EXPECT_EQ(healed->records.size(), 2u);
+    EXPECT_EQ(healed->tornRecords, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, RefusesToResumeADifferentSweep)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_journal_mismatch.rarj";
+    {
+        auto journal = driver::SweepJournal::create(path, 0x22, 4);
+        ASSERT_TRUE(journal.ok());
+    }
+    driver::SweepJournal::Replay replay;
+    EXPECT_EQ(driver::SweepJournal::openResume(path, 0x33, 4, &replay)
+                  .status()
+                  .code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(driver::SweepJournal::openResume(path, 0x22, 5, &replay)
+                  .status()
+                  .code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_TRUE(
+        driver::SweepJournal::openResume(path, 0x22, 4, &replay).ok());
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, RejectsFilesThatAreNotJournals)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_not_a_journal.rarj";
+    std::ofstream(path, std::ios::binary) << "these are not the bytes";
+    EXPECT_EQ(driver::SweepJournal::load(path).status().code(),
+              StatusCode::Corruption);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(driver::SweepJournal::load("/nonexistent/x.rarj")
+                  .status()
+                  .code(),
+              StatusCode::IoError);
+}
+
+TEST(SweepJournal, FingerprintIsSensitiveToEveryGridParameter)
+{
+    const std::vector<std::string> w = {"li", "com"};
+    const uint64_t base = driver::sweepFingerprint(w, 3, 8, 1, 1000);
+    EXPECT_EQ(base, driver::sweepFingerprint(w, 3, 8, 1, 1000));
+    EXPECT_NE(base, driver::sweepFingerprint({"li", "go"}, 3, 8, 1, 1000));
+    EXPECT_NE(base, driver::sweepFingerprint(w, 4, 8, 1, 1000));
+    EXPECT_NE(base, driver::sweepFingerprint(w, 3, 16, 1, 1000));
+    EXPECT_NE(base, driver::sweepFingerprint(w, 3, 8, 2, 1000));
+    EXPECT_NE(base, driver::sweepFingerprint(w, 3, 8, 1, 2000));
+}
+
+// ------------------------------------------------ resume semantics
+
+TEST_F(RunnerFaults, ResumeRunsOnlyTheMissingJobs)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_resume_inproc.rarj";
+    std::remove(path.c_str());
+
+    const std::vector<const Workload *> workloads = {
+        &findWorkload("li"), &findWorkload("com")};
+    auto cell = [](const Workload &, size_t ci, TraceSource &trace,
+                   Rng &) {
+        DynInst di;
+        uint64_t loads = 0;
+        while (trace.next(di))
+            loads += di.isLoad();
+        return loads + ci;
+    };
+    driver::RunnerConfig rc;
+    rc.workers = 2;
+    rc.maxInsts = 10'000;
+    rc.maxAttempts = 1;
+
+    // Clean reference run, no journal.
+    std::vector<uint64_t> want;
+    {
+        driver::SimJobRunner runner(rc);
+        const auto result =
+            driver::runSweep(runner, workloads, 3, cell);
+        ASSERT_TRUE(result.status.ok());
+        for (size_t i = 0; i < result.size(); ++i)
+            want.push_back(result[i]);
+    }
+
+    // Interrupted run: job 4 fails permanently, the rest journal.
+    armDriverFault(DriverFaultPoint::JobCrash, 4, 100);
+    {
+        driver::SimJobRunner runner(rc);
+        const auto result = driver::runSweep(runner, workloads, 3, cell,
+                                             {path, false});
+        EXPECT_FALSE(result.status.ok());
+        EXPECT_FALSE(result.cells[4].ok());
+    }
+    disarmDriverFaults();
+
+    // Resume: only the one missing job runs; every value matches the
+    // uninterrupted reference exactly.
+    {
+        driver::SimJobRunner runner(rc);
+        const auto result = driver::runSweep(runner, workloads, 3, cell,
+                                             {path, true});
+        ASSERT_TRUE(result.status.ok()) << result.status.toString();
+        ASSERT_EQ(result.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(result[i], want[i]) << "cell " << i;
+
+        std::ostringstream os;
+        runner.dumpStats(os);
+        EXPECT_NE(os.str().find("driver.jobsCompleted 1"),
+                  std::string::npos);
+        EXPECT_NE(os.str().find("driver.journalReplayed 5"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+#ifndef RARPRED_BENCH_DIR
+#define RARPRED_BENCH_DIR ""
+#endif
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(SweepResumeE2E, KilledParallelBenchResumesByteIdentical)
+{
+    // The end-to-end acceptance drill: SIGKILL a real 4-worker
+    // bench_fig9_speedup sweep mid-run via the injected fault, resume
+    // it from the journal, and demand stdout byte-identical to an
+    // uninterrupted serial run.
+    const std::string bench =
+        std::string(RARPRED_BENCH_DIR) + "/bench_fig9_speedup";
+    if (!std::ifstream(bench).good())
+        GTEST_SKIP() << "bench binaries not built in this tree";
+
+    const std::string dir = ::testing::TempDir();
+    const std::string journal = dir + "rarpred_fig9_kill.rarj";
+    const std::string out_clean = dir + "rarpred_fig9_clean.out";
+    const std::string out_resumed = dir + "rarpred_fig9_resumed.out";
+    std::remove(journal.c_str());
+
+    const std::string args = " --max-insts=20000 ";
+
+    // Uninterrupted serial reference.
+    int rc = std::system(
+        (bench + args + "--serial >" + out_clean + " 2>/dev/null")
+            .c_str());
+    ASSERT_EQ(rc, 0);
+
+    // 4-worker run murdered by SIGKILL when job 40 is claimed.
+    rc = std::system(("RARPRED_FAULT=job_kill:40 " + bench + args +
+                      "--workers=4 --journal=" + journal +
+                      " >/dev/null 2>/dev/null")
+                         .c_str());
+    EXPECT_NE(rc, 0);
+
+    // The journal survived with some, but not all, of the 90 jobs —
+    // flushed per append, so completed work is durable.
+    auto replay = driver::SweepJournal::load(journal);
+    ASSERT_TRUE(replay.ok()) << replay.status().toString();
+    EXPECT_GT(replay->records.size(), 0u);
+    EXPECT_LT(replay->records.size(), 90u);
+
+    rc = std::system((bench + args + "--serial --resume=" + journal +
+                      " >" + out_resumed + " 2>/dev/null")
+                         .c_str());
+    EXPECT_EQ(rc, 0);
+
+    const std::string clean = readWholeFile(out_clean);
+    ASSERT_FALSE(clean.empty());
+    EXPECT_EQ(clean, readWholeFile(out_resumed));
+
+    std::remove(journal.c_str());
+    std::remove(out_clean.c_str());
+    std::remove(out_resumed.c_str());
+}
+
+// ------------------------------------------- merged error surfacing
+
+TEST(StatsMergerErrors, ErrorRowsReplaceStatsAndAddErrorTotal)
+{
+    driver::StatsMerger merger(2);
+    merger.setRowKey(0, "li");
+    merger.setRowKey(1, "com");
+    merger.recordCount(0, "loads", 10);
+    merger.recordCount(1, "loads", 20);
+    merger.setError(1, Status::deadlineExceeded("too slow"));
+
+    const std::string s = merger.serialize();
+    EXPECT_NE(s.find("li.loads 10"), std::string::npos);
+    EXPECT_NE(s.find("com.error deadline-exceeded: too slow"),
+              std::string::npos);
+    // The failed row's partial stats are suppressed everywhere,
+    // including the totals.
+    EXPECT_EQ(s.find("com.loads"), std::string::npos);
+    EXPECT_NE(s.find("total.loads 10"), std::string::npos);
+    EXPECT_NE(s.find("total.errors 1"), std::string::npos);
+    EXPECT_EQ(merger.numErrors(), 1u);
+}
+
+TEST(StatsMergerErrors, CleanSweepsSerializeExactlyAsBefore)
+{
+    driver::StatsMerger merger(1);
+    merger.setRowKey(0, "li");
+    merger.recordCount(0, "loads", 5);
+    const std::string s = merger.serialize();
+    EXPECT_EQ(s, "li.loads 5\ntotal.loads 5\n");
+    EXPECT_EQ(s.find("errors"), std::string::npos);
+    EXPECT_EQ(merger.numErrors(), 0u);
+}
+
+// ------------------------------------------------- shared CLI args
+
+/** Build argv and run parseSweepArgs with RARPRED_WORKERS unset. */
+Result<driver::SweepOptions>
+parseArgs(std::vector<std::string> args)
+{
+    unsetenv("RARPRED_WORKERS");
+    std::vector<char *> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    return driver::parseSweepArgs((int)argv.size(), argv.data());
+}
+
+TEST(ParseSweepArgs, DefaultsAreTheRunnerDefaults)
+{
+    auto opts = parseArgs({});
+    ASSERT_TRUE(opts.ok());
+    EXPECT_EQ(opts->runner.workers, 0u);
+    EXPECT_EQ(opts->runner.scale, 1u);
+    EXPECT_EQ(opts->runner.maxInsts, ~0ull);
+    EXPECT_EQ(opts->runner.maxAttempts, 3u);
+    EXPECT_FALSE(opts->help);
+    EXPECT_TRUE(opts->io.journalPath.empty());
+    EXPECT_FALSE(opts->io.resume);
+    EXPECT_TRUE(opts->positional.empty());
+}
+
+TEST(ParseSweepArgs, ParsesEveryFlag)
+{
+    auto opts = parseArgs({"--workers=3", "--scale=2",
+                           "--max-insts=1000", "--retries=5",
+                           "--deadline-ms=100", "--retry-backoff-ms=10",
+                           "--trace-budget=2", "--trace-budget-bytes=64",
+                           "--journal=/tmp/x.rarj", "tom"});
+    ASSERT_TRUE(opts.ok()) << opts.status().toString();
+    EXPECT_EQ(opts->runner.workers, 3u);
+    EXPECT_EQ(opts->runner.scale, 2u);
+    EXPECT_EQ(opts->runner.maxInsts, 1000u);
+    EXPECT_EQ(opts->runner.maxAttempts, 6u); // retries + first attempt
+    EXPECT_EQ(opts->runner.jobDeadlineMs, 100u);
+    EXPECT_EQ(opts->runner.retryBackoffMs, 10u);
+    EXPECT_EQ(opts->runner.traceBudgetTraces, 2u);
+    EXPECT_EQ(opts->runner.traceBudgetBytes, 64u);
+    EXPECT_EQ(opts->io.journalPath, "/tmp/x.rarj");
+    ASSERT_EQ(opts->positional.size(), 1u);
+    EXPECT_EQ(opts->positional[0], "tom");
+}
+
+TEST(ParseSweepArgs, SerialMeansOneWorkerAndZeroRetriesMeansOneAttempt)
+{
+    auto opts = parseArgs({"--serial", "--retries=0"});
+    ASSERT_TRUE(opts.ok());
+    EXPECT_EQ(opts->runner.workers, 1u);
+    EXPECT_EQ(opts->runner.maxAttempts, 1u);
+}
+
+TEST(ParseSweepArgs, ResumeVariants)
+{
+    auto bare = parseArgs({"--resume"});
+    ASSERT_FALSE(bare.ok());
+    EXPECT_EQ(bare.status().code(), StatusCode::InvalidArgument);
+
+    auto with_path = parseArgs({"--resume=/tmp/j.rarj"});
+    ASSERT_TRUE(with_path.ok());
+    EXPECT_TRUE(with_path->io.resume);
+    EXPECT_EQ(with_path->io.journalPath, "/tmp/j.rarj");
+
+    auto with_journal = parseArgs({"--journal=/tmp/j.rarj", "--resume"});
+    ASSERT_TRUE(with_journal.ok());
+    EXPECT_TRUE(with_journal->io.resume);
+    EXPECT_EQ(with_journal->io.journalPath, "/tmp/j.rarj");
+}
+
+TEST(ParseSweepArgs, RejectsUnknownFlagsAndBadNumbers)
+{
+    auto unknown = parseArgs({"--frobnicate"});
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(unknown.status().message().find("--frobnicate"),
+              std::string::npos);
+
+    EXPECT_FALSE(parseArgs({"--workers=three"}).ok());
+    EXPECT_FALSE(parseArgs({"--max-insts="}).ok());
+    EXPECT_FALSE(parseArgs({"--scale=0"}).ok());
+    EXPECT_FALSE(parseArgs({"--deadline-ms=12a"}).ok());
+}
+
+TEST(ParseSweepArgs, WorkersEnvAppliesUntilFlagOverrides)
+{
+    ASSERT_EQ(setenv("RARPRED_WORKERS", "7", 1), 0);
+    std::vector<char *> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    auto from_env = driver::parseSweepArgs(1, argv.data());
+    ASSERT_TRUE(from_env.ok());
+    EXPECT_EQ(from_env->runner.workers, 7u);
+
+    static std::string flag = "--workers=2";
+    argv.push_back(flag.data());
+    auto overridden = driver::parseSweepArgs(2, argv.data());
+    unsetenv("RARPRED_WORKERS");
+    ASSERT_TRUE(overridden.ok());
+    EXPECT_EQ(overridden->runner.workers, 2u);
+}
+
+TEST(ParseSweepArgs, HelpFlagIsRecognizedAndUsageMentionsEveryFlag)
+{
+    auto opts = parseArgs({"--help"});
+    ASSERT_TRUE(opts.ok());
+    EXPECT_TRUE(opts->help);
+
+    const std::string usage = driver::sweepUsage();
+    for (const char *flag :
+         {"--workers", "--serial", "--scale", "--max-insts", "--retries",
+          "--deadline-ms", "--retry-backoff-ms", "--trace-budget",
+          "--trace-budget-bytes", "--journal", "--resume"})
+        EXPECT_NE(usage.find(flag), std::string::npos) << flag;
 }
 
 // ------------------------------------------------ sweep speedup

@@ -14,12 +14,18 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/cloaking.hh"
+#include "driver/sweep_journal.hh"
+#include "driver/trace_cache.hh"
+#include "faultinject/driver_faults.hh"
 #include "faultinject/fault_injector.hh"
 #include "faultinject/safety_oracle.hh"
 #include "predictor/store_sets.hh"
@@ -181,6 +187,178 @@ TEST(CorruptTraceFile, MissingFileIsIoError)
     auto flipped = corruptTraceFile("/nonexistent/trace.rar", 4, 1);
     ASSERT_FALSE(flipped.ok());
     EXPECT_EQ(flipped.status().code(), StatusCode::IoError);
+}
+
+// -------------------------------------------- driver fault points
+
+/** Driver fault points are process-global; always leave them clean. */
+class DriverFaults : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarmDriverFaults(); }
+    void TearDown() override { disarmDriverFaults(); }
+};
+
+TEST_F(DriverFaults, FiresOnlyAtArmedIndexAndConsumesBudget)
+{
+    armDriverFault(DriverFaultPoint::JobCrash, 3, 2);
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobCrash, 2));
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobHang, 3));
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::JobCrash, 3));
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::JobCrash, 3));
+    // Budget exhausted: the point goes inert.
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobCrash, 3));
+    EXPECT_EQ(driverFaultFireCount(DriverFaultPoint::JobCrash), 2u);
+}
+
+TEST_F(DriverFaults, WildcardIndexMatchesEverything)
+{
+    armDriverFault(DriverFaultPoint::CachePressure, kDriverFaultAnyIndex,
+                   3);
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::CachePressure, 0));
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::CachePressure, 17));
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::CachePressure, 99));
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::CachePressure, 0));
+}
+
+TEST_F(DriverFaults, DisarmedPointsNeverFire)
+{
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobCrash, i));
+        EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobKill, i));
+    }
+}
+
+TEST_F(DriverFaults, SpecParsesPointsIndicesAndBudgets)
+{
+    ASSERT_TRUE(
+        armDriverFaultsFromSpec("job_crash:3x2,cache_pressure:*").ok());
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobCrash, 2));
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::JobCrash, 3));
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::JobCrash, 3));
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobCrash, 3));
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::CachePressure, 7));
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::CachePressure, 7));
+}
+
+TEST_F(DriverFaults, SpecRejectsGarbageRecoverably)
+{
+    EXPECT_EQ(armDriverFaultsFromSpec("launch_missiles:1").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(armDriverFaultsFromSpec("job_crash").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(armDriverFaultsFromSpec("job_crash:zap").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(armDriverFaultsFromSpec("job_crash:1x").code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST_F(DriverFaults, EnvArmingMatchesSpecArming)
+{
+    ASSERT_EQ(setenv("RARPRED_FAULT", "job_hang:5", 1), 0);
+    EXPECT_TRUE(armDriverFaultsFromEnv().ok());
+    unsetenv("RARPRED_FAULT");
+    EXPECT_TRUE(driverFaultFires(DriverFaultPoint::JobHang, 5));
+    EXPECT_FALSE(driverFaultFires(DriverFaultPoint::JobHang, 5));
+
+    // Unset env is a no-op, not an error.
+    EXPECT_TRUE(armDriverFaultsFromEnv().ok());
+}
+
+TEST_F(DriverFaults, TornWriteLatchesJournalError)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_torn_journal.rarj";
+    auto journal = driver::SweepJournal::create(path, 0xfeed, 4);
+    ASSERT_TRUE(journal.ok());
+    const uint64_t payload = 42;
+    ASSERT_TRUE((*journal)->append(0, &payload, sizeof(payload)).ok());
+
+    armDriverFault(DriverFaultPoint::JournalTornWrite, 1);
+    EXPECT_EQ((*journal)->append(1, &payload, sizeof(payload)).code(),
+              StatusCode::IoError);
+    // The error latches: later appends refuse instead of writing a
+    // record after the torn bytes.
+    EXPECT_EQ((*journal)->append(2, &payload, sizeof(payload)).code(),
+              StatusCode::IoError);
+    EXPECT_EQ((*journal)->recordsAppended(), 1u);
+
+    // Recovery sees the completed record and drops the torn tail.
+    auto replay = driver::SweepJournal::load(path);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay->records.size(), 1u);
+    EXPECT_EQ(replay->tornRecords, 1u);
+    std::remove(path.c_str());
+}
+
+// ------------------------- corrupt trace files through the cache
+
+TEST(TraceCacheRecovery, CorruptTraceLoadsThroughCacheUnderContention)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_corrupt_cached.rar";
+    {
+        TraceFileWriter writer(path);
+        const Program program = findWorkload("li").build(1);
+        MicroVM vm(program);
+        pumpTrace(vm, writer, 4'000);
+        ASSERT_TRUE(writer.finish().ok());
+    }
+    auto flipped = corruptTraceFile(path, 16, /*seed=*/23);
+    ASSERT_TRUE(flipped.ok());
+
+    // Eight threads race the same damaged file through the cache with
+    // resync-recovery on: every thread must get the *same* recovered
+    // trace, generated exactly once, with the reader's corruption
+    // counters surfaced in the cache stats.
+    driver::TraceCache cache;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::shared_ptr<const RecordedTrace>> got(kThreads);
+    std::vector<Status> errors(kThreads);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            auto r = cache.getFile(path, ~0ull, /*resync=*/true);
+            if (r.ok())
+                got[t] = *r;
+            else
+                errors[t] = r.status();
+        });
+    for (auto &t : threads)
+        t.join();
+
+    for (unsigned t = 0; t < kThreads; ++t) {
+        ASSERT_TRUE(got[t] != nullptr) << errors[t].toString();
+        EXPECT_EQ(got[t].get(), got[0].get());
+    }
+    const auto s = cache.stats();
+    EXPECT_EQ(s.generations, 1u);
+    EXPECT_EQ(s.hits, kThreads - 1);
+    EXPECT_GT(s.fileCorruptions, 0u);
+    EXPECT_GT(got[0]->size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCacheRecovery, StrictModeSurfacesCorruptionAsError)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_corrupt_strict.rar";
+    {
+        TraceFileWriter writer(path);
+        const Program program = findWorkload("com").build(1);
+        MicroVM vm(program);
+        pumpTrace(vm, writer, 2'000);
+        ASSERT_TRUE(writer.finish().ok());
+    }
+    ASSERT_TRUE(corruptTraceFile(path, 32, /*seed=*/5).ok());
+
+    driver::TraceCache cache;
+    auto strict = cache.getFile(path, ~0ull, /*resync=*/false);
+    // 32 flips are overwhelmingly likely to hit checksummed bytes; in
+    // strict mode that is a hard error, not a silent skip.
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+    std::remove(path.c_str());
 }
 
 TEST(SafetyOracle, InvalidConfigIsRecoverable)

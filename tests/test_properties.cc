@@ -323,8 +323,9 @@ TEST_P(DriverEquivalence, RunnerJobMatchesSerialOooExecution)
                         OooCpu cpu(config, cloak);
                         drainTrace(trace, cpu);
                         job_stats = cpu.stats();
+                        return Status{};
                     }});
-    runner.run(jobs);
+    EXPECT_TRUE(runner.run(jobs).ok());
 
     expectEqualCpuStats(serial.stats(), job_stats);
 }

@@ -40,6 +40,10 @@ TEST(Status, FactoriesCarryCodeAndMessage)
     EXPECT_EQ(Status::outOfRange("x").code(), StatusCode::OutOfRange);
     EXPECT_EQ(Status::failedPrecondition("x").code(),
               StatusCode::FailedPrecondition);
+    EXPECT_EQ(Status::deadlineExceeded("x").code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(Status::cancelled("x").code(), StatusCode::Cancelled);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::Internal);
 }
 
 TEST(Status, CodeNamesAreStable)
@@ -47,6 +51,10 @@ TEST(Status, CodeNamesAreStable)
     EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
     EXPECT_STREQ(statusCodeName(StatusCode::Corruption), "corruption");
     EXPECT_STREQ(statusCodeName(StatusCode::IoError), "io-error");
+    EXPECT_STREQ(statusCodeName(StatusCode::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(statusCodeName(StatusCode::Cancelled), "cancelled");
+    EXPECT_STREQ(statusCodeName(StatusCode::Internal), "internal");
 }
 
 TEST(Result, HoldsValue)

@@ -81,7 +81,7 @@ main(int argc, char **argv)
             config.sf = {1024, 2};
             variants[ci].apply(config);
             rarpred::CloakingEngine engine(config);
-            rarpred::drainTrace(trace, engine);
+            rarpred::driver::pumpSimulation(trace, engine);
             return engine.stats();
         },
         parsed->io);

@@ -16,8 +16,10 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/statesave.hh"
 
 namespace rarpred {
 
@@ -138,6 +140,81 @@ class FullyAssocLruTable
     {
         for (auto &kv : lru_)
             fn(kv.first, kv.second);
+    }
+
+    /** Const variant of forEach(): (const Key&, const Value&). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : lru_)
+            fn(kv.first, kv.second);
+    }
+
+    /**
+     * Structural self-check for the online auditor: the index and the
+     * recency list must agree entry for entry, and the capacity bound
+     * must hold. @return false on any violation.
+     */
+    bool
+    auditIntegrity() const
+    {
+        if (map_.size() != lru_.size())
+            return false;
+        if (capacity_ != 0 && map_.size() > capacity_)
+            return false;
+        for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+            auto mapped = map_.find(it->first);
+            if (mapped == map_.end() || mapped->second != it)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Serialize entries in MRU-to-LRU order. Keys must be integral
+     * (every instantiation in this repo uses 64-bit keys); values are
+     * written by @p saveValue (StateWriter&, const Value&).
+     */
+    template <typename SaveFn>
+    void
+    saveState(StateWriter &w, SaveFn &&saveValue) const
+    {
+        w.u64(lru_.size());
+        for (const auto &kv : lru_) {
+            w.u64((uint64_t)kv.first);
+            saveValue(w, kv.second);
+        }
+    }
+
+    /**
+     * Rebuild the table from a saveState() image, reproducing the
+     * exact recency order. @p loadValue is
+     * (StateReader&, Value*) -> Status.
+     */
+    template <typename LoadFn>
+    Status
+    restoreState(StateReader &r, LoadFn &&loadValue)
+    {
+        uint64_t count = 0;
+        RARPRED_RETURN_IF_ERROR(r.u64(&count));
+        if (capacity_ != 0 && count > capacity_)
+            return Status::corruption("LRU table image over capacity");
+        std::vector<std::pair<Key, Value>> entries;
+        entries.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+            uint64_t key = 0;
+            Value value{};
+            RARPRED_RETURN_IF_ERROR(r.u64(&key));
+            RARPRED_RETURN_IF_ERROR(loadValue(r, &value));
+            entries.emplace_back((Key)key, std::move(value));
+        }
+        clear();
+        // Saved MRU-first; inserting back-to-front recreates the list
+        // with the first saved entry ending up most recently used.
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+            insert(it->first, std::move(it->second));
+        return Status{};
     }
 
   private:

@@ -19,6 +19,7 @@
 
 #include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "common/statesave.hh"
 
 namespace rarpred {
 
@@ -176,6 +177,95 @@ class SetAssocTable
         for (auto &set : sets_)
             for (auto &way : set)
                 fn(way.first, way.second);
+    }
+
+    /** Const variant of forEach(): (uint64_t key, const Value&). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &set : sets_)
+            for (const auto &way : set)
+                fn(way.first, way.second);
+    }
+
+    /**
+     * Structural self-check for the online auditor: every set within
+     * its associativity, every tag indexed into the set that holds
+     * it, no duplicate tags in a set. @return false on any violation.
+     */
+    bool
+    auditIntegrity() const
+    {
+        for (size_t si = 0; si < sets_.size(); ++si) {
+            const auto &set = sets_[si];
+            if (set.size() > assoc_)
+                return false;
+            for (size_t i = 0; i < set.size(); ++i) {
+                if (indexOf(set[i].first) != si)
+                    return false;
+                for (size_t j = i + 1; j < set.size(); ++j)
+                    if (set[j].first == set[i].first)
+                        return false;
+            }
+        }
+        return true;
+    }
+
+    /**
+     * Serialize geometry plus every set, ways MRU-first. Values are
+     * written by @p saveValue (StateWriter&, const Value&).
+     */
+    template <typename SaveFn>
+    void
+    saveState(StateWriter &w, SaveFn &&saveValue) const
+    {
+        w.u64(numSets_);
+        w.u64(assoc_);
+        for (const auto &set : sets_) {
+            w.u32((uint32_t)set.size());
+            for (const auto &way : set) {
+                w.u64(way.first);
+                saveValue(w, way.second);
+            }
+        }
+    }
+
+    /**
+     * Rebuild from a saveState() image, reproducing the per-set LRU
+     * order. @p loadValue is (StateReader&, Value*) -> Status.
+     */
+    template <typename LoadFn>
+    Status
+    restoreState(StateReader &r, LoadFn &&loadValue)
+    {
+        uint64_t numSets = 0, assoc = 0;
+        RARPRED_RETURN_IF_ERROR(r.u64(&numSets));
+        RARPRED_RETURN_IF_ERROR(r.u64(&assoc));
+        if (numSets != numSets_ || assoc != assoc_) {
+            return Status::failedPrecondition(
+                "table snapshot has a different geometry");
+        }
+        for (size_t si = 0; si < sets_.size(); ++si) {
+            uint32_t ways = 0;
+            RARPRED_RETURN_IF_ERROR(r.u32(&ways));
+            if (ways > assoc_)
+                return Status::corruption("set image over associativity");
+            Set loaded;
+            loaded.reserve(assoc_);
+            for (uint32_t i = 0; i < ways; ++i) {
+                uint64_t key = 0;
+                Value value{};
+                RARPRED_RETURN_IF_ERROR(r.u64(&key));
+                RARPRED_RETURN_IF_ERROR(loadValue(r, &value));
+                if (indexOf(key) != si)
+                    return Status::corruption(
+                        "set image tag indexes a different set");
+                loaded.emplace_back(key, std::move(value));
+            }
+            sets_[si] = std::move(loaded);
+        }
+        return Status{};
     }
 
   private:

@@ -1,0 +1,234 @@
+#include "common/statesave.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.hh"
+
+namespace rarpred {
+
+namespace {
+
+/// Byte overhead of a section frame around its payload.
+constexpr size_t kFrameHeadBytes = 8; // u32 tag + u32 payloadLen
+constexpr size_t kFrameTailBytes = 4; // u32 crc32 over tag+len+payload
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= (uint32_t)p[i] << (8 * i);
+    return v;
+}
+
+void
+putU32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = (uint8_t)(v >> (8 * i));
+}
+
+} // namespace
+
+void
+StateWriter::beginSection(uint32_t tag)
+{
+    open_.push_back(buf_.size());
+    u32(tag);
+    u32(0); // payload length, patched by endSection()
+}
+
+void
+StateWriter::endSection()
+{
+    const size_t head = open_.back();
+    open_.pop_back();
+    const size_t payload = buf_.size() - head - kFrameHeadBytes;
+    putU32(buf_.data() + head + 4, (uint32_t)payload);
+    const uint32_t crc =
+        crc32(buf_.data() + head, kFrameHeadBytes + payload);
+    u32(crc);
+}
+
+Status
+StateReader::need(size_t n) const
+{
+    size_t bound = bounds_.empty() ? len_ : bounds_.back();
+    if (pos_ + n > bound)
+        return Status::corruption("state stream truncated");
+    return Status{};
+}
+
+Status
+StateReader::u8(uint8_t *out)
+{
+    RARPRED_RETURN_IF_ERROR(need(1));
+    *out = data_[pos_++];
+    return Status{};
+}
+
+Status
+StateReader::u32(uint32_t *out)
+{
+    RARPRED_RETURN_IF_ERROR(need(4));
+    *out = getU32(data_ + pos_);
+    pos_ += 4;
+    return Status{};
+}
+
+Status
+StateReader::u64(uint64_t *out)
+{
+    RARPRED_RETURN_IF_ERROR(need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= (uint64_t)data_[pos_ + i] << (8 * i);
+    *out = v;
+    pos_ += 8;
+    return Status{};
+}
+
+Status
+StateReader::boolean(bool *out)
+{
+    uint8_t v = 0;
+    RARPRED_RETURN_IF_ERROR(u8(&v));
+    if (v > 1)
+        return Status::corruption("boolean field out of range");
+    *out = v != 0;
+    return Status{};
+}
+
+Status
+StateReader::bytes(void *out, size_t len)
+{
+    RARPRED_RETURN_IF_ERROR(need(len));
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status{};
+}
+
+Status
+StateReader::enterSection(uint32_t tag)
+{
+    RARPRED_RETURN_IF_ERROR(need(kFrameHeadBytes));
+    const size_t head = pos_;
+    const uint32_t gotTag = getU32(data_ + head);
+    if (gotTag != tag)
+        return Status::corruption("section tag mismatch");
+    const uint32_t payload = getU32(data_ + head + 4);
+    RARPRED_RETURN_IF_ERROR(
+        need(kFrameHeadBytes + payload + kFrameTailBytes));
+    const uint32_t want =
+        getU32(data_ + head + kFrameHeadBytes + payload);
+    const uint32_t got = crc32(data_ + head, kFrameHeadBytes + payload);
+    if (want != got)
+        return Status::corruption("section CRC mismatch");
+    pos_ = head + kFrameHeadBytes;
+    bounds_.push_back(pos_ + payload);
+    return Status{};
+}
+
+Status
+StateReader::leaveSection()
+{
+    const size_t bound = bounds_.back();
+    if (pos_ != bound)
+        return Status::corruption("section has unread payload");
+    bounds_.pop_back();
+    pos_ = bound + kFrameTailBytes; // skip the already-verified CRC
+    return Status{};
+}
+
+size_t
+StateReader::remaining() const
+{
+    size_t bound = bounds_.empty() ? len_ : bounds_.back();
+    return bound > pos_ ? bound - pos_ : 0;
+}
+
+Status
+validateSectionChain(const uint8_t *data, size_t len)
+{
+    size_t pos = 0;
+    while (pos < len) {
+        if (pos + kFrameHeadBytes + kFrameTailBytes > len)
+            return Status::corruption("truncated section frame");
+        const uint32_t payload = getU32(data + pos + 4);
+        const size_t frame =
+            kFrameHeadBytes + (size_t)payload + kFrameTailBytes;
+        if (pos + frame > len)
+            return Status::corruption("section frame overruns buffer");
+        const uint32_t want =
+            getU32(data + pos + kFrameHeadBytes + payload);
+        const uint32_t got =
+            crc32(data + pos, kFrameHeadBytes + payload);
+        if (want != got)
+            return Status::corruption("section CRC mismatch");
+        pos += frame;
+    }
+    return Status{};
+}
+
+Status
+durableWriteFile(const std::string &path, const void *data, size_t len)
+{
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        return Status::ioError("cannot create " + tmp + ": " +
+                               std::strerror(errno));
+    }
+    const auto *p = static_cast<const uint8_t *>(data);
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, p + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return Status::ioError("short write to " + tmp + ": " +
+                                   std::strerror(err));
+        }
+        off += (size_t)n;
+    }
+    // The fsync *before* the rename is the load-bearing part: rename
+    // is atomic, but without it a crash can expose the new name with
+    // zero-length (unflushed) contents.
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return Status::ioError("fsync " + tmp + ": " +
+                               std::strerror(err));
+    }
+    if (::close(fd) != 0)
+        return Status::ioError("close " + tmp + ": " +
+                               std::strerror(errno));
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        return Status::ioError("rename " + tmp + " -> " + path + ": " +
+                               std::strerror(err));
+    }
+    // Make the rename itself durable. Failure here is not fatal: the
+    // data is intact, only the directory entry may be replayed.
+    std::string dir = ".";
+    if (auto slash = path.find_last_of('/'); slash != std::string::npos)
+        dir = path.substr(0, slash == 0 ? 1 : slash);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        (void)::fsync(dfd);
+        ::close(dfd);
+    }
+    return Status{};
+}
+
+} // namespace rarpred

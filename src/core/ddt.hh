@@ -95,6 +95,27 @@ class DependenceDetector
      */
     bool injectFault(Rng &rng);
 
+    /**
+     * Deterministic structural corruption for the online auditor: set
+     * a high bit of one recorded producer PC, violating the pc < 2^32
+     * invariant (MicroISA byte PCs fit 32 bits, see PackedInst).
+     * @return false when the table is empty (nothing to corrupt).
+     */
+    bool injectStructuralFault();
+
+    /**
+     * Structural invariants for the online auditor: internal LRU/index
+     * agreement, capacity bounds, and every recorded PC < 2^32.
+     */
+    bool auditOk() const;
+
+    /** Serialize both tables, preserving exact LRU order. */
+    void saveState(StateWriter &w) const;
+    Status restoreState(StateReader &r);
+
+    /** Monotone count of mutating observations (for CRC audits). */
+    uint64_t mutations() const { return mutations_; }
+
     const DdtConfig &config() const { return config_; }
 
   private:
@@ -115,6 +136,7 @@ class DependenceDetector
     FullyAssocLruTable<uint64_t, Entry> table_;
     /** Load table, used only when separateTables. */
     FullyAssocLruTable<uint64_t, Entry> loadTable_;
+    uint64_t mutations_ = 0;
 };
 
 } // namespace rarpred

@@ -24,6 +24,7 @@
 #ifndef RARPRED_CPU_OOO_CPU_HH_
 #define RARPRED_CPU_OOO_CPU_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -53,6 +54,20 @@ class OooCpu : public TraceSink
 
     /** Underlying cloaking engine (null when cloaking is disabled). */
     CloakingEngine *cloakingEngine() { return engine_.get(); }
+
+    /** Bypassing structure, exposed for the online invariant auditor. */
+    SynonymRenameTable &srt() { return srt_; }
+
+    /**
+     * Serialize the complete timing state: the cloaking engine, the
+     * memory hierarchy, branch predictors, scoreboards, bandwidth
+     * limiters, window/store-queue state, completion rings, SRT,
+     * store sets, and statistics. Configuration is not serialized —
+     * the restore target must be constructed with the same config,
+     * which the snapshot fingerprint guarantees.
+     */
+    void saveState(StateWriter &w) const;
+    Status restoreState(StateReader &r);
 
   private:
     /** A width-limited resource: at most `width` events per cycle. */
@@ -89,6 +104,38 @@ class OooCpu : public TraceSink
         }
 
         size_t size() const { return used_.size(); }
+
+        /** Serialize sorted by cycle: the image must be byte-stable. */
+        void
+        saveState(StateWriter &w) const
+        {
+            std::vector<uint64_t> cycles;
+            cycles.reserve(used_.size());
+            for (const auto &[cycle, count] : used_)
+                cycles.push_back(cycle);
+            std::sort(cycles.begin(), cycles.end());
+            w.u64(cycles.size());
+            for (uint64_t cycle : cycles) {
+                w.u64(cycle);
+                w.u32(used_.find(cycle)->second);
+            }
+        }
+
+        Status
+        restoreState(StateReader &r)
+        {
+            uint64_t size = 0;
+            RARPRED_RETURN_IF_ERROR(r.u64(&size));
+            used_.clear();
+            for (uint64_t i = 0; i < size; ++i) {
+                uint64_t cycle = 0;
+                uint32_t count = 0;
+                RARPRED_RETURN_IF_ERROR(r.u64(&cycle));
+                RARPRED_RETURN_IF_ERROR(r.u32(&count));
+                used_[cycle] = count;
+            }
+            return Status{};
+        }
 
       private:
         unsigned width_;

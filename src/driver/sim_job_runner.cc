@@ -116,6 +116,9 @@ class WatchdogTraceSource : public TraceSource
         return inner_.next(di);
     }
 
+    /** Snapshot-restore fallback must reach the real cursor. */
+    bool rewindToStart() override { return inner_.rewindToStart(); }
+
   private:
     static constexpr uint32_t kCheckInterval = 1024;
 
@@ -202,6 +205,16 @@ SimJobRunner::run(const std::vector<JobSpec> &jobs)
     return Status{};
 }
 
+std::string
+SimJobRunner::snapshotPathFor(std::string_view workload,
+                              uint64_t config_hash) const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "-c%016llx.rars",
+                  (unsigned long long)config_hash);
+    return config_.snapshotDir + "/" + std::string(workload) + buf;
+}
+
 Status
 SimJobRunner::runAttempt(const JobSpec &job, size_t index,
                          unsigned attempt)
@@ -245,11 +258,38 @@ SimJobRunner::runAttempt(const JobSpec &job, size_t index,
                     ? base
                     : base ^ (0x517cc1b727220a95ull * (attempt + 1)));
 
+        // Snapshot/audit context for this attempt. A retry restores
+        // from the job's last epoch snapshot (when one exists) so a
+        // crashed or timed-out attempt resumes instead of starting
+        // over; the divergence oracle falls back to from-scratch if
+        // the snapshot does not match the trace.
+        SimContext simCtx;
+        simCtx.auditEvery = config_.auditEvery;
+        simCtx.fingerprint = snapshotFingerprint(
+            job.workload->abbrev, job.configHash, config_.scale,
+            config_.maxInsts);
+        simCtx.counters = &auditCounters_;
+        if (!config_.snapshotDir.empty()) {
+            simCtx.snapshotPath =
+                snapshotPathFor(job.workload->abbrev, job.configHash);
+            simCtx.snapshotEvery = config_.snapshotEvery;
+            simCtx.restore = config_.restoreSnapshots || attempt > 0;
+        }
+        ScopedSimContext scope(simCtx);
+
+        Status st;
         if (has_deadline) {
             WatchdogTraceSource watched(replay, deadline);
-            return job.run(watched, rng);
+            st = job.run(watched, rng);
+        } else {
+            st = job.run(replay, rng);
         }
-        return job.run(replay, rng);
+        // A completed job's snapshot is dead weight (the journal is
+        // the completion record); drop it so a later --restore of the
+        // sweep cannot resurrect stale per-job state.
+        if (st.ok() && !simCtx.snapshotPath.empty())
+            std::remove(simCtx.snapshotPath.c_str());
+        return st;
     } catch (const JobDeadlineExceeded &) {
         return Status::deadlineExceeded(
             "job exceeded its " +
@@ -362,6 +402,23 @@ SimJobRunner::dumpStats(std::ostream &os) const
     os << "driver.traceResidentTraces " << cs.residentTraces << "\n";
     os << "driver.tracePeakResidentTraces " << cs.peakResidentTraces
        << "\n";
+    const AuditCounters &a = auditCounters_;
+    os << "driver.audit.runs "
+       << a.runs.load(std::memory_order_relaxed) << "\n";
+    os << "driver.audit.violations "
+       << a.violations.load(std::memory_order_relaxed) << "\n";
+    os << "driver.audit.flushes "
+       << a.flushes.load(std::memory_order_relaxed) << "\n";
+    os << "driver.audit.crcMismatches "
+       << a.crcMismatches.load(std::memory_order_relaxed) << "\n";
+    os << "driver.audit.bitflipsInjected "
+       << a.bitflipsInjected.load(std::memory_order_relaxed) << "\n";
+    os << "driver.snapshot.written "
+       << a.snapshotsWritten.load(std::memory_order_relaxed) << "\n";
+    os << "driver.snapshot.restored "
+       << a.snapshotsRestored.load(std::memory_order_relaxed) << "\n";
+    os << "driver.snapshot.restoreRejected "
+       << a.restoreRejected.load(std::memory_order_relaxed) << "\n";
 }
 
 } // namespace rarpred::driver

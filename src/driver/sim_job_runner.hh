@@ -54,6 +54,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
+#include "driver/sim_snapshot.hh"
 #include "driver/trace_cache.hh"
 #include "vm/trace.hh"
 
@@ -107,6 +108,20 @@ struct RunnerConfig
     /** Trace residency budgets forwarded to the TraceCache. */
     uint64_t traceBudgetBytes = 0;  ///< 0 = unlimited
     uint32_t traceBudgetTraces = 0; ///< 0 = unlimited
+
+    /** Directory for per-job epoch snapshots; empty disables them. */
+    std::string snapshotDir;
+    /** Snapshot every N instructions (needs snapshotDir); 0 = off. */
+    uint64_t snapshotEvery = 0;
+    /**
+     * Try to resume each job from its snapshot on the *first* attempt
+     * (--restore after a crash). Independently of this flag, every
+     * retry attempt restores from the job's last epoch snapshot when
+     * one exists, so a watchdog-killed job does not start over.
+     */
+    bool restoreSnapshots = false;
+    /** Audit hint-table invariants every N instructions; 0 = off. */
+    uint64_t auditEvery = 0;
 };
 
 /** One unit of work: replay one workload trace into one simulator. */
@@ -170,6 +185,13 @@ class SimJobRunner
     /** Shared trace store (also usable directly by tests). */
     TraceCache &traceCache() { return cache_; }
 
+    /** Snapshot/audit counters (driver.audit.*, driver.snapshot.*). */
+    AuditCounters &auditCounters() { return auditCounters_; }
+
+    /** Snapshot file path for a job (snapshotDir must be set). */
+    std::string snapshotPathFor(std::string_view workload,
+                                uint64_t config_hash) const;
+
     /** Journal bookkeeping, surfaced in dumpStats() (driver.*). */
     void noteJournalReplay(uint64_t replayed, uint64_t torn);
     void noteJournalAppend();
@@ -214,6 +236,7 @@ class SimJobRunner
     uint64_t jobMicrosMax_ = 0;
     Histogram queueLatencyMs_; ///< per-job queue latency, 10ms buckets
     StatGroup statGroup_;
+    AuditCounters auditCounters_; ///< atomics; no lock needed
 };
 
 } // namespace rarpred::driver

@@ -1,0 +1,540 @@
+#include "driver/sim_snapshot.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/crc32.hh"
+#include "common/statesave.hh"
+#include "core/cloaking.hh"
+#include "cpu/ooo_cpu.hh"
+#include "faultinject/driver_faults.hh"
+
+namespace rarpred::driver {
+
+namespace {
+
+thread_local const SimContext *g_simContext = nullptr;
+
+// RARS snapshot header, 40 bytes (DESIGN.md §6c):
+//   u32 magic "RARS"   u32 version
+//   u64 jobFingerprint u64 consumed
+//   u32 windowCrc      u32 stateBytes
+//   u32 reserved       u32 crc32 of the first 36 bytes
+constexpr uint32_t kSnapshotMagic = 0x53524152; // "RARS" little-endian
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr size_t kSnapshotHeaderBytes = 40;
+
+void
+put32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = (uint8_t)(v >> (8 * i));
+}
+
+void
+put64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = (uint8_t)(v >> (8 * i));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= (uint32_t)p[i] << (8 * i);
+    return v;
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= (uint64_t)p[i] << (8 * i);
+    return v;
+}
+
+/** Serialize the sink. @return false when the sink type is unknown. */
+bool
+serializeSink(const TraceSink &sink, StateWriter &w)
+{
+    if (const auto *cpu = dynamic_cast<const OooCpu *>(&sink)) {
+        cpu->saveState(w);
+        return true;
+    }
+    if (const auto *eng = dynamic_cast<const CloakingEngine *>(&sink)) {
+        eng->saveState(w);
+        return true;
+    }
+    return false;
+}
+
+Status
+restoreSink(TraceSink &sink, StateReader &r)
+{
+    RARPRED_RETURN_IF_ERROR(r.enterSection(kSnapshotStateTag));
+    Status st;
+    if (auto *cpu = dynamic_cast<OooCpu *>(&sink))
+        st = cpu->restoreState(r);
+    else if (auto *eng = dynamic_cast<CloakingEngine *>(&sink))
+        st = eng->restoreState(r);
+    else
+        st = Status::invalidArgument("snapshot sink is not serializable");
+    RARPRED_RETURN_IF_ERROR(st);
+    return r.leaveSection();
+}
+
+/** Move a bad snapshot out of the way so later epochs start fresh. */
+void
+quarantineSnapshot(const std::string &path)
+{
+    const std::string aside = path + ".rejected";
+    std::remove(aside.c_str());
+    std::rename(path.c_str(), aside.c_str());
+}
+
+/**
+ * One audited hint structure: invariant check, CRC-between-audits
+ * baseline, and the flush-to-safe repair. Audits only read component
+ * state (serialization is const), so they never perturb results.
+ */
+class AuditedStructure
+{
+  public:
+    using CheckFn = bool (*)(CloakingEngine &, OooCpu *);
+    using FlushFn = void (*)(CloakingEngine &, OooCpu *);
+    using MutationsFn = uint64_t (*)(CloakingEngine &, OooCpu *);
+    using SaveFn = void (*)(CloakingEngine &, OooCpu *, StateWriter &);
+    using InjectFn = bool (*)(CloakingEngine &, OooCpu *);
+
+    AuditedStructure(CheckFn check, FlushFn flush, MutationsFn mutations,
+                     SaveFn save, InjectFn inject)
+        : check_(check), flush_(flush), mutations_(mutations),
+          save_(save), inject_(inject)
+    {
+    }
+
+    bool inject(CloakingEngine &e, OooCpu *c) { return inject_(e, c); }
+
+    /**
+     * Run one audit pass; flush on violation. @return true when the
+     * structure was found corrupt (counters already updated).
+     */
+    bool
+    audit(CloakingEngine &e, OooCpu *c, AuditCounters *counters)
+    {
+        bool violated = !check_(e, c);
+        const uint64_t muts = mutations_(e, c);
+        const uint32_t crc = imageCrc(e, c);
+        // A changed table image with no recorded mutation since the
+        // last audit is silent corruption the structural checks may
+        // not cover (e.g. a flipped value bit).
+        if (!violated && baselineValid_ && muts == baseMutations_ &&
+            crc != baseCrc_) {
+            violated = true;
+            if (counters)
+                counters->crcMismatches.fetch_add(
+                    1, std::memory_order_relaxed);
+        }
+        if (violated) {
+            if (counters) {
+                counters->violations.fetch_add(1,
+                                               std::memory_order_relaxed);
+                counters->flushes.fetch_add(1, std::memory_order_relaxed);
+            }
+            flush_(e, c);
+        }
+        // Re-baseline on the (possibly just-flushed) current image.
+        baseMutations_ = mutations_(e, c);
+        baseCrc_ = imageCrc(e, c);
+        baselineValid_ = true;
+        return violated;
+    }
+
+  private:
+    uint32_t
+    imageCrc(CloakingEngine &e, OooCpu *c) const
+    {
+        StateWriter w;
+        save_(e, c, w);
+        return crc32(w.buffer().data(), w.buffer().size());
+    }
+
+    CheckFn check_;
+    FlushFn flush_;
+    MutationsFn mutations_;
+    SaveFn save_;
+    InjectFn inject_;
+    bool baselineValid_ = false;
+    uint64_t baseMutations_ = 0;
+    uint32_t baseCrc_ = 0;
+};
+
+/** Synonyms live in [1, nextSynonym); derive the exclusive bound. */
+uint64_t
+synonymBound(CloakingEngine &e)
+{
+    return e.dpnt().synonymsAllocated() + 1;
+}
+
+/**
+ * The audited hint structures, in the StateBitflip round-robin order
+ * (DDT first — the acceptance scenario injects into the DDT). The SRT
+ * entry is present only when the sink is a full timing CPU.
+ */
+std::vector<AuditedStructure>
+makeAuditTargets(bool has_cpu)
+{
+    std::vector<AuditedStructure> targets;
+    targets.emplace_back(
+        +[](CloakingEngine &e, OooCpu *) {
+            return e.detector().auditOk();
+        },
+        +[](CloakingEngine &e, OooCpu *) { e.detector().clear(); },
+        +[](CloakingEngine &e, OooCpu *) {
+            return e.detector().mutations();
+        },
+        +[](CloakingEngine &e, OooCpu *, StateWriter &w) {
+            e.detector().saveState(w);
+        },
+        +[](CloakingEngine &e, OooCpu *) {
+            return e.detector().injectStructuralFault();
+        });
+    targets.emplace_back(
+        +[](CloakingEngine &e, OooCpu *) { return e.dpnt().auditOk(); },
+        +[](CloakingEngine &e, OooCpu *c) {
+            // The DPNT owns the synonym namespace: flushing it resets
+            // the allocator, so every structure keyed by synonyms must
+            // flush with it or be left with dangling references.
+            e.dpnt().clear();
+            e.synonymFile().clear();
+            if (c)
+                c->srt().clear();
+        },
+        +[](CloakingEngine &e, OooCpu *) { return e.dpnt().mutations(); },
+        +[](CloakingEngine &e, OooCpu *, StateWriter &w) {
+            e.dpnt().saveState(w);
+        },
+        +[](CloakingEngine &e, OooCpu *) {
+            return e.dpnt().injectStructuralFault();
+        });
+    targets.emplace_back(
+        +[](CloakingEngine &e, OooCpu *) {
+            return e.synonymFile().auditOk(synonymBound(e));
+        },
+        +[](CloakingEngine &e, OooCpu *) { e.synonymFile().clear(); },
+        +[](CloakingEngine &e, OooCpu *) {
+            return e.synonymFile().mutations();
+        },
+        +[](CloakingEngine &e, OooCpu *, StateWriter &w) {
+            e.synonymFile().saveState(w);
+        },
+        +[](CloakingEngine &e, OooCpu *) {
+            return e.synonymFile().injectStructuralFault();
+        });
+    if (has_cpu) {
+        targets.emplace_back(
+            +[](CloakingEngine &e, OooCpu *c) {
+                return c->srt().auditOk(synonymBound(e));
+            },
+            +[](CloakingEngine &, OooCpu *c) { c->srt().clear(); },
+            +[](CloakingEngine &, OooCpu *c) {
+                return c->srt().mutations();
+            },
+            +[](CloakingEngine &, OooCpu *c, StateWriter &w) {
+                c->srt().saveState(w);
+            },
+            +[](CloakingEngine &, OooCpu *c) {
+                return c->srt().injectStructuralFault();
+            });
+    }
+    return targets;
+}
+
+} // namespace
+
+ScopedSimContext::ScopedSimContext(const SimContext &ctx)
+    : prev_(g_simContext)
+{
+    g_simContext = &ctx;
+}
+
+ScopedSimContext::~ScopedSimContext()
+{
+    g_simContext = prev_;
+}
+
+const SimContext *
+currentSimContext()
+{
+    return g_simContext;
+}
+
+uint64_t
+snapshotFingerprint(std::string_view workload, uint64_t config_hash,
+                    uint32_t scale, uint64_t max_insts)
+{
+    const uint32_t lo0 = crc32(workload.data(), workload.size());
+    uint8_t tail[20];
+    put64(tail, config_hash);
+    put32(tail + 8, scale);
+    put64(tail + 12, max_insts);
+    const uint32_t lo = crc32Update(lo0, tail, sizeof(tail));
+    // Second, differently-seeded pass for the high word so the
+    // fingerprint is a full 64 bits.
+    uint32_t hi = crc32Update(lo ^ 0x9e3779b9u, tail, sizeof(tail));
+    hi = crc32Update(hi, workload.data(), workload.size());
+    return ((uint64_t)hi << 32) | lo;
+}
+
+void
+TraceWindowCrc::push(const DynInst &di)
+{
+    uint8_t rec[48];
+    put64(rec, di.seq);
+    put64(rec + 8, di.pc);
+    put64(rec + 16, di.nextPc);
+    put64(rec + 24, di.eaddr);
+    put64(rec + 32, di.value);
+    rec[40] = (uint8_t)di.op;
+    rec[41] = (uint8_t)di.dst;
+    rec[42] = (uint8_t)di.src1;
+    rec[43] = (uint8_t)di.src2;
+    rec[44] = di.taken ? 1 : 0;
+    rec[45] = rec[46] = rec[47] = 0;
+    ring_[count_ % kWindow] = crc32(rec, sizeof(rec));
+    ++count_;
+}
+
+uint32_t
+TraceWindowCrc::value() const
+{
+    const uint64_t n = count_ < kWindow ? count_ : kWindow;
+    const uint64_t first = count_ - n;
+    uint32_t crc = 0;
+    for (uint64_t i = first; i < count_; ++i) {
+        uint8_t b[4];
+        put32(b, ring_[i % kWindow]);
+        crc = crc32Update(crc, b, sizeof(b));
+    }
+    return crc;
+}
+
+Status
+writeSnapshot(const std::string &path, uint64_t fingerprint,
+              uint64_t consumed, uint32_t window_crc,
+              const TraceSink &sink)
+{
+    // One outer section frame around the whole sink: components may
+    // write bare trailing fields between their own sections, so only
+    // the wrapping frame makes the blob a validateSectionChain()-
+    // walkable chain.
+    StateWriter w;
+    w.beginSection(kSnapshotStateTag);
+    if (!serializeSink(sink, w))
+        return Status::invalidArgument(
+            "snapshot sink is not an OooCpu or CloakingEngine");
+    w.endSection();
+    const std::vector<uint8_t> &state = w.buffer();
+
+    if (driverFaultFires(DriverFaultPoint::SnapshotStale, consumed))
+        fingerprint ^= 0xdeadbeefcafef00dull;
+
+    std::vector<uint8_t> image(kSnapshotHeaderBytes + state.size());
+    uint8_t *h = image.data();
+    put32(h, kSnapshotMagic);
+    put32(h + 4, kSnapshotVersion);
+    put64(h + 8, fingerprint);
+    put64(h + 16, consumed);
+    put32(h + 24, window_crc);
+    put32(h + 28, (uint32_t)state.size());
+    put32(h + 32, 0); // reserved
+    put32(h + 36, crc32(h, 36));
+    std::copy(state.begin(), state.end(),
+              image.begin() + kSnapshotHeaderBytes);
+
+    if (driverFaultFires(DriverFaultPoint::SnapshotTorn, consumed)) {
+        // Simulated power cut mid-write: half the image lands on disk
+        // under the final name, bypassing the durable temp+rename
+        // path. A later --restore must reject it by CRC.
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(image.data()),
+                  (std::streamsize)(image.size() / 2));
+        return Status{};
+    }
+    return durableWriteFile(path, image.data(), image.size());
+}
+
+Result<SnapshotImage>
+loadSnapshot(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::notFound("no snapshot at " + path);
+    std::vector<uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    if (raw.size() < kSnapshotHeaderBytes)
+        return Status::corruption("snapshot shorter than its header: " +
+                                  path);
+    const uint8_t *h = raw.data();
+    if (get32(h) != kSnapshotMagic)
+        return Status::corruption("bad snapshot magic: " + path);
+    if (get32(h + 4) != kSnapshotVersion)
+        return Status::corruption("unsupported snapshot version: " + path);
+    if (get32(h + 36) != crc32(h, 36))
+        return Status::corruption("snapshot header CRC mismatch: " + path);
+    const uint32_t stateBytes = get32(h + 28);
+    if (raw.size() != kSnapshotHeaderBytes + stateBytes)
+        return Status::corruption("snapshot truncated or oversized: " +
+                                  path);
+    RARPRED_RETURN_IF_ERROR(
+        validateSectionChain(h + kSnapshotHeaderBytes, stateBytes));
+
+    SnapshotImage img;
+    img.fingerprint = get64(h + 8);
+    img.consumed = get64(h + 16);
+    img.windowCrc = get32(h + 24);
+    img.state.assign(raw.begin() + kSnapshotHeaderBytes, raw.end());
+    return img;
+}
+
+uint64_t
+pumpSimulation(TraceSource &source, TraceSink &sink)
+{
+    const SimContext *ctx = currentSimContext();
+
+    OooCpu *cpu = dynamic_cast<OooCpu *>(&sink);
+    CloakingEngine *engine =
+        cpu ? cpu->cloakingEngine() : dynamic_cast<CloakingEngine *>(&sink);
+
+    const bool snapshotting = ctx != nullptr &&
+                              !ctx->snapshotPath.empty() &&
+                              (cpu != nullptr || engine != nullptr);
+    const bool auditing =
+        ctx != nullptr && ctx->auditEvery > 0 && engine != nullptr;
+    if (!snapshotting && !auditing)
+        return drainTrace(source, sink);
+
+    AuditCounters *counters = ctx->counters;
+    uint64_t consumed = 0;
+    TraceWindowCrc window;
+
+    // ---- Restore, guarded by the divergence oracle. ----------------
+    if (snapshotting && ctx->restore) {
+        auto loaded = loadSnapshot(ctx->snapshotPath);
+        if (loaded.ok() && loaded.value().fingerprint != ctx->fingerprint)
+            loaded = Status::failedPrecondition(
+                "snapshot fingerprint does not match this job");
+        if (loaded.ok()) {
+            // The image is fully CRC-validated; now prove the source
+            // is the same trace at the same position by replaying the
+            // consumed prefix against the stats fingerprint window.
+            const SnapshotImage &img = loaded.value();
+            TraceWindowCrc replay;
+            DynInst di;
+            uint64_t skipped = 0;
+            while (skipped < img.consumed && source.next(di)) {
+                replay.push(di);
+                ++skipped;
+            }
+            if (skipped == img.consumed &&
+                replay.value() == img.windowCrc) {
+                StateReader r(img.state);
+                Status st = restoreSink(sink, r);
+                if (!st.ok()) {
+                    // State was partially applied: the sink can no
+                    // longer produce correct results this attempt.
+                    // Quarantine the snapshot so the retry (which the
+                    // runner's watchdog provides) runs from scratch.
+                    quarantineSnapshot(ctx->snapshotPath);
+                    throw std::runtime_error(
+                        "snapshot restore failed mid-apply: " +
+                        st.message());
+                }
+                consumed = skipped;
+                window = replay;
+                if (counters)
+                    counters->snapshotsRestored.fetch_add(
+                        1, std::memory_order_relaxed);
+            } else {
+                // Divergence: wrong trace or wrong position. Fall
+                // back to a from-scratch run.
+                quarantineSnapshot(ctx->snapshotPath);
+                if (counters)
+                    counters->restoreRejected.fetch_add(
+                        1, std::memory_order_relaxed);
+                if (!source.rewindToStart())
+                    throw std::runtime_error(
+                        "divergent snapshot rejected but the trace "
+                        "source cannot rewind");
+            }
+        } else if (loaded.status().code() != StatusCode::NotFound) {
+            // Torn, stale, or corrupt snapshot on disk: reject before
+            // touching any state, then run from scratch. No rewind
+            // needed — nothing was consumed yet.
+            quarantineSnapshot(ctx->snapshotPath);
+            if (counters)
+                counters->restoreRejected.fetch_add(
+                    1, std::memory_order_relaxed);
+        }
+    }
+
+    // ---- Main loop: simulate, audit, snapshot. ---------------------
+    std::vector<AuditedStructure> targets =
+        engine ? makeAuditTargets(cpu != nullptr)
+               : std::vector<AuditedStructure>{};
+
+    DynInst di;
+    while (source.next(di)) {
+        sink.onInst(di);
+        window.push(di);
+        ++consumed;
+
+        if (engine &&
+            driverFaultFires(DriverFaultPoint::StateBitflip, consumed)) {
+            // Round-robin over the hint structures, DDT first: the
+            // Nth injection (counted across arm/pump cycles via the
+            // shared counters, so re-arming cannot pin the target)
+            // corrupts structure (N-1) mod #targets.
+            const uint64_t fired =
+                counters ? counters->bitflipsInjected.fetch_add(
+                               1, std::memory_order_relaxed) +
+                               1
+                         : driverFaultFireCount(
+                               DriverFaultPoint::StateBitflip);
+            targets[(fired - 1) % targets.size()].inject(*engine, cpu);
+        }
+
+        if (auditing && consumed % ctx->auditEvery == 0) {
+            if (counters)
+                counters->runs.fetch_add(1, std::memory_order_relaxed);
+            for (AuditedStructure &t : targets)
+                t.audit(*engine, cpu, counters);
+        }
+
+        if (snapshotting && ctx->snapshotEvery > 0 &&
+            consumed % ctx->snapshotEvery == 0) {
+            const Status st = writeSnapshot(ctx->snapshotPath,
+                                            ctx->fingerprint, consumed,
+                                            window.value(), sink);
+            if (st.ok() && counters)
+                counters->snapshotsWritten.fetch_add(
+                    1, std::memory_order_relaxed);
+            // A failed snapshot write must not fail the simulation:
+            // checkpointing is best-effort, correctness never depends
+            // on it.
+            const uint64_t epoch = consumed / ctx->snapshotEvery;
+            if (driverFaultFires(DriverFaultPoint::EpochKill, epoch)) {
+                // Simulated crash with the epoch durably on disk.
+                std::raise(SIGKILL);
+            }
+        }
+    }
+    return consumed;
+}
+
+} // namespace rarpred::driver

@@ -108,6 +108,8 @@ parseSweepArgs(int argc, char **argv)
         {"--deadline-ms", &opts.runner.jobDeadlineMs},
         {"--retry-backoff-ms", &opts.runner.retryBackoffMs},
         {"--trace-budget-bytes", &opts.runner.traceBudgetBytes},
+        {"--snapshot-every", &opts.runner.snapshotEvery},
+        {"--audit-every", &opts.runner.auditEvery},
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -132,6 +134,14 @@ parseSweepArgs(int argc, char **argv)
         if (const char *v = flagValue(arg, "--resume")) {
             opts.io.journalPath = v;
             opts.io.resume = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--restore") == 0) {
+            opts.runner.restoreSnapshots = true;
+            continue;
+        }
+        if (const char *v = flagValue(arg, "--snapshot-dir")) {
+            opts.runner.snapshotDir = v;
             continue;
         }
         Status s = numericFlag(arg, "--workers", &workers);
@@ -205,6 +215,12 @@ parseSweepArgs(int argc, char **argv)
         return Status::invalidArgument(
             "--resume needs a journal path (--journal=PATH or "
             "--resume=PATH)");
+    if (opts.runner.restoreSnapshots && opts.runner.snapshotDir.empty())
+        return Status::invalidArgument(
+            "--restore needs --snapshot-dir=DIR");
+    if (opts.runner.snapshotEvery != 0 && opts.runner.snapshotDir.empty())
+        return Status::invalidArgument(
+            "--snapshot-every needs --snapshot-dir=DIR");
     return opts;
 }
 
@@ -224,10 +240,15 @@ sweepUsage()
         "  --trace-budget-bytes=N   max resident trace bytes\n"
         "  --journal=PATH           checkpoint completed jobs to PATH\n"
         "  --resume[=PATH]          resume an interrupted sweep\n"
+        "  --snapshot-dir=DIR       per-job epoch snapshots in DIR\n"
+        "  --snapshot-every=N       snapshot every N instructions\n"
+        "  --restore                resume jobs from their snapshots\n"
+        "  --audit-every=N          audit hint tables every N insts\n"
         "  --help | -h              show this help\n"
         "env RARPRED_FAULT=point:index[xN],... arms driver fault\n"
         "points (job_crash, job_hang, job_kill, journal_torn,\n"
-        "cache_pressure) for crash drills.\n";
+        "cache_pressure, snapshot_torn, snapshot_stale,\n"
+        "state_bitflip, epoch_kill) for crash drills.\n";
 }
 
 int

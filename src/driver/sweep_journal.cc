@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/crc32.hh"
+#include "common/statesave.hh"
 #include "faultinject/driver_faults.hh"
 
 namespace rarpred::driver {
@@ -74,15 +75,19 @@ Result<std::unique_ptr<SweepJournal>>
 SweepJournal::create(const std::string &path, uint64_t fingerprint,
                      uint64_t num_jobs)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return Status::ioError("cannot create sweep journal: " + path);
     uint8_t header[kHeaderBytes];
     encodeHeader(header, fingerprint, num_jobs);
-    out.write((const char *)header, sizeof(header));
-    out.flush();
+    // Durable write-then-rename: a plain trunc+write could be SIGKILLed
+    // (or lose power) between creating the inode and flushing the
+    // header, leaving a zero-length journal that a later --resume
+    // rejects as corrupt. durableWriteFile fsyncs before the atomic
+    // rename so the header is all-or-nothing.
+    RARPRED_RETURN_IF_ERROR(
+        durableWriteFile(path, header, sizeof(header)));
+    std::ofstream out(path, std::ios::binary | std::ios::app);
     if (!out)
-        return Status::ioError("cannot write journal header: " + path);
+        return Status::ioError("cannot open sweep journal for append: " +
+                               path);
     return std::unique_ptr<SweepJournal>(
         new SweepJournal(path, std::move(out)));
 }

@@ -1,5 +1,6 @@
 #include "driver/trace_cache.hh"
 
+#include "common/logging.hh"
 #include "faultinject/driver_faults.hh"
 #include "vm/trace_file.hh"
 
@@ -93,7 +94,19 @@ TraceCache::admit(const std::shared_ptr<Entry> &entry,
                   const std::shared_ptr<const RecordedTrace> &trace)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    // (Re-)admission always charges the trace's *actual* current
+    // size: a trace regenerated after eviction need not match the
+    // size of the recording it replaces (e.g. a resync-loaded file
+    // trace that dropped corrupt records), and a stale charge would
+    // let real residency creep past the byte budget unnoticed.
+    if (entry->resident) {
+        residentBytes_ -= entry->residentBytes;
+    } else {
+        ++residentTraces_;
+    }
     entry->resident = trace;
+    entry->residentBytes = trace->memoryBytes();
+    residentBytes_ += entry->residentBytes;
     entry->lastUse = ++lruClock_;
 
     uint64_t budget_traces = config_.maxResidentTraces;
@@ -104,31 +117,41 @@ TraceCache::admit(const std::shared_ptr<Entry> &entry,
     // admitted) until both budgets hold. Doing this before the lock
     // drops means stats() can never observe an over-budget cache.
     while (true) {
-        uint64_t resident_traces = 0;
-        uint64_t resident_bytes = 0;
+        const bool over_traces =
+            budget_traces != 0 && residentTraces_ > budget_traces;
+        const bool over_bytes = config_.maxResidentBytes != 0 &&
+                                residentBytes_ > config_.maxResidentBytes;
+        if (peakResidentTraces_ < residentTraces_ &&
+            !(over_traces || over_bytes))
+            peakResidentTraces_ = residentTraces_;
+        if (!(over_traces || over_bytes))
+            break;
         Entry *lru = nullptr;
         for (auto &[key, slot] : slots_) {
             (void)key;
-            if (!slot->resident)
+            if (!slot->resident || slot.get() == entry.get())
                 continue;
-            ++resident_traces;
-            resident_bytes += slot->resident->memoryBytes();
-            if (slot.get() != entry.get() &&
-                (lru == nullptr || slot->lastUse < lru->lastUse))
+            if (lru == nullptr || slot->lastUse < lru->lastUse)
                 lru = slot.get();
         }
-        const bool over_traces =
-            budget_traces != 0 && resident_traces > budget_traces;
-        const bool over_bytes = config_.maxResidentBytes != 0 &&
-                                resident_bytes > config_.maxResidentBytes;
-        if (peakResidentTraces_ < resident_traces &&
-            !(over_traces || over_bytes))
-            peakResidentTraces_ = resident_traces;
-        if (!(over_traces || over_bytes) || lru == nullptr)
-            break;
+        if (lru == nullptr)
+            break; // only the just-admitted trace remains pinned
+        residentBytes_ -= lru->residentBytes;
+        lru->residentBytes = 0;
+        --residentTraces_;
         lru->resident.reset();
         evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+
+    // Post-eviction invariant: residency fits the budget, except that
+    // the single just-admitted trace may alone exceed the byte budget
+    // (it must stay pinned for the requesting job regardless).
+    rarpred_assert(
+        (config_.maxResidentBytes == 0 ||
+         residentBytes_ <= config_.maxResidentBytes ||
+         residentTraces_ == 1) &&
+        (budget_traces == 0 || residentTraces_ <= budget_traces ||
+         residentTraces_ == 1));
 }
 
 std::shared_ptr<const RecordedTrace>
@@ -193,13 +216,8 @@ TraceCache::stats() const
         fileRecordsSkipped_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     s.peakResidentTraces = peakResidentTraces_;
-    for (const auto &[key, slot] : slots_) {
-        (void)key;
-        if (slot->resident) {
-            ++s.residentTraces;
-            s.residentBytes += slot->resident->memoryBytes();
-        }
-    }
+    s.residentTraces = residentTraces_;
+    s.residentBytes = residentBytes_;
     if (s.peakResidentTraces < s.residentTraces)
         s.peakResidentTraces = s.residentTraces;
     return s;
@@ -210,6 +228,8 @@ TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     slots_.clear();
+    residentBytes_ = 0;
+    residentTraces_ = 0;
 }
 
 } // namespace rarpred::driver

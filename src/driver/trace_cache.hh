@@ -126,6 +126,12 @@ class TraceCache
         /// Set while resident: the cache's own pin. Cleared by
         /// eviction. Guarded by the cache-wide mutex, not entry mu.
         std::shared_ptr<const RecordedTrace> resident;
+        /// Bytes charged against the budget while resident — always
+        /// the *actual* size of the pinned trace, re-measured on
+        /// every (re-)admission, so a regenerated trace of a
+        /// different size never leaves a stale charge behind.
+        /// Guarded by the cache-wide mutex.
+        uint64_t residentBytes = 0;
         uint64_t lastUse = 0; ///< LRU clock; cache-wide mutex
     };
 
@@ -149,6 +155,11 @@ class TraceCache
     mutable std::mutex mu_;
     std::map<Key, std::shared_ptr<Entry>> slots_;
     uint64_t lruClock_ = 0;
+    /// Incremental residency totals (cache-wide mutex): admission
+    /// charges, eviction refunds. O(1) per admit instead of a full
+    /// rescan, and asserted never to exceed the budget.
+    uint64_t residentBytes_ = 0;
+    uint64_t residentTraces_ = 0;
     uint64_t peakResidentTraces_ = 0;
     std::atomic<uint64_t> generations_{0};
     std::atomic<uint64_t> hits_{0};

@@ -8,7 +8,7 @@ namespace rarpred {
 
 namespace {
 
-constexpr size_t kNumPoints = 5;
+constexpr size_t kNumPoints = 9;
 
 struct Arming
 {
@@ -39,6 +39,14 @@ driverFaultPointName(DriverFaultPoint point)
         return "journal_torn";
       case DriverFaultPoint::CachePressure:
         return "cache_pressure";
+      case DriverFaultPoint::SnapshotTorn:
+        return "snapshot_torn";
+      case DriverFaultPoint::SnapshotStale:
+        return "snapshot_stale";
+      case DriverFaultPoint::StateBitflip:
+        return "state_bitflip";
+      case DriverFaultPoint::EpochKill:
+        return "epoch_kill";
     }
     return "unknown";
 }
@@ -133,6 +141,14 @@ armOneSpec(const std::string &item)
         point = DriverFaultPoint::JournalTornWrite;
     else if (name == "cache_pressure")
         point = DriverFaultPoint::CachePressure;
+    else if (name == "snapshot_torn")
+        point = DriverFaultPoint::SnapshotTorn;
+    else if (name == "snapshot_stale")
+        point = DriverFaultPoint::SnapshotStale;
+    else if (name == "state_bitflip")
+        point = DriverFaultPoint::StateBitflip;
+    else if (name == "epoch_kill")
+        point = DriverFaultPoint::EpochKill;
     else
         return Status::invalidArgument("unknown fault point: " + name);
 

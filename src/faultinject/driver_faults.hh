@@ -23,6 +23,19 @@
  *                      and latches an I/O error (simulated power cut).
  *  - CachePressure   : TraceCache behaves as if its memory budget
  *                      were one trace, evicting on every admit.
+ *  - SnapshotTorn    : the epoch snapshot writer persists only half
+ *                      of the image (simulated power cut mid-write);
+ *                      a later --restore must reject it by CRC.
+ *  - SnapshotStale   : the snapshot is written with a wrong job
+ *                      fingerprint, as if left over from a different
+ *                      configuration; --restore must reject it.
+ *  - StateBitflip    : a structural invariant of a hint table (DDT,
+ *                      DPNT, synonym file, SRT — round-robin by fire
+ *                      count, DDT first) is violated mid-simulation;
+ *                      the online auditor must detect and flush it.
+ *  - EpochKill       : SIGKILL immediately after the Nth epoch
+ *                      snapshot is durably on disk — for end-to-end
+ *                      kill/--restore byte-identity tests.
  *
  * Arming is process-global (the driver is, too). Tests arm
  * programmatically; CLI runs arm via the RARPRED_FAULT environment
@@ -48,6 +61,10 @@ enum class DriverFaultPoint : uint8_t
     JobKill,
     JournalTornWrite,
     CachePressure,
+    SnapshotTorn,
+    SnapshotStale,
+    StateBitflip,
+    EpochKill,
 };
 
 /** @return stable spec name for @p point ("job_crash", ...). */
@@ -81,7 +98,8 @@ uint64_t driverFaultFireCount(DriverFaultPoint point);
  * Arm fault points from a spec string:
  *   spec     := point ":" index [ "x" times ] { "," spec }
  *   point    := job_crash | job_hang | job_kill | journal_torn |
- *               cache_pressure
+ *               cache_pressure | snapshot_torn | snapshot_stale |
+ *               state_bitflip | epoch_kill
  *   index    := decimal target index, or "*" for any
  *   times    := decimal fire budget (default 1)
  * e.g. "job_kill:40", "job_crash:3x2,cache_pressure:*".

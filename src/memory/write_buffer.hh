@@ -12,6 +12,7 @@
 #include <deque>
 
 #include "common/bitutils.hh"
+#include "common/statesave.hh"
 #include "common/stats.hh"
 
 namespace rarpred {
@@ -83,6 +84,42 @@ class WriteBuffer
     size_t occupancy() const { return entries_.size(); }
     uint64_t combines() const { return combines_.value(); }
     uint64_t fullStalls() const { return fullStalls_.value(); }
+
+    void
+    saveState(StateWriter &w) const
+    {
+        w.u64(entries_.size());
+        for (const Entry &e : entries_) {
+            w.u64(e.block);
+            w.u64(e.drainDone);
+        }
+        w.u64(combines_.value());
+        w.u64(fullStalls_.value());
+    }
+
+    Status
+    restoreState(StateReader &r)
+    {
+        uint64_t size = 0;
+        RARPRED_RETURN_IF_ERROR(r.u64(&size));
+        if (size > capacity_)
+            return Status::corruption("write buffer image over capacity");
+        entries_.clear();
+        for (uint64_t i = 0; i < size; ++i) {
+            Entry e{};
+            RARPRED_RETURN_IF_ERROR(r.u64(&e.block));
+            RARPRED_RETURN_IF_ERROR(r.u64(&e.drainDone));
+            entries_.push_back(e);
+        }
+        uint64_t combines = 0, stalls = 0;
+        RARPRED_RETURN_IF_ERROR(r.u64(&combines));
+        RARPRED_RETURN_IF_ERROR(r.u64(&stalls));
+        combines_.reset();
+        combines_ += combines;
+        fullStalls_.reset();
+        fullStalls_ += stalls;
+        return Status{};
+    }
 
   private:
     struct Entry

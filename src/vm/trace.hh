@@ -65,6 +65,14 @@ class TraceSource
      * @return false when the stream is exhausted (di left untouched).
      */
     virtual bool next(DynInst &di) = 0;
+
+    /**
+     * Restart the stream from its first instruction, if the source
+     * supports it. The snapshot restore path uses this to fall back
+     * to a from-scratch run after rejecting a divergent snapshot.
+     * @return false when the source cannot rewind (the default).
+     */
+    virtual bool rewindToStart() { return false; }
 };
 
 /**

@@ -991,7 +991,9 @@ TEST(ParseSweepArgs, HelpFlagIsRecognizedAndUsageMentionsEveryFlag)
     for (const char *flag :
          {"--workers", "--serial", "--scale", "--max-insts", "--retries",
           "--deadline-ms", "--retry-backoff-ms", "--trace-budget",
-          "--trace-budget-bytes", "--journal", "--resume"})
+          "--trace-budget-bytes", "--journal", "--resume",
+          "--snapshot-dir", "--snapshot-every", "--restore",
+          "--audit-every"})
         EXPECT_NE(usage.find(flag), std::string::npos) << flag;
 }
 

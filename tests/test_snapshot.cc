@@ -1,0 +1,736 @@
+/**
+ * @file
+ * Tests for mid-simulation checkpoint/restore (driver/sim_snapshot)
+ * and the online invariant auditor: component-level save/restore
+ * round trips, the RARS snapshot file format and its corruption
+ * rejection, epoch snapshotting + restore through pumpSimulation()
+ * with the divergence oracle, flush-to-safe self-healing under
+ * injected structural faults, and the end-to-end SIGKILL/--restore
+ * and SIGTERM drills against the real bench binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/statesave.hh"
+#include "core/cloaking.hh"
+#include "cpu/ooo_cpu.hh"
+#include "driver/sim_snapshot.hh"
+#include "driver/sweep.hh"
+#include "driver/sweep_journal.hh"
+#include "faultinject/driver_faults.hh"
+#include "vm/micro_vm.hh"
+#include "vm/recorded_trace.hh"
+#include "workload/workload.hh"
+
+#ifndef RARPRED_BENCH_DIR
+#define RARPRED_BENCH_DIR ""
+#endif
+#ifndef RARPRED_EXAMPLES_DIR
+#define RARPRED_EXAMPLES_DIR ""
+#endif
+
+namespace rarpred {
+namespace {
+
+/** Every test starts and ends with no armed faults or stop request. */
+class SnapshotTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        disarmDriverFaults();
+        driver::clearStopRequest();
+    }
+
+    void
+    TearDown() override
+    {
+        disarmDriverFaults();
+        driver::clearStopRequest();
+    }
+};
+
+CloakingConfig
+cloakingConfig()
+{
+    CloakingConfig config;
+    config.ddt.entries = 128;
+    config.dpnt.geometry = {8192, 2};
+    config.sf = {1024, 2};
+    return config;
+}
+
+CloakTimingConfig
+timingConfig()
+{
+    CloakTimingConfig cloak;
+    cloak.enabled = true;
+    cloak.engine = cloakingConfig();
+    return cloak;
+}
+
+std::string
+cloakingDump(const CloakingEngine &engine)
+{
+    std::ostringstream os;
+    engine.stats().dump(os);
+    return os.str();
+}
+
+std::string
+cpuDump(const OooCpu &cpu)
+{
+    std::ostringstream os;
+    cpu.stats().dump(os);
+    return os.str();
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+// ------------------------------------------ fingerprint & window CRC
+
+TEST_F(SnapshotTest, FingerprintSensitiveToEveryJobIdentityField)
+{
+    const uint64_t fp = driver::snapshotFingerprint("li", 1, 1, 50000);
+    EXPECT_EQ(fp, driver::snapshotFingerprint("li", 1, 1, 50000));
+    EXPECT_NE(fp, driver::snapshotFingerprint("com", 1, 1, 50000));
+    EXPECT_NE(fp, driver::snapshotFingerprint("li", 2, 1, 50000));
+    EXPECT_NE(fp, driver::snapshotFingerprint("li", 1, 2, 50000));
+    EXPECT_NE(fp, driver::snapshotFingerprint("li", 1, 1, 60000));
+}
+
+TEST_F(SnapshotTest, WindowCrcDistinguishesStreamsAndPositions)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 5000);
+
+    driver::TraceWindowCrc a, b, c;
+    RecordedTraceSource src(trace);
+    DynInst di;
+    uint64_t n = 0;
+    while (src.next(di)) {
+        a.push(di);
+        if (n < 4999)
+            b.push(di); // one record short
+        c.push(di);
+        ++n;
+    }
+    EXPECT_EQ(a.value(), c.value());
+    EXPECT_NE(a.value(), b.value());
+}
+
+// ------------------------------------------- component round trips
+
+TEST_F(SnapshotTest, MicroVmRoundTripContinuesIdentically)
+{
+    const Workload &w = findWorkload("com");
+    Program prog = w.build(1);
+
+    MicroVM vm(prog);
+    DynInst di;
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_TRUE(vm.next(di));
+    StateWriter wtr;
+    vm.saveState(wtr);
+
+    MicroVM vm2(prog);
+    StateReader rdr(wtr.buffer());
+    ASSERT_TRUE(vm2.restoreState(rdr).ok());
+
+    DynInst want, got;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_EQ(vm.next(want), vm2.next(got));
+        EXPECT_EQ(want.seq, got.seq);
+        EXPECT_EQ(want.pc, got.pc);
+        EXPECT_EQ(want.eaddr, got.eaddr);
+        EXPECT_EQ(want.value, got.value);
+    }
+}
+
+TEST_F(SnapshotTest, MicroVmRejectsSnapshotOfDifferentProgram)
+{
+    Program li = findWorkload("li").build(1);
+    Program com = findWorkload("com").build(1);
+
+    MicroVM vm(li);
+    DynInst di;
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(vm.next(di));
+    StateWriter wtr;
+    vm.saveState(wtr);
+
+    MicroVM other(com);
+    StateReader rdr(wtr.buffer());
+    EXPECT_FALSE(other.restoreState(rdr).ok());
+}
+
+TEST_F(SnapshotTest, RecordedTraceSourcePositionAndSeek)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 1000);
+
+    RecordedTraceSource src(trace);
+    DynInst di;
+    for (int i = 0; i < 600; ++i)
+        ASSERT_TRUE(src.next(di));
+    EXPECT_EQ(src.position(), 600u);
+
+    src.seek(250);
+    ASSERT_TRUE(src.next(di));
+    EXPECT_EQ(di.seq, 250u);
+
+    EXPECT_TRUE(src.rewindToStart());
+    ASSERT_TRUE(src.next(di));
+    EXPECT_EQ(di.seq, 0u);
+}
+
+TEST_F(SnapshotTest, CloakingEngineRoundTripMidTrace)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 30000);
+
+    CloakingEngine engine(cloakingConfig());
+    RecordedTraceSource src(trace);
+    DynInst di;
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(src.next(di));
+        engine.onInst(di);
+    }
+    StateWriter wtr;
+    engine.saveState(wtr);
+
+    CloakingEngine resumed(cloakingConfig());
+    StateReader rdr(wtr.buffer());
+    ASSERT_TRUE(resumed.restoreState(rdr).ok());
+
+    RecordedTraceSource tail(trace);
+    tail.seek(10000);
+    while (src.next(di))
+        engine.onInst(di);
+    while (tail.next(di))
+        resumed.onInst(di);
+    EXPECT_EQ(cloakingDump(engine), cloakingDump(resumed));
+}
+
+TEST_F(SnapshotTest, OooCpuRoundTripMidTraceIdenticalFinalStats)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 30000);
+
+    OooCpu cpu(CpuConfig{}, timingConfig());
+    RecordedTraceSource src(trace);
+    DynInst di;
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(src.next(di));
+        cpu.onInst(di);
+    }
+    StateWriter wtr;
+    cpu.saveState(wtr);
+
+    OooCpu resumed(CpuConfig{}, timingConfig());
+    StateReader rdr(wtr.buffer());
+    const Status st = resumed.restoreState(rdr);
+    ASSERT_TRUE(st.ok()) << st.toString();
+
+    RecordedTraceSource tail(trace);
+    tail.seek(10000);
+    while (src.next(di))
+        cpu.onInst(di);
+    while (tail.next(di))
+        resumed.onInst(di);
+    EXPECT_EQ(cpuDump(cpu), cpuDump(resumed));
+}
+
+TEST_F(SnapshotTest, OooCpuRejectsSnapshotWithDifferentCloaking)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 2000);
+
+    OooCpu cloaked(CpuConfig{}, timingConfig());
+    RecordedTraceSource src(trace);
+    DynInst di;
+    while (src.next(di))
+        cloaked.onInst(di);
+    StateWriter wtr;
+    cloaked.saveState(wtr);
+
+    OooCpu base(CpuConfig{}, {}); // no cloaking engine
+    StateReader rdr(wtr.buffer());
+    EXPECT_FALSE(base.restoreState(rdr).ok());
+}
+
+// -------------------------------------------- snapshot file format
+
+TEST_F(SnapshotTest, SnapshotFileRoundTripsAndRejectsCorruption)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 5000);
+    CloakingEngine engine(cloakingConfig());
+    RecordedTraceSource src(trace);
+    DynInst di;
+    while (src.next(di))
+        engine.onInst(di);
+
+    const std::string path =
+        ::testing::TempDir() + "rarpred_snap_fmt.rars";
+    std::remove(path.c_str());
+    ASSERT_TRUE(driver::writeSnapshot(path, 99, 5000, 7, engine).ok());
+
+    auto img = driver::loadSnapshot(path);
+    ASSERT_TRUE(img.ok()) << img.status().toString();
+    EXPECT_EQ(img->fingerprint, 99u);
+    EXPECT_EQ(img->consumed, 5000u);
+    EXPECT_EQ(img->windowCrc, 7u);
+    EXPECT_GT(img->state.size(), 0u);
+
+    // A fresh engine restores the validated state blob directly
+    // (the blob is the sink's sections inside one outer SNAP frame).
+    CloakingEngine restored(cloakingConfig());
+    StateReader rdr(img->state);
+    ASSERT_TRUE(rdr.enterSection(driver::kSnapshotStateTag).ok());
+    ASSERT_TRUE(restored.restoreState(rdr).ok());
+    ASSERT_TRUE(rdr.leaveSection().ok());
+    EXPECT_EQ(cloakingDump(engine), cloakingDump(restored));
+
+    // Flip one byte mid-state: some section CRC must fail.
+    std::string raw = readWholeFile(path);
+    raw[raw.size() / 2] = (char)(raw[raw.size() / 2] ^ 0x40);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(raw.data(), (std::streamsize)raw.size());
+    }
+    EXPECT_FALSE(driver::loadSnapshot(path).ok());
+
+    // Truncate to half: rejected before any state is touched.
+    raw[raw.size() / 2] = (char)(raw[raw.size() / 2] ^ 0x40); // undo
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(raw.data(), (std::streamsize)(raw.size() / 2));
+    }
+    EXPECT_FALSE(driver::loadSnapshot(path).ok());
+    std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, TornSnapshotFaultProducesRejectedFile)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 3000);
+    CloakingEngine engine(cloakingConfig());
+    RecordedTraceSource src(trace);
+    DynInst di;
+    while (src.next(di))
+        engine.onInst(di);
+
+    const std::string path =
+        ::testing::TempDir() + "rarpred_snap_torn.rars";
+    std::remove(path.c_str());
+    armDriverFault(DriverFaultPoint::SnapshotTorn, kDriverFaultAnyIndex);
+    ASSERT_TRUE(driver::writeSnapshot(path, 1, 3000, 0, engine).ok());
+    EXPECT_EQ(driverFaultFireCount(DriverFaultPoint::SnapshotTorn), 1u);
+
+    // Half an image on disk: rejected by CRC/length validation.
+    EXPECT_FALSE(driver::loadSnapshot(path).ok());
+    std::remove(path.c_str());
+}
+
+// ------------------------------------- pumpSimulation epoch/restore
+
+TEST_F(SnapshotTest, PumpRestoreResumesFromLastEpochByteIdentical)
+{
+    const Workload &w = findWorkload("li");
+    Program prog = w.build(1);
+    RecordedTrace part = RecordedTrace::record(prog, 20000);
+    RecordedTrace full = RecordedTrace::record(prog, 30000);
+
+    // Uninterrupted reference run.
+    OooCpu clean(CpuConfig{}, timingConfig());
+    {
+        RecordedTraceSource src(full);
+        EXPECT_EQ(drainTrace(src, clean), 30000u);
+    }
+
+    const std::string path =
+        ::testing::TempDir() + "rarpred_snap_pump.rars";
+    std::remove(path.c_str());
+    driver::AuditCounters counters;
+    driver::SimContext ctx;
+    ctx.snapshotPath = path;
+    ctx.snapshotEvery = 8000;
+    ctx.fingerprint = 77;
+    ctx.counters = &counters;
+
+    // "Interrupted" run: reaches 20000, last epoch snapshot at 16000,
+    // then the process (pretend-)dies — the sink is discarded.
+    {
+        OooCpu doomed(CpuConfig{}, timingConfig());
+        driver::ScopedSimContext scope(ctx);
+        RecordedTraceSource src(part);
+        EXPECT_EQ(driver::pumpSimulation(src, doomed), 20000u);
+    }
+    EXPECT_EQ(counters.snapshotsWritten.load(), 2u);
+
+    // Restore into a fresh CPU over the full trace: fast-forwards to
+    // 16000, restores, finishes — stats identical to the clean run.
+    OooCpu resumed(CpuConfig{}, timingConfig());
+    driver::SimContext rctx = ctx;
+    rctx.restore = true;
+    {
+        driver::ScopedSimContext scope(rctx);
+        RecordedTraceSource src(full);
+        EXPECT_EQ(driver::pumpSimulation(src, resumed), 30000u);
+    }
+    EXPECT_EQ(counters.snapshotsRestored.load(), 1u);
+    EXPECT_EQ(counters.restoreRejected.load(), 0u);
+    EXPECT_EQ(cpuDump(clean), cpuDump(resumed));
+    std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, PumpRejectsFingerprintMismatchAndRunsFromScratch)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 20000);
+
+    CloakingEngine clean(cloakingConfig());
+    {
+        RecordedTraceSource src(trace);
+        drainTrace(src, clean);
+    }
+
+    const std::string path =
+        ::testing::TempDir() + "rarpred_snap_stale.rars";
+    std::remove(path.c_str());
+    driver::AuditCounters counters;
+    driver::SimContext ctx;
+    ctx.snapshotPath = path;
+    ctx.snapshotEvery = 8000;
+    ctx.fingerprint = 1;
+    ctx.counters = &counters;
+    {
+        CloakingEngine doomed(cloakingConfig());
+        driver::ScopedSimContext scope(ctx);
+        RecordedTraceSource src(trace);
+        driver::pumpSimulation(src, doomed);
+    }
+    ASSERT_GT(counters.snapshotsWritten.load(), 0u);
+
+    // Same file, different job identity: must not restore.
+    driver::SimContext rctx = ctx;
+    rctx.restore = true;
+    rctx.fingerprint = 2;
+    CloakingEngine resumed(cloakingConfig());
+    {
+        driver::ScopedSimContext scope(rctx);
+        RecordedTraceSource src(trace);
+        EXPECT_EQ(driver::pumpSimulation(src, resumed), 20000u);
+    }
+    EXPECT_EQ(counters.snapshotsRestored.load(), 0u);
+    EXPECT_GE(counters.restoreRejected.load(), 1u);
+    EXPECT_EQ(cloakingDump(clean), cloakingDump(resumed));
+    // The bad snapshot was quarantined aside (the from-scratch run
+    // then writes fresh epoch snapshots under the original name).
+    EXPECT_TRUE(std::ifstream(path + ".rejected").good());
+    std::remove((path + ".rejected").c_str());
+    std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, PumpRejectsStaleSnapshotFaultAndStaysCorrect)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 20000);
+
+    CloakingEngine clean(cloakingConfig());
+    {
+        RecordedTraceSource src(trace);
+        drainTrace(src, clean);
+    }
+
+    const std::string path =
+        ::testing::TempDir() + "rarpred_snap_stalefault.rars";
+    std::remove(path.c_str());
+    driver::AuditCounters counters;
+    driver::SimContext ctx;
+    ctx.snapshotPath = path;
+    ctx.snapshotEvery = 8000;
+    ctx.fingerprint = 5;
+    ctx.counters = &counters;
+
+    // Every snapshot this run writes carries a wrong fingerprint, as
+    // if left over from a different configuration.
+    armDriverFault(DriverFaultPoint::SnapshotStale, kDriverFaultAnyIndex,
+                   1000);
+    {
+        CloakingEngine doomed(cloakingConfig());
+        driver::ScopedSimContext scope(ctx);
+        RecordedTraceSource src(trace);
+        driver::pumpSimulation(src, doomed);
+    }
+    disarmDriverFaults();
+
+    driver::SimContext rctx = ctx;
+    rctx.restore = true;
+    CloakingEngine resumed(cloakingConfig());
+    {
+        driver::ScopedSimContext scope(rctx);
+        RecordedTraceSource src(trace);
+        EXPECT_EQ(driver::pumpSimulation(src, resumed), 20000u);
+    }
+    EXPECT_EQ(counters.snapshotsRestored.load(), 0u);
+    EXPECT_GE(counters.restoreRejected.load(), 1u);
+    EXPECT_EQ(cloakingDump(clean), cloakingDump(resumed));
+    std::remove((path + ".rejected").c_str());
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------ invariant auditor
+
+TEST_F(SnapshotTest, AuditorDetectsAndFlushesDdtBitflip)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 20000);
+
+    CloakingEngine engine(cloakingConfig());
+    driver::AuditCounters counters;
+    driver::SimContext ctx;
+    ctx.auditEvery = 1000;
+    ctx.counters = &counters;
+
+    // First state_bitflip fire targets the DDT (round-robin start).
+    // Injecting exactly on an audit boundary gives a zero-instruction
+    // window, so the corrupt entry cannot be evicted or overwritten
+    // in the hint table before the audit observes it.
+    armDriverFault(DriverFaultPoint::StateBitflip, 3000);
+    {
+        driver::ScopedSimContext scope(ctx);
+        RecordedTraceSource src(trace);
+        EXPECT_EQ(driver::pumpSimulation(src, engine), 20000u);
+    }
+    EXPECT_EQ(driverFaultFireCount(DriverFaultPoint::StateBitflip), 1u);
+    EXPECT_GT(counters.runs.load(), 0u);
+    EXPECT_GE(counters.violations.load(), 1u);
+    EXPECT_GE(counters.flushes.load(), 1u);
+    // Repaired: the live structures satisfy their invariants again.
+    EXPECT_TRUE(engine.detector().auditOk());
+    EXPECT_TRUE(engine.dpnt().auditOk());
+}
+
+TEST_F(SnapshotTest, AuditorHealsEveryHintStructureRoundRobin)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 20000);
+
+    CloakingEngine engine(cloakingConfig());
+    driver::AuditCounters counters;
+    driver::SimContext ctx;
+    ctx.auditEvery = 2000;
+    ctx.counters = &counters;
+
+    // Three arm/pump rounds, each injecting on an audit boundary: the
+    // shared bitflip counter advances the round-robin across rounds,
+    // so the DDT, the DPNT, and the synonym file get corrupted (and
+    // flush-repaired) in turn.
+    for (int round = 0; round < 3; ++round) {
+        armDriverFault(DriverFaultPoint::StateBitflip, 4000);
+        driver::ScopedSimContext scope(ctx);
+        RecordedTraceSource src(trace);
+        EXPECT_EQ(driver::pumpSimulation(src, engine), 20000u);
+        EXPECT_EQ(driverFaultFireCount(DriverFaultPoint::StateBitflip),
+                  1u);
+    }
+    EXPECT_EQ(counters.bitflipsInjected.load(), 3u);
+    EXPECT_EQ(counters.violations.load(), 3u);
+    EXPECT_EQ(counters.violations.load(), counters.flushes.load());
+    EXPECT_TRUE(engine.detector().auditOk());
+    EXPECT_TRUE(engine.dpnt().auditOk());
+    const uint64_t bound = engine.dpnt().synonymsAllocated() + 1;
+    EXPECT_TRUE(engine.synonymFile().auditOk(bound));
+}
+
+TEST_F(SnapshotTest, AuditorIsFreeOfFalsePositivesOnCleanRuns)
+{
+    const Workload &w = findWorkload("li");
+    RecordedTrace trace = RecordedTrace::record(w.build(1), 20000);
+
+    CloakingEngine audited(cloakingConfig());
+    CloakingEngine plain(cloakingConfig());
+    driver::AuditCounters counters;
+    driver::SimContext ctx;
+    ctx.auditEvery = 500;
+    ctx.counters = &counters;
+    {
+        driver::ScopedSimContext scope(ctx);
+        RecordedTraceSource src(trace);
+        driver::pumpSimulation(src, audited);
+    }
+    {
+        RecordedTraceSource src(trace);
+        drainTrace(src, plain);
+    }
+    EXPECT_EQ(counters.runs.load(), 40u);
+    EXPECT_EQ(counters.violations.load(), 0u);
+    EXPECT_EQ(counters.flushes.load(), 0u);
+    EXPECT_EQ(counters.crcMismatches.load(), 0u);
+    // Auditing must never perturb simulation results.
+    EXPECT_EQ(cloakingDump(audited), cloakingDump(plain));
+}
+
+// -------------------------------------------- journal durability
+
+TEST_F(SnapshotTest, JournalCreateWritesDurableHeaderImmediately)
+{
+    const std::string path =
+        ::testing::TempDir() + "rarpred_snap_journal.rarj";
+    std::remove(path.c_str());
+    auto journal = driver::SweepJournal::create(path, 0xabcd, 8);
+    ASSERT_TRUE(journal.ok()) << journal.status().toString();
+
+    // The header is on disk (durably, via temp+fsync+rename) before
+    // any append: a SIGKILL here can no longer leave a zero-length
+    // journal that a later --resume chokes on.
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good());
+    EXPECT_GE((size_t)in.tellg(), 32u);
+    journal.value().reset(); // close before load
+    auto replay = driver::SweepJournal::load(path);
+    EXPECT_TRUE(replay.ok()) << replay.status().toString();
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------- end-to-end drills
+
+TEST_F(SnapshotTest, EpochKillThenRestoreIsByteIdenticalEndToEnd)
+{
+    // The acceptance drill: SIGKILL a real bench_fig9_speedup run
+    // right after its second epoch snapshot hits the disk, then
+    // resume with --resume (journal) + --restore (snapshot) and
+    // demand stdout byte-identical to an uninterrupted run.
+    const std::string bench =
+        std::string(RARPRED_BENCH_DIR) + "/bench_fig9_speedup";
+    if (!std::ifstream(bench).good())
+        GTEST_SKIP() << "bench binaries not built in this tree";
+
+    const std::string dir = ::testing::TempDir();
+    const std::string journal = dir + "rarpred_fig9_epoch.rarj";
+    const std::string snapdir = dir + "rarpred_fig9_snapshots";
+    const std::string out_clean = dir + "rarpred_fig9_epoch_clean.out";
+    const std::string out_resumed =
+        dir + "rarpred_fig9_epoch_resumed.out";
+    const std::string err_resumed =
+        dir + "rarpred_fig9_epoch_resumed.err";
+    std::remove(journal.c_str());
+    (void)std::system(("rm -rf " + snapdir + " && mkdir -p " + snapdir)
+                          .c_str());
+
+    const std::string args = " --serial --max-insts=20000 ";
+
+    // Uninterrupted reference.
+    int rc = std::system(
+        (bench + args + ">" + out_clean + " 2>/dev/null").c_str());
+    ASSERT_EQ(rc, 0);
+
+    // Killed mid-job, right after epoch 2 (8000 insts) is durable.
+    rc = std::system(("RARPRED_FAULT=epoch_kill:2 " + bench + args +
+                      "--journal=" + journal + " --snapshot-dir=" +
+                      snapdir + " --snapshot-every=4000 " +
+                      ">/dev/null 2>/dev/null")
+                         .c_str());
+    EXPECT_NE(rc, 0);
+
+    // The interrupted job left its epoch snapshot behind.
+    rc = std::system(
+        ("ls " + snapdir + "/*.rars >/dev/null 2>&1").c_str());
+    EXPECT_EQ(rc, 0);
+
+    // Resume: journal replays completed jobs, the snapshot restores
+    // the interrupted one mid-flight.
+    rc = std::system((bench + args + "--resume=" + journal +
+                      " --restore --snapshot-dir=" + snapdir + " >" +
+                      out_resumed + " 2>" + err_resumed)
+                         .c_str());
+    EXPECT_EQ(rc, 0);
+
+    const std::string clean = readWholeFile(out_clean);
+    ASSERT_FALSE(clean.empty());
+    EXPECT_EQ(clean, readWholeFile(out_resumed));
+
+    // The restore is visible in the runner's stderr stats.
+    const std::string err = readWholeFile(err_resumed);
+    EXPECT_NE(err.find("driver.snapshot.restored 1"), std::string::npos)
+        << err;
+
+    std::remove(journal.c_str());
+    (void)std::system(("rm -rf " + snapdir).c_str());
+    std::remove(out_clean.c_str());
+    std::remove(out_resumed.c_str());
+    std::remove(err_resumed.c_str());
+}
+
+TEST_F(SnapshotTest, StateBitflipEndToEndCompletesWithAuditRepair)
+{
+    const std::string bench =
+        std::string(RARPRED_BENCH_DIR) + "/bench_fig9_speedup";
+    if (!std::ifstream(bench).good())
+        GTEST_SKIP() << "bench binaries not built in this tree";
+
+    const std::string dir = ::testing::TempDir();
+    const std::string err_path = dir + "rarpred_fig9_bitflip.err";
+
+    // Structural corruption injected mid-simulation: the run must
+    // detect it, flush-to-safe, count it, and still exit 0.
+    const int rc = std::system(
+        ("RARPRED_FAULT=state_bitflip:6000 " + bench +
+         " --serial --max-insts=20000 --audit-every=2000 "
+         ">/dev/null 2>" +
+         err_path)
+            .c_str());
+    EXPECT_EQ(rc, 0);
+
+    const std::string err = readWholeFile(err_path);
+    EXPECT_NE(err.find("driver.audit.runs"), std::string::npos) << err;
+    size_t pos = err.find("driver.audit.violations ");
+    ASSERT_NE(pos, std::string::npos) << err;
+    pos += std::string("driver.audit.violations ").size();
+    EXPECT_GE(std::atoi(err.c_str() + pos), 1) << err;
+    pos = err.find("driver.audit.flushes ");
+    ASSERT_NE(pos, std::string::npos) << err;
+    pos += std::string("driver.audit.flushes ").size();
+    EXPECT_GE(std::atoi(err.c_str() + pos), 1) << err;
+
+    std::remove(err_path.c_str());
+}
+
+TEST_F(SnapshotTest, PipelineSpeedupStopsGracefullyOnSigterm)
+{
+    const std::string bin =
+        std::string(RARPRED_EXAMPLES_DIR) + "/pipeline_speedup";
+    if (!std::ifstream(bin).good())
+        GTEST_SKIP() << "example binaries not built in this tree";
+
+    // SIGTERM mid-sweep: the worker finishes its current job, stops
+    // claiming new ones, and the process exits 130 with a --resume
+    // hint — never a crash or a hang.
+    const int rc = std::system(
+        ("sh -c '" + bin +
+         " tom --serial --max-insts=2000000 >/dev/null 2>/dev/null & "
+         "pid=$!; sleep 0.5; kill -TERM $pid; wait $pid'")
+            .c_str());
+    ASSERT_TRUE(WIFEXITED(rc));
+    EXPECT_EQ(WEXITSTATUS(rc), 130);
+}
+
+} // namespace
+} // namespace rarpred

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Micro-benchmark of the resident sweep service's result store
+ * (DESIGN.md §6d): cold vs warm request latency and warm-path
+ * throughput against an in-process daemon over a Unix socket.
+ *
+ * Cold requests pay a full simulation per cell; warm requests are
+ * answered from the content-addressed CRC-guarded store, so the gap
+ * between the two is the latency the store saves every time a sweep
+ * grid overlaps a previous one. Emits BENCH_service_cache.json
+ * (--out=FILE to redirect) — the first perf-trajectory data point
+ * ROADMAP item 1 asks for:
+ *
+ *   {"bench":"service_cache","cells":2,
+ *    "cold_ms":..., "warm_ms_p50":..., "warm_ms_max":...,
+ *    "warm_requests_per_sec":..., "speedup":...}
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/client.hh"
+#include "service/daemon.hh"
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rarpred::service;
+
+    std::string out_path = "BENCH_service_cache.json";
+    uint64_t max_insts = 200000;
+    int warm_iters = 50;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg.rfind("--max-insts=", 0) == 0) {
+            max_insts = std::stoull(arg.substr(12));
+        } else if (arg.rfind("--iters=", 0) == 0) {
+            warm_iters = std::stoi(arg.substr(8));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--out=FILE] [--max-insts=N] [--iters=N]\n";
+            return 2;
+        }
+    }
+
+    const std::string tmp = "/tmp/rarpred_bench_service_cache";
+    DaemonConfig config;
+    config.socketPath = tmp + ".sock";
+    config.storeDir = tmp + ".store";
+    config.workers = 2;
+    std::remove(config.socketPath.c_str());
+    // A fresh store per run: the cold number must really be cold.
+    (void)std::system(("rm -rf " + config.storeDir).c_str());
+
+    SweepDaemon daemon(config);
+    if (const auto s = daemon.serve(); !s.ok()) {
+        std::cerr << "serve: " << s.toString() << "\n";
+        return 1;
+    }
+
+    SweepRequestMsg req;
+    req.maxInsts = max_insts;
+    req.workloads = {"li"};
+    CellConfigMsg base;
+    base.cloakEnabled = 0;
+    CellConfigMsg rar;
+    rar.cloakEnabled = 1;
+    req.configs = {base, rar};
+
+    const ServiceClient client(config.socketPath);
+
+    const auto cold_start = std::chrono::steady_clock::now();
+    auto cold = client.sweep(req);
+    const double cold_ms = millisSince(cold_start);
+    if (!cold.ok() || cold->done.errors != 0) {
+        std::cerr << "cold sweep failed: "
+                  << cold.status().toString() << "\n";
+        return 1;
+    }
+
+    std::vector<double> warm_ms;
+    warm_ms.reserve((size_t)warm_iters);
+    const auto warm_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < warm_iters; ++i) {
+        const auto t = std::chrono::steady_clock::now();
+        auto warm = client.sweep(req);
+        warm_ms.push_back(millisSince(t));
+        if (!warm.ok() ||
+            warm->done.storeHits != req.numCells()) {
+            std::cerr << "warm sweep " << i
+                      << " missed the store\n";
+            return 1;
+        }
+    }
+    const double warm_total_ms = millisSince(warm_start);
+    std::sort(warm_ms.begin(), warm_ms.end());
+    const double p50 = warm_ms[warm_ms.size() / 2];
+    const double worst = warm_ms.back();
+    const double rps = 1000.0 * warm_iters / warm_total_ms;
+
+    daemon.stop();
+
+    char json[512];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"bench\":\"service_cache\",\"cells\":%zu,"
+        "\"max_insts\":%llu,\"warm_iters\":%d,"
+        "\"cold_ms\":%.3f,\"warm_ms_p50\":%.3f,"
+        "\"warm_ms_max\":%.3f,\"warm_requests_per_sec\":%.1f,"
+        "\"speedup\":%.1f}\n",
+        req.numCells(), (unsigned long long)max_insts, warm_iters,
+        cold_ms, p50, worst, rps, cold_ms / (p50 > 0 ? p50 : 1e-9));
+
+    std::ofstream out(out_path);
+    out << json;
+    if (!out.good()) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::fputs(json, stdout);
+    return 0;
+}

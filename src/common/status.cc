@@ -26,6 +26,10 @@ statusCodeName(StatusCode code)
         return "cancelled";
       case StatusCode::Internal:
         return "internal";
+      case StatusCode::ResourceExhausted:
+        return "resource-exhausted";
+      case StatusCode::Unavailable:
+        return "unavailable";
     }
     return "unknown";
 }

@@ -40,6 +40,8 @@ enum class StatusCode : uint8_t
     DeadlineExceeded,   ///< work exceeded its time budget
     Cancelled,          ///< caller (or a signal) asked to stop
     Internal,           ///< unexpected failure (e.g. a caught exception)
+    ResourceExhausted,  ///< a bounded queue/budget is full; retry later
+    Unavailable,        ///< the serving side is not accepting work
 };
 
 /** @return a stable lowercase name for @p code ("ok", "io-error", ...). */
@@ -108,6 +110,18 @@ class Status
     internal(std::string msg)
     {
         return {StatusCode::Internal, std::move(msg)};
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return {StatusCode::ResourceExhausted, std::move(msg)};
+    }
+
+    static Status
+    unavailable(std::string msg)
+    {
+        return {StatusCode::Unavailable, std::move(msg)};
     }
 
     bool ok() const { return code_ == StatusCode::Ok; }

@@ -132,12 +132,22 @@ class WatchdogTraceSource : public TraceSource
 // ------------------------------------------------------- runner
 
 SimJobRunner::SimJobRunner(const RunnerConfig &config)
+    : SimJobRunner(config, nullptr)
+{
+}
+
+SimJobRunner::SimJobRunner(const RunnerConfig &config,
+                           TraceCache *shared_cache)
     : config_(config),
       workers_(config.workers != 0
                    ? config.workers
                    : std::max(1u, std::thread::hardware_concurrency())),
-      cache_(TraceCacheConfig{config.traceBudgetBytes,
-                              config.traceBudgetTraces}),
+      ownedCache_(shared_cache != nullptr
+                      ? nullptr
+                      : std::make_unique<TraceCache>(TraceCacheConfig{
+                            config.traceBudgetBytes,
+                            config.traceBudgetTraces})),
+      cache_(shared_cache != nullptr ? shared_cache : ownedCache_.get()),
       queueLatencyMs_(64, 10),
       statGroup_("driver")
 {
@@ -247,7 +257,7 @@ SimJobRunner::runAttempt(const JobSpec &job, size_t index,
         }
 
         std::shared_ptr<const RecordedTrace> trace =
-            cache_.get(*job.workload, config_.scale, config_.maxInsts);
+            cache_->get(*job.workload, config_.scale, config_.maxInsts);
         RecordedTraceSource replay(*trace);
 
         // Retries draw a *fresh* deterministic RNG stream: same job
@@ -393,7 +403,7 @@ SimJobRunner::dumpStats(std::ostream &os) const
     os << "driver.workers " << workers_ << "\n";
     os << "driver.jobMicrosMax " << jobMicrosMax_ << "\n";
     os << "driver.queueLatencyMsMean " << queueLatencyMs_.mean() << "\n";
-    const TraceCache::CacheStats cs = cache_.stats();
+    const TraceCache::CacheStats cs = cache_->stats();
     os << "driver.traceGenerations " << cs.generations << "\n";
     os << "driver.traceCacheHits " << cs.hits << "\n";
     os << "driver.cacheEvictions " << cs.evictions << "\n";

@@ -45,6 +45,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -157,6 +158,17 @@ class SimJobRunner
     explicit SimJobRunner(const RunnerConfig &config = {});
 
     /**
+     * Construct a runner that draws traces from @p shared_cache
+     * instead of a private one. The resident sweep service uses this
+     * to keep one warm TraceCache across many per-request runners
+     * (each request wants its own deadline/retry knobs, but the
+     * memoized workload traces are request-independent). The cache
+     * must outlive the runner; its residency budgets are whatever it
+     * was built with — the runner's traceBudget* knobs are ignored.
+     */
+    SimJobRunner(const RunnerConfig &config, TraceCache *shared_cache);
+
+    /**
      * Execute every job, fanning out over workers(); blocks until
      * all jobs finished or were quarantined. Jobs are claimed in
      * list order, so listing a sweep workload-major keeps each
@@ -183,7 +195,7 @@ class SimJobRunner
     const RunnerConfig &config() const { return config_; }
 
     /** Shared trace store (also usable directly by tests). */
-    TraceCache &traceCache() { return cache_; }
+    TraceCache &traceCache() { return *cache_; }
 
     /** Snapshot/audit counters (driver.audit.*, driver.snapshot.*). */
     AuditCounters &auditCounters() { return auditCounters_; }
@@ -217,7 +229,8 @@ class SimJobRunner
 
     RunnerConfig config_;
     unsigned workers_;
-    TraceCache cache_;
+    std::unique_ptr<TraceCache> ownedCache_; ///< null with a shared cache
+    TraceCache *cache_;                      ///< owned or shared
     std::atomic<size_t> next_{0};
 
     // Aggregated under statsMu_ when each job completes.

@@ -8,6 +8,41 @@
 
 namespace rarpred::driver {
 
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    char buf[8];
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += (char)c;
+            }
+        }
+    }
+    return out;
+}
+
 StatsMerger::StatsMerger(size_t num_jobs) : rows_(num_jobs) {}
 
 void
@@ -65,7 +100,16 @@ StatsMerger::serialize() const
             ++errors;
             out += row.key;
             out += ".error ";
-            out += row.error.toString();
+            // The table is line-oriented; an error message with an
+            // embedded newline must not be able to forge extra rows.
+            for (char c : row.error.toString()) {
+                if (c == '\n')
+                    out += "\\n";
+                else if (c == '\r')
+                    out += "\\r";
+                else
+                    out += c;
+            }
             out += "\n";
             continue;
         }
@@ -111,6 +155,30 @@ void
 StatsMerger::dump(std::ostream &os) const
 {
     os << serialize();
+}
+
+std::string
+StatsMerger::errorsJson() const
+{
+    std::string out = "[";
+    char buf[32];
+    bool first = true;
+    for (size_t job = 0; job < rows_.size(); ++job) {
+        const Row &row = rows_[job];
+        if (!row.failed)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        std::snprintf(buf, sizeof(buf), "%zu", job);
+        out += "{\"row\":\"" + jsonEscape(row.key) + "\",\"job\":" +
+               buf + ",\"code\":\"" +
+               jsonEscape(statusCodeName(row.error.code())) +
+               "\",\"message\":\"" + jsonEscape(row.error.message()) +
+               "\"}";
+    }
+    out += "]";
+    return out;
 }
 
 uint64_t

@@ -24,6 +24,14 @@
 
 namespace rarpred::driver {
 
+/**
+ * Escape @p s for embedding in a JSON string literal: quotes and
+ * backslashes are backslash-escaped, control characters (including
+ * newlines) become \uXXXX. Shared by the merger's machine-readable
+ * error emission and the service/bench JSON writers.
+ */
+std::string jsonEscape(std::string_view s);
+
 /** Collects named per-job scalars; reduces them in job order. */
 class StatsMerger
 {
@@ -60,6 +68,17 @@ class StatsMerger
 
     /** Number of jobs marked failed via setError(). */
     size_t numErrors() const;
+
+    /**
+     * Machine-readable form of the error rows: a JSON array, one
+     * object per failed job, in job order —
+     *   [{"row":"li/cfg0","job":3,"code":"deadline-exceeded",
+     *     "message":"..."}]
+     * Returns "[]" when no job failed. This is the one error format
+     * shared by service replies and finishSweep(): both emit exactly
+     * this string, so clients parse one shape everywhere.
+     */
+    std::string errorsJson() const;
 
     /**
      * @return the canonical merged table: one "rowkey.stat value"

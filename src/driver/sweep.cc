@@ -252,10 +252,13 @@ sweepUsage()
 }
 
 int
-finishSweep(SimJobRunner &runner, const Status &status, std::ostream &err)
+finishSweep(SimJobRunner &runner, const Status &status, std::ostream &err,
+            const StatsMerger *merger)
 {
     runner.dumpFailureTable(err);
     runner.dumpStats(err);
+    if (merger != nullptr && merger->numErrors() != 0)
+        err << "sweep.errorsJson " << merger->errorsJson() << "\n";
     if (status.ok())
         return 0;
     err << "sweep failed: " << status.toString() << "\n";

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "driver/sim_job_runner.hh"
+#include "driver/stats_merger.hh"
 #include "driver/sweep_journal.hh"
 #include "workload/workload.hh"
 
@@ -90,9 +91,15 @@ const char *sweepUsage();
  * the failure table (if any) and runner stats to @p err, and map the
  * outcome to a process exit code — 0 on success, 130 on an
  * interrupting signal (with a hint to --resume), 1 otherwise.
+ *
+ * With a non-null @p merger that recorded failed rows, one
+ * "sweep.errorsJson <array>" line is emitted to @p err using
+ * StatsMerger::errorsJson() — the same machine-readable error shape
+ * the sweep service puts in its replies, so tooling parses one
+ * format whether the sweep ran locally or behind rarpredd.
  */
 int finishSweep(SimJobRunner &runner, const Status &status,
-                std::ostream &err);
+                std::ostream &err, const StatsMerger *merger = nullptr);
 
 /**
  * Build a RunnerConfig from bench CLI flags, accepted anywhere in

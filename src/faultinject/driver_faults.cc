@@ -8,7 +8,7 @@ namespace rarpred {
 
 namespace {
 
-constexpr size_t kNumPoints = 9;
+constexpr size_t kNumPoints = 13;
 
 struct Arming
 {
@@ -47,6 +47,14 @@ driverFaultPointName(DriverFaultPoint point)
         return "state_bitflip";
       case DriverFaultPoint::EpochKill:
         return "epoch_kill";
+      case DriverFaultPoint::ConnDrop:
+        return "conn_drop";
+      case DriverFaultPoint::RequestTorn:
+        return "request_torn";
+      case DriverFaultPoint::StoreCorrupt:
+        return "store_corrupt";
+      case DriverFaultPoint::DaemonKill:
+        return "daemon_kill";
     }
     return "unknown";
 }
@@ -149,6 +157,14 @@ armOneSpec(const std::string &item)
         point = DriverFaultPoint::StateBitflip;
     else if (name == "epoch_kill")
         point = DriverFaultPoint::EpochKill;
+    else if (name == "conn_drop")
+        point = DriverFaultPoint::ConnDrop;
+    else if (name == "request_torn")
+        point = DriverFaultPoint::RequestTorn;
+    else if (name == "store_corrupt")
+        point = DriverFaultPoint::StoreCorrupt;
+    else if (name == "daemon_kill")
+        point = DriverFaultPoint::DaemonKill;
     else
         return Status::invalidArgument("unknown fault point: " + name);
 

@@ -36,6 +36,18 @@
  *  - EpochKill       : SIGKILL immediately after the Nth epoch
  *                      snapshot is durably on disk — for end-to-end
  *                      kill/--restore byte-identity tests.
+ *  - ConnDrop        : the service daemon closes a client connection
+ *                      mid-reply-stream (simulated network fault);
+ *                      the daemon must keep serving other tenants.
+ *  - RequestTorn     : the daemon observes a truncated request frame,
+ *                      as if the client died mid-send; the protocol
+ *                      decoder must reject it as a recoverable error.
+ *  - StoreCorrupt    : the result store flips one payload byte as it
+ *                      persists a cell; a later read must reject the
+ *                      entry by CRC and transparently re-simulate.
+ *  - DaemonKill      : SIGKILL the daemon immediately after the Nth
+ *                      result-store write is durable — for zero-loss
+ *                      restart/replay byte-identity tests.
  *
  * Arming is process-global (the driver is, too). Tests arm
  * programmatically; CLI runs arm via the RARPRED_FAULT environment
@@ -65,6 +77,10 @@ enum class DriverFaultPoint : uint8_t
     SnapshotStale,
     StateBitflip,
     EpochKill,
+    ConnDrop,
+    RequestTorn,
+    StoreCorrupt,
+    DaemonKill,
 };
 
 /** @return stable spec name for @p point ("job_crash", ...). */
@@ -99,7 +115,8 @@ uint64_t driverFaultFireCount(DriverFaultPoint point);
  *   spec     := point ":" index [ "x" times ] { "," spec }
  *   point    := job_crash | job_hang | job_kill | journal_torn |
  *               cache_pressure | snapshot_torn | snapshot_stale |
- *               state_bitflip | epoch_kill
+ *               state_bitflip | epoch_kill | conn_drop |
+ *               request_torn | store_corrupt | daemon_kill
  *   index    := decimal target index, or "*" for any
  *   times    := decimal fire budget (default 1)
  * e.g. "job_kill:40", "job_crash:3x2,cache_pressure:*".

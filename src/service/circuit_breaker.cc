@@ -1,0 +1,50 @@
+#include "service/circuit_breaker.hh"
+
+namespace rarpred::service {
+
+Status
+CircuitBreaker::allow(uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cells_.find(fingerprint);
+    if (it == cells_.end())
+        return Status{};
+    Cell &cell = it->second;
+    if (cell.consecutiveFailures < config_.openAfter)
+        return Status{};
+    ++cell.blockedSinceOpen;
+    if (config_.probeEvery != 0 &&
+        cell.blockedSinceOpen % config_.probeEvery == 0)
+        return Status{}; // half-open probe
+    ++refusals_;
+    return Status::failedPrecondition(
+        "circuit breaker open after " +
+        std::to_string(cell.consecutiveFailures) +
+        " consecutive failures; last: " + cell.lastError.toString());
+}
+
+void
+CircuitBreaker::onSuccess(uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_.erase(fingerprint);
+}
+
+void
+CircuitBreaker::onFailure(uint64_t fingerprint, const Status &error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Cell &cell = cells_[fingerprint];
+    ++cell.consecutiveFailures;
+    cell.blockedSinceOpen = 0;
+    cell.lastError = error;
+}
+
+uint64_t
+CircuitBreaker::refusals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return refusals_;
+}
+
+} // namespace rarpred::service

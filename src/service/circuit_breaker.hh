@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-cell circuit breaker of the sweep service.
+ *
+ * A cell (keyed by its content fingerprint, proto.hh cellFingerprint)
+ * that keeps failing — crashing job body, blown watchdog deadline —
+ * would otherwise burn its full retry/quarantine budget on *every*
+ * request that names it, letting one poisoned configuration starve
+ * well-behaved tenants. The breaker sits in front of the runner:
+ *
+ *  - closed: attempts pass through; consecutive failures are counted.
+ *  - open:   after Config::openAfter consecutive failures, attempts
+ *            are refused immediately (the request's row carries the
+ *            last observed error, counter service.breaker_open++).
+ *  - half-open: every Config::probeEvery-th refused attempt is let
+ *            through as a probe; one success closes the breaker and
+ *            clears the count, a failure re-opens it.
+ *
+ * This is the same philosophy as the runner's quarantine (PR 3), one
+ * level up: quarantine bounds the damage of a bad cell *within* one
+ * sweep, the breaker bounds it *across* requests of a long-lived
+ * daemon. All methods are thread-safe.
+ */
+
+#ifndef RARPRED_SERVICE_CIRCUIT_BREAKER_HH_
+#define RARPRED_SERVICE_CIRCUIT_BREAKER_HH_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.hh"
+
+namespace rarpred::service {
+
+class CircuitBreaker
+{
+  public:
+    struct Config
+    {
+        /** Consecutive failures that open a cell's breaker. */
+        unsigned openAfter = 3;
+        /** Let every Nth blocked attempt through as a probe. */
+        unsigned probeEvery = 4;
+    };
+
+    CircuitBreaker() = default;
+
+    explicit CircuitBreaker(const Config &config) : config_(config) {}
+
+    /**
+     * May an attempt at @p fingerprint proceed?
+     * @return OK (closed, or a half-open probe), or FailedPrecondition
+     * carrying the cell's last error when the breaker holds it open.
+     */
+    Status allow(uint64_t fingerprint);
+
+    /** Report an attempt outcome for @p fingerprint. */
+    void onSuccess(uint64_t fingerprint);
+    void onFailure(uint64_t fingerprint, const Status &error);
+
+    /** Attempts refused so far (== service.breaker_open). */
+    uint64_t refusals() const;
+
+  private:
+    struct Cell
+    {
+        unsigned consecutiveFailures = 0;
+        uint64_t blockedSinceOpen = 0;
+        Status lastError;
+    };
+
+    Config config_{};
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, Cell> cells_;
+    uint64_t refusals_ = 0;
+};
+
+} // namespace rarpred::service
+
+#endif // RARPRED_SERVICE_CIRCUIT_BREAKER_HH_

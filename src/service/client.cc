@@ -1,0 +1,215 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "driver/stats_merger.hh"
+
+namespace rarpred::service {
+
+namespace {
+
+/** RAII connection to the daemon's socket. */
+class Connection
+{
+  public:
+    static Result<Connection>
+    open(const std::string &path)
+    {
+        if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+            return Status::invalidArgument("socket path too long");
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return Status::ioError(std::string("socket: ") +
+                                   std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) !=
+            0) {
+            const int err = errno;
+            ::close(fd);
+            return Status::unavailable("connect '" + path +
+                                       "': " + std::strerror(err));
+        }
+        return Connection(fd);
+    }
+
+    Connection(Connection &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Connection &operator=(Connection &&) = delete;
+    Connection(const Connection &) = delete;
+
+    ~Connection()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    Status
+    sendFrame(FrameType type, const std::vector<uint8_t> &payload)
+    {
+        const std::vector<uint8_t> bytes = encodeFrame(type, payload);
+        const uint8_t *p = bytes.data();
+        size_t len = bytes.size();
+        while (len > 0) {
+            // MSG_NOSIGNAL: a daemon that died between accept and
+            // read must surface as a Status, not SIGPIPE the client.
+            const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Status::ioError(std::string("send: ") +
+                                       std::strerror(errno));
+            }
+            p += n;
+            len -= (size_t)n;
+        }
+        return Status{};
+    }
+
+    /** Block until the next verified frame (or stream end/error). */
+    Result<Frame>
+    recvFrame()
+    {
+        Frame frame;
+        bool have = false;
+        for (;;) {
+            RARPRED_RETURN_IF_ERROR(decoder_.next(&frame, &have));
+            if (have)
+                return frame;
+            uint8_t buf[4096];
+            const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Status::ioError(std::string("recv: ") +
+                                       std::strerror(errno));
+            }
+            if (n == 0)
+                return Status::unavailable(
+                    "connection closed mid-reply");
+            RARPRED_RETURN_IF_ERROR(decoder_.feed(buf, (size_t)n));
+        }
+    }
+
+  private:
+    explicit Connection(int fd) : fd_(fd) {}
+
+    int fd_;
+    FrameDecoder decoder_;
+};
+
+/** Map a reply frame that should not terminate the stream. */
+Status
+unexpectedFrame(const Frame &frame)
+{
+    if (frame.type == FrameType::ErrorReply) {
+        auto err = ErrorReplyMsg::decode(frame.payload);
+        if (!err.ok())
+            return err.status();
+        return err->error();
+    }
+    return Status::corruption(std::string("unexpected reply frame '") +
+                              frameTypeName(frame.type) + "'");
+}
+
+} // namespace
+
+Result<StatusReplyMsg>
+ServiceClient::status() const
+{
+    auto conn = Connection::open(socketPath_);
+    RARPRED_RETURN_IF_ERROR(conn.status());
+    RARPRED_RETURN_IF_ERROR(
+        conn->sendFrame(FrameType::StatusRequest, {}));
+    auto frame = conn->recvFrame();
+    RARPRED_RETURN_IF_ERROR(frame.status());
+    if (frame->type != FrameType::StatusReply)
+        return unexpectedFrame(*frame);
+    return StatusReplyMsg::decode(frame->payload);
+}
+
+Result<SweepReply>
+ServiceClient::sweep(const SweepRequestMsg &request) const
+{
+    RARPRED_RETURN_IF_ERROR(request.validate());
+    auto conn = Connection::open(socketPath_);
+    RARPRED_RETURN_IF_ERROR(conn.status());
+    RARPRED_RETURN_IF_ERROR(
+        conn->sendFrame(FrameType::SweepRequest, request.encode()));
+
+    SweepReply reply;
+    const size_t n = request.numCells();
+    for (;;) {
+        auto frame = conn->recvFrame();
+        RARPRED_RETURN_IF_ERROR(frame.status());
+        if (frame->type == FrameType::Row) {
+            auto row = RowMsg::decode(frame->payload);
+            RARPRED_RETURN_IF_ERROR(row.status());
+            if (row->cell != reply.rows.size() || row->cell >= n)
+                return Status::corruption(
+                    "reply rows out of order");
+            reply.rows.push_back(std::move(*row));
+            continue;
+        }
+        if (frame->type == FrameType::SweepDone) {
+            auto done = SweepDoneMsg::decode(frame->payload);
+            RARPRED_RETURN_IF_ERROR(done.status());
+            reply.done = std::move(*done);
+            if (reply.rows.size() != n ||
+                reply.done.cells != n)
+                return Status::corruption(
+                    "reply ended with " +
+                    std::to_string(reply.rows.size()) + " of " +
+                    std::to_string(n) + " rows");
+            return reply;
+        }
+        return unexpectedFrame(*frame);
+    }
+}
+
+std::string
+ServiceClient::replyTable(const SweepRequestMsg &request,
+                          const SweepReply &reply)
+{
+    const size_t num_configs = request.configs.size();
+    driver::StatsMerger merger(reply.rows.size());
+    for (const RowMsg &row : reply.rows) {
+        const size_t cell = row.cell;
+        merger.setRowKey(cell,
+                         request.workloads[cell / num_configs] +
+                             "/cfg" +
+                             std::to_string(cell % num_configs));
+        if (row.errorCode != 0) {
+            merger.setError(cell, row.error());
+            continue;
+        }
+        const CpuStats &s = row.stats;
+        merger.recordCount(cell, "instructions", s.instructions);
+        merger.recordCount(cell, "cycles", s.cycles);
+        merger.recordCount(cell, "loads", s.loads);
+        merger.recordCount(cell, "stores", s.stores);
+        merger.recordCount(cell, "branchMispredicts",
+                           s.branchMispredicts);
+        merger.recordCount(cell, "memOrderViolations",
+                           s.memOrderViolations);
+        merger.recordCount(cell, "valueSpecUsed", s.valueSpecUsed);
+        merger.recordCount(cell, "valueSpecCorrect",
+                           s.valueSpecCorrect);
+        merger.recordCount(cell, "valueSpecWrong", s.valueSpecWrong);
+        merger.recordCount(cell, "squashes", s.squashes);
+        merger.recordCount(cell, "specCyclesSaved",
+                           s.specCyclesSaved);
+    }
+    return merger.serialize();
+}
+
+} // namespace rarpred::service

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Thin client of the resident sweep service (rarpredd).
+ *
+ * One method call is one connection: connect, send one request frame,
+ * read the reply stream, close. The client validates every reply
+ * frame (the daemon's stream is CRC-framed exactly like the request
+ * direction) and maps an ErrorReply onto its carried Status — a shed
+ * request surfaces to the caller as ResourceExhausted, a drained
+ * daemon as Unavailable, exactly as the daemon classified it.
+ *
+ * replyTable() renders a completed sweep as the canonical
+ * StatsMerger table ("<workload>/cfg<i>.<stat> <value>" rows plus
+ * totals). The rendering deliberately excludes reply provenance
+ * (fromStore, storeHits): a warm-store reply and a cold one must
+ * print byte-identical tables — that is the restart test's oracle.
+ */
+
+#ifndef RARPRED_SERVICE_CLIENT_HH_
+#define RARPRED_SERVICE_CLIENT_HH_
+
+#include <string>
+
+#include "service/proto.hh"
+
+namespace rarpred::service {
+
+/** A complete sweep reply: one row per cell plus the summary. */
+struct SweepReply
+{
+    std::vector<RowMsg> rows;
+    SweepDoneMsg done;
+};
+
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(std::string socket_path)
+        : socketPath_(std::move(socket_path))
+    {
+    }
+
+    /** Health probe: one StatusRequest, one StatusReply. */
+    Result<StatusReplyMsg> status() const;
+
+    /**
+     * Run @p request and collect the whole reply stream. Non-OK when
+     * the daemon rejected the request (the ErrorReply's status), the
+     * connection died mid-stream, or a reply frame failed
+     * verification. Per-cell failures are *not* an error here: they
+     * arrive as rows with a non-zero errorCode.
+     */
+    Result<SweepReply> sweep(const SweepRequestMsg &request) const;
+
+    /**
+     * Render @p reply as the canonical merged stats table (the same
+     * bytes whether rows came from simulation or the store).
+     */
+    static std::string replyTable(const SweepRequestMsg &request,
+                                  const SweepReply &reply);
+
+    const std::string &socketPath() const { return socketPath_; }
+
+  private:
+    std::string socketPath_;
+};
+
+} // namespace rarpred::service
+
+#endif // RARPRED_SERVICE_CLIENT_HH_

@@ -1,0 +1,583 @@
+#include "service/daemon.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "cpu/ooo_cpu.hh"
+#include "driver/sim_job_runner.hh"
+#include "driver/sim_snapshot.hh"
+#include "driver/stats_merger.hh"
+#include "faultinject/driver_faults.hh"
+
+namespace rarpred::service {
+
+namespace {
+
+/**
+ * Write all of @p len bytes to @p fd. MSG_NOSIGNAL (plus the
+ * process-wide SIGPIPE ignore in serve()) turns a disconnected peer
+ * into a recoverable error instead of a process kill.
+ */
+Status
+sendAll(int fd, const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("send: ") +
+                                   std::strerror(errno));
+        }
+        p += n;
+        len -= (size_t)n;
+    }
+    return Status{};
+}
+
+Status
+sendFrame(int fd, FrameType type, const std::vector<uint8_t> &payload)
+{
+    const std::vector<uint8_t> bytes = encodeFrame(type, payload);
+    return sendAll(fd, bytes.data(), bytes.size());
+}
+
+void
+sendErrorReply(int fd, const Status &error)
+{
+    ErrorReplyMsg msg;
+    msg.code = (uint8_t)error.code();
+    msg.message = error.message();
+    // Best effort: the client may already be gone.
+    (void)sendFrame(fd, FrameType::ErrorReply, msg.encode());
+}
+
+uint64_t
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return (uint64_t)std::chrono::duration_cast<
+               std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+ServiceCounterSnapshot
+ServiceCounters::snapshot() const
+{
+    ServiceCounterSnapshot s;
+    s.requests = requests.load();
+    s.admitted = admitted.load();
+    s.shed = shed.load();
+    s.deadlineExceeded = deadlineExceeded.load();
+    s.breakerOpen = breakerOpen.load();
+    s.storeHit = storeHit.load();
+    s.storeMiss = storeMiss.load();
+    s.storeCorrupt = storeCorrupt.load();
+    s.storeWrites = storeWrites.load();
+    s.cellsSimulated = cellsSimulated.load();
+    s.cellsFailed = cellsFailed.load();
+    s.rowsStreamed = rowsStreamed.load();
+    s.connDropped = connDropped.load();
+    s.protoErrors = protoErrors.load();
+    return s;
+}
+
+SweepDaemon::SweepDaemon(const DaemonConfig &config)
+    : config_(config), store_(config.storeDir),
+      breaker_(config.breaker)
+{
+    driver::TraceCacheConfig cache;
+    cache.maxResidentBytes = config.traceBudgetBytes;
+    cache.maxResidentTraces = config.traceBudgetTraces;
+    traceCache_ = std::make_unique<driver::TraceCache>(cache);
+}
+
+SweepDaemon::~SweepDaemon()
+{
+    stop();
+}
+
+Status
+SweepDaemon::serve()
+{
+    if (config_.socketPath.empty() || config_.storeDir.empty())
+        return Status::invalidArgument(
+            "the daemon needs a socket path and a store directory");
+    if (config_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+        return Status::invalidArgument("socket path too long");
+
+    // A client that disconnects mid-stream must surface as a write
+    // error, not kill the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    RARPRED_RETURN_IF_ERROR(store_.init());
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A stale socket from a killed daemon would make bind fail; the
+    // path is ours by contract, so reclaim it.
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return Status::ioError("bind '" + config_.socketPath +
+                               "': " + std::strerror(errno));
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return Status::ioError(std::string("listen: ") +
+                               std::strerror(errno));
+    }
+    if (::pipe(wakePipe_) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return Status::ioError(std::string("pipe: ") +
+                               std::strerror(errno));
+    }
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    executorThread_ = std::thread([this] { executorLoop(); });
+    return Status{};
+}
+
+void
+SweepDaemon::requestDrain()
+{
+    if (draining_.exchange(true))
+        return;
+    // Wake the accept poll and the executor wait; both observe
+    // draining_ and wind down.
+    if (wakePipe_[1] >= 0) {
+        const char byte = 1;
+        (void)!::write(wakePipe_[1], &byte, 1);
+    }
+    queueCv_.notify_all();
+}
+
+void
+SweepDaemon::awaitShutdown()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (executorThread_.joinable())
+        executorThread_.join();
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(handlersMu_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread &t : handlers)
+        t.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(config_.socketPath.c_str());
+    }
+    for (int &fd : wakePipe_) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+}
+
+void
+SweepDaemon::stop()
+{
+    requestDrain();
+    awaitShutdown();
+}
+
+// ------------------------------------------------------- admission
+
+void
+SweepDaemon::acceptLoop()
+{
+    while (!draining_.load()) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {wakePipe_[0], POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (draining_.load())
+            break;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const uint64_t index = connIndex_.fetch_add(1);
+        std::lock_guard<std::mutex> lock(handlersMu_);
+        handlers_.emplace_back(
+            [this, fd, index] { handleConnection(fd, index); });
+    }
+}
+
+void
+SweepDaemon::handleConnection(int fd, uint64_t conn_index)
+{
+    counters_.requests.fetch_add(1);
+
+    // Read until one complete request frame arrives (or the stream
+    // proves torn/corrupt). The decoder never trusts a length it has
+    // not CRC-verified the frame for, so a malicious client can cost
+    // us at most kMaxFramePayload bytes of buffering.
+    FrameDecoder decoder;
+    Frame frame;
+    bool have = false;
+    bool torn = false;
+    while (!have && !torn) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc =
+            ::poll(&pfd, 1, (int)config_.requestTimeoutMs);
+        if (rc <= 0) {
+            torn = true; // timeout (or poll failure): give up
+            break;
+        }
+        uint8_t buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            torn = true; // client died mid-send
+            break;
+        }
+        if (driverFaultFires(DriverFaultPoint::RequestTorn,
+                             conn_index)) {
+            // Crash drill: behave as if the client died after this
+            // (shortened) chunk — the decoder must hold a partial
+            // frame and the daemon must answer with a recoverable
+            // error, not hang or crash.
+            if (n > 1)
+                --n;
+            (void)decoder.feed(buf, (size_t)n);
+            torn = true;
+            break;
+        }
+        (void)decoder.feed(buf, (size_t)n);
+        const Status s = decoder.next(&frame, &have);
+        if (!s.ok()) {
+            counters_.protoErrors.fetch_add(1);
+            sendErrorReply(fd, s);
+            ::close(fd);
+            return;
+        }
+    }
+    if (!have) {
+        counters_.protoErrors.fetch_add(1);
+        sendErrorReply(fd, Status::corruption(
+                               "torn request: connection ended "
+                               "before a complete frame"));
+        ::close(fd);
+        return;
+    }
+
+    if (frame.type == FrameType::StatusRequest) {
+        StatusReplyMsg reply;
+        reply.ready = !draining_.load();
+        reply.draining = draining_.load();
+        {
+            std::lock_guard<std::mutex> lock(queueMu_);
+            reply.queueDepth = queuedTotal_;
+            reply.activeSweeps = activeSweeps_;
+        }
+        reply.counters = counters_.snapshot();
+        (void)sendFrame(fd, FrameType::StatusReply, reply.encode());
+        ::close(fd);
+        return;
+    }
+    if (frame.type != FrameType::SweepRequest) {
+        counters_.protoErrors.fetch_add(1);
+        sendErrorReply(fd, Status::invalidArgument(
+                               std::string("unexpected frame '") +
+                               frameTypeName(frame.type) + "'"));
+        ::close(fd);
+        return;
+    }
+
+    auto decoded = SweepRequestMsg::decode(frame.payload);
+    if (!decoded.ok()) {
+        counters_.protoErrors.fetch_add(1);
+        sendErrorReply(fd, decoded.status());
+        ::close(fd);
+        return;
+    }
+
+    // Admission control: bounded queues, explicit shedding.
+    {
+        std::lock_guard<std::mutex> lock(queueMu_);
+        if (draining_.load()) {
+            counters_.shed.fetch_add(1);
+            sendErrorReply(fd, Status::unavailable(
+                                   "daemon is draining"));
+            ::close(fd);
+            return;
+        }
+        std::deque<Pending> &q = queues_[decoded->tenant];
+        if (queuedTotal_ >= config_.maxQueue ||
+            q.size() >= config_.maxQueuePerTenant) {
+            counters_.shed.fetch_add(1);
+            sendErrorReply(
+                fd, Status::resourceExhausted(
+                        "sweep queue full (" +
+                        std::to_string(queuedTotal_) + " queued, " +
+                        std::to_string(q.size()) + " for tenant '" +
+                        decoded->tenant + "'); retry later"));
+            ::close(fd);
+            return;
+        }
+        q.push_back(Pending{std::move(*decoded), fd,
+                            std::chrono::steady_clock::now()});
+        ++queuedTotal_;
+        counters_.admitted.fetch_add(1);
+    }
+    queueCv_.notify_one();
+    // fd ownership moved into the queue; the executor replies.
+}
+
+// ------------------------------------------------------ scheduling
+
+bool
+SweepDaemon::dequeue(Pending *out)
+{
+    std::unique_lock<std::mutex> lock(queueMu_);
+    queueCv_.wait(lock, [this] {
+        return queuedTotal_ > 0 || draining_.load();
+    });
+    if (queuedTotal_ == 0)
+        return false; // draining and empty: executor exits
+
+    // Fair round-robin: resume from the tenant after the last one
+    // served, so a tenant with a deep queue cannot starve the rest.
+    auto it = queues_.upper_bound(rrNext_);
+    for (size_t scanned = 0; scanned <= queues_.size(); ++scanned) {
+        if (it == queues_.end())
+            it = queues_.begin();
+        if (!it->second.empty())
+            break;
+        ++it;
+    }
+    rarpred_assert(!it->second.empty());
+    rrNext_ = it->first;
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    --queuedTotal_;
+    ++activeSweeps_;
+    return true;
+}
+
+void
+SweepDaemon::executorLoop()
+{
+    Pending p;
+    while (dequeue(&p)) {
+        runSweepRequest(std::move(p));
+        std::lock_guard<std::mutex> lock(queueMu_);
+        --activeSweeps_;
+    }
+}
+
+// ------------------------------------------------------------- run
+
+void
+SweepDaemon::runSweepRequest(Pending &&p)
+{
+    const SweepRequestMsg &req = p.request;
+    const size_t num_configs = req.configs.size();
+    const size_t n = req.numCells();
+
+    // Resolve every workload up front: an unknown name fails the
+    // whole request (there is no partial grid).
+    std::vector<const Workload *> workloads;
+    for (const std::string &abbrev : req.workloads) {
+        auto w = lookupWorkload(abbrev);
+        if (!w.ok()) {
+            sendErrorReply(p.fd, w.status());
+            ::close(p.fd);
+            return;
+        }
+        workloads.push_back(*w);
+    }
+
+    // Deadline, measured from admission. Queue time counts: a
+    // request that waited its whole budget out is refused before any
+    // simulation work is sunk into it.
+    const uint64_t deadline_ms = req.deadlineMs != 0
+                                     ? req.deadlineMs
+                                     : config_.defaultDeadlineMs;
+    uint64_t remaining_ms = 0;
+    if (deadline_ms != 0) {
+        const uint64_t waited = elapsedMs(p.admitted);
+        if (waited >= deadline_ms) {
+            counters_.deadlineExceeded.fetch_add(1);
+            sendErrorReply(p.fd,
+                           Status::deadlineExceeded(
+                               "deadline of " +
+                               std::to_string(deadline_ms) +
+                               "ms elapsed while queued"));
+            ::close(p.fd);
+            return;
+        }
+        remaining_ms = deadline_ms - waited;
+    }
+
+    // Cell plan: store hit, breaker refusal, or simulate.
+    std::vector<uint64_t> fingerprints(n);
+    std::vector<RowMsg> rows(n);
+    std::vector<size_t> to_run; // cell indices needing simulation
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        for (size_t ci = 0; ci < num_configs; ++ci) {
+            const size_t cell = wi * num_configs + ci;
+            const uint64_t fp = cellFingerprint(
+                req.workloads[wi], req.configs[ci], req.scale,
+                req.maxInsts);
+            fingerprints[cell] = fp;
+            rows[cell].cell = cell;
+
+            auto stored = store_.get(fp);
+            if (stored.ok()) {
+                counters_.storeHit.fetch_add(1);
+                rows[cell].fromStore = 1;
+                rows[cell].stats = *stored;
+                continue;
+            }
+            if (stored.status().code() == StatusCode::Corruption) {
+                // The entry was quarantined; re-simulate and
+                // overwrite. Corruption costs work, never answers.
+                counters_.storeCorrupt.fetch_add(1);
+            } else {
+                counters_.storeMiss.fetch_add(1);
+            }
+            const Status gate = breaker_.allow(fp);
+            if (!gate.ok()) {
+                counters_.breakerOpen.fetch_add(1);
+                rows[cell].errorCode = (uint8_t)gate.code();
+                rows[cell].errorMsg = gate.message();
+                continue;
+            }
+            to_run.push_back(cell);
+        }
+    }
+
+    // Simulate the missing cells on a per-request runner over the
+    // shared warm trace cache. Per-request knobs: the remaining
+    // deadline becomes the per-job cooperative watchdog.
+    if (!to_run.empty()) {
+        driver::RunnerConfig rc;
+        rc.workers = config_.workers;
+        rc.scale = req.scale;
+        rc.maxInsts = req.maxInsts;
+        rc.maxAttempts = config_.maxAttempts;
+        rc.retryBackoffMs = config_.retryBackoffMs;
+        rc.jobDeadlineMs = remaining_ms;
+        driver::SimJobRunner runner(rc, traceCache_.get());
+
+        std::vector<driver::JobSpec> jobs;
+        jobs.reserve(to_run.size());
+        for (const size_t cell : to_run) {
+            const Workload *w = workloads[cell / num_configs];
+            const CellConfigMsg &cfg =
+                req.configs[cell % num_configs];
+            const uint64_t fp = fingerprints[cell];
+            RowMsg *row = &rows[cell];
+            jobs.push_back(
+                {w, fp,
+                 [this, &cfg, fp, row](TraceSource &trace,
+                                       Rng &) -> Status {
+                     CpuConfig core;
+                     core.memDep = cfg.memDepPolicy();
+                     OooCpu cpu(core, cfg.toTimingConfig());
+                     driver::pumpSimulation(trace, cpu);
+                     row->stats = cpu.stats();
+                     // Persist *inside* the job: a kill -9 between
+                     // cells loses only work in flight, and the
+                     // write is atomic (temp+fsync+rename).
+                     {
+                         std::lock_guard<std::mutex> lock(storeMu_);
+                         RARPRED_RETURN_IF_ERROR(
+                             store_.put(fp, row->stats));
+                     }
+                     counters_.storeWrites.fetch_add(1);
+                     counters_.cellsSimulated.fetch_add(1);
+                     breaker_.onSuccess(fp);
+                     return Status{};
+                 }});
+        }
+        (void)runner.run(jobs);
+        for (const driver::JobFailure &f : runner.quarantined()) {
+            const size_t cell = to_run[f.job];
+            counters_.cellsFailed.fetch_add(1);
+            if (f.error.code() == StatusCode::DeadlineExceeded)
+                counters_.deadlineExceeded.fetch_add(1);
+            breaker_.onFailure(fingerprints[cell], f.error);
+            rows[cell].errorCode = (uint8_t)f.error.code();
+            rows[cell].errorMsg = f.error.message();
+        }
+    }
+
+    // Reply: rows in cell order, then the SweepDone summary. The
+    // errors JSON is the same shape finishSweep() emits, built by
+    // the same StatsMerger code.
+    driver::StatsMerger merger(n);
+    SweepDoneMsg done;
+    done.cells = n;
+    for (size_t cell = 0; cell < n; ++cell) {
+        merger.setRowKey(cell,
+                         req.workloads[cell / num_configs] + "/cfg" +
+                             std::to_string(cell % num_configs));
+        if (rows[cell].errorCode != 0) {
+            ++done.errors;
+            merger.setError(cell, rows[cell].error());
+        }
+        if (rows[cell].fromStore)
+            ++done.storeHits;
+    }
+    done.errorsJson = merger.errorsJson();
+
+    bool alive = true;
+    for (size_t cell = 0; cell < n && alive; ++cell) {
+        if (driverFaultFires(DriverFaultPoint::ConnDrop, cell)) {
+            // Crash drill: the client vanishes mid-stream. Abandon
+            // this reply; the daemon must keep serving others.
+            counters_.connDropped.fetch_add(1);
+            alive = false;
+            break;
+        }
+        const Status s = sendFrame(p.fd, FrameType::Row,
+                                   rows[cell].encode());
+        if (!s.ok()) {
+            counters_.connDropped.fetch_add(1);
+            alive = false;
+            break;
+        }
+        counters_.rowsStreamed.fetch_add(1);
+    }
+    if (alive) {
+        const Status s =
+            sendFrame(p.fd, FrameType::SweepDone, done.encode());
+        if (!s.ok())
+            counters_.connDropped.fetch_add(1);
+    }
+    ::close(p.fd);
+}
+
+} // namespace rarpred::service

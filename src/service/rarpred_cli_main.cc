@@ -1,0 +1,201 @@
+/**
+ * @file
+ * rarpred-cli — thin command-line client of rarpredd.
+ *
+ * Sweep mode sends one request and prints the merged stats table to
+ * stdout (byte-identical whether the daemon simulated the cells or
+ * served them from its store); provenance and summary counts go to
+ * stderr. Status mode prints the daemon's service.* counters.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "service/client.hh"
+
+namespace {
+
+const char *
+usage()
+{
+    return
+        "usage: rarpred-cli --socket=PATH [options] workload...\n"
+        "       rarpred-cli --socket=PATH --status\n"
+        "  --status            print daemon health and counters\n"
+        "  --tenant=NAME       fair-scheduling identity (default)\n"
+        "  --scale=N           workload scale (1)\n"
+        "  --max-insts=N       truncate traces to N instructions\n"
+        "  --deadline-ms=N     whole-request deadline from admission\n"
+        "  --configs=LIST      comma list of base|raw|rar (base,rar)\n"
+        "exit: 0 all cells ok, 1 cells failed, 2 bad usage,\n"
+        "      3 request rejected (shed/deadline/draining)\n";
+}
+
+bool
+parseU64(const char *s, uint64_t *out)
+{
+    if (*s == '\0')
+        return false;
+    uint64_t v = 0;
+    for (; *s != '\0'; ++s) {
+        if (*s < '0' || *s > '9')
+            return false;
+        v = v * 10 + (uint64_t)(*s - '0');
+    }
+    *out = v;
+    return true;
+}
+
+const char *
+flagValue(const char *arg, const char *name)
+{
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
+}
+
+/** Map a preset name onto a cell configuration. */
+bool
+presetConfig(const std::string &name,
+             rarpred::service::CellConfigMsg *out)
+{
+    rarpred::service::CellConfigMsg cfg;
+    if (name == "base") {
+        cfg.cloakEnabled = 0;
+    } else if (name == "raw") {
+        cfg.cloakEnabled = 1;
+        cfg.mode = (uint8_t)rarpred::CloakingMode::RawOnly;
+    } else if (name == "rar") {
+        cfg.cloakEnabled = 1;
+        cfg.mode = (uint8_t)rarpred::CloakingMode::RawPlusRar;
+    } else {
+        return false;
+    }
+    *out = cfg;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    bool status_mode = false;
+    std::string configs_arg = "base,rar";
+    rarpred::service::SweepRequestMsg request;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            std::fputs(usage(), stdout);
+            return 0;
+        }
+        if (std::strcmp(arg, "--status") == 0) {
+            status_mode = true;
+            continue;
+        }
+        if (const char *v = flagValue(arg, "--socket")) {
+            socket_path = v;
+            continue;
+        }
+        if (const char *v = flagValue(arg, "--tenant")) {
+            request.tenant = v;
+            continue;
+        }
+        if (const char *v = flagValue(arg, "--configs")) {
+            configs_arg = v;
+            continue;
+        }
+        uint64_t u = 0;
+        const char *v;
+        if ((v = flagValue(arg, "--scale")) && parseU64(v, &u)) {
+            request.scale = (uint32_t)u;
+            continue;
+        }
+        if ((v = flagValue(arg, "--max-insts")) && parseU64(v, &u)) {
+            request.maxInsts = u == 0 ? ~0ull : u;
+            continue;
+        }
+        if ((v = flagValue(arg, "--deadline-ms")) &&
+            parseU64(v, &u)) {
+            request.deadlineMs = u;
+            continue;
+        }
+        if (std::strncmp(arg, "--", 2) == 0) {
+            std::cerr << "rarpred-cli: bad argument '" << arg
+                      << "'\n"
+                      << usage();
+            return 2;
+        }
+        request.workloads.push_back(arg);
+    }
+    if (socket_path.empty()) {
+        std::cerr << "rarpred-cli: --socket is required\n" << usage();
+        return 2;
+    }
+
+    const rarpred::service::ServiceClient client(socket_path);
+
+    if (status_mode) {
+        auto reply = client.status();
+        if (!reply.ok()) {
+            std::cerr << "rarpred-cli: "
+                      << reply.status().toString() << "\n";
+            return 3;
+        }
+        std::ostringstream out;
+        out << "service.ready " << (unsigned)reply->ready << "\n"
+            << "service.draining " << (unsigned)reply->draining
+            << "\n"
+            << "service.queue_depth " << reply->queueDepth << "\n"
+            << "service.active_sweeps " << reply->activeSweeps
+            << "\n";
+        reply->counters.dump(out);
+        std::fputs(out.str().c_str(), stdout);
+        return 0;
+    }
+
+    if (request.workloads.empty()) {
+        std::cerr << "rarpred-cli: name at least one workload\n"
+                  << usage();
+        return 2;
+    }
+    std::stringstream presets(configs_arg);
+    std::string name;
+    while (std::getline(presets, name, ',')) {
+        rarpred::service::CellConfigMsg cfg;
+        if (!presetConfig(name, &cfg)) {
+            std::cerr << "rarpred-cli: unknown config preset '"
+                      << name << "'\n"
+                      << usage();
+            return 2;
+        }
+        request.configs.push_back(cfg);
+    }
+
+    auto reply = client.sweep(request);
+    if (!reply.ok()) {
+        std::cerr << "rarpred-cli: " << reply.status().toString()
+                  << "\n";
+        return 3;
+    }
+
+    // The table is the deterministic artifact; provenance goes to
+    // stderr so cold and warm replies print identical stdout.
+    std::fputs(
+        rarpred::service::ServiceClient::replyTable(request, *reply)
+            .c_str(),
+        stdout);
+    std::cerr << "reply.cells " << reply->done.cells << "\n"
+              << "reply.errors " << reply->done.errors << "\n"
+              << "reply.storeHits " << reply->done.storeHits << "\n";
+    if (reply->done.errors != 0)
+        std::cerr << "sweep.errorsJson " << reply->done.errorsJson
+                  << "\n";
+    return reply->done.errors == 0 ? 0 : 1;
+}

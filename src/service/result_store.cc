@@ -1,0 +1,167 @@
+#include "service/result_store.hh"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/crc32.hh"
+#include "common/statesave.hh"
+#include "faultinject/driver_faults.hh"
+
+namespace rarpred::service {
+
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x43524152; // "RARC" little-endian
+constexpr uint32_t kStoreVersion = 1;
+constexpr uint32_t kPayloadLen = 11 * 8; // CpuStats: 11 u64 fields
+
+void
+putStats(StateWriter &w, const CpuStats &s)
+{
+    w.u64(s.instructions);
+    w.u64(s.cycles);
+    w.u64(s.loads);
+    w.u64(s.stores);
+    w.u64(s.branchMispredicts);
+    w.u64(s.memOrderViolations);
+    w.u64(s.valueSpecUsed);
+    w.u64(s.valueSpecCorrect);
+    w.u64(s.valueSpecWrong);
+    w.u64(s.squashes);
+    w.u64(s.specCyclesSaved);
+}
+
+Status
+getStats(StateReader &r, CpuStats *s)
+{
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->instructions));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->cycles));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->loads));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->stores));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->branchMispredicts));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->memOrderViolations));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->valueSpecUsed));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->valueSpecCorrect));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->valueSpecWrong));
+    RARPRED_RETURN_IF_ERROR(r.u64(&s->squashes));
+    return r.u64(&s->specCyclesSaved);
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+    return buf;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+Status
+ResultStore::init()
+{
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+        return Status::ioError("cannot create result store '" + dir_ +
+                               "': " + std::strerror(errno));
+    return Status{};
+}
+
+std::string
+ResultStore::pathFor(uint64_t fingerprint) const
+{
+    return dir_ + "/" + hex16(fingerprint) + ".rarc";
+}
+
+Result<CpuStats>
+ResultStore::get(uint64_t fingerprint) const
+{
+    const std::string path = pathFor(fingerprint);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return Status::notFound("no store entry " + path);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    in.close();
+
+    // Verify everything *before* returning any field; a corrupt
+    // entry is quarantined so the next lookup re-simulates instead
+    // of tripping over it again.
+    const auto corrupt = [&](const std::string &why) -> Status {
+        (void)std::rename(path.c_str(), (path + ".corrupt").c_str());
+        return Status::corruption("store entry " + path + ": " + why);
+    };
+
+    constexpr size_t kFixed = 4 + 4 + 8 + 4 + 4; // sans payload
+    if (bytes.size() < kFixed)
+        return corrupt("truncated");
+    const uint32_t got_crc = crc32(bytes.data(), bytes.size() - 4);
+    StateReader r(bytes);
+    uint32_t magic = 0, version = 0, payload_len = 0, want_crc = 0;
+    uint64_t fp = 0;
+    Status s = r.u32(&magic);
+    if (s.ok())
+        s = r.u32(&version);
+    if (s.ok())
+        s = r.u64(&fp);
+    if (s.ok())
+        s = r.u32(&payload_len);
+    if (!s.ok())
+        return corrupt("truncated header");
+    if (magic != kStoreMagic)
+        return corrupt("bad magic");
+    if (version != kStoreVersion)
+        return corrupt("unsupported version");
+    if (fp != fingerprint)
+        return corrupt("fingerprint mismatch (misfiled entry)");
+    if (payload_len != kPayloadLen ||
+        bytes.size() != kFixed + payload_len)
+        return corrupt("bad payload length");
+    CpuStats stats;
+    if (!getStats(r, &stats).ok())
+        return corrupt("truncated payload");
+    if (!r.u32(&want_crc).ok() || want_crc != got_crc)
+        return corrupt("CRC mismatch");
+    return stats;
+}
+
+Status
+ResultStore::put(uint64_t fingerprint, const CpuStats &stats)
+{
+    StateWriter w;
+    w.u32(kStoreMagic);
+    w.u32(kStoreVersion);
+    w.u64(fingerprint);
+    w.u32(kPayloadLen);
+    putStats(w, stats);
+    std::vector<uint8_t> bytes = w.buffer();
+    const uint32_t crc = crc32(bytes.data(), bytes.size());
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back((uint8_t)(crc >> (8 * i)));
+    if (driverFaultFires(DriverFaultPoint::StoreCorrupt, writes_)) {
+        // Flip one payload bit after sealing the CRC: the entry lands
+        // durably but must be rejected on the next read.
+        bytes[4 + 4 + 8 + 4] ^= 0x01;
+    }
+
+    const std::string path = pathFor(fingerprint);
+    RARPRED_RETURN_IF_ERROR(
+        durableWriteFile(path, bytes.data(), bytes.size()));
+    ++writes_;
+    if (driverFaultFires(DriverFaultPoint::DaemonKill, writes_ - 1)) {
+        // Crash drill: die with the entry just written durable. The
+        // restart/replay test requires byte-identical results partly
+        // served from the store this kill preserved.
+        ::raise(SIGKILL);
+    }
+    return Status{};
+}
+
+} // namespace rarpred::service

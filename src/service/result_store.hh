@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Persistent content-addressed result store of the sweep service.
+ *
+ * Each completed (workload, config, scale, maxInsts) cell is one file
+ * named by its 64-bit fingerprint (proto.hh cellFingerprint) in the
+ * store directory: "<16 hex digits>.rarc". The format follows the
+ * repo's binary-file conventions:
+ *
+ *   u32 magic "RARC"
+ *   u32 version (1)
+ *   u64 fingerprint        (must match the file name's)
+ *   u32 payloadLen
+ *   payload: CpuStats as 11 little-endian u64 fields
+ *   u32 crc32 over everything before the crc field
+ *
+ * Writes go through durableWriteFile (temp + fsync + rename + dir
+ * fsync), so a SIGKILL between cells leaves every previously written
+ * entry intact and never leaves a half-written file under the final
+ * name — that is the property the zero-loss restart test leans on.
+ *
+ * Reads verify magic, version, fingerprint and CRC before returning
+ * anything. A corrupt entry is quarantined (renamed to "<name>.corrupt"
+ * so it cannot be re-read) and reported as Corruption; the daemon then
+ * re-simulates the cell and overwrites the entry — corruption costs
+ * work, never wrong answers.
+ *
+ * The StoreCorrupt fault point (faultinject/driver_faults.hh) flips
+ * one payload byte on the Nth put() so tests can drive that path
+ * deterministically.
+ */
+
+#ifndef RARPRED_SERVICE_RESULT_STORE_HH_
+#define RARPRED_SERVICE_RESULT_STORE_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hh"
+#include "cpu/cpu_config.hh"
+
+namespace rarpred::service {
+
+class ResultStore
+{
+  public:
+    /** @param dir store directory; created by init(). */
+    explicit ResultStore(std::string dir);
+
+    /** Create the store directory if missing. */
+    Status init();
+
+    /**
+     * Look up the cell @p fingerprint.
+     * @return the stored stats; NotFound when no entry exists;
+     * Corruption when the entry failed verification (the file has
+     * been quarantined to "<name>.corrupt" and will read as NotFound
+     * from now on).
+     */
+    Result<CpuStats> get(uint64_t fingerprint) const;
+
+    /**
+     * Durably persist @p stats under @p fingerprint, overwriting any
+     * existing entry (including a quarantined one's live name).
+     */
+    Status put(uint64_t fingerprint, const CpuStats &stats);
+
+    /** The entry's on-disk path (whether or not it exists). */
+    std::string pathFor(uint64_t fingerprint) const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** put() calls that completed durably (DaemonKill fault index). */
+    uint64_t writes() const { return writes_; }
+
+  private:
+    std::string dir_;
+    uint64_t writes_ = 0;
+};
+
+} // namespace rarpred::service
+
+#endif // RARPRED_SERVICE_RESULT_STORE_HH_

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shared helpers for the sweep-service test suites (test_service,
+ * test_service_soak): temp socket/store paths, a canonical small
+ * request, and subprocess control of the real rarpredd binary.
+ *
+ * The subprocess helpers need RARPRED_SERVICE_DIR (the build's
+ * service/ output directory) compiled into the test target; callers
+ * self-skip via serviceBinariesBuilt() when the binaries are absent.
+ */
+
+#ifndef RARPRED_TESTS_SERVICE_TEST_UTIL_HH_
+#define RARPRED_TESTS_SERVICE_TEST_UTIL_HH_
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "service/client.hh"
+#include "service/daemon.hh"
+
+#ifndef RARPRED_SERVICE_DIR
+#define RARPRED_SERVICE_DIR ""
+#endif
+
+namespace rarpred::service {
+
+/** Fresh socket/store paths under the test temp dir. */
+struct Paths
+{
+    std::string socket;
+    std::string store;
+
+    explicit Paths(const std::string &tag)
+    {
+        const std::string dir = ::testing::TempDir();
+        socket = dir + "rarpredd_" + tag + ".sock";
+        store = dir + "rarpredd_" + tag + ".store";
+        // A fresh run must start cold even if a previous test
+        // process left its store behind in the shared temp dir.
+        // Deleted with plain syscalls, not system("rm -rf"):
+        // subprocess spawning is unreliable under sanitizers.
+        std::remove(socket.c_str());
+        removeFlatDir(store);
+    }
+
+    /** Remove a flat directory (the store has no subdirectories). */
+    static void
+    removeFlatDir(const std::string &path)
+    {
+        if (DIR *d = ::opendir(path.c_str())) {
+            while (const dirent *e = ::readdir(d)) {
+                const std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    std::remove((path + "/" + name).c_str());
+            }
+            ::closedir(d);
+            ::rmdir(path.c_str());
+        }
+    }
+};
+
+inline DaemonConfig
+testDaemonConfig(const Paths &paths)
+{
+    DaemonConfig config;
+    config.socketPath = paths.socket;
+    config.storeDir = paths.store;
+    config.workers = 2;
+    config.maxAttempts = 1; // fail fast: tests inject the faults
+    config.requestTimeoutMs = 2000;
+    return config;
+}
+
+/** A 2-cell grid ("li" x {base core, RAR cloaking}) that simulates
+ *  in well under a second. */
+inline SweepRequestMsg
+smallRequest()
+{
+    SweepRequestMsg req;
+    req.maxInsts = 20000;
+    req.workloads = {"li"};
+    CellConfigMsg base;
+    base.cloakEnabled = 0;
+    CellConfigMsg rar;
+    rar.cloakEnabled = 1;
+    req.configs = {base, rar};
+    return req;
+}
+
+inline std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+inline bool
+serviceBinariesBuilt()
+{
+    return std::ifstream(std::string(RARPRED_SERVICE_DIR) +
+                         "/rarpredd")
+        .good();
+}
+
+/**
+ * Launch rarpredd in the background over @p paths and wait until it
+ * answers a STATUS probe.
+ * @param extra_env e.g. "RARPRED_FAULT=daemon_kill:1" ("" for none).
+ * @return the daemon pid, or -1 on failure.
+ */
+inline int
+spawnDaemon(const std::string &extra_env, const Paths &paths,
+            const std::string &extra_flags = "")
+{
+    const std::string bin =
+        std::string(RARPRED_SERVICE_DIR) + "/rarpredd";
+    const std::string pidfile = paths.store + ".pid";
+    std::remove(pidfile.c_str());
+    const std::string cmd =
+        extra_env + " " + bin + " --socket=" + paths.socket +
+        " --store=" + paths.store + " --workers=2 " + extra_flags +
+        " >/dev/null 2>/dev/null & echo $! > " + pidfile;
+    if (std::system(("sh -c '" + cmd + "'").c_str()) != 0)
+        return -1;
+    const ServiceClient client(paths.socket);
+    for (int i = 0; i < 200; ++i) {
+        if (client.status().ok()) {
+            std::ifstream in(pidfile);
+            int pid = -1;
+            in >> pid;
+            return pid;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return -1;
+}
+
+/** SIGTERM @p pid and wait for it to exit (SIGKILL as last resort). */
+inline void
+stopDaemon(int pid)
+{
+    if (pid <= 0)
+        return;
+    ::kill(pid, SIGTERM);
+    for (int i = 0; i < 200; ++i) {
+        if (::kill(pid, 0) != 0)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ::kill(pid, SIGKILL);
+}
+
+} // namespace rarpred::service
+
+#endif // RARPRED_TESTS_SERVICE_TEST_UTIL_HH_

@@ -874,6 +874,57 @@ TEST(StatsMergerErrors, CleanSweepsSerializeExactlyAsBefore)
     EXPECT_EQ(merger.numErrors(), 0u);
 }
 
+TEST(StatsMergerErrors, ErrorsJsonIsMachineReadable)
+{
+    // The same machine-readable error report is shared between
+    // finishSweep() ("sweep.errorsJson ...") and the service's
+    // SweepDone frames, so tooling parses one format everywhere.
+    driver::StatsMerger merger(3);
+    merger.setRowKey(0, "li/cfg0");
+    merger.setRowKey(1, "li/cfg1");
+    merger.setRowKey(2, "com/cfg0");
+    merger.recordCount(0, "loads", 10);
+    merger.setError(1, Status::deadlineExceeded("too slow"));
+    merger.setError(2, Status::internal("job threw: \"boom\""));
+
+    EXPECT_EQ(merger.errorsJson(),
+              "[{\"row\":\"li/cfg1\",\"job\":1,"
+              "\"code\":\"deadline-exceeded\","
+              "\"message\":\"too slow\"},"
+              "{\"row\":\"com/cfg0\",\"job\":2,"
+              "\"code\":\"internal\","
+              "\"message\":\"job threw: \\\"boom\\\"\"}]");
+
+    driver::StatsMerger clean(1);
+    clean.setRowKey(0, "li");
+    clean.recordCount(0, "loads", 5);
+    EXPECT_EQ(clean.errorsJson(), "[]");
+}
+
+TEST(StatsMergerErrors, EmbeddedNewlinesCannotForgeRows)
+{
+    // An adversarial error message must not be able to inject extra
+    // lines into the line-oriented table nor break the JSON report.
+    driver::StatsMerger merger(1);
+    merger.setRowKey(0, "li");
+    merger.setError(
+        0, Status::internal("line1\nli.loads 999\r\ttab\"quote\""));
+
+    const std::string s = merger.serialize();
+    // The newline was escaped in place: the forged text survives
+    // only *inside* the one error line, never as a line of its own.
+    EXPECT_EQ(s.find("\nli.loads 999"), std::string::npos) << s;
+    EXPECT_NE(s.find("\\nli.loads 999\\r"), std::string::npos) << s;
+    EXPECT_TRUE(s.rfind("li.error ", 0) == 0) << s;
+
+    const std::string json = merger.errorsJson();
+    EXPECT_NE(json.find("line1\\nli.loads 999\\r\\ttab"
+                        "\\\"quote\\\""),
+              std::string::npos)
+        << json;
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
 // ------------------------------------------------- shared CLI args
 
 /** Build argv and run parseSweepArgs with RARPRED_WORKERS unset. */

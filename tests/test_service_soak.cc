@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Chaos soak of the resident sweep service ("slow" label; CI runs it
+ * nightly under ASan and TSan with 1, 4 and 8 clients).
+ *
+ * Concurrent clients hammer a subprocess rarpredd while the injected
+ * fault matrix fires — dropped connections, torn requests, corrupted
+ * store entries, and a SIGKILL'd daemon restarted over its own
+ * store. Oracles:
+ *
+ *  - the daemon never dies except by the injected SIGKILL (a crash
+ *    shows up as every subsequent request failing and the final
+ *    STATUS probe not answering);
+ *  - every reply that *does* complete renders exactly the reference
+ *    table — faults may cost availability, never wrong answers;
+ *  - after the whole matrix, a clean daemon over the battered store
+ *    replays the reference byte-identically with store hits.
+ *
+ * Client count scales with RARPRED_SOAK_CLIENTS (default 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faultinject/driver_faults.hh"
+#include "service_test_util.hh"
+
+namespace rarpred::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ServiceSoak, ChaosMatrixNeverCorruptsAnAnswer)
+{
+    if (!serviceBinariesBuilt())
+        GTEST_SKIP() << "service binaries not built in this tree";
+
+    unsigned clients = 4;
+    if (const char *env = std::getenv("RARPRED_SOAK_CLIENTS"))
+        clients = (unsigned)std::strtoul(env, nullptr, 10);
+    if (clients == 0)
+        clients = 1;
+
+    const SweepRequestMsg req = [] {
+        SweepRequestMsg r = smallRequest();
+        r.workloads = {"li", "com"};
+        return r;
+    }();
+
+    // Clean reference table.
+    Paths ref_paths("soak_ref");
+    const int ref_pid = spawnDaemon("", ref_paths);
+    ASSERT_GT(ref_pid, 0);
+    auto reference = ServiceClient(ref_paths.socket).sweep(req);
+    ASSERT_TRUE(reference.ok()) << reference.status().toString();
+    stopDaemon(ref_pid);
+    const std::string want =
+        ServiceClient::replyTable(req, *reference);
+
+    // Each matrix entry arms one fault family in a fresh daemon over
+    // a fresh store — a warm store would starve the write-path
+    // faults (store_corrupt, daemon_kill) of anything to corrupt.
+    // The last round's store feeds the final replay drill.
+    const char *matrix[] = {
+        "conn_drop:*x3",
+        "request_torn:*x3",
+        "store_corrupt:*x2",
+        "daemon_kill:1",
+    };
+
+    int round_no = 0;
+    Paths paths("soak_r0");
+    for (const char *fault : matrix) {
+        SCOPED_TRACE(fault);
+        paths = Paths("soak_r" + std::to_string(round_no++));
+        const int pid = spawnDaemon(
+            std::string("RARPRED_FAULT=") + fault, paths);
+        ASSERT_GT(pid, 0);
+
+        std::atomic<unsigned> completed{0};
+        std::vector<std::thread> fleet;
+        std::vector<int> mismatches(clients, 0);
+        for (unsigned c = 0; c < clients; ++c) {
+            fleet.emplace_back([&, c] {
+                const ServiceClient client(paths.socket);
+                for (int round = 0; round < 4; ++round) {
+                    SweepRequestMsg mine = req;
+                    mine.tenant = "tenant-" + std::to_string(c);
+                    const auto reply = client.sweep(mine);
+                    if (!reply.ok())
+                        continue; // injected fault: availability hit
+                    ++completed;
+                    if (ServiceClient::replyTable(mine, *reply) !=
+                        want)
+                        ++mismatches[c];
+                }
+            });
+        }
+        for (std::thread &t : fleet)
+            t.join();
+        for (unsigned c = 0; c < clients; ++c)
+            EXPECT_EQ(mismatches[c], 0) << "client " << c;
+
+        // The daemon either survived the round (anything but
+        // daemon_kill) or died by the injected SIGKILL.
+        stopDaemon(pid);
+    }
+
+    // After the entire fault matrix: a clean daemon over the same
+    // battered store must replay the reference byte-identically,
+    // with at least one cell served from disk, and answer STATUS.
+    const int final_pid = spawnDaemon("", paths);
+    ASSERT_GT(final_pid, 0);
+    auto replay = ServiceClient(paths.socket).sweep(req);
+    ASSERT_TRUE(replay.ok()) << replay.status().toString();
+    EXPECT_EQ(ServiceClient::replyTable(req, *replay), want);
+    EXPECT_GT(replay->done.storeHits, 0u);
+    const auto status = ServiceClient(paths.socket).status();
+    ASSERT_TRUE(status.ok()) << status.status().toString();
+    EXPECT_EQ(status->counters.protoErrors, 0u);
+    stopDaemon(final_pid);
+}
+
+} // namespace
+} // namespace rarpred::service

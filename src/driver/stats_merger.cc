@@ -158,24 +158,44 @@ StatsMerger::dump(std::ostream &os) const
 }
 
 std::string
-StatsMerger::errorsJson() const
+StatsMerger::errorsJson(size_t max_bytes) const
 {
+    // Room kept back for the closing "]" and a worst-case
+    // {"omitted":N} trailer, so accepted entries can never push the
+    // finished string past max_bytes.
+    constexpr size_t kReserve = 40;
     std::string out = "[";
     char buf[32];
+    size_t omitted = 0;
     bool first = true;
     for (size_t job = 0; job < rows_.size(); ++job) {
         const Row &row = rows_[job];
         if (!row.failed)
             continue;
+        std::snprintf(buf, sizeof(buf), "%zu", job);
+        std::string entry = "{\"row\":\"" + jsonEscape(row.key) +
+                            "\",\"job\":" + buf + ",\"code\":\"" +
+                            jsonEscape(statusCodeName(row.error.code())) +
+                            "\",\"message\":\"" +
+                            jsonEscape(row.error.message()) + "\"}";
+        if (max_bytes != 0 &&
+            out.size() + entry.size() + (first ? 0 : 1) + kReserve >
+                max_bytes) {
+            // Drop the entry whole: cutting one in half would leave
+            // unparseable JSON on the wire.
+            ++omitted;
+            continue;
+        }
         if (!first)
             out += ",";
         first = false;
-        std::snprintf(buf, sizeof(buf), "%zu", job);
-        out += "{\"row\":\"" + jsonEscape(row.key) + "\",\"job\":" +
-               buf + ",\"code\":\"" +
-               jsonEscape(statusCodeName(row.error.code())) +
-               "\",\"message\":\"" + jsonEscape(row.error.message()) +
-               "\"}";
+        out += entry;
+    }
+    if (omitted != 0) {
+        std::snprintf(buf, sizeof(buf), "%zu", omitted);
+        if (!first)
+            out += ",";
+        out += std::string("{\"omitted\":") + buf + "}";
     }
     out += "]";
     return out;

@@ -77,8 +77,15 @@ class StatsMerger
      * Returns "[]" when no job failed. This is the one error format
      * shared by service replies and finishSweep(): both emit exactly
      * this string, so clients parse one shape everywhere.
+     *
+     * A non-zero @p max_bytes bounds the report (the service must
+     * fit it into one wire frame): entries that would push the
+     * output past the budget are dropped *whole* and counted in a
+     * trailing {"omitted":N} element, so the bounded report is still
+     * valid JSON. The bounded output is a pure function of the rows
+     * — byte-identical across replays for the same failures.
      */
-    std::string errorsJson() const;
+    std::string errorsJson(size_t max_bytes = 0) const;
 
     /**
      * @return the canonical merged table: one "rowkey.stat value"

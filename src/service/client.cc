@@ -56,6 +56,14 @@ class Connection
     Status
     sendFrame(FrameType type, const std::vector<uint8_t> &payload)
     {
+        // Backstop for encodeFrame's bound: a request too big to
+        // frame is the caller's bug, reported as a Status — the
+        // client must never abort on it.
+        if (payload.size() > kMaxFramePayload)
+            return Status::invalidArgument(
+                "request payload of " +
+                std::to_string(payload.size()) +
+                " bytes exceeds the frame bound");
         const std::vector<uint8_t> bytes = encodeFrame(type, payload);
         const uint8_t *p = bytes.data();
         size_t len = bytes.size();

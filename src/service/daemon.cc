@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <limits>
 
 #include "cpu/ooo_cpu.hh"
 #include "driver/sim_job_runner.hh"
@@ -45,6 +46,14 @@ sendAll(int fd, const void *data, size_t len)
 Status
 sendFrame(int fd, FrameType type, const std::vector<uint8_t> &payload)
 {
+    // Refuse gracefully instead of tripping encodeFrame's bound
+    // assert: an oversized reply must cost one connection, never the
+    // daemon. Message-level field bounds (proto.cc writeString) make
+    // this unreachable today; it is the backstop.
+    if (payload.size() > kMaxFramePayload)
+        return Status::internal(
+            "reply payload of " + std::to_string(payload.size()) +
+            " bytes exceeds the frame bound");
     const std::vector<uint8_t> bytes = encodeFrame(type, payload);
     return sendAll(fd, bytes.data(), bytes.size());
 }
@@ -177,13 +186,14 @@ SweepDaemon::awaitShutdown()
         acceptThread_.join();
     if (executorThread_.joinable())
         executorThread_.join();
-    std::vector<std::thread> handlers;
+    std::map<uint64_t, std::thread> handlers;
     {
         std::lock_guard<std::mutex> lock(handlersMu_);
         handlers.swap(handlers_);
+        finishedHandlers_.clear();
     }
-    for (std::thread &t : handlers)
-        t.join();
+    for (auto &[index, thread] : handlers)
+        thread.join();
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
@@ -227,9 +237,39 @@ SweepDaemon::acceptLoop()
             continue;
         const uint64_t index = connIndex_.fetch_add(1);
         std::lock_guard<std::mutex> lock(handlersMu_);
-        handlers_.emplace_back(
-            [this, fd, index] { handleConnection(fd, index); });
+        reapFinishedHandlersLocked();
+        if (handlers_.size() >= config_.maxConnections) {
+            // Connection cap: a flood must not grow one thread per
+            // socket. Refuse up front; the client can retry.
+            counters_.shed.fetch_add(1);
+            sendErrorReply(fd, Status::resourceExhausted(
+                                   "too many concurrent "
+                                   "connections; retry later"));
+            ::close(fd);
+            continue;
+        }
+        handlers_.emplace(index, std::thread([this, fd, index] {
+                              handleConnection(fd, index);
+                              std::lock_guard<std::mutex> guard(
+                                  handlersMu_);
+                              finishedHandlers_.push_back(index);
+                          }));
     }
+}
+
+void
+SweepDaemon::reapFinishedHandlersLocked()
+{
+    for (const uint64_t index : finishedHandlers_) {
+        auto it = handlers_.find(index);
+        if (it == handlers_.end())
+            continue;
+        // The handler pushed its index as its last act before
+        // returning, so this join completes promptly.
+        it->second.join();
+        handlers_.erase(it);
+    }
+    finishedHandlers_.clear();
 }
 
 void
@@ -245,10 +285,23 @@ SweepDaemon::handleConnection(int fd, uint64_t conn_index)
     Frame frame;
     bool have = false;
     bool torn = false;
+    // The timeout is an *absolute* deadline from accept: a client
+    // trickling one byte per poll interval (slowloris) cannot hold
+    // this handler open past requestTimeoutMs.
+    const auto read_start = std::chrono::steady_clock::now();
     while (!have && !torn) {
+        const uint64_t waited = elapsedMs(read_start);
+        if (waited >= config_.requestTimeoutMs) {
+            torn = true;
+            break;
+        }
+        const uint64_t remaining = config_.requestTimeoutMs - waited;
         pollfd pfd{fd, POLLIN, 0};
-        const int rc =
-            ::poll(&pfd, 1, (int)config_.requestTimeoutMs);
+        const int rc = ::poll(
+            &pfd, 1,
+            remaining > (uint64_t)std::numeric_limits<int>::max()
+                ? std::numeric_limits<int>::max()
+                : (int)remaining);
         if (rc <= 0) {
             torn = true; // timeout (or poll failure): give up
             break;
@@ -332,21 +385,27 @@ SweepDaemon::handleConnection(int fd, uint64_t conn_index)
             ::close(fd);
             return;
         }
-        std::deque<Pending> &q = queues_[decoded->tenant];
+        // Tenant names are client-controlled: look up without
+        // inserting, so a shed request cannot grow the map.
+        const auto qit = queues_.find(decoded->tenant);
+        const size_t tenant_depth =
+            qit == queues_.end() ? 0 : qit->second.size();
         if (queuedTotal_ >= config_.maxQueue ||
-            q.size() >= config_.maxQueuePerTenant) {
+            tenant_depth >= config_.maxQueuePerTenant) {
             counters_.shed.fetch_add(1);
             sendErrorReply(
                 fd, Status::resourceExhausted(
                         "sweep queue full (" +
                         std::to_string(queuedTotal_) + " queued, " +
-                        std::to_string(q.size()) + " for tenant '" +
-                        decoded->tenant + "'); retry later"));
+                        std::to_string(tenant_depth) +
+                        " for tenant '" + decoded->tenant +
+                        "'); retry later"));
             ::close(fd);
             return;
         }
-        q.push_back(Pending{std::move(*decoded), fd,
-                            std::chrono::steady_clock::now()});
+        queues_[decoded->tenant].push_back(
+            Pending{std::move(*decoded), fd,
+                    std::chrono::steady_clock::now()});
         ++queuedTotal_;
         counters_.admitted.fetch_add(1);
     }
@@ -380,6 +439,12 @@ SweepDaemon::dequeue(Pending *out)
     rrNext_ = it->first;
     *out = std::move(it->second.front());
     it->second.pop_front();
+    // Tenant names are client-controlled; dropping a drained queue
+    // keeps the map bounded by the admission cap, not by how many
+    // distinct names the daemon ever saw. upper_bound(rrNext_) is
+    // happy with an absent key, so round-robin order survives.
+    if (it->second.empty())
+        queues_.erase(it);
     --queuedTotal_;
     ++activeSweeps_;
     return true;
@@ -551,7 +616,9 @@ SweepDaemon::runSweepRequest(Pending &&p)
         if (rows[cell].fromStore)
             ++done.storeHits;
     }
-    done.errorsJson = merger.errorsJson();
+    // Bounded at the source so the SweepDone frame always fits the
+    // payload bound, even for a max grid where every cell failed.
+    done.errorsJson = merger.errorsJson(kMaxErrorsJson);
 
     bool alive = true;
     for (size_t cell = 0; cell < n && alive; ++cell) {

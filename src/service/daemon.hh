@@ -73,6 +73,9 @@ struct DaemonConfig
     /** Admission bounds: queued (not yet running) sweeps. */
     size_t maxQueue = 16;
     size_t maxQueuePerTenant = 8;
+    /** Concurrent client connections (one handler thread each);
+     *  excess connections are shed with ResourceExhausted. */
+    size_t maxConnections = 64;
 
     /** Per-job retry budget forwarded to each request's runner. */
     unsigned maxAttempts = 3;
@@ -161,6 +164,10 @@ class SweepDaemon
     void executorLoop();
     void handleConnection(int fd, uint64_t conn_index);
 
+    /** Join and erase handler threads that finished. Called with
+     *  handlersMu_ held. */
+    void reapFinishedHandlersLocked();
+
     /** Serve one admitted sweep and close its connection. */
     void runSweepRequest(Pending &&p);
 
@@ -190,7 +197,13 @@ class SweepDaemon
     std::thread acceptThread_;
     std::thread executorThread_;
     std::mutex handlersMu_;
-    std::vector<std::thread> handlers_;
+    /** Live per-connection handler threads by connection index,
+     *  capped at maxConnections. A handler pushes its index to
+     *  finishedHandlers_ as its last act; the accept loop joins and
+     *  erases those before admitting the next connection, so a
+     *  long-lived daemon never accumulates joinable zombies. */
+    std::map<uint64_t, std::thread> handlers_;
+    std::vector<uint64_t> finishedHandlers_;
 };
 
 } // namespace rarpred::service

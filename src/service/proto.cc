@@ -145,22 +145,36 @@ FrameDecoder::next(Frame *out, bool *have)
 
 namespace {
 
-/** Longest legal string field (tenant, workload abbrev, message). */
-constexpr uint32_t kMaxString = 4096;
-
+/**
+ * Write a length-prefixed string, truncated to @p bound bytes (with
+ * kTruncationMarker) if oversized. Truncating instead of emitting
+ * the full field keeps the encode and decode bounds in agreement: a
+ * huge error message must degrade to a shorter message, never turn a
+ * fully-served reply into a decode-side Corruption.
+ */
 void
-writeString(StateWriter &w, const std::string &s)
+writeString(StateWriter &w, const std::string &s,
+            uint32_t bound = kMaxString)
 {
-    w.u32((uint32_t)s.size());
-    w.bytes(s.data(), s.size());
+    constexpr size_t marker_len = sizeof(kTruncationMarker) - 1;
+    static_assert(marker_len < kMaxString);
+    if (s.size() <= bound) {
+        w.u32((uint32_t)s.size());
+        w.bytes(s.data(), s.size());
+        return;
+    }
+    w.u32(bound);
+    w.bytes(s.data(), bound - marker_len);
+    w.bytes(kTruncationMarker, marker_len);
 }
 
 Status
-readString(StateReader &r, std::string *out)
+readString(StateReader &r, std::string *out,
+           uint32_t bound = kMaxString)
 {
     uint32_t len = 0;
     RARPRED_RETURN_IF_ERROR(r.u32(&len));
-    if (len > kMaxString)
+    if (len > bound)
         return Status::corruption("string field of " +
                                   std::to_string(len) +
                                   " bytes exceeds the bound");
@@ -389,7 +403,7 @@ SweepDoneMsg::encode() const
     w.u64(cells);
     w.u64(errors);
     w.u64(storeHits);
-    writeString(w, errorsJson);
+    writeString(w, errorsJson, kMaxErrorsJson);
     return w.buffer();
 }
 
@@ -401,7 +415,8 @@ SweepDoneMsg::decode(const std::vector<uint8_t> &b)
     RARPRED_RETURN_IF_ERROR(r.u64(&m.cells));
     RARPRED_RETURN_IF_ERROR(r.u64(&m.errors));
     RARPRED_RETURN_IF_ERROR(r.u64(&m.storeHits));
-    RARPRED_RETURN_IF_ERROR(readString(r, &m.errorsJson));
+    RARPRED_RETURN_IF_ERROR(readString(r, &m.errorsJson,
+                                       kMaxErrorsJson));
     if (!r.atEnd())
         return Status::corruption("trailing bytes after sweep-done");
     return m;

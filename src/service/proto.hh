@@ -49,6 +49,28 @@ constexpr uint32_t kFrameMagic = 0x46524152;
 /** Hard bound on a frame payload; larger lengths are Corruption. */
 constexpr uint32_t kMaxFramePayload = 1u << 20;
 
+/**
+ * Bound on every short string field (tenant, workload abbreviation,
+ * error message). Encode and decode enforce the *same* bound: the
+ * encoder truncates an oversized field (appending kTruncationMarker)
+ * so that everything a conforming peer emits decodes; the decoder
+ * rejects anything longer as Corruption.
+ */
+constexpr uint32_t kMaxString = 4096;
+
+/** Suffix the encoder leaves on a string it had to truncate. */
+constexpr char kTruncationMarker[] = "...[truncated]";
+
+/**
+ * Bound on the SweepDone errorsJson field — wider than kMaxString
+ * because a worst-case grid (256x256 cells, all failed) legitimately
+ * produces a long report, but still well under kMaxFramePayload.
+ * The daemon bounds the field at the source with
+ * StatsMerger::errorsJson(kMaxErrorsJson), which drops whole entries
+ * (appending {"omitted":N}) so the bounded report stays valid JSON.
+ */
+constexpr uint32_t kMaxErrorsJson = 1u << 19;
+
 /** Message kinds. Requests are < 16, replies >= 16. */
 enum class FrameType : uint8_t
 {

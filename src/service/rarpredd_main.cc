@@ -43,6 +43,7 @@ usage()
         "  --workers=N               worker threads per sweep\n"
         "  --max-queue=N             queued sweeps, all tenants (16)\n"
         "  --max-queue-per-tenant=N  queued sweeps per tenant (8)\n"
+        "  --max-connections=N       concurrent client conns (64)\n"
         "  --retries=N               retry failed cells N times (2)\n"
         "  --retry-backoff-ms=N      base backoff before retries\n"
         "  --default-deadline-ms=N   deadline for requests without one\n"
@@ -127,6 +128,11 @@ main(int argc, char **argv)
         if ((v = flagValue(arg, "--max-queue-per-tenant")) &&
             parseU64(v, &u)) {
             config.maxQueuePerTenant = (size_t)u;
+            continue;
+        }
+        if ((v = flagValue(arg, "--max-connections")) &&
+            parseU64(v, &u)) {
+            config.maxConnections = (size_t)u;
             continue;
         }
         if ((v = flagValue(arg, "--breaker-open-after")) &&

@@ -15,11 +15,15 @@
 #include <gtest/gtest.h>
 
 #include <dirent.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -95,6 +99,25 @@ smallRequest()
     rar.cloakEnabled = 1;
     req.configs = {base, rar};
     return req;
+}
+
+/** Bare connected socket to the daemon (no request sent); -1 on
+ *  failure. Caller closes. */
+inline int
+rawConnect(const std::string &socket_path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
 }
 
 inline std::string

@@ -901,6 +901,41 @@ TEST(StatsMergerErrors, ErrorsJsonIsMachineReadable)
     EXPECT_EQ(clean.errorsJson(), "[]");
 }
 
+TEST(StatsMergerErrors, ErrorsJsonHonorsAByteBudget)
+{
+    // The service must fit the report into one wire frame: under a
+    // byte budget, entries are dropped whole (never cut mid-object)
+    // and counted in a trailing {"omitted":N} element, and the
+    // bounded report is deterministic.
+    driver::StatsMerger merger(100);
+    for (size_t job = 0; job < 100; ++job) {
+        merger.setRowKey(job, "li/cfg" + std::to_string(job));
+        merger.setError(job, Status::internal("boom " +
+                                              std::to_string(job)));
+    }
+    const std::string unbounded = merger.errorsJson();
+    ASSERT_GT(unbounded.size(), 2048u);
+
+    const std::string bounded = merger.errorsJson(2048);
+    EXPECT_LE(bounded.size(), 2048u);
+    EXPECT_EQ(bounded.front(), '[');
+    EXPECT_EQ(bounded.back(), ']');
+    // Kept entries are a prefix, intact; the rest are counted.
+    EXPECT_NE(bounded.find("\"row\":\"li/cfg0\""), std::string::npos);
+    const size_t kept = (size_t)std::count(bounded.begin(),
+                                           bounded.end(), '{') -
+                        1; // minus the omitted-marker object
+    ASSERT_LT(kept, 100u);
+    EXPECT_NE(bounded.find("{\"omitted\":" +
+                           std::to_string(100 - kept) + "}"),
+              std::string::npos)
+        << bounded;
+    EXPECT_EQ(bounded, merger.errorsJson(2048));
+
+    // A budget comfortably above the report changes nothing.
+    EXPECT_EQ(merger.errorsJson(1u << 20), unbounded);
+}
+
 TEST(StatsMergerErrors, EmbeddedNewlinesCannotForgeRows)
 {
     // An adversarial error message must not be able to inject extra

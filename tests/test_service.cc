@@ -185,6 +185,60 @@ TEST_F(ServiceTest, FullQueueShedsWithResourceExhausted)
     daemon.stop();
 }
 
+TEST_F(ServiceTest, ConnectionFloodIsShedAtTheCap)
+{
+    Paths paths("conncap");
+    DaemonConfig config = testDaemonConfig(paths);
+    config.maxConnections = 2;
+    SweepDaemon daemon(config);
+    ASSERT_TRUE(daemon.serve().ok());
+
+    // Two idle connections pin the cap (their handlers sit in the
+    // request-read poll)...
+    const int idle1 = rawConnect(paths.socket);
+    const int idle2 = rawConnect(paths.socket);
+    ASSERT_GE(idle1, 0);
+    ASSERT_GE(idle2, 0);
+
+    // ...so the third is refused up front with ResourceExhausted —
+    // no handler thread is spent on it.
+    const int fd = rawConnect(paths.socket);
+    ASSERT_GE(fd, 0);
+    FrameDecoder dec;
+    Frame frame;
+    bool have = false;
+    uint8_t buf[4096];
+    while (!have) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0) << "daemon closed without an ErrorReply";
+        ASSERT_TRUE(dec.feed(buf, (size_t)n).ok());
+        ASSERT_TRUE(dec.next(&frame, &have).ok());
+    }
+    ::close(fd);
+    ASSERT_EQ(frame.type, FrameType::ErrorReply);
+    auto err = ErrorReplyMsg::decode(frame.payload);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->error().code(), StatusCode::ResourceExhausted);
+    EXPECT_GE(daemon.counters().shed, 1u);
+
+    // Once the flood clears, its handler slots are reaped and the
+    // daemon serves again (retry: the reap happens on the *next*
+    // accept, after the idle handlers notice EOF).
+    ::close(idle1);
+    ::close(idle2);
+    const ServiceClient client(paths.socket);
+    Result<SweepReply> reply = Status::unavailable("not tried");
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        reply = client.sweep(smallRequest());
+        if (reply.ok())
+            break;
+        std::this_thread::sleep_for(25ms);
+    }
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply->done.errors, 0u);
+    daemon.stop();
+}
+
 TEST_F(ServiceTest, MalformedRequestGetsErrorReplyNotCrash)
 {
     Paths paths("garbage");

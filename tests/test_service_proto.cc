@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "driver/stats_merger.hh"
 #include "service/proto.hh"
 
 namespace rarpred::service {
@@ -258,6 +259,76 @@ TEST(ServiceMessages, RowAndDoneAndErrorRoundTrip)
     ASSERT_TRUE(e.ok());
     EXPECT_EQ(e->error().code(), StatusCode::ResourceExhausted);
     EXPECT_EQ(e->error().message(), "queue full");
+}
+
+TEST(ServiceMessages, OversizedStringsTruncateOnEncodeAndStillDecode)
+{
+    // Encode and decode must enforce the *same* string bound: a long
+    // error message is truncated (with a marker) by the encoder, and
+    // the result decodes cleanly. Before this agreement, a reply
+    // whose accumulated error text passed 4 KiB was encoded whole
+    // and then rejected client-side as Corruption.
+    RowMsg row;
+    row.cell = 1;
+    row.errorCode = (uint8_t)StatusCode::Internal;
+    row.errorMsg.assign(100 * 1024, 'x');
+    auto r = RowMsg::decode(row.encode());
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->errorMsg.size(), kMaxString);
+    EXPECT_NE(r->errorMsg.find(kTruncationMarker), std::string::npos);
+
+    ErrorReplyMsg err;
+    err.code = (uint8_t)StatusCode::Internal;
+    err.message.assign((1u << 20) + 77, 'y');
+    auto e = ErrorReplyMsg::decode(err.encode());
+    ASSERT_TRUE(e.ok()) << e.status().toString();
+    EXPECT_EQ(e->message.size(), kMaxString);
+
+    // A message exactly at the bound passes through untouched.
+    err.message.assign(kMaxString, 'z');
+    e = ErrorReplyMsg::decode(err.encode());
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e->message, std::string(kMaxString, 'z'));
+}
+
+TEST(ServiceMessages, WorstCaseSweepDoneFitsTheFrameBound)
+{
+    // Max grid (256x256), every cell failed: the bounded errors JSON
+    // must keep the SweepDone payload under kMaxFramePayload — this
+    // combination used to trip encodeFrame's assert and abort the
+    // daemon — and the bounded report must still be valid-shaped
+    // JSON that round-trips.
+    constexpr size_t kCells = 256 * 256;
+    driver::StatsMerger merger(kCells);
+    for (size_t job = 0; job < kCells; ++job) {
+        merger.setRowKey(job, "wl" + std::to_string(job / 256) +
+                                  "/cfg" + std::to_string(job % 256));
+        merger.setError(
+            job, Status::deadlineExceeded(
+                     "cell deadline of 1ms exceeded at record " +
+                     std::to_string(job)));
+    }
+    SweepDoneMsg done;
+    done.cells = kCells;
+    done.errors = kCells;
+    done.errorsJson = merger.errorsJson(kMaxErrorsJson);
+    EXPECT_LE(done.errorsJson.size(), kMaxErrorsJson);
+    EXPECT_NE(done.errorsJson.find("{\"omitted\":"),
+              std::string::npos);
+    EXPECT_EQ(done.errorsJson.back(), ']');
+
+    const std::vector<uint8_t> payload = done.encode();
+    ASSERT_LE(payload.size(), kMaxFramePayload);
+    const auto frame = encodeFrame(FrameType::SweepDone, payload);
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.feed(frame.data(), frame.size()).ok());
+    Frame out;
+    bool have = false;
+    ASSERT_TRUE(dec.next(&out, &have).ok());
+    ASSERT_TRUE(have);
+    auto d = SweepDoneMsg::decode(out.payload);
+    ASSERT_TRUE(d.ok()) << d.status().toString();
+    EXPECT_EQ(d->errorsJson, done.errorsJson);
 }
 
 TEST(ServiceMessages, StatusReplyRoundTrip)

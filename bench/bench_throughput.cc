@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Hot-path throughput harness (ROADMAP item 1, DESIGN.md §7): how
+ * many trace records per second each stage of the simulate loop
+ * sustains, measured component by component:
+ *
+ *   decode    RecordedTraceSource::nextBlock into a stack block
+ *   cloaking  the functional accuracy pipeline (CloakingEngine)
+ *   cpu       the full timing model (OooCpu with cloaking attached)
+ *   stats     CpuStats/CloakingStats dump formatting, amortized
+ *
+ * Each component reports records/sec and ns/record, plus the measured
+ * load factors and probe lengths of the open-addressing tables under
+ * the loop, so a perf regression can be localized without a profiler.
+ * Emits BENCH_throughput.json (--out=FILE to redirect); the nightly
+ * CI perf guard compares it against bench/baselines/ within a ±15%
+ * band (bench/compare_throughput.py).
+ *
+ * Not a paper figure: this is the repo's own perf trajectory.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/cloaking.hh"
+#include "cpu/cpu_config.hh"
+#include "cpu/ooo_cpu.hh"
+#include "vm/recorded_trace.hh"
+#include "vm/trace.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using rarpred::CloakingConfig;
+using rarpred::CloakingEngine;
+using rarpred::CloakingMode;
+using rarpred::CloakTimingConfig;
+using rarpred::CpuConfig;
+using rarpred::DynInst;
+using rarpred::kTraceBatch;
+using rarpred::OooCpu;
+using rarpred::ProbeStats;
+using rarpred::RecordedTrace;
+using rarpred::RecordedTraceSource;
+using rarpred::TraceSink;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Section 5.6.1 default mechanism, the golden-stats configuration. */
+CloakTimingConfig
+defaultCloakTiming()
+{
+    CloakTimingConfig cloak;
+    cloak.enabled = true;
+    cloak.engine.mode = CloakingMode::RawPlusRar;
+    cloak.engine.ddt.entries = 128;
+    cloak.engine.dpnt.geometry = {8192, 2};
+    cloak.engine.sf = {1024, 2};
+    cloak.bypassing = true;
+    return cloak;
+}
+
+struct ComponentResult
+{
+    double seconds = 0;
+    uint64_t records = 0;
+
+    double nsPerRecord() const
+    {
+        return records == 0 ? 0.0 : seconds * 1e9 / (double)records;
+    }
+    double recordsPerSec() const
+    {
+        return seconds <= 0 ? 0.0 : (double)records / seconds;
+    }
+};
+
+/** Feed @p records records (looping the trace) into @p sink. */
+ComponentResult
+pumpRecords(const RecordedTrace &trace, TraceSink &sink,
+            uint64_t records)
+{
+    RecordedTraceSource source(trace);
+    DynInst block[kTraceBatch];
+    ComponentResult r;
+    const auto start = std::chrono::steady_clock::now();
+    while (r.records < records) {
+        size_t n = source.nextBlock(block, kTraceBatch);
+        if (n == 0) {
+            source.rewind();
+            continue;
+        }
+        if (r.records + n > records)
+            n = (size_t)(records - r.records);
+        sink.onBatch(block, n);
+        r.records += n;
+    }
+    r.seconds = secondsSince(start);
+    return r;
+}
+
+/** Pure block decode: no consumer, records just stream through L1. */
+ComponentResult
+pumpDecodeOnly(const RecordedTrace &trace, uint64_t records)
+{
+    RecordedTraceSource source(trace);
+    DynInst block[kTraceBatch];
+    ComponentResult r;
+    uint64_t checksum = 0;
+    const auto start = std::chrono::steady_clock::now();
+    while (r.records < records) {
+        const size_t n = source.nextBlock(block, kTraceBatch);
+        if (n == 0) {
+            source.rewind();
+            continue;
+        }
+        checksum += block[n - 1].pc; // keep the decode observable
+        r.records += n;
+    }
+    r.seconds = secondsSince(start);
+    if (checksum == 0xdeadbeef)
+        std::cerr << "";
+    return r;
+}
+
+void
+emitComponent(std::ostringstream &os, const char *name,
+              const ComponentResult &r, bool last = false)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"%s\": {\"records\": %llu, "
+                  "\"records_per_sec\": %.0f, "
+                  "\"ns_per_record\": %.2f}%s\n",
+                  name, (unsigned long long)r.records,
+                  r.recordsPerSec(), r.nsPerRecord(), last ? "" : ",");
+    os << buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_throughput.json";
+    std::string workload = "li";
+    uint64_t records = 1'000'000;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg.rfind("--records=", 0) == 0) {
+            records = std::stoull(arg.substr(10));
+        } else if (arg == "--records" && i + 1 < argc) {
+            records = std::stoull(argv[++i]);
+        } else if (arg.rfind("--workload=", 0) == 0) {
+            workload = arg.substr(11);
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--records=N] [--workload=NAME]"
+                         " [--out=FILE]\n";
+            return 2;
+        }
+    }
+    if (records == 0) {
+        std::cerr << "--records must be positive\n";
+        return 2;
+    }
+
+    const rarpred::Workload &w = rarpred::findWorkload(workload);
+    const RecordedTrace trace = RecordedTrace::record(w.build(1),
+                                                      records);
+
+    // ---- decode -------------------------------------------------
+    const ComponentResult decode = pumpDecodeOnly(trace, records);
+
+    // ---- cloaking (functional pipeline) -------------------------
+    CloakingConfig cconfig;
+    cconfig.mode = CloakingMode::RawPlusRar;
+    cconfig.ddt.entries = 128;
+    cconfig.dpnt.geometry = {8192, 2};
+    cconfig.sf = {1024, 2};
+    CloakingEngine engine(cconfig);
+    const ComponentResult cloaking = pumpRecords(trace, engine,
+                                                 records);
+
+    // ---- cpu (timing model) -------------------------------------
+    OooCpu cpu(CpuConfig{}, defaultCloakTiming());
+    const ComponentResult cpu_pump = pumpRecords(trace, cpu, records);
+
+    // ---- stats formatting; one "record" = one full dump ---------
+    ComponentResult stats_fmt;
+    stats_fmt.records = 1000;
+    {
+        const auto start = std::chrono::steady_clock::now();
+        size_t sunk = 0;
+        for (int i = 0; i < 1000; ++i) {
+            std::ostringstream os;
+            cpu.stats().dump(os);
+            engine.stats().dump(os);
+            sunk += os.str().size();
+        }
+        stats_fmt.seconds = secondsSince(start);
+        if (sunk == 0)
+            return 1;
+    }
+
+    // ---- probe-path health --------------------------------------
+    const OooCpu::HotPathLoads loads = cpu.hotPathLoads();
+    const ProbeStats ddt = engine.detector().probeStats();
+
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"throughput\",\n";
+    os << "  \"workload\": \"" << workload << "\",\n";
+    os << "  \"records\": " << records << ",\n";
+    emitComponent(os, "decode", decode);
+    emitComponent(os, "cloaking", cloaking);
+    emitComponent(os, "cpu", cpu_pump);
+    emitComponent(os, "stats", stats_fmt);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"tables\": {\"ddt_load_factor\": %.4f, "
+        "\"ddt_avg_probe\": %.3f, \"srt_avg_probe\": %.3f, "
+        "\"issue_bw_load_factor\": %.4f, "
+        "\"issue_bw_avg_probe\": %.3f, "
+        "\"arena_reserved_bytes\": %zu}\n",
+        ddt.loadFactor(), ddt.avgProbe(), loads.srt.avgProbe(),
+        loads.issueBw.loadFactor(), loads.issueBw.avgProbe(),
+        loads.arenaReservedBytes);
+    os << buf;
+    os << "}\n";
+
+    std::ofstream out(out_path);
+    out << os.str();
+    if (!out.good()) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for BENCH_throughput.json.
+
+Compares the ns_per_record of every component in a fresh
+BENCH_throughput.json against the checked-in baseline and fails
+(exit 1) when any component regressed beyond the tolerance band.
+Improvements never fail — they are a prompt to refresh the baseline
+(run bench_throughput and copy the JSON into bench/baselines/).
+
+Usage: compare_throughput.py BASELINE CURRENT [--tolerance=0.15]
+"""
+
+import json
+import sys
+
+COMPONENTS = ("decode", "cloaking", "cpu", "stats")
+
+
+def main(argv):
+    tolerance = 0.15
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    with open(paths[0]) as f:
+        baseline = json.load(f)
+    with open(paths[1]) as f:
+        current = json.load(f)
+
+    failed = False
+    for name in COMPONENTS:
+        base = baseline[name]["ns_per_record"]
+        cur = current[name]["ns_per_record"]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            failed = True
+        elif ratio < 1.0 - tolerance:
+            verdict = "improved (consider refreshing the baseline)"
+        print(
+            f"{name:10s} baseline {base:10.2f} ns/rec   "
+            f"current {cur:10.2f} ns/rec   "
+            f"ratio {ratio:5.2f}   {verdict}"
+        )
+
+    if failed:
+        print(
+            f"\nFAIL: at least one component regressed beyond "
+            f"+{tolerance:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: all components within +{tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

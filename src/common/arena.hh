@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Bump-pointer arena and arena-backed bounded ring.
+ *
+ * The simulate hot path must not touch the heap in steady state (the
+ * allocation-counter test in tests/test_arena.cc asserts this), so
+ * per-instruction dynamic state — the commit ring, the in-flight
+ * store queue, the value/commit completion rings — lives in memory
+ * carved from an Arena owned by the component. An Arena grows in
+ * chunks, never frees individual allocations, and reset() rewinds it
+ * for reuse without returning memory to the system; destruction
+ * releases everything (RAII — nothing leaks on exceptions or early
+ * returns). The idiom follows scarab's op pool: allocate up front,
+ * recycle forever.
+ */
+
+#ifndef RARPRED_COMMON_ARENA_HH_
+#define RARPRED_COMMON_ARENA_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rarpred {
+
+/** A chunked bump allocator. Not thread-safe; one owner per arena. */
+class Arena
+{
+  public:
+    /** @param chunk_bytes Granularity of chunk growth. */
+    explicit Arena(size_t chunk_bytes = 64 * 1024)
+        : chunkBytes_(chunk_bytes)
+    {
+        rarpred_assert(chunk_bytes > 0);
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p bytes aligned to @p align (a power of two).
+     * The memory is uninitialized and lives until reset()/destruction.
+     */
+    void *
+    allocateBytes(size_t bytes, size_t align)
+    {
+        rarpred_assert(align != 0 && (align & (align - 1)) == 0);
+        for (;; ++cur_, offset_ = 0) {
+            if (cur_ == chunks_.size()) {
+                const size_t want =
+                    bytes + align > chunkBytes_ ? bytes + align
+                                                : chunkBytes_;
+                chunks_.push_back(
+                    {std::make_unique<std::byte[]>(want), want});
+            }
+            Chunk &c = chunks_[cur_];
+            const uintptr_t base = (uintptr_t)c.data.get();
+            const uintptr_t aligned =
+                (base + offset_ + align - 1) & ~(uintptr_t)(align - 1);
+            const size_t new_offset = (size_t)(aligned - base) + bytes;
+            if (new_offset <= c.size) {
+                offset_ = new_offset;
+                used_ = inUseBefore_ + new_offset;
+                return (void *)aligned;
+            }
+            // This chunk is (or has become) too small; move on. Track
+            // the bytes consumed so bytesInUse() stays meaningful.
+            inUseBefore_ += offset_;
+        }
+    }
+
+    /**
+     * Allocate and value-initialize an array of @p n trivially-
+     * destructible Ts (no destructor will ever run).
+     */
+    template <typename T>
+    T *
+    allocateArray(size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without destructors");
+        T *p = (T *)allocateBytes(n * sizeof(T), alignof(T));
+        for (size_t i = 0; i < n; ++i)
+            new (p + i) T();
+        return p;
+    }
+
+    /**
+     * Rewind the arena: every previous allocation is invalidated, all
+     * chunks are retained for reuse, and no memory is freed.
+     */
+    void
+    reset()
+    {
+        cur_ = 0;
+        offset_ = 0;
+        inUseBefore_ = 0;
+        used_ = 0;
+    }
+
+    /** Bytes handed out since the last reset (including padding). */
+    size_t bytesInUse() const { return used_; }
+
+    /** Bytes held from the system across resets. */
+    size_t
+    bytesReserved() const
+    {
+        size_t n = 0;
+        for (const Chunk &c : chunks_)
+            n += c.size;
+        return n;
+    }
+
+    /** Number of chunks held. */
+    size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t size;
+    };
+
+    size_t chunkBytes_;
+    std::vector<Chunk> chunks_;
+    size_t cur_ = 0;         ///< chunk currently bumped
+    size_t offset_ = 0;      ///< bump offset within chunks_[cur_]
+    size_t inUseBefore_ = 0; ///< bytes consumed in chunks before cur_
+    size_t used_ = 0;
+};
+
+/**
+ * A fixed-capacity FIFO ring over arena storage: push_back/pop_front
+ * plus random access, replacing std::deque in the hot loop (libstdc++
+ * deques allocate and free map blocks in steady state; this never
+ * allocates after init). Storage is rounded up to a power of two so
+ * every access is a mask, not a division. Overflow beyond the
+ * requested capacity is a logic error (rarpred_assert).
+ */
+template <typename T>
+class ArenaRing
+{
+  public:
+    ArenaRing() = default;
+
+    /** Carve storage for @p capacity elements out of @p arena. */
+    void
+    init(Arena &arena, size_t capacity)
+    {
+        rarpred_assert(data_ == nullptr);
+        rarpred_assert(capacity > 0);
+        size_t slots = 1;
+        while (slots < capacity)
+            slots <<= 1;
+        data_ = arena.allocateArray<T>(slots);
+        mask_ = slots - 1;
+        capacity_ = capacity;
+    }
+
+    void
+    push_back(const T &v)
+    {
+        rarpred_assert(size_ < capacity_);
+        data_[(head_ + size_) & mask_] = v;
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        rarpred_assert(size_ > 0);
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+    T &operator[](size_t i) { return data_[(head_ + i) & mask_]; }
+    const T &
+    operator[](size_t i) const
+    {
+        return data_[(head_ + i) & mask_];
+    }
+
+    T &front() { return data_[head_]; }
+    const T &front() const { return data_[head_]; }
+    T &back() { return (*this)[size_ - 1]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    size_t capacity() const { return capacity_; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    T *data_ = nullptr;
+    size_t capacity_ = 0;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace rarpred
+
+#endif // RARPRED_COMMON_ARENA_HH_

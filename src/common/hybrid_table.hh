@@ -20,11 +20,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitutils.hh"
-#include "common/lru_table.hh"
+#include "common/flat_table.hh"
 #include "common/set_assoc_table.hh"
 #include "common/statesave.hh"
 #include "common/status.hh"
@@ -72,10 +71,9 @@ class HybridTable
     explicit HybridTable(TableGeometry geom) : geom_(geom)
     {
         if (geom.entries == 0) {
-            // unbounded map, nothing to construct
+            // unbounded flat map, nothing to construct
         } else if (geom.assoc == 0 || geom.assoc >= geom.entries) {
-            full_ = std::make_unique<FullyAssocLruTable<uint64_t, Value>>(
-                geom.entries);
+            full_ = std::make_unique<FlatLruTable<Value>>(geom.entries);
         } else {
             setAssoc_ = std::make_unique<SetAssocTable<Value>>(geom.entries,
                                                                geom.assoc);
@@ -90,8 +88,7 @@ class HybridTable
             return full_->touch(key);
         if (setAssoc_)
             return setAssoc_->touch(key);
-        auto it = map_.find(key);
-        return it == map_.end() ? nullptr : &it->second;
+        return map_.find(key);
     }
 
     /** Look up @p key without updating recency. */
@@ -102,8 +99,25 @@ class HybridTable
             return full_->find(key);
         if (setAssoc_)
             return setAssoc_->find(key);
-        auto it = map_.find(key);
-        return it == map_.end() ? nullptr : &it->second;
+        return map_.find(key);
+    }
+
+    /**
+     * Look up @p key, promoting on a hit and inserting @p init on a
+     * miss — one probe/scan in every organization, equivalent to
+     * touch() followed by insert() on miss.
+     * @return the entry pointer and whether it was newly inserted.
+     */
+    std::pair<Value *, bool>
+    touchOrInsert(uint64_t key, Value init)
+    {
+        if (full_)
+            return full_->touchOrInsert(key, std::move(init));
+        if (setAssoc_)
+            return setAssoc_->touchOrInsert(key, std::move(init));
+        const size_t before = map_.size();
+        Value &ref = map_.findOrInsert(key, std::move(init));
+        return {&ref, map_.size() != before};
     }
 
     /** Insert or overwrite @p key. Evictions are silent here. */
@@ -115,7 +129,7 @@ class HybridTable
         else if (setAssoc_)
             setAssoc_->insert(key, std::move(value));
         else
-            map_[key] = std::move(value);
+            map_.insert(key, std::move(value));
     }
 
     /** Remove @p key. @return true if present. */
@@ -126,7 +140,7 @@ class HybridTable
             return full_->erase(key);
         if (setAssoc_)
             return setAssoc_->erase(key);
-        return map_.erase(key) > 0;
+        return map_.erase(key);
     }
 
     void
@@ -160,8 +174,7 @@ class HybridTable
         else if (setAssoc_)
             setAssoc_->forEach(fn);
         else
-            for (auto &[k, v] : map_)
-                fn(k, v);
+            map_.forEach(fn);
     }
 
     /** Const variant of forEach(): (uint64_t key, const Value&). */
@@ -174,8 +187,7 @@ class HybridTable
         else if (setAssoc_)
             setAssoc_->forEach(fn);
         else
-            for (const auto &[k, v] : map_)
-                fn(k, v);
+            map_.forEach(fn);
     }
 
     /**
@@ -214,13 +226,14 @@ class HybridTable
             w.u8(0);
             std::vector<uint64_t> keys;
             keys.reserve(map_.size());
-            for (const auto &[k, v] : map_)
+            map_.forEach([&](uint64_t k, const Value &) {
                 keys.push_back(k);
+            });
             std::sort(keys.begin(), keys.end());
             w.u64(keys.size());
             for (uint64_t k : keys) {
                 w.u64(k);
-                saveValue(w, map_.find(k)->second);
+                saveValue(w, *map_.find(k));
             }
         }
     }
@@ -255,18 +268,37 @@ class HybridTable
             Value value{};
             RARPRED_RETURN_IF_ERROR(r.u64(&key));
             RARPRED_RETURN_IF_ERROR(loadValue(r, &value));
-            map_[key] = std::move(value);
+            map_.insert(key, std::move(value));
         }
         return Status{};
     }
 
     const TableGeometry &geometry() const { return geom_; }
 
+    /**
+     * Probe-path counters of the underlying organization. The
+     * set-associative mode has no probe sequence; it reports fill
+     * (size/capacity) only.
+     */
+    ProbeStats
+    probeStats() const
+    {
+        if (full_)
+            return full_->probeStats();
+        if (setAssoc_) {
+            ProbeStats s;
+            s.size = setAssoc_->size();
+            s.slots = setAssoc_->capacity();
+            return s;
+        }
+        return map_.probeStats();
+    }
+
   private:
     TableGeometry geom_;
-    std::unique_ptr<FullyAssocLruTable<uint64_t, Value>> full_;
+    std::unique_ptr<FlatLruTable<Value>> full_;
     std::unique_ptr<SetAssocTable<Value>> setAssoc_;
-    std::unordered_map<uint64_t, Value> map_;
+    FlatMap<Value> map_;
 };
 
 } // namespace rarpred

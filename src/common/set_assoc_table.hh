@@ -6,6 +6,13 @@
  * 8K 2-way DPNT, the 1K 2-way synonym file (Section 5.6.1), and all of
  * the caches in the memory hierarchy use this template (caches store
  * their line metadata as the value).
+ *
+ * Storage is one contiguous slot array (numSets * assoc ways) with a
+ * per-set occupancy count; ways of a set are kept MRU-first by
+ * shifting within the set, exactly mirroring the recency semantics of
+ * the former vector-of-vectors layout. A whole set lands on one or
+ * two cache lines and the table performs no heap allocation after
+ * construction — part of the hot path's zero-allocation contract.
  */
 
 #ifndef RARPRED_COMMON_SET_ASSOC_TABLE_HH_
@@ -53,9 +60,8 @@ class SetAssocTable
         rarpred_assert(num_entries % assoc == 0);
         rarpred_assert(isPowerOf2(numSets_));
         indexMask_ = numSets_ - 1;
-        sets_.resize(numSets_);
-        for (auto &set : sets_)
-            set.reserve(assoc_);
+        slots_.resize(numSets_ * assoc_);
+        sizes_.assign(numSets_, 0);
     }
 
     /**
@@ -65,11 +71,12 @@ class SetAssocTable
     Value *
     touch(uint64_t key)
     {
-        auto &set = sets_[indexOf(key)];
-        for (size_t i = 0; i < set.size(); ++i) {
-            if (set[i].first == key) {
-                promote(set, i);
-                return &set[0].second;
+        const size_t base = indexOf(key) * assoc_;
+        const size_t n = sizes_[indexOf(key)];
+        for (size_t i = 0; i < n; ++i) {
+            if (slots_[base + i].first == key) {
+                promote(base, i);
+                return &slots_[base].second;
             }
         }
         return nullptr;
@@ -82,10 +89,11 @@ class SetAssocTable
     Value *
     find(uint64_t key)
     {
-        auto &set = sets_[indexOf(key)];
-        for (auto &way : set)
-            if (way.first == key)
-                return &way.second;
+        const size_t base = indexOf(key) * assoc_;
+        const size_t n = sizes_[indexOf(key)];
+        for (size_t i = 0; i < n; ++i)
+            if (slots_[base + i].first == key)
+                return &slots_[base + i].second;
         return nullptr;
     }
 
@@ -93,10 +101,11 @@ class SetAssocTable
     const Value *
     find(uint64_t key) const
     {
-        const auto &set = sets_[indexOf(key)];
-        for (const auto &way : set)
-            if (way.first == key)
-                return &way.second;
+        const size_t base = indexOf(key) * assoc_;
+        const size_t n = sizes_[indexOf(key)];
+        for (size_t i = 0; i < n; ++i)
+            if (slots_[base + i].first == key)
+                return &slots_[base + i].second;
         return nullptr;
     }
 
@@ -107,32 +116,80 @@ class SetAssocTable
     std::optional<Eviction>
     insert(uint64_t key, Value value)
     {
-        auto &set = sets_[indexOf(key)];
-        for (size_t i = 0; i < set.size(); ++i) {
-            if (set[i].first == key) {
-                set[i].second = std::move(value);
-                promote(set, i);
+        const size_t si = indexOf(key);
+        const size_t base = si * assoc_;
+        size_t n = sizes_[si];
+        for (size_t i = 0; i < n; ++i) {
+            if (slots_[base + i].first == key) {
+                slots_[base + i].second = std::move(value);
+                promote(base, i);
                 return std::nullopt;
             }
         }
         std::optional<Eviction> victim;
-        if (set.size() >= assoc_) {
-            auto &lru = set.back();
+        if (n >= assoc_) {
+            auto &lru = slots_[base + assoc_ - 1];
             victim = Eviction{lru.first, std::move(lru.second)};
-            set.pop_back();
+            n = assoc_ - 1;
         }
-        set.insert(set.begin(), {key, std::move(value)});
+        // Shift [0, n) one way right, then write the new MRU way.
+        for (size_t i = n; i > 0; --i)
+            slots_[base + i] = std::move(slots_[base + i - 1]);
+        slots_[base].first = key;
+        slots_[base].second = std::move(value);
+        sizes_[si] = (uint32_t)(n + 1);
         return victim;
+    }
+
+    /**
+     * Look up @p key: on a hit promote it to MRU, on a miss insert
+     * @p init as the set's MRU (silently dropping the LRU way of a
+     * full set). One set scan — equivalent to touch() followed by
+     * insert() on miss. The eviction, if any, is reported through
+     * @p evicted when the caller passes one (else discarded).
+     * @return the entry pointer and whether it was newly inserted.
+     */
+    std::pair<Value *, bool>
+    touchOrInsert(uint64_t key, Value init,
+                  std::optional<Eviction> *evicted = nullptr)
+    {
+        const size_t si = indexOf(key);
+        const size_t base = si * assoc_;
+        size_t n = sizes_[si];
+        for (size_t i = 0; i < n; ++i) {
+            if (slots_[base + i].first == key) {
+                promote(base, i);
+                return {&slots_[base].second, false};
+            }
+        }
+        if (n >= assoc_) {
+            if (evicted) {
+                auto &lru = slots_[base + assoc_ - 1];
+                *evicted = Eviction{lru.first, std::move(lru.second)};
+            }
+            n = assoc_ - 1;
+        }
+        for (size_t i = n; i > 0; --i)
+            slots_[base + i] = std::move(slots_[base + i - 1]);
+        slots_[base].first = key;
+        slots_[base].second = std::move(init);
+        sizes_[si] = (uint32_t)(n + 1);
+        return {&slots_[base].second, true};
     }
 
     /** Remove @p key. @return true if it was present. */
     bool
     erase(uint64_t key)
     {
-        auto &set = sets_[indexOf(key)];
-        for (size_t i = 0; i < set.size(); ++i) {
-            if (set[i].first == key) {
-                set.erase(set.begin() + i);
+        const size_t si = indexOf(key);
+        const size_t base = si * assoc_;
+        const size_t n = sizes_[si];
+        for (size_t i = 0; i < n; ++i) {
+            if (slots_[base + i].first == key) {
+                for (size_t j = i + 1; j < n; ++j)
+                    slots_[base + j - 1] = std::move(slots_[base + j]);
+                slots_[base + n - 1] = {};
+                sizes_[si] = (uint32_t)(n - 1);
                 return true;
             }
         }
@@ -143,8 +200,9 @@ class SetAssocTable
     void
     clear()
     {
-        for (auto &set : sets_)
-            set.clear();
+        for (auto &slot : slots_)
+            slot = {};
+        sizes_.assign(numSets_, 0);
     }
 
     /** @return current number of valid entries across all sets. */
@@ -152,8 +210,8 @@ class SetAssocTable
     size() const
     {
         size_t n = 0;
-        for (const auto &set : sets_)
-            n += set.size();
+        for (uint32_t s : sizes_)
+            n += s;
         return n;
     }
 
@@ -174,9 +232,10 @@ class SetAssocTable
     void
     forEach(Fn &&fn)
     {
-        for (auto &set : sets_)
-            for (auto &way : set)
-                fn(way.first, way.second);
+        for (size_t si = 0; si < numSets_; ++si)
+            for (size_t i = 0; i < sizes_[si]; ++i)
+                fn(slots_[si * assoc_ + i].first,
+                   slots_[si * assoc_ + i].second);
     }
 
     /** Const variant of forEach(): (uint64_t key, const Value&). */
@@ -184,9 +243,10 @@ class SetAssocTable
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &set : sets_)
-            for (const auto &way : set)
-                fn(way.first, way.second);
+        for (size_t si = 0; si < numSets_; ++si)
+            for (size_t i = 0; i < sizes_[si]; ++i)
+                fn(slots_[si * assoc_ + i].first,
+                   slots_[si * assoc_ + i].second);
     }
 
     /**
@@ -197,15 +257,16 @@ class SetAssocTable
     bool
     auditIntegrity() const
     {
-        for (size_t si = 0; si < sets_.size(); ++si) {
-            const auto &set = sets_[si];
-            if (set.size() > assoc_)
+        for (size_t si = 0; si < numSets_; ++si) {
+            const size_t n = sizes_[si];
+            const size_t base = si * assoc_;
+            if (n > assoc_)
                 return false;
-            for (size_t i = 0; i < set.size(); ++i) {
-                if (indexOf(set[i].first) != si)
+            for (size_t i = 0; i < n; ++i) {
+                if (indexOf(slots_[base + i].first) != si)
                     return false;
-                for (size_t j = i + 1; j < set.size(); ++j)
-                    if (set[j].first == set[i].first)
+                for (size_t j = i + 1; j < n; ++j)
+                    if (slots_[base + j].first == slots_[base + i].first)
                         return false;
             }
         }
@@ -222,11 +283,11 @@ class SetAssocTable
     {
         w.u64(numSets_);
         w.u64(assoc_);
-        for (const auto &set : sets_) {
-            w.u32((uint32_t)set.size());
-            for (const auto &way : set) {
-                w.u64(way.first);
-                saveValue(w, way.second);
+        for (size_t si = 0; si < numSets_; ++si) {
+            w.u32(sizes_[si]);
+            for (size_t i = 0; i < sizes_[si]; ++i) {
+                w.u64(slots_[si * assoc_ + i].first);
+                saveValue(w, slots_[si * assoc_ + i].second);
             }
         }
     }
@@ -246,13 +307,12 @@ class SetAssocTable
             return Status::failedPrecondition(
                 "table snapshot has a different geometry");
         }
-        for (size_t si = 0; si < sets_.size(); ++si) {
+        for (size_t si = 0; si < numSets_; ++si) {
             uint32_t ways = 0;
             RARPRED_RETURN_IF_ERROR(r.u32(&ways));
             if (ways > assoc_)
                 return Status::corruption("set image over associativity");
-            Set loaded;
-            loaded.reserve(assoc_);
+            const size_t base = si * assoc_;
             for (uint32_t i = 0; i < ways; ++i) {
                 uint64_t key = 0;
                 Value value{};
@@ -261,32 +321,35 @@ class SetAssocTable
                 if (indexOf(key) != si)
                     return Status::corruption(
                         "set image tag indexes a different set");
-                loaded.emplace_back(key, std::move(value));
+                slots_[base + i] = {key, std::move(value)};
             }
-            sets_[si] = std::move(loaded);
+            for (size_t i = ways; i < assoc_; ++i)
+                slots_[base + i] = {};
+            sizes_[si] = ways;
         }
         return Status{};
     }
 
   private:
-    using Set = std::vector<std::pair<uint64_t, Value>>;
-
     size_t indexOf(uint64_t key) const { return key & indexMask_; }
 
-    static void
-    promote(Set &set, size_t i)
+    /** Rotate way @p i of the set at @p base to the MRU position. */
+    void
+    promote(size_t base, size_t i)
     {
         if (i == 0)
             return;
-        auto entry = std::move(set[i]);
-        set.erase(set.begin() + i);
-        set.insert(set.begin(), std::move(entry));
+        auto entry = std::move(slots_[base + i]);
+        for (size_t j = i; j > 0; --j)
+            slots_[base + j] = std::move(slots_[base + j - 1]);
+        slots_[base] = std::move(entry);
     }
 
     size_t assoc_;
     size_t numSets_;
     uint64_t indexMask_;
-    std::vector<Set> sets_;
+    std::vector<std::pair<uint64_t, Value>> slots_;
+    std::vector<uint32_t> sizes_;
 };
 
 } // namespace rarpred

@@ -141,13 +141,21 @@ struct LoadOutcome
 };
 
 /** The cloaking mechanism. */
-class CloakingEngine : public TraceSink
+class CloakingEngine final : public TraceSink
 {
   public:
     explicit CloakingEngine(const CloakingConfig &config);
 
     /** Process one committed instruction. */
     void onInst(const DynInst &di) override { (void)processInst(di); }
+
+    /** Batched feed: one virtual call per block (class is final). */
+    void
+    onBatch(const DynInst *batch, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            (void)processInst(batch[i]);
+    }
 
     /**
      * Process one committed instruction and report what happened to

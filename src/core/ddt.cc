@@ -46,20 +46,29 @@ DependenceDetector::onLoad(uint64_t pc, uint64_t addr)
         }
         if (!config_.trackLoads)
             return std::nullopt;
-        if (Entry *e = loadTable_.touch(line))
+        // Single-probe hit-or-record: a hit keeps the first load as
+        // the producer, a miss records this load.
+        auto [e, inserted] = loadTable_.touchOrInsert(line, Entry{false, pc});
+        if (!inserted)
             return Dependence{DepType::Rar, e->pc, pc};
-        loadTable_.insert(line, Entry{false, pc});
         return std::nullopt;
     }
 
-    Entry *e = table_.touch(line);
-    if (e) {
+    if (!config_.trackLoads) {
+        Entry *e = table_.touch(line);
+        if (e) {
+            if (e->isStore)
+                return Dependence{DepType::Raw, e->pc, pc};
+            return Dependence{DepType::Rar, e->pc, pc};
+        }
+        return std::nullopt;
+    }
+    auto [e, inserted] = table_.touchOrInsert(line, Entry{false, pc});
+    if (!inserted) {
         if (e->isStore)
             return Dependence{DepType::Raw, e->pc, pc};
         return Dependence{DepType::Rar, e->pc, pc};
     }
-    if (config_.trackLoads)
-        table_.insert(line, Entry{false, pc});
     return std::nullopt;
 }
 

@@ -28,7 +28,7 @@
 #include <cstdint>
 #include <optional>
 
-#include "common/lru_table.hh"
+#include "common/flat_table.hh"
 #include "core/dependence.hh"
 
 namespace rarpred {
@@ -116,6 +116,14 @@ class DependenceDetector
     /** Monotone count of mutating observations (for CRC audits). */
     uint64_t mutations() const { return mutations_; }
 
+    /**
+     * Probe-path counters of the shared (or store) table; with
+     * separateTables the load table's counters are reported
+     * separately by loadProbeStats().
+     */
+    ProbeStats probeStats() const { return table_.probeStats(); }
+    ProbeStats loadProbeStats() const { return loadTable_.probeStats(); }
+
     const DdtConfig &config() const { return config_; }
 
   private:
@@ -133,9 +141,9 @@ class DependenceDetector
 
     DdtConfig config_;
     /** Shared table, or the store table when separateTables. */
-    FullyAssocLruTable<uint64_t, Entry> table_;
+    FlatLruTable<Entry> table_;
     /** Load table, used only when separateTables. */
-    FullyAssocLruTable<uint64_t, Entry> loadTable_;
+    FlatLruTable<Entry> loadTable_;
     uint64_t mutations_ = 0;
 };
 

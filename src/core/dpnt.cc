@@ -26,11 +26,7 @@ Dpnt::lookup(uint64_t pc)
 DpntEntry *
 Dpnt::findOrInsert(uint64_t pc)
 {
-    const uint64_t key = pc >> 2;
-    if (DpntEntry *e = table_.touch(key))
-        return e;
-    table_.insert(key, DpntEntry{});
-    return table_.find(key);
+    return table_.touchOrInsert(pc >> 2, DpntEntry{}).first;
 }
 
 void
@@ -49,8 +45,8 @@ Dpnt::train(const Dependence &dep)
     // Ensure both entries exist first: inserting the second can move
     // or evict the first within its set, so pointers are only taken
     // afterwards, via non-mutating finds.
-    findOrInsert(dep.sourcePc);
-    findOrInsert(dep.sinkPc);
+    table_.touchOrInsert(dep.sourcePc >> 2, DpntEntry{});
+    table_.touchOrInsert(dep.sinkPc >> 2, DpntEntry{});
     DpntEntry *src = table_.find(dep.sourcePc >> 2);
     DpntEntry *sink = table_.find(dep.sinkPc >> 2);
     if (!src || !sink) {

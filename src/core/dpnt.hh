@@ -173,6 +173,9 @@ class Dpnt
     /** Monotone count of mutating operations (for CRC audits). */
     uint64_t mutations() const { return mutations_; }
 
+    /** Probe-path counters / fill of the underlying table. */
+    ProbeStats probeStats() const { return table_.probeStats(); }
+
     void clear();
 
   private:

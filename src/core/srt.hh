@@ -149,6 +149,9 @@ class SynonymRenameTable
     /** Monotone count of mutating operations (for CRC audits). */
     uint64_t mutations() const { return mutations_; }
 
+    /** Probe-path counters / fill of the underlying table. */
+    ProbeStats probeStats() const { return table_.probeStats(); }
+
   private:
     HybridTable<uint64_t> table_;
     uint64_t renames_ = 0;

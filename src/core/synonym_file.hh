@@ -198,6 +198,9 @@ class SynonymFile
     /** Monotone count of mutating operations (for CRC audits). */
     uint64_t mutations() const { return mutations_; }
 
+    /** Probe-path counters / fill of the underlying table. */
+    ProbeStats probeStats() const { return table_.probeStats(); }
+
   private:
     HybridTable<SfEntry> table_;
     uint64_t mutations_ = 0;

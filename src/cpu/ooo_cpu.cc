@@ -17,10 +17,23 @@ OooCpu::OooCpu(const CpuConfig &config, const CloakTimingConfig &cloak)
                        config.branchHistoryBits),
       ras_(config.rasDepth), fetchBw_(config.fetchWidth),
       issueBw_(config.issueWidth), lsqBw_(config.lsqPorts),
-      commitBw_(config.commitWidth), valueTime_(kValueRing, 0),
-      valueSeq_(kValueRing, ~0ull), commitTime_(kValueRing, 0),
-      commitSeq_(kValueRing, ~0ull), srt_({0, 0})
+      commitBw_(config.commitWidth), srt_({0, 0})
 {
+    // All per-instruction dynamic state comes out of the arena, once.
+    // The rings hold one element beyond their logical bound because
+    // each push happens before the corresponding pop. The store-queue
+    // ring is sized for the restoreState guard (windowSize) as well
+    // as the steady-state bound (lsqSize).
+    commitRing_.init(arena_, (size_t)config.windowSize + 1);
+    storeQueue_.init(
+        arena_,
+        (size_t)std::max(config.windowSize, config.lsqSize) + 1);
+    valueTime_ = arena_.allocateArray<uint64_t>(kValueRing);
+    valueSeq_ = arena_.allocateArray<uint64_t>(kValueRing);
+    commitTime_ = arena_.allocateArray<uint64_t>(kValueRing);
+    commitSeq_ = arena_.allocateArray<uint64_t>(kValueRing);
+    std::fill_n(valueSeq_, kValueRing, ~0ull);
+    std::fill_n(commitSeq_, kValueRing, ~0ull);
 }
 
 OooCpu::~OooCpu() = default;
@@ -145,6 +158,13 @@ OooCpu::pruneBandwidth()
     issueBw_.prune(floor);
     lsqBw_.prune(floor);
     commitBw_.prune(floor);
+}
+
+void
+OooCpu::onBatch(const DynInst *batch, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        onInst(batch[i]);
 }
 
 void
@@ -281,12 +301,18 @@ OooCpu::onInst(const DynInst &di)
             std::max(dispatch, spec_of(di.src2)) + rd;
         const uint64_t data_arch =
             std::max(dispatch, arch_of(di.src2)) + rd;
+        storeByAddr_.findOrInsert(di.eaddr, 0) =
+            storesPopped_ + storeQueue_.size();
         storeQueue_.push_back(
             {di.seq, di.pc, di.eaddr, sched, data_spec, data_arch});
         if (storeQueue_.size() > config_.lsqSize) {
             const StoreRecord &old = storeQueue_.front();
             if (config_.memDep == MemDepPolicy::StoreSets)
                 storeSets_.onStoreRetire(old.pc, old.seq);
+            if (const uint64_t *ord = storeByAddr_.find(old.addr);
+                ord && *ord == storesPopped_)
+                storeByAddr_.erase(old.addr);
+            ++storesPopped_;
             storeQueue_.pop_front();
         }
         storeAddrReadyMax_ = std::max(storeAddrReadyMax_, sched);
@@ -349,14 +375,11 @@ OooCpu::onInst(const DynInst &di)
 OooCpu::LoadTiming
 OooCpu::loadCompleteCycle(const DynInst &di, uint64_t sched)
 {
-    // Find the youngest prior store to the same word.
+    // Find the youngest prior store to the same word via the addr
+    // index; its ordinal locates the record without scanning.
     const StoreRecord *conflict = nullptr;
-    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
-        if (it->addr == di.eaddr) {
-            conflict = &*it;
-            break;
-        }
-    }
+    if (const uint64_t *ord = storeByAddr_.find(di.eaddr))
+        conflict = &storeQueue_[*ord - storesPopped_];
 
     if (conflict) {
         if (conflict->addrReady <= sched) {
@@ -392,10 +415,18 @@ OooCpu::loadCompleteCycle(const DynInst &di, uint64_t sched)
 const OooCpu::StoreRecord *
 OooCpu::findStoreBySeq(uint64_t seq) const
 {
-    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it)
-        if (it->seq == seq)
-            return &*it;
+    for (size_t i = storeQueue_.size(); i-- > 0;)
+        if (storeQueue_[i].seq == seq)
+            return &storeQueue_[i];
     return nullptr;
+}
+
+OooCpu::HotPathLoads
+OooCpu::hotPathLoads() const
+{
+    return {srt_.probeStats(),    fetchBw_.probeStats(),
+            issueBw_.probeStats(), lsqBw_.probeStats(),
+            commitBw_.probeStats(), arena_.bytesReserved()};
 }
 
 CpuStats
@@ -423,11 +454,12 @@ OooCpu::saveState(StateWriter &w) const
     lsqBw_.saveState(w);
     commitBw_.saveState(w);
     w.u64(commitRing_.size());
-    for (uint64_t cycle : commitRing_)
-        w.u64(cycle);
+    for (size_t i = 0; i < commitRing_.size(); ++i)
+        w.u64(commitRing_[i]);
     w.u64(lastCommit_);
     w.u64(storeQueue_.size());
-    for (const StoreRecord &s : storeQueue_) {
+    for (size_t i = 0; i < storeQueue_.size(); ++i) {
+        const StoreRecord &s = storeQueue_[i];
         w.u64(s.seq);
         w.u64(s.pc);
         w.u64(s.addr);
@@ -508,6 +540,10 @@ OooCpu::restoreState(StateReader &r)
         RARPRED_RETURN_IF_ERROR(r.u64(&s.dataReadyArch));
         storeQueue_.push_back(s);
     }
+    storeByAddr_.clear();
+    storesPopped_ = 0;
+    for (size_t i = 0; i < storeQueue_.size(); ++i)
+        storeByAddr_.findOrInsert(storeQueue_[i].addr, 0) = i;
     RARPRED_RETURN_IF_ERROR(r.u64(&storeAddrReadyMax_));
     for (size_t i = 0; i < kValueRing; ++i) {
         RARPRED_RETURN_IF_ERROR(r.u64(&valueTime_[i]));

@@ -26,11 +26,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/flat_table.hh"
 #include "core/srt.hh"
 #include "cpu/cpu_config.hh"
 #include "predictor/branch_predictor.hh"
@@ -40,7 +40,7 @@
 namespace rarpred {
 
 /** The timing model. */
-class OooCpu : public TraceSink
+class OooCpu final : public TraceSink
 {
   public:
     OooCpu(const CpuConfig &config, const CloakTimingConfig &cloak);
@@ -48,6 +48,13 @@ class OooCpu : public TraceSink
 
     /** Feed the next committed instruction. */
     void onInst(const DynInst &di) override;
+
+    /**
+     * Batched feed: identical per-record semantics to onInst(), but
+     * the virtual dispatch happens once per block instead of once per
+     * record (the class is final, so the inner calls devirtualize).
+     */
+    void onBatch(const DynInst *batch, size_t n) override;
 
     /** @return statistics; cycles is the commit time of the last inst. */
     CpuStats stats() const;
@@ -57,6 +64,18 @@ class OooCpu : public TraceSink
 
     /** Bypassing structure, exposed for the online invariant auditor. */
     SynonymRenameTable &srt() { return srt_; }
+
+    /** Measured load/probe stats of the hot-path tables. */
+    struct HotPathLoads
+    {
+        ProbeStats srt;
+        ProbeStats fetchBw;
+        ProbeStats issueBw;
+        ProbeStats lsqBw;
+        ProbeStats commitBw;
+        size_t arenaReservedBytes = 0;
+    };
+    HotPathLoads hotPathLoads() const;
 
     /**
      * Serialize the complete timing state: the cloaking engine, the
@@ -70,7 +89,27 @@ class OooCpu : public TraceSink
     Status restoreState(StateReader &r);
 
   private:
-    /** A width-limited resource: at most `width` events per cycle. */
+    /**
+     * A width-limited resource: at most `width` events per cycle.
+     * Accounting lives in a FlatMap: allocate() is a short linear
+     * probe instead of an unordered_map node allocation, and prune()
+     * leaves tombstones that the map purges in place (same prune
+     * cadence and floor as ever — allocation results are identical).
+     */
+    /**
+     * Per-resource width accounting over cycles.
+     *
+     * Cycle keys are dense and near-monotone and prune() discards
+     * everything below a trailing floor, so the counts live in a
+     * power-of-two ring of per-cycle counters indexed by
+     * `cycle & mask` over [base_, base_ + capacity): allocate() is a
+     * bounds check plus one counter increment, with no hashing,
+     * probing or tombstones, and prune() is a sequential zeroing of
+     * the vacated range. The rare request below base_ (possible only
+     * right after a prune or a restore) falls through to an exact
+     * FlatMap so allocate() results, size() and the sorted
+     * saveState() image stay bit-identical to a plain map.
+     */
     class BandwidthLimiter
     {
       public:
@@ -80,44 +119,68 @@ class OooCpu : public TraceSink
         uint64_t
         allocate(uint64_t request)
         {
-            uint64_t cycle = request;
-            while (true) {
-                auto [it, inserted] = used_.try_emplace(cycle, 0);
-                if (it->second < width_) {
-                    ++it->second;
-                    return cycle;
+            ++lookups_;
+            if (request < base_) [[unlikely]] {
+                for (uint64_t cycle = request; cycle < base_; ++cycle) {
+                    unsigned &count = low_.findOrInsert(cycle, 0);
+                    if (count < width_) {
+                        ++count;
+                        return noteProbe(request, cycle);
+                    }
                 }
-                ++cycle;
+                return ringAllocate(request, base_);
             }
+            return ringAllocate(request, request);
         }
 
         /** Forget accounting for cycles below @p floor. */
         void
         prune(uint64_t floor)
         {
-            for (auto it = used_.begin(); it != used_.end();) {
-                if (it->first < floor)
-                    it = used_.erase(it);
-                else
-                    ++it;
+            low_.eraseIf(
+                [floor](uint64_t cycle, unsigned) { return cycle < floor; });
+            if (floor <= base_ || counts_.empty()) {
+                base_ = std::max(base_, floor);
+                return;
             }
+            const uint64_t end = top_ < floor ? top_ + 1 : floor;
+            for (uint64_t cycle = base_; cycle < end; ++cycle) {
+                uint32_t &count = counts_[cycle & mask_];
+                live_ -= (count != 0);
+                count = 0;
+            }
+            base_ = floor;
         }
 
-        size_t size() const { return used_.size(); }
+        size_t size() const { return low_.size() + live_; }
+
+        /** Probe-path counters / fill of the accounting window. */
+        ProbeStats
+        probeStats() const
+        {
+            return {lookups_, probes_,           maxProbe_,
+                    resizes_, low_.size() + live_, counts_.size()};
+        }
 
         /** Serialize sorted by cycle: the image must be byte-stable. */
         void
         saveState(StateWriter &w) const
         {
             std::vector<uint64_t> cycles;
-            cycles.reserve(used_.size());
-            for (const auto &[cycle, count] : used_)
+            cycles.reserve(low_.size() + live_);
+            low_.forEach([&](uint64_t cycle, const unsigned &) {
                 cycles.push_back(cycle);
+            });
+            if (!counts_.empty())
+                for (uint64_t cycle = base_; cycle <= top_; ++cycle)
+                    if (counts_[cycle & mask_] != 0)
+                        cycles.push_back(cycle);
             std::sort(cycles.begin(), cycles.end());
             w.u64(cycles.size());
             for (uint64_t cycle : cycles) {
                 w.u64(cycle);
-                w.u32(used_.find(cycle)->second);
+                w.u32(cycle < base_ ? *low_.find(cycle)
+                                    : counts_[cycle & mask_]);
             }
         }
 
@@ -126,20 +189,194 @@ class OooCpu : public TraceSink
         {
             uint64_t size = 0;
             RARPRED_RETURN_IF_ERROR(r.u64(&size));
-            used_.clear();
+            low_.clear();
+            std::fill(counts_.begin(), counts_.end(), 0);
+            live_ = 0;
+            base_ = 0;
+            top_ = 0;
+            bool first = true;
             for (uint64_t i = 0; i < size; ++i) {
                 uint64_t cycle = 0;
                 uint32_t count = 0;
                 RARPRED_RETURN_IF_ERROR(r.u64(&cycle));
                 RARPRED_RETURN_IF_ERROR(r.u32(&count));
-                used_[cycle] = count;
+                if (first) {
+                    base_ = cycle;
+                    top_ = cycle;
+                    first = false;
+                }
+                if (cycle < base_) { // unsorted image: exact fallback
+                    low_.insert(cycle, count);
+                    continue;
+                }
+                if (cycle - base_ >= counts_.size())
+                    growTo(cycle);
+                uint32_t &slot = counts_[cycle & mask_];
+                live_ += (slot == 0 && count != 0);
+                slot = count;
+                if (cycle > top_)
+                    top_ = cycle;
+            }
+            return Status{};
+        }
+
+      private:
+        uint64_t
+        ringAllocate(uint64_t request, uint64_t cycle)
+        {
+            while (true) {
+                if (cycle - base_ >= counts_.size()) [[unlikely]]
+                    growTo(cycle);
+                uint32_t &count = counts_[cycle & mask_];
+                if (count < width_) {
+                    live_ += (count == 0);
+                    ++count;
+                    if (cycle > top_)
+                        top_ = cycle;
+                    return noteProbe(request, cycle);
+                }
+                ++cycle;
+            }
+        }
+
+        uint64_t
+        noteProbe(uint64_t request, uint64_t cycle)
+        {
+            const uint64_t len = cycle - request + 1;
+            probes_ += len;
+            if (len > maxProbe_)
+                maxProbe_ = len;
+            return cycle;
+        }
+
+        /** Widen the window so @p cycle is representable. */
+        void
+        growTo(uint64_t cycle)
+        {
+            const uint64_t span = cycle - base_ + 1;
+            size_t cap = counts_.empty() ? size_t{1} << 13 : counts_.size();
+            while (cap < span * 2)
+                cap <<= 1;
+            std::vector<uint32_t> next(cap, 0);
+            const uint64_t nmask = cap - 1;
+            if (!counts_.empty())
+                for (uint64_t c = base_; c <= top_; ++c)
+                    next[c & nmask] = counts_[c & mask_];
+            counts_ = std::move(next);
+            mask_ = nmask;
+            ++resizes_;
+        }
+
+        unsigned width_;
+        std::vector<uint32_t> counts_; ///< pow-2 ring of per-cycle counts
+        uint64_t mask_ = 0;
+        uint64_t base_ = 0; ///< lowest cycle the ring represents
+        uint64_t top_ = 0;  ///< highest cycle ever counted
+        size_t live_ = 0;   ///< nonzero ring slots
+        FlatMap<unsigned> low_; ///< exact counts below base_ (rare)
+        uint64_t lookups_ = 0;
+        uint64_t probes_ = 0;
+        uint64_t maxProbe_ = 0;
+        uint64_t resizes_ = 0;
+    };
+
+    /**
+     * Width accounting for a strictly front-running request stream.
+     *
+     * Fetch and commit feed each allocation back into the next
+     * request (request >= the previous result), so counts below the
+     * newest allocated cycle can never be consulted again and the
+     * whole map collapses to (cycle, count-at-cycle) — two words, no
+     * ring, nothing to prune. The monotonicity contract is asserted
+     * on every call: a violating caller panics instead of silently
+     * diverging from the map semantics.
+     */
+    class MonotoneBandwidthLimiter
+    {
+      public:
+        explicit MonotoneBandwidthLimiter(unsigned width)
+            : width_(width)
+        {
+        }
+
+        /** @return the first cycle >= request with a free slot. */
+        uint64_t
+        allocate(uint64_t request)
+        {
+            ++lookups_;
+            rarpred_assert(request >= cycle_);
+            if (request > cycle_) {
+                cycle_ = request;
+                count_ = 1;
+                probes_ += 1;
+                return request;
+            }
+            uint64_t len = 1;
+            if (count_ < width_) {
+                ++count_;
+            } else { // cycle saturated: step to the next one
+                ++cycle_;
+                count_ = 1;
+                len = 2;
+            }
+            probes_ += len;
+            if (len > maxProbe_)
+                maxProbe_ = len;
+            return cycle_;
+        }
+
+        /** Nothing below cycle_ is reachable; nothing to forget. */
+        void prune(uint64_t) {}
+
+        size_t size() const { return count_ != 0 ? 1 : 0; }
+
+        ProbeStats
+        probeStats() const
+        {
+            return {lookups_, probes_, maxProbe_, 0, size(), size_t{1}};
+        }
+
+        /** Same self-describing (cycle, count) list as the map form. */
+        void
+        saveState(StateWriter &w) const
+        {
+            w.u64(count_ != 0 ? 1 : 0);
+            if (count_ != 0) {
+                w.u64(cycle_);
+                w.u32(count_);
+            }
+        }
+
+        Status
+        restoreState(StateReader &r)
+        {
+            uint64_t size = 0;
+            RARPRED_RETURN_IF_ERROR(r.u64(&size));
+            cycle_ = 0;
+            count_ = 0;
+            // A legacy multi-entry image may carry counts below its
+            // newest cycle; those are unreachable under the monotone
+            // contract, so only the newest entry survives.
+            for (uint64_t i = 0; i < size; ++i) {
+                uint64_t cycle = 0;
+                uint32_t count = 0;
+                RARPRED_RETURN_IF_ERROR(r.u64(&cycle));
+                RARPRED_RETURN_IF_ERROR(r.u32(&count));
+                if (cycle >= cycle_) {
+                    cycle_ = cycle;
+                    count_ = count;
+                }
             }
             return Status{};
         }
 
       private:
         unsigned width_;
-        std::unordered_map<uint64_t, unsigned> used_;
+        uint64_t cycle_ = 0; ///< newest allocated cycle
+        uint32_t count_ = 0; ///< allocations at cycle_
+        uint64_t lookups_ = 0;
+        uint64_t probes_ = 0;
+        uint64_t maxProbe_ = 0;
     };
 
     /** An in-flight store tracked by the load/store scheduler. */
@@ -184,6 +421,13 @@ class OooCpu : public TraceSink
 
     CpuConfig config_;
     CloakTimingConfig cloakConfig_;
+    /**
+     * Arena backing all per-instruction dynamic state: the commit
+     * ring, the in-flight store queue, and the value/commit
+     * completion rings. Carved once at construction; the steady-state
+     * simulate loop never allocates.
+     */
+    Arena arena_;
     std::unique_ptr<CloakingEngine> engine_;
     MemorySystem memory_;
     CombinedPredictor branchPredictor_;
@@ -196,26 +440,38 @@ class OooCpu : public TraceSink
 
     // Front end state.
     uint64_t fetchRedirect_ = 0; ///< earliest fetch cycle (mispredicts)
-    BandwidthLimiter fetchBw_;
+    MonotoneBandwidthLimiter fetchBw_;
     BandwidthLimiter issueBw_;
     BandwidthLimiter lsqBw_;
-    BandwidthLimiter commitBw_;
+    MonotoneBandwidthLimiter commitBw_;
 
     // Window occupancy: commit cycles of the last windowSize insts.
-    std::deque<uint64_t> commitRing_;
+    ArenaRing<uint64_t> commitRing_;
     uint64_t lastCommit_ = 0;
 
     // In-flight stores (bounded by window size).
-    std::deque<StoreRecord> storeQueue_;
+    ArenaRing<StoreRecord> storeQueue_;
     /** Prefix-max of store address-ready times (conservative mode). */
     uint64_t storeAddrReadyMax_ = 0;
+    /**
+     * addr -> ordinal of the youngest in-queue store to that word
+     * (ordinal - storesPopped_ = position in storeQueue_), so the
+     * per-load conflict probe is one map lookup instead of a reverse
+     * scan of the queue. Derived state: rebuilt on restore, never
+     * serialized. When the mapped store leaves the queue every older
+     * same-address store is already gone (the queue is FIFO), so a
+     * missing key exactly means "no prior store to this word".
+     */
+    FlatMap<uint64_t> storeByAddr_;
+    uint64_t storesPopped_ = 0; ///< ordinal of storeQueue_'s front
 
-    // Completion and commit times of recent instructions, by seq.
+    // Completion and commit times of recent instructions, by seq;
+    // arena-backed arrays of kValueRing entries each.
     static constexpr size_t kValueRing = 1 << 15;
-    std::vector<uint64_t> valueTime_;
-    std::vector<uint64_t> valueSeq_;
-    std::vector<uint64_t> commitTime_;
-    std::vector<uint64_t> commitSeq_;
+    uint64_t *valueTime_ = nullptr;
+    uint64_t *valueSeq_ = nullptr;
+    uint64_t *commitTime_ = nullptr;
+    uint64_t *commitSeq_ = nullptr;
 
     /** The bypassing structure: synonym -> in-flight producer. */
     SynonymRenameTable srt_;

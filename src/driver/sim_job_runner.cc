@@ -116,6 +116,23 @@ class WatchdogTraceSource : public TraceSource
         return inner_.next(di);
     }
 
+    /**
+     * Batched pump path: the deadline check keeps the same cadence as
+     * next() — at most kCheckInterval records between wall-clock
+     * reads — while forwarding the block decode to the real cursor.
+     */
+    size_t
+    nextBlock(DynInst *out, size_t max) override
+    {
+        sinceCheck_ += max;
+        if (sinceCheck_ >= kCheckInterval) {
+            sinceCheck_ = 0;
+            if (std::chrono::steady_clock::now() > deadline_)
+                throw JobDeadlineExceeded{};
+        }
+        return inner_.nextBlock(out, max);
+    }
+
     /** Snapshot-restore fallback must reach the real cursor. */
     bool rewindToStart() override { return inner_.rewindToStart(); }
 

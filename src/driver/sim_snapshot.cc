@@ -417,7 +417,7 @@ pumpSimulation(TraceSource &source, TraceSink &sink)
     const bool auditing =
         ctx != nullptr && ctx->auditEvery > 0 && engine != nullptr;
     if (!snapshotting && !auditing)
-        return drainTrace(source, sink);
+        return drainTraceBatched(source, sink);
 
     AuditCounters *counters = ctx->counters;
     uint64_t consumed = 0;

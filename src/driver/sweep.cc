@@ -237,7 +237,8 @@ sweepUsage()
         "  --deadline-ms=N          per-attempt watchdog deadline\n"
         "  --retry-backoff-ms=N     base backoff before retries\n"
         "  --trace-budget=N         max resident traces in the cache\n"
-        "  --trace-budget-bytes=N   max resident trace bytes\n"
+        "  --trace-budget-bytes=N   max resident trace bytes (full\n"
+        "                           footprint incl. trace headers)\n"
         "  --journal=PATH           checkpoint completed jobs to PATH\n"
         "  --resume[=PATH]          resume an interrupted sweep\n"
         "  --snapshot-dir=DIR       per-job epoch snapshots in DIR\n"

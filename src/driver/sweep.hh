@@ -58,7 +58,8 @@ struct SweepIo
  *   --deadline-ms=N            per-attempt watchdog deadline
  *   --retry-backoff-ms=N       base backoff before retries
  *   --trace-budget=N           max resident traces in the cache
- *   --trace-budget-bytes=N     max resident trace bytes
+ *   --trace-budget-bytes=N     max resident trace bytes (full
+ *                              in-memory footprint incl. headers)
  *   --journal=PATH             checkpoint completed jobs to PATH
  *   --resume[=PATH]            resume from the journal
  *   --help | -h                print usage

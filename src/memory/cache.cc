@@ -17,15 +17,17 @@ Cache::access(uint64_t addr, bool is_write,
               std::optional<Writeback> *writeback)
 {
     const uint64_t block = blockOf(addr);
-    if (LineMeta *line = tags_.touch(block)) {
+    std::optional<SetAssocTable<LineMeta>::Eviction> evicted;
+    auto [line, miss] = tags_.touchOrInsert(block, LineMeta{is_write},
+                                            writeback ? &evicted : nullptr);
+    if (!miss) {
         ++hits_;
         if (is_write)
             line->dirty = true;
         return true;
     }
     ++misses_;
-    auto evicted = tags_.insert(block, LineMeta{is_write});
-    if (writeback && evicted && evicted->value.dirty)
+    if (evicted && evicted->value.dirty)
         *writeback = Writeback{evicted->key << blockBits_};
     return false;
 }

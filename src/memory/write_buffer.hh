@@ -9,7 +9,7 @@
 #define RARPRED_MEMORY_WRITE_BUFFER_HH_
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/bitutils.hh"
 #include "common/statesave.hh"
@@ -25,6 +25,10 @@ namespace rarpred {
  * buffer (hit-on-miss support). The buffer drains one block per
  * drainLatency cycles; when full, a new store stalls until the oldest
  * entry drains.
+ *
+ * Entries live in a ring over storage allocated once at construction
+ * (the deque this replaced allocated chunk blocks in steady state;
+ * the hot loop must not touch the heap).
  */
 class WriteBuffer
 {
@@ -38,7 +42,13 @@ class WriteBuffer
                 unsigned drain_latency)
         : capacity_(capacity), blockBits_(floorLog2(block_bytes)),
           drainLatency_(drain_latency)
-    {}
+    {
+        size_t slots = 1;
+        while (slots < capacity_)
+            slots <<= 1;
+        ring_.assign(slots, Entry{});
+        mask_ = slots - 1;
+    }
 
     /**
      * Insert a block write at @p cycle.
@@ -50,22 +60,23 @@ class WriteBuffer
     {
         const uint64_t block = addr >> blockBits_;
         drainUpTo(cycle);
-        for (auto &e : entries_) {
-            if (e.block == block) {
+        for (size_t i = 0; i < size_; ++i) {
+            if (at(i).block == block) {
                 ++combines_;
                 return cycle; // write combining
             }
         }
         uint64_t ready = cycle;
-        if (entries_.size() >= capacity_) {
+        if (size_ >= capacity_) {
             // Stall until the oldest entry finishes draining.
-            ready = entries_.front().drainDone;
+            ready = at(0).drainDone;
             drainUpTo(ready);
             ++fullStalls_;
         }
         const uint64_t start =
-            entries_.empty() ? ready : entries_.back().drainDone;
-        entries_.push_back({block, start + drainLatency_});
+            size_ == 0 ? ready : at(size_ - 1).drainDone;
+        ring_[(head_ + size_) & mask_] = {block, start + drainLatency_};
+        ++size_;
         return ready;
     }
 
@@ -75,23 +86,23 @@ class WriteBuffer
     {
         drainUpTo(cycle);
         const uint64_t block = addr >> blockBits_;
-        for (const auto &e : entries_)
-            if (e.block == block)
+        for (size_t i = 0; i < size_; ++i)
+            if (at(i).block == block)
                 return true;
         return false;
     }
 
-    size_t occupancy() const { return entries_.size(); }
+    size_t occupancy() const { return size_; }
     uint64_t combines() const { return combines_.value(); }
     uint64_t fullStalls() const { return fullStalls_.value(); }
 
     void
     saveState(StateWriter &w) const
     {
-        w.u64(entries_.size());
-        for (const Entry &e : entries_) {
-            w.u64(e.block);
-            w.u64(e.drainDone);
+        w.u64(size_);
+        for (size_t i = 0; i < size_; ++i) {
+            w.u64(at(i).block);
+            w.u64(at(i).drainDone);
         }
         w.u64(combines_.value());
         w.u64(fullStalls_.value());
@@ -104,12 +115,13 @@ class WriteBuffer
         RARPRED_RETURN_IF_ERROR(r.u64(&size));
         if (size > capacity_)
             return Status::corruption("write buffer image over capacity");
-        entries_.clear();
+        head_ = 0;
+        size_ = 0;
         for (uint64_t i = 0; i < size; ++i) {
             Entry e{};
             RARPRED_RETURN_IF_ERROR(r.u64(&e.block));
             RARPRED_RETURN_IF_ERROR(r.u64(&e.drainDone));
-            entries_.push_back(e);
+            ring_[size_++] = e;
         }
         uint64_t combines = 0, stalls = 0;
         RARPRED_RETURN_IF_ERROR(r.u64(&combines));
@@ -128,17 +140,25 @@ class WriteBuffer
         uint64_t drainDone;
     };
 
+    Entry &at(size_t i) { return ring_[(head_ + i) & mask_]; }
+    const Entry &at(size_t i) const { return ring_[(head_ + i) & mask_]; }
+
     void
     drainUpTo(uint64_t cycle)
     {
-        while (!entries_.empty() && entries_.front().drainDone <= cycle)
-            entries_.pop_front();
+        while (size_ > 0 && at(0).drainDone <= cycle) {
+            head_ = (head_ + 1) & mask_;
+            --size_;
+        }
     }
 
     size_t capacity_;
     unsigned blockBits_;
     unsigned drainLatency_;
-    std::deque<Entry> entries_;
+    std::vector<Entry> ring_;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
     Counter combines_;
     Counter fullStalls_;
 };

@@ -50,7 +50,8 @@ usage()
         "  --breaker-open-after=N    failures that open a breaker (3)\n"
         "  --breaker-probe-every=N   half-open probe cadence (4)\n"
         "  --trace-budget=N          max resident traces in the cache\n"
-        "  --trace-budget-bytes=N    max resident trace bytes\n"
+        "  --trace-budget-bytes=N    max resident trace bytes (full\n"
+        "                            footprint incl. trace headers)\n"
         "  --request-timeout-ms=N    torn-request read timeout (5000)\n"
         "env RARPRED_FAULT arms driver fault points (conn_drop,\n"
         "request_torn, store_corrupt, daemon_kill, ...).\n";

@@ -37,6 +37,11 @@ RecordedTrace
 RecordedTrace::record(TraceSource &source, uint64_t max_insts)
 {
     RecordedTrace trace;
+    // A bounded recording almost always fills to max_insts (workloads
+    // loop far past any practical cap), so reserve up front instead of
+    // paying geometric-growth copies of a multi-MB vector.
+    if (max_insts != UINT64_MAX)
+        trace.insts_.reserve(max_insts);
     DynInst di;
     while (trace.insts_.size() < max_insts && source.next(di)) {
         // Replay regenerates seq from the record index; anything but
@@ -64,6 +69,29 @@ RecordedTrace::decode(size_t i) const
     di.value = p.value;
     di.taken = p.taken != 0;
     return di;
+}
+
+size_t
+RecordedTrace::decodeBlock(size_t first, DynInst *out, size_t max) const
+{
+    const size_t end =
+        first + max < insts_.size() ? first + max : insts_.size();
+    const size_t n = first < end ? end - first : 0;
+    for (size_t i = 0; i < n; ++i) {
+        const PackedInst &p = insts_[first + i];
+        DynInst &di = out[i];
+        di.seq = first + i;
+        di.pc = p.pc;
+        di.nextPc = p.nextPc;
+        di.op = (Opcode)p.op;
+        di.dst = p.dst;
+        di.src1 = p.src1;
+        di.src2 = p.src2;
+        di.eaddr = p.eaddr;
+        di.value = p.value;
+        di.taken = p.taken != 0;
+    }
+    return n;
 }
 
 void

@@ -73,11 +73,28 @@ class RecordedTrace
     /** Reconstruct the @p i-th committed instruction. */
     DynInst decode(size_t i) const;
 
+    /**
+     * Decode records [@p first, @p first + n) into @p out, where n is
+     * min(@p max, size() - first). One tight loop over contiguous
+     * packed records — the hot path's block decoder.
+     * @return n, the number of records decoded.
+     */
+    size_t decodeBlock(size_t first, DynInst *out, size_t max) const;
+
     /** Push the whole trace, in order, into @p sink. */
     void replayInto(TraceSink &sink) const;
 
-    /** Heap bytes held by the recording. */
-    uint64_t memoryBytes() const { return insts_.size() * sizeof(PackedInst); }
+    /**
+     * In-memory footprint of the recording: the trace object header
+     * plus the packed record storage. This is the figure the trace
+     * cache charges against --trace-budget-bytes.
+     */
+    uint64_t
+    memoryBytes() const
+    {
+        return sizeof(RecordedTrace) +
+               insts_.capacity() * sizeof(PackedInst);
+    }
 
   private:
     RecordedTrace() = default;
@@ -105,6 +122,14 @@ class RecordedTraceSource : public TraceSource
             return false;
         di = trace_.decode(pos_++);
         return true;
+    }
+
+    size_t
+    nextBlock(DynInst *out, size_t max) override
+    {
+        const size_t n = trace_.decodeBlock(pos_, out, max);
+        pos_ += n;
+        return n;
     }
 
     /** Restart replay from the beginning. */

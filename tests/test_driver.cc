@@ -339,6 +339,20 @@ TEST(TraceCacheBudget, ByteBudgetEvictsToo)
     EXPECT_LE(s.residentBytes, one_trace + 1);
 }
 
+TEST(TraceCacheBudget, MemoryBytesIsTheFullFootprintIncludingHeader)
+{
+    // Regression: memoryBytes() used to charge only the packed record
+    // storage, so --trace-budget-bytes under-counted every resident
+    // trace by its header. The documented contract is the full
+    // in-memory footprint: object header plus record storage.
+    driver::TraceCache cache;
+    const auto trace = cache.get(findWorkload("li"), 1, 5'000);
+    EXPECT_EQ(trace->memoryBytes(),
+              sizeof(RecordedTrace) + trace->size() * sizeof(PackedInst));
+    // And the cache's residency accounting uses exactly that figure.
+    EXPECT_EQ(cache.stats().residentBytes, trace->memoryBytes());
+}
+
 TEST(SweepDeterminism, TwoTraceBudgetOnFullSuiteIsByteIdentical)
 {
     // The acceptance drill: all 18 workloads through a cache that may

@@ -722,10 +722,13 @@ TEST_F(SnapshotTest, PipelineSpeedupStopsGracefullyOnSigterm)
 
     // SIGTERM mid-sweep: the worker finishes its current job, stops
     // claiming new ones, and the process exits 130 with a --resume
-    // hint — never a crash or a hang.
+    // hint — never a crash or a hang. The instruction count must keep
+    // the sweep alive well past the 0.5 s kill delay even on a fast
+    // host (trace generation alone outlasts it), while one job stays
+    // small enough to drain within the test timeout under sanitizers.
     const int rc = std::system(
         ("sh -c '" + bin +
-         " tom --serial --max-insts=2000000 >/dev/null 2>/dev/null & "
+         " tom --serial --max-insts=8000000 >/dev/null 2>/dev/null & "
          "pid=$!; sleep 0.5; kill -TERM $pid; wait $pid'")
             .c_str());
     ASSERT_TRUE(WIFEXITED(rc));

@@ -1,0 +1,547 @@
+#include "workload/factory.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/program_builder.hh"
+#include "workload/kernels.hh"
+
+namespace rarpred {
+
+namespace {
+
+// Kernel scratch registers (same convention as kernels.cc; the main
+// driver owns r1..r7).
+constexpr RegId t0 = 8;
+constexpr RegId t1 = 9;
+constexpr RegId t2 = 10;
+constexpr RegId t3 = 11;
+constexpr RegId t4 = 12;
+constexpr RegId t5 = 13;
+constexpr RegId t6 = 14;
+constexpr RegId t7 = 15;
+constexpr RegId t8 = 16;
+constexpr RegId t9 = 17;
+constexpr RegId t10 = 18;
+constexpr RegId t11 = 19;
+constexpr RegId t12 = 20;
+constexpr RegId s0 = 22;
+constexpr RegId s1 = 23;
+constexpr RegId s2 = 24;
+constexpr RegId f0 = reg::fpReg(0);
+constexpr RegId f1 = reg::fpReg(1);
+constexpr RegId f2 = reg::fpReg(2);
+constexpr RegId f3 = reg::fpReg(3);
+constexpr RegId f4 = reg::fpReg(4);
+
+// Plan-word layout. Pool byte offsets top out at workingSetWords *
+// 8 <= 2^21, comfortably inside the mask.
+constexpr uint64_t kOffsetMask = 0xFFFFFF;
+constexpr unsigned kStoreBit = 24;
+constexpr unsigned kShareBit = 25;
+constexpr unsigned kBranchBit = 26;
+
+constexpr uint64_t kMaxWorkingSetWords = 1ull << 18;
+constexpr uint64_t kMaxPlanEntries = 1ull << 16;
+constexpr uint64_t kMaxAccessesPerCall = 1ull << 14;
+constexpr uint64_t kMaxOuterIters = 1ull << 22;
+constexpr uint32_t kMaxDepChain = 32;
+constexpr uint32_t kMaxChaseDepth = 4096;
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+foldIn(uint64_t h, uint64_t v)
+{
+    return mix64(h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
+}
+
+uint64_t
+doubleBits(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+/** Smallest stride >= 7 coprime to @p n, so the walk visits all of n. */
+uint64_t
+strideFor(uint64_t n)
+{
+    for (uint64_t k = 7;; ++k)
+        if (std::gcd(k, n) == 1)
+            return k;
+}
+
+/** The baked word-index sequence for one plan, per pick strategy. */
+std::vector<uint64_t>
+planIndices(Rng &rng, const FactoryParams &p)
+{
+    const uint64_t ws = p.workingSetWords;
+    std::vector<uint64_t> idx(p.planEntries);
+    switch (p.addrPick) {
+      case AddressPick::Sequential:
+        for (uint64_t i = 0; i < p.planEntries; ++i)
+            idx[i] = i % ws;
+        break;
+      case AddressPick::Strided: {
+        const uint64_t stride = strideFor(ws);
+        for (uint64_t i = 0; i < p.planEntries; ++i)
+            idx[i] = (i * stride) % ws;
+        break;
+      }
+      case AddressPick::Shuffled: {
+        std::vector<uint64_t> perm(ws);
+        std::iota(perm.begin(), perm.end(), 0);
+        for (uint64_t i = ws - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.below(i + 1)]);
+        for (uint64_t i = 0; i < p.planEntries; ++i)
+            idx[i] = perm[i % ws];
+        break;
+      }
+      case AddressPick::Pooled: {
+        const uint64_t hot_count = std::max<uint64_t>(4, ws / 16);
+        std::vector<uint64_t> hot(hot_count);
+        for (auto &h : hot)
+            h = rng.below(ws);
+        for (uint64_t i = 0; i < p.planEntries; ++i)
+            idx[i] = rng.chance(0.75) ? hot[rng.below(hot_count)]
+                                      : rng.below(ws);
+        break;
+      }
+    }
+    return idx;
+}
+
+/**
+ * The factory's core kernel: walk the baked plan, one pool access
+ * (plus optional intervention store, optional second-site re-read,
+ * and a data-dependent branch) per entry. Integer flavour.
+ */
+void
+emitCoreInt(ProgramBuilder &b, const std::string &name,
+            const FactoryParams &p, uint64_t plan_addr,
+            uint64_t pool_addr, uint64_t cursor_addr, uint64_t sum_addr)
+{
+    b.label(name);
+    b.li(s0, (int64_t)plan_addr);
+    b.li(s1, (int64_t)pool_addr);
+    b.li(s2, (int64_t)p.planEntries);
+    b.li(t0, (int64_t)cursor_addr);
+    b.lw(t1, t0, 0); // plan cursor
+    b.li(t2, (int64_t)p.accessesPerCall);
+    b.mov(t3, reg::kZero); // register accumulator
+
+    b.label(name + "_loop");
+    b.beq(t2, reg::kZero, name + "_done");
+    b.slli(t4, t1, 3);
+    b.add(t4, s0, t4);
+    b.lw(t5, t4, 0); // plan word
+    b.andi(t6, t5, (int64_t)kOffsetMask);
+    b.add(t6, s1, t6);
+    b.lw(t7, t6, 0); // site A: the knob-driven pool access
+    for (uint32_t k = 0; k < p.depChainLength; ++k) {
+        if (k % 2 == 0)
+            b.addi(t7, t7, (int64_t)k + 1);
+        else
+            b.xor_(t7, t7, t5);
+    }
+    b.add(t3, t3, t7);
+
+    b.srli(t8, t5, kStoreBit);
+    b.andi(t8, t8, 1);
+    b.beq(t8, reg::kZero, name + "_nostore");
+    b.addi(t9, t7, 3);
+    b.sw(t6, 0, t9); // intervention: the re-read becomes RAW
+    b.label(name + "_nostore");
+
+    b.srli(t8, t5, kShareBit);
+    b.andi(t8, t8, 1);
+    b.beq(t8, reg::kZero, name + "_noshare");
+    b.lw(t10, t6, 0); // site B: the RAR sink
+    b.add(t3, t3, t10);
+    b.label(name + "_noshare");
+
+    b.srli(t8, t5, kBranchBit);
+    b.andi(t8, t8, 1);
+    b.beq(t8, reg::kZero, name + "_nottaken");
+    b.xor_(t3, t3, t5);
+    b.label(name + "_nottaken");
+
+    b.addi(t1, t1, 1);
+    b.blt(t1, s2, name + "_nowrap");
+    b.mov(t1, reg::kZero);
+    b.label(name + "_nowrap");
+    b.addi(t2, t2, -1);
+    b.jump(name + "_loop");
+
+    b.label(name + "_done");
+    b.sw(t0, 0, t1); // persist the cursor
+    b.li(t11, (int64_t)sum_addr);
+    b.lw(t12, t11, 0);
+    b.add(t12, t12, t3);
+    b.sw(t11, 0, t12);
+    b.ret();
+}
+
+/**
+ * Floating-point flavour of the core kernel: the pool holds doubles,
+ * the dependence chain is faddd/fmuld (decaying constants keep values
+ * bounded), control still keys off the integer plan bits.
+ */
+void
+emitCoreFp(ProgramBuilder &b, const std::string &name,
+           const FactoryParams &p, uint64_t plan_addr,
+           uint64_t pool_addr, uint64_t cursor_addr, uint64_t sum_addr,
+           uint64_t const_addr)
+{
+    b.label(name);
+    b.li(s0, (int64_t)plan_addr);
+    b.li(s1, (int64_t)pool_addr);
+    b.li(s2, (int64_t)p.planEntries);
+    b.li(t0, (int64_t)cursor_addr);
+    b.lw(t1, t0, 0);
+    b.li(t2, (int64_t)p.accessesPerCall);
+    b.li(t9, (int64_t)const_addr);
+    b.lf(f1, t9, 0);  // decay multiplier
+    b.lf(f2, t9, 8);  // additive step
+    b.li(t11, (int64_t)sum_addr);
+    b.lf(f4, t11, 0); // fp accumulator
+
+    b.label(name + "_loop");
+    b.beq(t2, reg::kZero, name + "_done");
+    b.slli(t4, t1, 3);
+    b.add(t4, s0, t4);
+    b.lw(t5, t4, 0);
+    b.andi(t6, t5, (int64_t)kOffsetMask);
+    b.add(t6, s1, t6);
+    b.lf(f0, t6, 0); // site A
+    for (uint32_t k = 0; k < p.depChainLength; ++k) {
+        if (k % 2 == 0)
+            b.fmuld(f0, f0, f1);
+        else
+            b.faddd(f0, f0, f2);
+    }
+    b.faddd(f4, f4, f0);
+
+    b.srli(t8, t5, kStoreBit);
+    b.andi(t8, t8, 1);
+    b.beq(t8, reg::kZero, name + "_nostore");
+    b.faddd(f3, f0, f2);
+    b.sf(t6, 0, f3);
+    b.label(name + "_nostore");
+
+    b.srli(t8, t5, kShareBit);
+    b.andi(t8, t8, 1);
+    b.beq(t8, reg::kZero, name + "_noshare");
+    b.lf(f3, t6, 0); // site B: the RAR sink
+    b.faddd(f4, f4, f3);
+    b.label(name + "_noshare");
+
+    b.srli(t8, t5, kBranchBit);
+    b.andi(t8, t8, 1);
+    b.beq(t8, reg::kZero, name + "_nottaken");
+    b.fmuld(f4, f4, f1);
+    b.label(name + "_nottaken");
+
+    b.addi(t1, t1, 1);
+    b.blt(t1, s2, name + "_nowrap");
+    b.mov(t1, reg::kZero);
+    b.label(name + "_nowrap");
+    b.addi(t2, t2, -1);
+    b.jump(name + "_loop");
+
+    b.label(name + "_done");
+    b.sw(t0, 0, t1);
+    b.sf(t11, 0, f4);
+    b.ret();
+}
+
+} // namespace
+
+const char *
+addressPickName(AddressPick pick)
+{
+    switch (pick) {
+      case AddressPick::Sequential:
+        return "sequential";
+      case AddressPick::Strided:
+        return "strided";
+      case AddressPick::Shuffled:
+        return "shuffled";
+      case AddressPick::Pooled:
+        return "pooled";
+    }
+    return "unknown";
+}
+
+Result<AddressPick>
+parseAddressPick(const std::string &name)
+{
+    for (AddressPick pick :
+         {AddressPick::Sequential, AddressPick::Strided,
+          AddressPick::Shuffled, AddressPick::Pooled})
+        if (name == addressPickName(pick))
+            return pick;
+    return Status::invalidArgument("unknown address-pick strategy: " +
+                                   name);
+}
+
+Status
+FactoryParams::validate() const
+{
+    auto frac = [](double v) { return v >= 0.0 && v <= 1.0; };
+    if (!frac(rarSharing))
+        return Status::invalidArgument("rarSharing must be in [0, 1]");
+    if (!frac(storeIntervention))
+        return Status::invalidArgument(
+            "storeIntervention must be in [0, 1]");
+    if (!frac(branchEntropy))
+        return Status::invalidArgument(
+            "branchEntropy must be in [0, 1]");
+    if (workingSetWords < 8 || workingSetWords > kMaxWorkingSetWords)
+        return Status::invalidArgument(
+            "workingSetWords must be in [8, 2^18]");
+    if (planEntries < 16 || planEntries > kMaxPlanEntries)
+        return Status::invalidArgument(
+            "planEntries must be in [16, 2^16]");
+    if (accessesPerCall < 1 || accessesPerCall > kMaxAccessesPerCall)
+        return Status::invalidArgument(
+            "accessesPerCall must be in [1, 2^14]");
+    if (outerIters < 1 || outerIters > kMaxOuterIters)
+        return Status::invalidArgument(
+            "outerIters must be in [1, 2^22]");
+    if (depChainLength > kMaxDepChain)
+        return Status::invalidArgument("depChainLength must be <= 32");
+    if (chaseDepth > kMaxChaseDepth)
+        return Status::invalidArgument("chaseDepth must be <= 4096");
+    if (addrPick > AddressPick::Pooled)
+        return Status::invalidArgument("invalid addrPick");
+    return Status{};
+}
+
+uint64_t
+FactoryParams::fingerprint() const
+{
+    uint64_t h = 0xfac707f1ull;
+    h = foldIn(h, doubleBits(rarSharing));
+    h = foldIn(h, doubleBits(storeIntervention));
+    h = foldIn(h, chaseDepth);
+    h = foldIn(h, workingSetWords);
+    h = foldIn(h, doubleBits(branchEntropy));
+    h = foldIn(h, depChainLength);
+    h = foldIn(h, (uint64_t)addrPick);
+    h = foldIn(h, planEntries);
+    h = foldIn(h, accessesPerCall);
+    h = foldIn(h, outerIters);
+    h = foldIn(h, fpData ? 1 : 0);
+    return h;
+}
+
+Program
+buildFactoryProgram(const std::string &name, uint64_t seed,
+                    const FactoryParams &p, uint32_t scale)
+{
+    const Status valid = p.validate();
+    if (!valid.ok())
+        rarpred_fatal("buildFactoryProgram(" + name +
+                      "): " + valid.message());
+
+    // Every random draw below comes from this generator, and the
+    // stream position of each draw is a pure function of the params —
+    // (seed, params) -> byte-identical program.
+    Rng rng(mix64(seed ^ p.fingerprint()));
+
+    const uint64_t data_words = p.workingSetWords + p.planEntries +
+                                (uint64_t)p.chaseDepth * 4 + 16;
+    const uint64_t need = 0x1000 + data_words * 8 + 0x40000;
+    const uint64_t mem_bytes =
+        std::max<uint64_t>(16ull << 20, (need + 0xFFFF) & ~0xFFFFull);
+    ProgramBuilder b(name, mem_bytes);
+
+    // --- Data: pool, baked plan, globals --------------------------
+    const uint64_t pool = b.allocWords(p.workingSetWords);
+    for (uint64_t i = 0; i < p.workingSetWords; ++i) {
+        if (p.fpData)
+            b.initWordF(pool + i * 8, rng.uniform());
+        else
+            b.initWord(pool + i * 8, rng.below(1ull << 20));
+    }
+
+    const std::vector<uint64_t> idx = planIndices(rng, p);
+    std::vector<uint64_t> plan(p.planEntries);
+    for (uint64_t i = 0; i < p.planEntries; ++i) {
+        uint64_t word = (idx[i] * 8) & kOffsetMask;
+        if (rng.chance(p.storeIntervention))
+            word |= 1ull << kStoreBit;
+        if (rng.chance(p.rarSharing))
+            word |= 1ull << kShareBit;
+        if (rng.chance(p.branchEntropy / 2.0))
+            word |= 1ull << kBranchBit;
+        plan[i] = word;
+    }
+    const uint64_t plan_addr =
+        kernels::allocStream(b, plan.size(), plan);
+
+    const uint64_t cursor = kernels::allocGlobal(b);
+    const uint64_t sum = kernels::allocGlobal(b);
+    uint64_t fp_consts = 0;
+    if (p.fpData) {
+        fp_consts = b.allocWords(2);
+        b.initWordF(fp_consts, 0.999755859375); // decay multiplier
+        b.initWordF(fp_consts + 8, 0.03125);    // additive step
+    }
+
+    uint64_t chase_head = 0, chase_sum = 0, chase_count = 0;
+    int64_t chase_key = 0;
+    if (p.chaseDepth > 0) {
+        chase_head = kernels::allocList(
+            b, rng, p.chaseDepth,
+            /*shuffled=*/p.addrPick != AddressPick::Sequential);
+        chase_sum = kernels::allocGlobal(b);
+        chase_count = kernels::allocGlobal(b);
+        chase_key = (int64_t)rng.below(64);
+    }
+
+    // --- Code: main first (PC 0), then the kernels ----------------
+    std::vector<std::string> entries = {"core"};
+    if (p.chaseDepth > 0)
+        entries.push_back("chase");
+    kernels::emitMain(b, entries, p.outerIters * (uint64_t)scale);
+
+    if (p.fpData)
+        emitCoreFp(b, "core", p, plan_addr, pool, cursor, sum,
+                   fp_consts);
+    else
+        emitCoreInt(b, "core", p, plan_addr, pool, cursor, sum);
+
+    if (p.chaseDepth > 0)
+        kernels::emitListWalk(b, "chase",
+                              {chase_head, chase_sum, chase_count,
+                               chase_key,
+                               /*twoSiteFoo=*/p.rarSharing >= 0.5});
+
+    return b.build();
+}
+
+Result<Workload>
+makeFactoryWorkload(const std::string &abbrev, uint64_t seed,
+                    const FactoryParams &params)
+{
+    const Status valid = params.validate();
+    if (!valid.ok())
+        return valid;
+    Workload w;
+    w.abbrev = abbrev;
+    w.fullName = "factory(" + abbrev + ")";
+    w.isFp = params.fpData;
+    w.build = [abbrev, seed, params](uint32_t scale) {
+        return buildFactoryProgram(abbrev, seed, params, scale);
+    };
+    return w;
+}
+
+const std::vector<FactoryPreset> &
+factoryPresets()
+{
+    static const std::vector<FactoryPreset> presets = [] {
+        std::vector<FactoryPreset> out;
+
+        FactoryPreset rar_heavy{
+            "factory.rar_heavy",
+            "dense read sharing, almost no interventions", 101, {}};
+        rar_heavy.params.rarSharing = 0.9;
+        rar_heavy.params.storeIntervention = 0.02;
+        rar_heavy.params.workingSetWords = 128;
+        rar_heavy.params.branchEntropy = 0.2;
+        rar_heavy.params.addrPick = AddressPick::Pooled;
+        out.push_back(rar_heavy);
+
+        FactoryPreset raw_heavy{
+            "factory.raw_heavy",
+            "store-dominated short-distance RAW communication", 102,
+            {}};
+        raw_heavy.params.rarSharing = 0.1;
+        raw_heavy.params.storeIntervention = 0.6;
+        raw_heavy.params.workingSetWords = 64;
+        raw_heavy.params.branchEntropy = 0.3;
+        raw_heavy.params.depChainLength = 3;
+        raw_heavy.params.addrPick = AddressPick::Sequential;
+        out.push_back(raw_heavy);
+
+        FactoryPreset chase_deep{
+            "factory.chase_deep",
+            "deep shuffled pointer chase beside the core", 103, {}};
+        chase_deep.params.chaseDepth = 512;
+        chase_deep.params.rarSharing = 0.4;
+        chase_deep.params.storeIntervention = 0.05;
+        chase_deep.params.workingSetWords = 1024;
+        chase_deep.params.addrPick = AddressPick::Shuffled;
+        out.push_back(chase_deep);
+
+        FactoryPreset stream_cold{
+            "factory.stream_cold",
+            "streaming working set far beyond the DDT", 104, {}};
+        stream_cold.params.rarSharing = 0.05;
+        stream_cold.params.storeIntervention = 0.05;
+        stream_cold.params.workingSetWords = 65536;
+        stream_cold.params.branchEntropy = 0.1;
+        stream_cold.params.planEntries = 4096;
+        stream_cold.params.addrPick = AddressPick::Sequential;
+        out.push_back(stream_cold);
+
+        FactoryPreset branchy{
+            "factory.branchy",
+            "maximum-entropy data-dependent branching", 105, {}};
+        branchy.params.rarSharing = 0.5;
+        branchy.params.storeIntervention = 0.2;
+        branchy.params.branchEntropy = 1.0;
+        branchy.params.addrPick = AddressPick::Pooled;
+        out.push_back(branchy);
+
+        FactoryPreset fp_shared{
+            "factory.fp_shared",
+            "fp globals re-read Fortran-style (RAR-dominated)", 106,
+            {}};
+        fp_shared.params.fpData = true;
+        fp_shared.params.rarSharing = 0.85;
+        fp_shared.params.storeIntervention = 0.03;
+        fp_shared.params.workingSetWords = 256;
+        fp_shared.params.addrPick = AddressPick::Strided;
+        out.push_back(fp_shared);
+
+        return out;
+    }();
+    return presets;
+}
+
+const std::vector<Workload> &
+factoryPresetWorkloads()
+{
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> out;
+        for (const FactoryPreset &preset : factoryPresets()) {
+            Result<Workload> w = makeFactoryWorkload(
+                preset.name, preset.seed, preset.params);
+            if (!w.ok())
+                rarpred_fatal("invalid factory preset " +
+                              std::string(preset.name) + ": " +
+                              w.status().message());
+            out.push_back(std::move(*w));
+        }
+        return out;
+    }();
+    return workloads;
+}
+
+} // namespace rarpred

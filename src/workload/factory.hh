@@ -1,0 +1,156 @@
+/**
+ * @file
+ * WorkloadFactory: parameterized synthetic-kernel generation.
+ *
+ * The 18 hand-written programs of spec_int.cc/spec_fp.cc each pin one
+ * point in dependence-character space. The factory turns that space
+ * into axes: a FactoryParams struct of knobs — RAR-sharing degree,
+ * store-intervention rate, pointer-chase depth, working-set size,
+ * branch entropy, dependence-chain length, and address-pick strategy —
+ * and a builder that emits, for any (seed, params), a deterministic
+ * MicroISA program over ProgramBuilder and the kernels.hh library.
+ * All randomness is drawn at *generation* time from a seeded Rng and
+ * baked into the program's data segment (an access "plan" stream), so
+ * the same (seed, params) yields a byte-identical program and trace
+ * on every host and run.
+ *
+ * The generated core kernel walks the plan: per entry it loads a
+ * packed plan word, loads the chosen pool word (site A), runs a
+ * dependent ALU chain, optionally stores back to the same word
+ * (store intervention: converts the later re-read's dependence from
+ * RAR to RAW), optionally re-reads the word from a second static PC
+ * (site B — the RAR sink), and takes a data-dependent branch. The
+ * knobs therefore map directly onto measurable trace properties:
+ * detected-RAR fraction rises with rarSharing, store fraction with
+ * storeIntervention, conditional-branch taken-entropy with
+ * branchEntropy, and dependence visibility falls as workingSetWords
+ * outgrows the DDT.
+ *
+ * Factory presets (factoryPresetWorkloads()) are resolvable through
+ * lookupWorkload() by their "factory.*" names, so every sweep bench
+ * and the rarpredd service can run them like the 18 paper workloads;
+ * the random-program fuzzer built on top lives in workload/fuzz.hh.
+ */
+
+#ifndef RARPRED_WORKLOAD_FACTORY_HH_
+#define RARPRED_WORKLOAD_FACTORY_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "workload/workload.hh"
+
+namespace rarpred {
+
+/** How the factory picks pool addresses for the access plan. */
+enum class AddressPick : uint8_t
+{
+    Sequential, ///< 0, 1, 2, ... (streaming; reuse distance = set size)
+    Strided,    ///< i * stride mod set size (stride coprime to size)
+    Shuffled,   ///< a fixed random permutation, repeated
+    Pooled,     ///< skewed random: hot subset with 75% probability
+};
+
+/** @return lower-case knob-file name of @p pick ("sequential", ...). */
+const char *addressPickName(AddressPick pick);
+
+/** @return the AddressPick named by @p name, or InvalidArgument. */
+Result<AddressPick> parseAddressPick(const std::string &name);
+
+/**
+ * The factory's knob set. Every field participates in fingerprint(),
+ * so distinct settings never alias a cached trace.
+ */
+struct FactoryParams
+{
+    /** Probability an access is re-read from a second static PC —
+     *  the paper's RAR data-sharing degree. [0, 1]. */
+    double rarSharing = 0.5;
+
+    /** Probability a store to the accessed word lands between the
+     *  first read and the re-read, converting the re-read's
+     *  dependence from RAR to RAW. [0, 1]. */
+    double storeIntervention = 0.1;
+
+    /** Nodes in an optional linked-list pointer-chase kernel run
+     *  alongside the core each outer iteration; 0 disables it. */
+    uint32_t chaseDepth = 0;
+
+    /** Shared pool size in 8-byte words. Reuse distance scales with
+     *  this; past the DDT size dependences become invisible. */
+    uint64_t workingSetWords = 256;
+
+    /** Entropy of the plan's data-dependent branch: taken probability
+     *  is branchEntropy / 2, so 0 = perfectly biased and 1 = a fair
+     *  coin (maximum-entropy, predictor-hostile). [0, 1]. */
+    double branchEntropy = 0.5;
+
+    /** Dependent ALU ops between an access and its use. */
+    uint32_t depChainLength = 2;
+
+    /** Address-pick strategy for the access plan. */
+    AddressPick addrPick = AddressPick::Pooled;
+
+    /** Length of the baked access plan (entries; the kernel wraps). */
+    uint64_t planEntries = 512;
+
+    /** Plan entries consumed per kernel invocation. */
+    uint64_t accessesPerCall = 64;
+
+    /** Outer loop iterations at scale 1 (multiplied by scale). */
+    uint64_t outerIters = 400;
+
+    /** Generate fp data and fp arithmetic (lf/sf/faddd/fmuld) in the
+     *  core kernel instead of integer. Drives Workload::isFp. */
+    bool fpData = false;
+
+    /** @return non-OK with the first violated bound, else OK. */
+    Status validate() const;
+
+    /** Stable 64-bit content hash over every knob. */
+    uint64_t fingerprint() const;
+};
+
+/**
+ * Emit the program for (seed, params) at @p scale. @p name becomes
+ * the Program name. Fails fatally on invalid params — validate()
+ * first (or build through makeFactoryWorkload(), which does).
+ */
+Program buildFactoryProgram(const std::string &name, uint64_t seed,
+                            const FactoryParams &params,
+                            uint32_t scale = 1);
+
+/**
+ * Wrap (seed, params) as a Workload sweepable like the 18 paper
+ * programs. @p abbrev must be unique among everything a TraceCache
+ * will see — it is the cache key.
+ * @return the workload, or InvalidArgument for out-of-range params.
+ */
+Result<Workload> makeFactoryWorkload(const std::string &abbrev,
+                                     uint64_t seed,
+                                     const FactoryParams &params);
+
+/** One named factory configuration shipped with the repo. */
+struct FactoryPreset
+{
+    const char *name; ///< "factory.rar_heavy", ...
+    const char *what; ///< one-line description
+    uint64_t seed;
+    FactoryParams params;
+};
+
+/** The ~6 shipped presets (golden-baselined in tests/golden/). */
+const std::vector<FactoryPreset> &factoryPresets();
+
+/**
+ * The presets as ready-made Workloads (same order as
+ * factoryPresets()). Static storage: pointers into this vector stay
+ * valid for the process lifetime, as lookupWorkload() requires.
+ */
+const std::vector<Workload> &factoryPresetWorkloads();
+
+} // namespace rarpred
+
+#endif // RARPRED_WORKLOAD_FACTORY_HH_

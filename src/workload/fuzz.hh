@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Random-program fuzzer over the WorkloadFactory.
+ *
+ * A FuzzCase is a seed plus randomly drawn FactoryParams. Checking a
+ * case proves, end to end, the properties the rest of the repo
+ * assumes about every generated program:
+ *
+ *  1. determinism — two independent builds of (seed, params) record
+ *     byte-identical traces;
+ *  2. speculation safety — the safety oracle (faultinject/
+ *     safety_oracle.hh) passes fault-free AND with bit flips raining
+ *     on the predictor state;
+ *  3. driver equivalence — a serial CloakingEngine replay and a
+ *     multi-worker runSweep() cell produce byte-identical stats.
+ *
+ * A failing case is shrunk by minimizeFuzzCase() — halving the
+ * working set, plan, chain, chase, iteration count and instruction
+ * budget while the failure persists — and the minimized reproducer is
+ * written as a key=value .case file. Checked-in reproducers live in
+ * tests/corpus/ and are replayed by tier-1 (tests/test_factory.cc);
+ * the nightly factory-fuzz CI job draws fresh seeds from the date.
+ */
+
+#ifndef RARPRED_WORKLOAD_FUZZ_HH_
+#define RARPRED_WORKLOAD_FUZZ_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.hh"
+#include "workload/factory.hh"
+
+namespace rarpred {
+
+/** One fuzzer input: everything needed to regenerate a program. */
+struct FuzzCase
+{
+    uint64_t seed = 1;         ///< factory generation seed
+    uint64_t maxInsts = 60000; ///< trace/oracle instruction budget
+    FactoryParams params;
+};
+
+/** Draw a random (but always valid) case from @p seed. */
+FuzzCase drawFuzzCase(uint64_t seed);
+
+/**
+ * Unique workload name for @p c — doubles as the TraceCache key, so
+ * it folds in the parameter fingerprint: every minimization step gets
+ * its own trace.
+ */
+std::string fuzzCaseName(const FuzzCase &c);
+
+/** Outcome of checking one case. */
+struct FuzzVerdict
+{
+    bool passed = false;
+    std::string failure;       ///< which property broke, and how
+    uint64_t instructions = 0; ///< committed instructions checked
+};
+
+/** Run the full determinism + oracle + sweep-equivalence battery. */
+FuzzVerdict checkFuzzCase(const FuzzCase &c);
+
+/**
+ * Greedily shrink @p failing while @p still_fails holds. Production
+ * callers pass a checkFuzzCase() wrapper; tests substitute synthetic
+ * predicates. @p shrinks (optional) counts accepted reductions.
+ * @return the smallest failing case found.
+ */
+FuzzCase minimizeFuzzCase(
+    const FuzzCase &failing,
+    const std::function<bool(const FuzzCase &)> &still_fails,
+    unsigned *shrinks = nullptr);
+
+/** Serialize @p c as the key=value .case format (round-trips). */
+std::string formatFuzzCase(const FuzzCase &c);
+
+/** Parse the .case format; unknown keys and bad values are errors. */
+Result<FuzzCase> parseFuzzCase(const std::string &text);
+
+} // namespace rarpred
+
+#endif // RARPRED_WORKLOAD_FUZZ_HH_

@@ -1,8 +1,55 @@
 #include "workload/workload.hh"
 
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
 #include "common/logging.hh"
+#include "workload/factory.hh"
+#include "workload/fuzz.hh"
 
 namespace rarpred {
+
+namespace {
+
+/**
+ * Dynamic "factory.fuzz:SEED" workloads, materialized on first
+ * lookup. A deque keeps earlier pointers valid across growth, and the
+ * mutex makes lookups safe from rarpredd's worker threads. Entries
+ * are tiny (a name and a build closure) and live for the process.
+ */
+const Workload *
+lookupFuzzWorkload(const std::string &name)
+{
+    static std::mutex mu;
+    static std::deque<Workload> storage;
+    static std::unordered_map<std::string, const Workload *> by_name;
+
+    const std::string spec = name.substr(strlen("factory.fuzz:"));
+    if (spec.empty())
+        return nullptr;
+    char *end = nullptr;
+    const uint64_t seed = std::strtoull(spec.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return nullptr;
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = by_name.find(name);
+    if (it != by_name.end())
+        return it->second;
+
+    const FuzzCase c = drawFuzzCase(seed);
+    Result<Workload> w = makeFactoryWorkload(name, c.seed, c.params);
+    if (!w.ok())
+        return nullptr; // drawFuzzCase only emits valid params
+    storage.push_back(std::move(*w));
+    by_name.emplace(name, &storage.back());
+    return &storage.back();
+}
+
+} // namespace
 
 const std::vector<Workload> &
 allWorkloads()
@@ -36,6 +83,18 @@ lookupWorkload(const std::string &abbrev)
     for (const auto &w : allWorkloads())
         if (w.abbrev == abbrev)
             return &w;
+
+    // The factory namespace: shipped presets by name, then dynamic
+    // fuzzer cases as "factory.fuzz:SEED" (decimal seed). Both are
+    // sweepable anywhere a paper workload is — benches, rarpredd.
+    if (abbrev.rfind("factory.", 0) == 0) {
+        for (const auto &w : factoryPresetWorkloads())
+            if (w.abbrev == abbrev)
+                return &w;
+        if (abbrev.rfind("factory.fuzz:", 0) == 0)
+            if (const Workload *w = lookupFuzzWorkload(abbrev))
+                return w;
+    }
     return Status::notFound("unknown workload: " + abbrev);
 }
 

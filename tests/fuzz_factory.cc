@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Standalone factory fuzzer — the binary the nightly factory-fuzz CI
+ * job drives (DESIGN.md §8).
+ *
+ * Draws `--cases` FuzzCases from `--seed` (seed, seed+1, ...), runs
+ * each through the full checkFuzzCase() battery (build determinism,
+ * fault-free + faulted safety oracle, serial-vs-runSweep stats
+ * equivalence), and exits 0 iff every case passes. On the first
+ * failure it greedily minimizes the case, prints the shrunken
+ * reproducer to stdout in the .case format, and (with `--repro-out`)
+ * writes it to a file ready to be checked into tests/corpus/.
+ *
+ * Usage:
+ *   fuzz_factory [--cases=N] [--seed=S] [--max-insts=M]
+ *                [--repro-out=PATH] [--replay=CASEFILE]
+ */
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "workload/fuzz.hh"
+
+namespace rarpred {
+namespace {
+
+struct Options
+{
+    uint64_t cases = 50;
+    uint64_t seed = 1;
+    uint64_t maxInsts = 0; ///< 0 = keep each case's drawn budget
+    std::string reproOut;
+    std::string replay;
+};
+
+void
+usage(FILE *out)
+{
+    std::fprintf(out,
+                 "usage: fuzz_factory [--cases=N] [--seed=S]\n"
+                 "                    [--max-insts=M] [--repro-out=PATH]\n"
+                 "                    [--replay=CASEFILE]\n"
+                 "\n"
+                 "Runs N randomly drawn factory programs through the\n"
+                 "determinism / safety-oracle / sweep-equivalence\n"
+                 "battery. Exit 0 iff all pass; on failure prints a\n"
+                 "minimized reproducer (.case format).\n");
+}
+
+bool
+parseU64(const char *text, uint64_t *out)
+{
+    char *end = nullptr;
+    *out = std::strtoull(text, &end, 10);
+    return end != nullptr && end != text && *end == '\0';
+}
+
+bool
+parseArgs(int argc, char **argv, Options *opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            return arg.rfind(prefix, 0) == 0
+                       ? arg.c_str() + std::strlen(prefix)
+                       : nullptr;
+        };
+        if (const char *v = value("--cases=")) {
+            if (!parseU64(v, &opt->cases) || opt->cases == 0)
+                return false;
+        } else if (const char *v = value("--seed=")) {
+            if (!parseU64(v, &opt->seed))
+                return false;
+        } else if (const char *v = value("--max-insts=")) {
+            if (!parseU64(v, &opt->maxInsts))
+                return false;
+        } else if (const char *v = value("--repro-out=")) {
+            opt->reproOut = v;
+        } else if (const char *v = value("--replay=")) {
+            opt->replay = v;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Minimize, report, and persist one failing case. @return 1. */
+int
+reportFailure(const FuzzCase &failing, const std::string &first_failure,
+              const Options &opt)
+{
+    std::fprintf(stderr, "FAIL %s: %s\n",
+                 fuzzCaseName(failing).c_str(), first_failure.c_str());
+    std::fprintf(stderr, "minimizing...\n");
+
+    unsigned shrinks = 0;
+    const FuzzCase small = minimizeFuzzCase(
+        failing,
+        [](const FuzzCase &c) { return !checkFuzzCase(c).passed; },
+        &shrinks);
+    const FuzzVerdict v = checkFuzzCase(small);
+    std::fprintf(stderr, "minimized with %u shrinks: %s\n", shrinks,
+                 v.passed ? "(failure no longer reproduces?)"
+                          : v.failure.c_str());
+
+    const std::string repro = formatFuzzCase(small);
+    std::fprintf(stdout, "---- minimized reproducer ----\n%s"
+                         "------------------------------\n",
+                 repro.c_str());
+    if (!opt.reproOut.empty()) {
+        std::ofstream os(opt.reproOut);
+        os << repro;
+        if (os.good())
+            std::fprintf(stderr, "reproducer written to %s\n",
+                         opt.reproOut.c_str());
+        else
+            std::fprintf(stderr, "could not write %s\n",
+                         opt.reproOut.c_str());
+    }
+    return 1;
+}
+
+int
+replayOne(const Options &opt)
+{
+    std::ifstream is(opt.replay);
+    if (!is.good()) {
+        std::fprintf(stderr, "cannot read %s\n", opt.replay.c_str());
+        return 2;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const Result<FuzzCase> c = parseFuzzCase(buf.str());
+    if (!c.ok()) {
+        std::fprintf(stderr, "bad case file %s: %s\n",
+                     opt.replay.c_str(),
+                     c.status().toString().c_str());
+        return 2;
+    }
+    const FuzzVerdict v = checkFuzzCase(*c);
+    std::fprintf(stderr, "%s %s (%" PRIu64 " insts)%s%s\n",
+                 v.passed ? "PASS" : "FAIL",
+                 fuzzCaseName(*c).c_str(), v.instructions,
+                 v.passed ? "" : ": ",
+                 v.passed ? "" : v.failure.c_str());
+    return v.passed ? 0 : 1;
+}
+
+int
+run(const Options &opt)
+{
+    if (!opt.replay.empty())
+        return replayOne(opt);
+
+    uint64_t total_insts = 0;
+    for (uint64_t i = 0; i < opt.cases; ++i) {
+        FuzzCase c = drawFuzzCase(opt.seed + i);
+        if (opt.maxInsts != 0)
+            c.maxInsts = opt.maxInsts;
+        const FuzzVerdict v = checkFuzzCase(c);
+        total_insts += v.instructions;
+        if (!v.passed)
+            return reportFailure(c, v.failure, opt);
+        if ((i + 1) % 10 == 0 || i + 1 == opt.cases)
+            std::fprintf(stderr,
+                         "  %" PRIu64 "/%" PRIu64 " cases ok "
+                         "(%" PRIu64 " insts checked)\n",
+                         i + 1, opt.cases, total_insts);
+    }
+    std::fprintf(stderr, "PASS: %" PRIu64 " cases, %" PRIu64
+                         " instructions checked\n",
+                 opt.cases, total_insts);
+    return 0;
+}
+
+} // namespace
+} // namespace rarpred
+
+int
+main(int argc, char **argv)
+{
+    rarpred::Options opt;
+    if (!rarpred::parseArgs(argc, argv, &opt)) {
+        rarpred::usage(stderr);
+        return 2;
+    }
+    return rarpred::run(opt);
+}

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "analysis/inst_mix.hh"
 #include "common/rng.hh"
 #include "vm/micro_vm.hh"
@@ -380,6 +384,115 @@ TEST(Kernels, GlobalsReadLeavesGlobalsUntouched)
     ASSERT_TRUE(vm.halted());
     EXPECT_EQ(vm.readWord(globals + 3 * 8), before);
     EXPECT_GT(vm.readWord(sink), 0u);
+}
+
+/** Follow a list's next pointers in a fresh VM's initial memory. */
+std::vector<uint64_t>
+chaseList(const Program &p, uint64_t head_cell, size_t limit)
+{
+    MicroVM vm(p);
+    std::vector<uint64_t> nodes;
+    uint64_t node = vm.readWord(head_cell);
+    while (node != 0 && nodes.size() < limit) {
+        nodes.push_back(node);
+        node = vm.readWord(node + 24); // next field
+    }
+    return nodes;
+}
+
+TEST(KernelEdgeCases, AllocListSequentialLinksInAllocationOrder)
+{
+    ProgramBuilder b("k");
+    Rng rng(20);
+    uint64_t head = allocList(b, rng, 8, /*shuffled=*/false);
+    emitMain(b, {"walk"}, 1);
+    uint64_t sum = allocGlobal(b);
+    uint64_t count = allocGlobal(b);
+    emitListWalk(b, "walk", {head, sum, count, 17});
+    Program p = b.build();
+
+    const auto nodes = chaseList(p, head, 16);
+    ASSERT_EQ(nodes.size(), 8u);
+    // Sequential linking: each node is exactly 32 bytes (one 4-word
+    // node) past its predecessor — perfect spatial locality.
+    for (size_t i = 1; i < nodes.size(); ++i)
+        EXPECT_EQ(nodes[i], nodes[i - 1] + 32) << "node " << i;
+}
+
+TEST(KernelEdgeCases, AllocListShuffledPermutesTheSameNodes)
+{
+    ProgramBuilder bs("k");
+    Rng rng_s(21);
+    uint64_t head_s = allocList(bs, rng_s, 32, /*shuffled=*/true);
+    emitMain(bs, {"walk"}, 1);
+    uint64_t sum = allocGlobal(bs);
+    uint64_t count = allocGlobal(bs);
+    emitListWalk(bs, "walk", {head_s, sum, count, 17});
+    Program p = bs.build();
+
+    const auto nodes = chaseList(p, head_s, 64);
+    ASSERT_EQ(nodes.size(), 32u) << "shuffle lost or duplicated nodes";
+
+    // Every node visited exactly once...
+    std::set<uint64_t> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), nodes.size());
+    // ...covering one contiguous 32-node slab...
+    EXPECT_EQ(*unique.rbegin() - *unique.begin(), 31u * 32);
+    // ...in a genuinely non-sequential order.
+    bool any_backward = false;
+    for (size_t i = 1; i < nodes.size(); ++i)
+        any_backward |= nodes[i] < nodes[i - 1];
+    EXPECT_TRUE(any_backward);
+
+    // And the walk kernel still terminates on the shuffled layout.
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    EXPECT_GT(vm.readWord(sum), 0u);
+}
+
+TEST(KernelEdgeCases, SingleNodeListWalks)
+{
+    ProgramBuilder b("k");
+    Rng rng(22);
+    uint64_t head = allocList(b, rng, 1, /*shuffled=*/true);
+    uint64_t sum = allocGlobal(b);
+    uint64_t count = allocGlobal(b);
+    emitMain(b, {"walk"}, 3);
+    emitListWalk(b, "walk", {head, sum, count, 17, true});
+    Program p = b.build();
+
+    const auto nodes = chaseList(p, head, 4);
+    ASSERT_EQ(nodes.size(), 1u); // next must terminate immediately
+
+    MicroVM vm(p);
+    vm.run(1'000'000ull);
+    ASSERT_TRUE(vm.halted());
+}
+
+TEST(KernelEdgeCases, ManyKernelInstancesKeepLabelsDistinct)
+{
+    // Twenty instances of the same kernel shape in one program: every
+    // internal label is prefixed with the kernel name, so this must
+    // assemble without a duplicate-label fatal and each instance must
+    // bump its own counter.
+    constexpr int kInstances = 20;
+    ProgramBuilder b("k");
+    std::vector<uint64_t> counters;
+    std::vector<std::string> names;
+    for (int i = 0; i < kInstances; ++i) {
+        counters.push_back(allocGlobal(b));
+        names.push_back("rmw" + std::to_string(i));
+    }
+    emitMain(b, names, 2);
+    for (int i = 0; i < kInstances; ++i)
+        emitGlobalsRmw(b, names[i], {counters[i], 1, 1, 0});
+    Program p = b.build();
+    MicroVM vm(p);
+    vm.run(10'000'000ull);
+    ASSERT_TRUE(vm.halted());
+    for (int i = 0; i < kInstances; ++i)
+        EXPECT_EQ(vm.readWord(counters[i]), 2u) << "instance " << i;
 }
 
 TEST(Kernels, PeriodicMainSkipsByPeriod)

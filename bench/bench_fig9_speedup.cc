@@ -15,6 +15,9 @@
  * Execution: 18 workloads × 5 machine configurations on the parallel
  * sweep driver (--workers=N / --serial); each workload executes
  * functionally once and the recorded trace feeds all five cores.
+ * With --workers-proc=N each cell is computed in a sandboxed worker
+ * process (crash containment) with byte-identical results — the grid
+ * is expressed as serializable CellConfigMsg rows for exactly that.
  */
 
 #include <cstdio>
@@ -24,22 +27,29 @@
 #include "bench_util.hh"
 #include "cpu/ooo_cpu.hh"
 #include "driver/sweep.hh"
+#include "service/proto.hh"
 
 namespace {
 
-rarpred::CloakTimingConfig
+rarpred::service::CellConfigMsg
 mechanism(rarpred::CloakingMode mode, rarpred::RecoveryModel recovery)
 {
-    rarpred::CloakTimingConfig cloak;
-    cloak.enabled = true;
-    cloak.engine.mode = mode;
-    cloak.engine.ddt.entries = 128;
-    cloak.engine.dpnt.geometry = {8192, 2};
-    cloak.engine.dpnt.confidence =
-        rarpred::ConfidenceKind::TwoBitAdaptive;
-    cloak.engine.sf = {1024, 2};
-    cloak.recovery = recovery;
-    return cloak;
+    // Section 5.6.1 geometry is CellConfigMsg's default (128-entry
+    // DDT, 8K 2-way DPNT, 1K 2-way SF, two-bit adaptive confidence);
+    // only the mechanism axes vary.
+    rarpred::service::CellConfigMsg cfg;
+    cfg.cloakEnabled = 1;
+    cfg.mode = (uint8_t)mode;
+    cfg.recovery = (uint8_t)recovery;
+    return cfg;
+}
+
+rarpred::service::CellConfigMsg
+baseCore()
+{
+    rarpred::service::CellConfigMsg cfg;
+    cfg.cloakEnabled = 0; // bare base core, naive memdep speculation
+    return cfg;
 }
 
 } // namespace
@@ -63,8 +73,8 @@ main(int argc, char **argv)
     }
 
     // Config grid: base core plus the four mechanism variants.
-    const std::vector<rarpred::CloakTimingConfig> configs = {
-        {},
+    const std::vector<rarpred::service::CellConfigMsg> configs = {
+        baseCore(),
         mechanism(CloakingMode::RawOnly, RecoveryModel::Selective),
         mechanism(CloakingMode::RawPlusRar, RecoveryModel::Selective),
         mechanism(CloakingMode::RawOnly, RecoveryModel::Squash),
@@ -74,19 +84,10 @@ main(int argc, char **argv)
     rarpred::driver::SimJobRunner runner(parsed->runner);
     const auto workloads = rarpred::driver::allWorkloadPtrs();
 
-    const auto cycles = rarpred::driver::runSweep(
-        runner, workloads, configs.size(),
-        [&configs](const rarpred::Workload &, size_t ci,
-                   rarpred::TraceSource &trace, rarpred::Rng &) {
-            rarpred::CpuConfig config;
-            config.memDep = rarpred::MemDepPolicy::Naive;
-            rarpred::OooCpu cpu(config, configs[ci]);
-            rarpred::driver::pumpSimulation(trace, cpu);
-            return cpu.stats().cycles;
-        },
-        parsed->io);
-    if (!cycles.status.ok())
-        return rarpred::driver::finishSweep(runner, cycles.status,
+    const auto cells = rarpred::driver::runCellSweep(
+        runner, workloads, configs, parsed->io);
+    if (!cells.status.ok())
+        return rarpred::driver::finishSweep(runner, cells.status,
                                             std::cerr);
 
     std::printf("Figure 9: speedup of cloaking/bypassing over the base "
@@ -101,12 +102,12 @@ main(int argc, char **argv)
     for (size_t wi = 0; wi < workloads.size(); ++wi) {
         const rarpred::Workload &w = *workloads[wi];
         const size_t row = wi * configs.size();
-        const uint64_t base = cycles[row];
+        const uint64_t base = cells[row].cycles;
         const double s[4] = {
-            100.0 * ((double)base / cycles[row + 1] - 1.0),
-            100.0 * ((double)base / cycles[row + 2] - 1.0),
-            100.0 * ((double)base / cycles[row + 3] - 1.0),
-            100.0 * ((double)base / cycles[row + 4] - 1.0),
+            100.0 * ((double)base / cells[row + 1].cycles - 1.0),
+            100.0 * ((double)base / cells[row + 2].cycles - 1.0),
+            100.0 * ((double)base / cells[row + 3].cycles - 1.0),
+            100.0 * ((double)base / cells[row + 4].cycles - 1.0),
         };
         std::printf("%-6s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n",
                     w.abbrev.c_str(), s[0], s[1], s[2], s[3]);
@@ -130,5 +131,5 @@ main(int argc, char **argv)
                 "selective RAW+RAR 6.44%% int / 4.66%% fp;\n"
                 "squash rarely improves performance.\n");
 
-    return rarpred::driver::finishSweep(runner, cycles.status, std::cerr);
+    return rarpred::driver::finishSweep(runner, cells.status, std::cerr);
 }

@@ -1,0 +1,95 @@
+#include "common/io_util.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rarpred {
+
+Result<size_t>
+readFull(int fd, void *buf, size_t len)
+{
+    auto *p = static_cast<uint8_t *>(buf);
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::read(fd, p + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("read: ") +
+                                   std::strerror(errno));
+        }
+        if (n == 0)
+            return got; // EOF before len: the caller decides
+        got += (size_t)n;
+    }
+    return got;
+}
+
+Status
+writeFull(int fd, const void *buf, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("write: ") +
+                                   std::strerror(errno));
+        }
+        p += n;
+        len -= (size_t)n;
+    }
+    return Status{};
+}
+
+Status
+sendFull(int fd, const void *buf, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("send: ") +
+                                   std::strerror(errno));
+        }
+        p += n;
+        len -= (size_t)n;
+    }
+    return Status{};
+}
+
+Result<size_t>
+readChunk(int fd, void *buf, size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, len);
+        if (n >= 0)
+            return (size_t)n;
+        if (errno == EINTR)
+            continue;
+        return Status::ioError(std::string("read: ") +
+                               std::strerror(errno));
+    }
+}
+
+Result<size_t>
+recvChunk(int fd, void *buf, size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, len, 0);
+        if (n >= 0)
+            return (size_t)n;
+        if (errno == EINTR)
+            continue;
+        return Status::ioError(std::string("recv: ") +
+                               std::strerror(errno));
+    }
+}
+
+} // namespace rarpred

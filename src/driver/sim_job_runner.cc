@@ -11,6 +11,7 @@
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "driver/worker_pool.hh"
 #include "faultinject/driver_faults.hh"
 
 namespace rarpred::driver {
@@ -149,12 +150,19 @@ class WatchdogTraceSource : public TraceSource
 // ------------------------------------------------------- runner
 
 SimJobRunner::SimJobRunner(const RunnerConfig &config)
-    : SimJobRunner(config, nullptr)
+    : SimJobRunner(config, nullptr, nullptr)
 {
 }
 
 SimJobRunner::SimJobRunner(const RunnerConfig &config,
                            TraceCache *shared_cache)
+    : SimJobRunner(config, shared_cache, nullptr)
+{
+}
+
+SimJobRunner::SimJobRunner(const RunnerConfig &config,
+                           TraceCache *shared_cache,
+                           WorkerPool *shared_pool)
     : config_(config),
       workers_(config.workers != 0
                    ? config.workers
@@ -165,9 +173,25 @@ SimJobRunner::SimJobRunner(const RunnerConfig &config,
                             config.traceBudgetBytes,
                             config.traceBudgetTraces})),
       cache_(shared_cache != nullptr ? shared_cache : ownedCache_.get()),
+      pool_(shared_pool),
       queueLatencyMs_(64, 10),
       statGroup_("driver")
 {
+    // Process isolation: own a pool when asked for one and none is
+    // shared. Epoch snapshots and online audits are in-process
+    // machinery a worker process cannot serve, so those runs stay
+    // in-process (results are byte-identical either way).
+    if (shared_pool == nullptr && config.procWorkers > 0 &&
+        config.snapshotDir.empty() && config.auditEvery == 0) {
+        WorkerPoolConfig pc;
+        pc.workers = config.procWorkers;
+        pc.heartbeatTimeoutMs = config.workerHeartbeatTimeoutMs;
+        pc.traceBudgetBytes = config.traceBudgetBytes;
+        pc.traceBudgetTraces = config.traceBudgetTraces;
+        ownedPool_ = std::make_unique<WorkerPool>(pc);
+        ownedPool_->start();
+        pool_ = ownedPool_.get();
+    }
     statGroup_.registerCounter("sweepsRun", &sweepsRun_);
     statGroup_.registerCounter("jobsCompleted", &jobsCompleted_);
     statGroup_.registerCounter("retries", &retries_);
@@ -178,6 +202,14 @@ SimJobRunner::SimJobRunner(const RunnerConfig &config,
     statGroup_.registerCounter("jobMicrosTotal", &jobMicrosTotal_);
     statGroup_.registerCounter("queueMicrosTotal", &queueMicrosTotal_);
     statGroup_.registerCounter("sweepMicrosTotal", &sweepMicrosTotal_);
+    statGroup_.registerCounter("worker.fallbackInProcess",
+                               &procFallbacks_);
+}
+
+SimJobRunner::~SimJobRunner()
+{
+    if (ownedPool_ != nullptr)
+        ownedPool_->stop();
 }
 
 uint64_t
@@ -271,6 +303,31 @@ SimJobRunner::runAttempt(const JobSpec &job, size_t index,
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(1));
             throw JobDeadlineExceeded{};
+        }
+
+        // Process-isolated route: compute the cell in a sandboxed
+        // worker. A pool-level Unavailable (degraded, no binary) does
+        // not consume the attempt — it falls through to the identical
+        // in-process computation below; any other failure (worker
+        // crashed, hung, torn result) feeds retry/quarantine exactly
+        // like an in-process failure.
+        if (job.procConfig != nullptr && pool_ != nullptr &&
+            !pool_->degraded()) {
+            rarpred_assert(job.acceptProc != nullptr);
+            WorkerJobDesc desc;
+            desc.token = index;
+            desc.workload = job.workload->abbrev;
+            desc.scale = config_.scale;
+            desc.maxInsts = config_.maxInsts;
+            desc.deadlineMs = config_.jobDeadlineMs;
+            desc.config = *job.procConfig;
+            Result<CpuStats> r = pool_->runJob(desc);
+            if (r.ok())
+                return job.acceptProc(*r);
+            if (r.status().code() != StatusCode::Unavailable)
+                return r.status();
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++procFallbacks_;
         }
 
         std::shared_ptr<const RecordedTrace> trace =
@@ -446,6 +503,8 @@ SimJobRunner::dumpStats(std::ostream &os) const
        << a.snapshotsRestored.load(std::memory_order_relaxed) << "\n";
     os << "driver.snapshot.restoreRejected "
        << a.restoreRejected.load(std::memory_order_relaxed) << "\n";
+    if (pool_ != nullptr)
+        pool_->dumpStats(os);
 }
 
 } // namespace rarpred::driver

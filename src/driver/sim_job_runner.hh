@@ -55,11 +55,18 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
+#include "cpu/cpu_config.hh"
 #include "driver/sim_snapshot.hh"
 #include "driver/trace_cache.hh"
 #include "vm/trace.hh"
 
+namespace rarpred::service {
+struct CellConfigMsg;
+} // namespace rarpred::service
+
 namespace rarpred::driver {
+
+class WorkerPool;
 
 /**
  * Deterministic per-job RNG seed derived from (workload id, config
@@ -123,6 +130,20 @@ struct RunnerConfig
     bool restoreSnapshots = false;
     /** Audit hint-table invariants every N instructions; 0 = off. */
     uint64_t auditEvery = 0;
+
+    /**
+     * Process-isolated execution (--workers-proc): run each proc-
+     * dispatchable job (JobSpec::procConfig != null) in one of N
+     * sandboxed rarpred-worker processes instead of on the worker
+     * thread itself, so a crash, wedge, or OOM in a cell costs one
+     * attempt instead of the whole sweep. 0 disables the pool.
+     * Ignored (with in-process execution) when snapshotDir or
+     * auditEvery are set — epoch snapshots and online audits are
+     * in-process machinery; stats stay byte-identical either way.
+     */
+    unsigned procWorkers = 0;
+    /** Kill a worker process after this much mid-job silence. */
+    uint64_t workerHeartbeatTimeoutMs = 10000;
 };
 
 /** One unit of work: replay one workload trace into one simulator. */
@@ -139,6 +160,19 @@ struct JobSpec
      * triggers retry/quarantine.
      */
     std::function<Status(TraceSource &trace, Rng &rng)> run;
+
+    /**
+     * Optional process-isolation route: when non-null (and the runner
+     * has a healthy worker pool), the attempt is dispatched to a
+     * worker process as (workload, scale, maxInsts, *procConfig) and
+     * acceptProc commits the returned stats — it must perform the
+     * same result-slot/journal writes the in-process body performs,
+     * so the two routes are byte-identical. When the pool is
+     * degraded/absent the attempt transparently falls back to run.
+     * The pointee must outlive the sweep.
+     */
+    const service::CellConfigMsg *procConfig = nullptr;
+    std::function<Status(const CpuStats &stats)> acceptProc;
 };
 
 /** One quarantined job, for the stderr failure table. */
@@ -169,6 +203,20 @@ class SimJobRunner
     SimJobRunner(const RunnerConfig &config, TraceCache *shared_cache);
 
     /**
+     * Construct a runner that additionally dispatches proc-
+     * dispatchable jobs to @p shared_pool (may be null: plain
+     * in-process execution). The pool must outlive the runner and be
+     * start()ed by its owner; RunnerConfig::procWorkers is ignored
+     * when a shared pool is given. The resident sweep service uses
+     * this to keep one supervised pool across many per-request
+     * runners.
+     */
+    SimJobRunner(const RunnerConfig &config, TraceCache *shared_cache,
+                 WorkerPool *shared_pool);
+
+    ~SimJobRunner();
+
+    /**
      * Execute every job, fanning out over workers(); blocks until
      * all jobs finished or were quarantined. Jobs are claimed in
      * list order, so listing a sweep workload-major keeps each
@@ -196,6 +244,9 @@ class SimJobRunner
 
     /** Shared trace store (also usable directly by tests). */
     TraceCache &traceCache() { return *cache_; }
+
+    /** Worker-process pool (null without --workers-proc). */
+    WorkerPool *workerPool() { return pool_; }
 
     /** Snapshot/audit counters (driver.audit.*, driver.snapshot.*). */
     AuditCounters &auditCounters() { return auditCounters_; }
@@ -231,6 +282,8 @@ class SimJobRunner
     unsigned workers_;
     std::unique_ptr<TraceCache> ownedCache_; ///< null with a shared cache
     TraceCache *cache_;                      ///< owned or shared
+    std::unique_ptr<WorkerPool> ownedPool_;  ///< null with a shared pool
+    WorkerPool *pool_ = nullptr;             ///< owned, shared, or null
     std::atomic<size_t> next_{0};
 
     // Aggregated under statsMu_ when each job completes.
@@ -246,6 +299,7 @@ class SimJobRunner
     Counter jobMicrosTotal_;   ///< sum of per-job wall clock
     Counter queueMicrosTotal_; ///< sum of (job start - sweep start)
     Counter sweepMicrosTotal_; ///< wall clock of run() calls
+    Counter procFallbacks_;    ///< proc jobs run in-process instead
     uint64_t jobMicrosMax_ = 0;
     Histogram queueLatencyMs_; ///< per-job queue latency, 10ms buckets
     StatGroup statGroup_;

@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "cpu/ooo_cpu.hh"
 #include "faultinject/driver_faults.hh"
+#include "service/proto.hh"
 
 namespace rarpred::driver {
 
@@ -103,13 +105,16 @@ parseSweepArgs(int argc, char **argv)
     };
     uint64_t workers = 0, scale = 0, max_insts = 0, retries = 0;
     bool saw_workers = false, saw_scale = false, saw_max_insts = false;
-    bool saw_retries = false;
+    bool saw_retries = false, saw_serial = false;
+    uint64_t proc_workers = 0;
     const U64Flag numeric[] = {
         {"--deadline-ms", &opts.runner.jobDeadlineMs},
         {"--retry-backoff-ms", &opts.runner.retryBackoffMs},
         {"--trace-budget-bytes", &opts.runner.traceBudgetBytes},
         {"--snapshot-every", &opts.runner.snapshotEvery},
         {"--audit-every", &opts.runner.auditEvery},
+        {"--workers-proc", &proc_workers},
+        {"--worker-heartbeat-ms", &opts.runner.workerHeartbeatTimeoutMs},
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -121,6 +126,7 @@ parseSweepArgs(int argc, char **argv)
         }
         if (std::strcmp(arg, "--serial") == 0) {
             opts.runner.workers = 1;
+            saw_serial = true;
             continue;
         }
         if (std::strcmp(arg, "--resume") == 0) {
@@ -200,6 +206,13 @@ parseSweepArgs(int argc, char **argv)
 
     if (saw_workers)
         opts.runner.workers = (unsigned)workers;
+    if (proc_workers != 0) {
+        opts.runner.procWorkers = (unsigned)proc_workers;
+        // 1:1 thread:process pairing unless the caller split them
+        // explicitly — each worker thread drives one worker process.
+        if (!saw_workers && !saw_serial)
+            opts.runner.workers = (unsigned)proc_workers;
+    }
     if (saw_scale) {
         if (scale == 0)
             return Status::invalidArgument("--scale must be >= 1");
@@ -231,6 +244,11 @@ sweepUsage()
         "common sweep flags:\n"
         "  --workers=N | --serial   worker threads (default: hardware;\n"
         "                           env RARPRED_WORKERS overrides)\n"
+        "  --workers-proc=N         run jobs in N sandboxed worker\n"
+        "                           processes (crash containment);\n"
+        "                           implies --workers=N unless given\n"
+        "  --worker-heartbeat-ms=N  kill a silent worker process\n"
+        "                           after N ms (default 10000)\n"
         "  --scale=N                workload scale (default 1)\n"
         "  --max-insts=N            truncate traces to N instructions\n"
         "  --retries=N              retry failed jobs N times (default 2)\n"
@@ -249,7 +267,8 @@ sweepUsage()
         "env RARPRED_FAULT=point:index[xN],... arms driver fault\n"
         "points (job_crash, job_hang, job_kill, journal_torn,\n"
         "cache_pressure, snapshot_torn, snapshot_stale,\n"
-        "state_bitflip, epoch_kill) for crash drills.\n";
+        "state_bitflip, epoch_kill, worker_crash, worker_hang,\n"
+        "worker_flap, worker_result_torn) for crash drills.\n";
 }
 
 int
@@ -269,6 +288,119 @@ finishSweep(SimJobRunner &runner, const Status &status, std::ostream &err,
         return 130;
     }
     return 1;
+}
+
+SweepResult<CpuStats>
+runCellSweep(SimJobRunner &runner,
+             const std::vector<const Workload *> &workloads,
+             const std::vector<service::CellConfigMsg> &configs,
+             const SweepIo &io)
+{
+    // Non-template twin of runSweep() for the standard CPU cell:
+    // journal layout, cell order, configHash and RNG seeding are kept
+    // identical so a journal written by either is resumable by both
+    // (the fingerprint covers names/configs/sizeof(CpuStats)/scale/
+    // maxInsts, not which entry point produced it).
+    const size_t num_configs = configs.size();
+    const size_t n = workloads.size() * num_configs;
+    SweepResult<CpuStats> out{
+        std::vector<Result<CpuStats>>(
+            n, Result<CpuStats>(
+                   Status::failedPrecondition("job never ran"))),
+        Status{}};
+    std::vector<char> done(n, 0);
+
+    std::unique_ptr<SweepJournal> journal;
+    if (!io.journalPath.empty()) {
+        std::vector<std::string> names;
+        names.reserve(workloads.size());
+        for (const Workload *w : workloads)
+            names.push_back(w->abbrev);
+        const uint64_t fp = sweepFingerprint(
+            names, num_configs, sizeof(CpuStats),
+            runner.config().scale, runner.config().maxInsts);
+        if (io.resume) {
+            SweepJournal::Replay replay;
+            auto opened = SweepJournal::openResume(io.journalPath, fp,
+                                                   n, &replay);
+            if (!opened.ok()) {
+                out.status = opened.status();
+                return out;
+            }
+            journal = std::move(*opened);
+            uint64_t replayed = 0;
+            for (const SweepJournal::Record &rec : replay.records) {
+                if (rec.job >= n ||
+                    rec.payload.size() != sizeof(CpuStats)) {
+                    out.status = Status::corruption(
+                        "journal record does not fit this sweep");
+                    return out;
+                }
+                CpuStats value;
+                std::memcpy(&value, rec.payload.data(),
+                            sizeof(CpuStats));
+                if (!done[rec.job])
+                    ++replayed;
+                out.cells[rec.job] = Result<CpuStats>(value);
+                done[rec.job] = 1;
+            }
+            runner.noteJournalReplay(replayed, replay.tornRecords);
+        } else {
+            auto created = SweepJournal::create(io.journalPath, fp, n);
+            if (!created.ok()) {
+                out.status = created.status();
+                return out;
+            }
+            journal = std::move(*created);
+        }
+    }
+
+    std::vector<JobSpec> jobs;
+    std::vector<size_t> job_cell;
+    jobs.reserve(n);
+    SweepJournal *jptr = journal.get();
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        for (size_t ci = 0; ci < num_configs; ++ci) {
+            const size_t idx = wi * num_configs + ci;
+            if (done[idx])
+                continue;
+            const service::CellConfigMsg *cfg = &configs[ci];
+            Result<CpuStats> *slot = &out.cells[idx];
+            job_cell.push_back(idx);
+            // One commit path shared by the in-process body and the
+            // worker-pool route: whichever computed the stats, the
+            // journal append and slot write are the same bytes.
+            auto commit = [&runner, slot, idx,
+                           jptr](const CpuStats &stats) -> Status {
+                if (jptr != nullptr &&
+                    jptr->append(idx, &stats, sizeof(CpuStats)).ok())
+                    runner.noteJournalAppend();
+                *slot = Result<CpuStats>(stats);
+                return Status{};
+            };
+            JobSpec job;
+            job.workload = workloads[wi];
+            job.configHash = ci;
+            job.run = [cfg, commit](TraceSource &trace,
+                                    Rng &) -> Status {
+                CpuConfig core;
+                core.memDep = cfg->memDepPolicy();
+                OooCpu cpu(core, cfg->toTimingConfig());
+                pumpSimulation(trace, cpu);
+                return commit(cpu.stats());
+            };
+            job.procConfig = cfg;
+            job.acceptProc = commit;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    out.status = runner.run(jobs);
+
+    for (const JobFailure &f : runner.quarantined())
+        out.cells[job_cell[f.job]] = Result<CpuStats>(f.error);
+
+    return out;
 }
 
 } // namespace rarpred::driver

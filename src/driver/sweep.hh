@@ -35,6 +35,10 @@
 #include "driver/sweep_journal.hh"
 #include "workload/workload.hh"
 
+namespace rarpred::service {
+struct CellConfigMsg;
+} // namespace rarpred::service
+
 namespace rarpred::driver {
 
 /** Pointers to all 18 paper workloads, in Table 5.1 order. */
@@ -52,6 +56,10 @@ struct SweepIo
  * Accepted anywhere in argv:
  *   --workers=N | --serial     worker threads (default: hardware,
  *                              overridable via RARPRED_WORKERS)
+ *   --workers-proc=N           run jobs in N sandboxed worker
+ *                              processes (crash containment); also
+ *                              sets --workers=N unless given
+ *   --worker-heartbeat-ms=N    kill a silent worker process after N ms
  *   --scale=N                  workload scale for trace generation
  *   --max-insts=N              truncate traces to N instructions
  *   --retries=N                retry a failed job N times (default 2)
@@ -158,6 +166,24 @@ struct SweepResult
  * @return SweepResult with cells[wi * num_configs + ci], identical
  *         bytes for any worker count — and across resume.
  */
+/**
+ * Run the standard CPU-cell sweep: one OooCpu per (workload, config)
+ * cell, built from a service::CellConfigMsg grid — the same cell
+ * computation the sweep service performs per request. Compared to
+ * handing runSweep() a closure, the explicit config grid makes every
+ * cell *serializable*, so with --workers-proc the runner dispatches
+ * it to a sandboxed worker process; without a pool the cells run
+ * in-process with byte-identical results. Journal checkpoint/resume
+ * semantics are exactly runSweep's.
+ *
+ * @p configs must outlive the call (cells point into it).
+ */
+SweepResult<CpuStats>
+runCellSweep(SimJobRunner &runner,
+             const std::vector<const Workload *> &workloads,
+             const std::vector<service::CellConfigMsg> &configs,
+             const SweepIo &io = {});
+
 template <typename Fn>
 auto
 runSweep(SimJobRunner &runner,
@@ -244,36 +270,39 @@ runSweep(SimJobRunner &runner,
             const Workload *w = workloads[wi];
             Result<R> *slot = &out.cells[idx];
             job_cell.push_back(idx);
-            jobs.push_back(
-                {w, ci,
-                 [&cell, &runner, w, ci, slot, idx, jptr](
-                     TraceSource &t, Rng &rng) -> Status {
-                     CellR r = cell(*w, ci, t, rng);
-                     if constexpr (cell_returns_result) {
-                         const Status s = r.status();
-                         if (s.ok() && jptr != nullptr) {
-                             if constexpr (std::is_trivially_copyable_v<
-                                               R>) {
-                                 if (jptr->append(idx, &*r, sizeof(R))
-                                         .ok())
-                                     runner.noteJournalAppend();
-                             }
-                         }
-                         *slot = std::move(r);
-                         return s;
-                     } else {
-                         if (jptr != nullptr) {
-                             if constexpr (std::is_trivially_copyable_v<
-                                               R>) {
-                                 if (jptr->append(idx, &r, sizeof(R))
-                                         .ok())
-                                     runner.noteJournalAppend();
-                             }
-                         }
-                         *slot = Result<R>(std::move(r));
-                         return Status{};
-                     }
-                 }});
+            JobSpec job;
+            job.workload = w;
+            job.configHash = ci;
+            job.run =
+                [&cell, &runner, w, ci, slot, idx, jptr](
+                    TraceSource &t, Rng &rng) -> Status {
+                    CellR r = cell(*w, ci, t, rng);
+                    if constexpr (cell_returns_result) {
+                        const Status s = r.status();
+                        if (s.ok() && jptr != nullptr) {
+                            if constexpr (std::is_trivially_copyable_v<
+                                              R>) {
+                                if (jptr->append(idx, &*r, sizeof(R))
+                                        .ok())
+                                    runner.noteJournalAppend();
+                            }
+                        }
+                        *slot = std::move(r);
+                        return s;
+                    } else {
+                        if (jptr != nullptr) {
+                            if constexpr (std::is_trivially_copyable_v<
+                                              R>) {
+                                if (jptr->append(idx, &r, sizeof(R))
+                                        .ok())
+                                    runner.noteJournalAppend();
+                            }
+                        }
+                        *slot = Result<R>(std::move(r));
+                        return Status{};
+                    }
+                };
+            jobs.push_back(std::move(job));
         }
     }
 

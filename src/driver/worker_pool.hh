@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Process-isolated simulation workers: a supervisor that forks a
+ * pool of sandboxed `rarpred-worker` processes and dispatches cell
+ * jobs to them over socketpairs, using the service's CRC-framed wire
+ * protocol (service/proto.hh JobRequest / JobResult / WorkerHello /
+ * WorkerHeartbeat frames).
+ *
+ * Why processes: every simulation job used to run as a thread inside
+ * the bench or rarpredd process, so one wild write, assert, or OOM in
+ * a single sweep cell took down the whole process and every tenant on
+ * it. A worker process is the containment boundary the in-process
+ * fault layer (watchdog, retry, quarantine) cannot provide: a SIGKILL,
+ * segfault, or wedge in a worker costs one job attempt, which flows
+ * into the existing retry/quarantine path as an ordinary non-OK
+ * Status.
+ *
+ * Supervision (DESIGN.md §9):
+ *  - Worker death is detected two ways: EOF/POLLHUP on the job socket
+ *    (immediate, the primary signal) and SIGCHLD (a self-pipe wakes
+ *    housekeeping so even idle workers are reaped promptly). Reaping
+ *    is strictly by known pid — never waitpid(-1) — so the pool can
+ *    coexist with any other children its host process manages.
+ *  - A wedged worker is detected by heartbeat silence: the worker
+ *    beacons forward progress from inside its trace pump, so a
+ *    livelocked or stopped worker goes silent and is SIGKILLed at the
+ *    heartbeat deadline.
+ *  - Restarts use capped exponential backoff, and a flap detector
+ *    (consecutive spawn failures, or too many restarts inside a
+ *    sliding window) degrades the pool: runJob() then returns
+ *    Unavailable and the caller falls back to in-process execution.
+ *    Degradation is sticky for the pool's lifetime — a pool that
+ *    cannot hold workers alive must not oscillate.
+ *
+ * Determinism: a worker computes the cell from the same (workload,
+ * scale, maxInsts, CellConfigMsg) inputs the in-process path uses, so
+ * results are byte-identical either way; the journal, golden, and
+ * restart-replay oracles all hold under --workers-proc.
+ */
+
+#ifndef RARPRED_DRIVER_WORKER_POOL_HH_
+#define RARPRED_DRIVER_WORKER_POOL_HH_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "cpu/cpu_config.hh"
+#include "service/proto.hh"
+
+namespace rarpred::driver {
+
+/** Supervision knobs. Defaults suit production; tests shrink them. */
+struct WorkerPoolConfig
+{
+    /** Worker processes; 0 is clamped to 1. */
+    unsigned workers = 1;
+
+    /** Kill a worker after this much mid-job silence (no heartbeat,
+     *  no result). Generous by default: the first job on a fresh
+     *  worker generates the workload trace before pumping. */
+    uint64_t heartbeatTimeoutMs = 10000;
+    /** How long a fresh worker gets to send its hello. */
+    uint64_t helloTimeoutMs = 5000;
+
+    /** Restart backoff: base << (consecutive failures - 1), capped. */
+    uint64_t spawnBackoffMs = 50;
+    uint64_t spawnBackoffCapMs = 2000;
+
+    /** Flap detector: consecutive spawn failures that degrade the
+     *  pool, and the restart budget inside the sliding window. */
+    unsigned maxConsecutiveSpawnFailures = 3;
+    unsigned flapRestartBudget = 8;
+    uint64_t flapWindowMs = 10000;
+
+    /** Per-worker trace-cache budgets, forwarded on the argv. */
+    uint64_t traceBudgetBytes = 0;
+    uint32_t traceBudgetTraces = 0;
+
+    /** Worker binary; empty resolves RARPRED_WORKER_BIN, then
+     *  rarpred-worker next to the running executable, then in a
+     *  sibling driver/ directory (the build layout). */
+    std::string workerBin;
+};
+
+/** Everything one cell job needs to be computed out of process. */
+struct WorkerJobDesc
+{
+    uint64_t token = 0; ///< job identity echoed by result/heartbeats
+    std::string workload;
+    uint32_t scale = 1;
+    uint64_t maxInsts = ~0ull;
+    uint64_t deadlineMs = 0; ///< enforced by the worker's own watchdog
+    service::CellConfigMsg config;
+};
+
+/** Counter snapshot for dumpStats() and test asserts. */
+struct WorkerPoolStats
+{
+    uint64_t spawned = 0;      ///< successful spawns (hello received)
+    uint64_t reaped = 0;       ///< children waited on (by pid)
+    uint64_t restarts = 0;     ///< spawns replacing a dead worker
+    uint64_t spawnFailures = 0;
+    uint64_t crashes = 0;      ///< workers that died mid-job
+    uint64_t hangKills = 0;    ///< killed for heartbeat silence
+    uint64_t tornResults = 0;  ///< result streams rejected by CRC
+    uint64_t jobsDispatched = 0;
+    uint64_t jobsCompleted = 0;
+    uint64_t jobsFailed = 0;
+    uint64_t heartbeats = 0;
+    bool degraded = false;
+};
+
+/**
+ * The supervisor. Thread-safe: SimJobRunner's worker threads call
+ * runJob() concurrently, each checking out a worker slot for the
+ * duration of its job.
+ */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(const WorkerPoolConfig &config);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Resolve the worker binary and install the (chained, refcounted)
+     * SIGCHLD hook. Never spawns eagerly — workers start on first
+     * use, so a pool behind a flag costs nothing until exercised.
+     * A missing binary degrades the pool (runJob() returns
+     * Unavailable) instead of failing: crash containment is an
+     * enhancement, not a prerequisite, for the sweep to run.
+     */
+    Status start();
+
+    /** Kill and reap every worker; idempotent. After stop() every
+     *  runJob() returns Unavailable. */
+    void stop();
+
+    /**
+     * Run one job on a pooled worker process.
+     *
+     * Status protocol:
+     *  - OK: the worker's CpuStats (byte-identical to in-process).
+     *  - Unavailable: the *pool* cannot serve (degraded, stopped, or
+     *    the worker binary is unresolvable) — callers fall back to
+     *    in-process execution; this does not consume a job attempt.
+     *  - anything else: this attempt failed (worker crashed, hung,
+     *    returned a torn or failed result) — feeds the caller's
+     *    retry/quarantine path exactly like an in-process failure.
+     */
+    Result<CpuStats> runJob(const WorkerJobDesc &job);
+
+    /** True once the flap detector latched (or stop() ran). */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    WorkerPoolStats stats() const;
+
+    /** Write "driver.worker.*" stat lines (the repo's stat format). */
+    void dumpStats(std::ostream &os) const;
+
+    /** Resolution order documented on WorkerPoolConfig::workerBin;
+     *  exposed for tests. Empty string when nothing resolves. */
+    static std::string resolveWorkerBinary(const std::string &hint);
+
+  private:
+    struct Slot
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        bool busy = false;
+        uint64_t generation = 0; ///< successful spawns of this slot
+        service::FrameDecoder decoder; ///< reset on every respawn
+    };
+
+    Slot *checkout();
+    void checkin(Slot *slot);
+    /** Reap workers that died while idle (SIGCHLD housekeeping). */
+    void sweepDeadWorkers();
+    /** Make sure @p slot has a live worker; spawns with backoff.
+     *  Unavailable once the flap detector latches. */
+    Status ensureAlive(Slot *slot);
+    /** One fork+exec+hello handshake. */
+    Status spawnWorker(Slot *slot);
+    /** Kill (if needed) and reap @p slot's worker; marks it dead. */
+    void retireSlot(Slot *slot, bool kill);
+    /** Record a restart event; latches degraded_ on a flap. */
+    void noteRestartLocked();
+    Status dispatch(Slot *slot, const WorkerJobDesc &job,
+                    CpuStats *out);
+
+    WorkerPoolConfig config_;
+    std::string workerBin_;
+    std::atomic<bool> degraded_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<uint64_t> spawnSeq_{0}; ///< WorkerFlap fault index
+    bool started_ = false;
+
+    mutable std::mutex mu_;
+    std::condition_variable slotCv_;
+    std::vector<Slot> slots_;
+    int chldPipe_[2] = {-1, -1}; ///< SIGCHLD self-pipe (nonblocking)
+    unsigned consecutiveSpawnFailures_ = 0;
+    std::deque<uint64_t> restartTimesMs_; ///< flap sliding window
+
+    // Counters (under mu_).
+    WorkerPoolStats counters_;
+};
+
+} // namespace rarpred::driver
+
+#endif // RARPRED_DRIVER_WORKER_POOL_HH_

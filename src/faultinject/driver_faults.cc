@@ -8,7 +8,7 @@ namespace rarpred {
 
 namespace {
 
-constexpr size_t kNumPoints = 13;
+constexpr size_t kNumPoints = 17;
 
 struct Arming
 {
@@ -55,6 +55,14 @@ driverFaultPointName(DriverFaultPoint point)
         return "store_corrupt";
       case DriverFaultPoint::DaemonKill:
         return "daemon_kill";
+      case DriverFaultPoint::WorkerCrash:
+        return "worker_crash";
+      case DriverFaultPoint::WorkerHang:
+        return "worker_hang";
+      case DriverFaultPoint::WorkerFlap:
+        return "worker_flap";
+      case DriverFaultPoint::WorkerResultTorn:
+        return "worker_result_torn";
     }
     return "unknown";
 }
@@ -165,6 +173,14 @@ armOneSpec(const std::string &item)
         point = DriverFaultPoint::StoreCorrupt;
     else if (name == "daemon_kill")
         point = DriverFaultPoint::DaemonKill;
+    else if (name == "worker_crash")
+        point = DriverFaultPoint::WorkerCrash;
+    else if (name == "worker_hang")
+        point = DriverFaultPoint::WorkerHang;
+    else if (name == "worker_flap")
+        point = DriverFaultPoint::WorkerFlap;
+    else if (name == "worker_result_torn")
+        point = DriverFaultPoint::WorkerResultTorn;
     else
         return Status::invalidArgument("unknown fault point: " + name);
 

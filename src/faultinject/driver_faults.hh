@@ -48,6 +48,24 @@
  *  - DaemonKill      : SIGKILL the daemon immediately after the Nth
  *                      result-store write is durable — for zero-loss
  *                      restart/replay byte-identity tests.
+ *  - WorkerCrash     : a pool worker process raises SIGKILL mid-job;
+ *                      the supervisor must contain it (restart the
+ *                      worker, retry the cell, identical stats).
+ *  - WorkerHang      : a pool worker wedges without heartbeats; the
+ *                      supervisor must kill it at the heartbeat
+ *                      deadline and retry.
+ *  - WorkerFlap      : a pool worker exits immediately on spawn,
+ *                      before its hello; repeated flapping must trip
+ *                      the flap detector and degrade the pool to
+ *                      in-process execution.
+ *  - WorkerResultTorn: a worker flips one byte of its encoded result
+ *                      frame; the supervisor must reject it by CRC
+ *                      and retry, never merge torn stats.
+ *
+ * The worker points are armed in — and consumed by — the *supervisor*
+ * process: the fault order travels to the worker in the JobRequest
+ * (or its argv, for WorkerFlap), so a fire budget of one means one
+ * failure even though the retry may land on a different worker.
  *
  * Arming is process-global (the driver is, too). Tests arm
  * programmatically; CLI runs arm via the RARPRED_FAULT environment
@@ -81,6 +99,10 @@ enum class DriverFaultPoint : uint8_t
     RequestTorn,
     StoreCorrupt,
     DaemonKill,
+    WorkerCrash,
+    WorkerHang,
+    WorkerFlap,
+    WorkerResultTorn,
 };
 
 /** @return stable spec name for @p point ("job_crash", ...). */
@@ -116,7 +138,9 @@ uint64_t driverFaultFireCount(DriverFaultPoint point);
  *   point    := job_crash | job_hang | job_kill | journal_torn |
  *               cache_pressure | snapshot_torn | snapshot_stale |
  *               state_bitflip | epoch_kill | conn_drop |
- *               request_torn | store_corrupt | daemon_kill
+ *               request_torn | store_corrupt | daemon_kill |
+ *               worker_crash | worker_hang | worker_flap |
+ *               worker_result_torn
  *   index    := decimal target index, or "*" for any
  *   times    := decimal fire budget (default 1)
  * e.g. "job_kill:40", "job_crash:3x2,cache_pressure:*".

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/io_util.hh"
 #include "driver/stats_merger.hh"
 
 namespace rarpred::service {
@@ -65,22 +66,9 @@ class Connection
                 std::to_string(payload.size()) +
                 " bytes exceeds the frame bound");
         const std::vector<uint8_t> bytes = encodeFrame(type, payload);
-        const uint8_t *p = bytes.data();
-        size_t len = bytes.size();
-        while (len > 0) {
-            // MSG_NOSIGNAL: a daemon that died between accept and
-            // read must surface as a Status, not SIGPIPE the client.
-            const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                return Status::ioError(std::string("send: ") +
-                                       std::strerror(errno));
-            }
-            p += n;
-            len -= (size_t)n;
-        }
-        return Status{};
+        // sendFull is MSG_NOSIGNAL + EINTR-safe: a daemon that died
+        // between accept and read surfaces as a Status, not SIGPIPE.
+        return rarpred::sendFull(fd_, bytes.data(), bytes.size());
     }
 
     /** Block until the next verified frame (or stream end/error). */
@@ -94,17 +82,12 @@ class Connection
             if (have)
                 return frame;
             uint8_t buf[4096];
-            const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                return Status::ioError(std::string("recv: ") +
-                                       std::strerror(errno));
-            }
-            if (n == 0)
+            auto n = rarpred::recvChunk(fd_, buf, sizeof(buf));
+            RARPRED_RETURN_IF_ERROR(n.status());
+            if (*n == 0)
                 return Status::unavailable(
                     "connection closed mid-reply");
-            RARPRED_RETURN_IF_ERROR(decoder_.feed(buf, (size_t)n));
+            RARPRED_RETURN_IF_ERROR(decoder_.feed(buf, *n));
         }
     }
 

@@ -5,43 +5,23 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <limits>
 
+#include "common/io_util.hh"
 #include "cpu/ooo_cpu.hh"
 #include "driver/sim_job_runner.hh"
 #include "driver/sim_snapshot.hh"
 #include "driver/stats_merger.hh"
+#include "driver/worker_pool.hh"
 #include "faultinject/driver_faults.hh"
 
 namespace rarpred::service {
 
 namespace {
-
-/**
- * Write all of @p len bytes to @p fd. MSG_NOSIGNAL (plus the
- * process-wide SIGPIPE ignore in serve()) turns a disconnected peer
- * into a recoverable error instead of a process kill.
- */
-Status
-sendAll(int fd, const void *data, size_t len)
-{
-    const auto *p = static_cast<const uint8_t *>(data);
-    while (len > 0) {
-        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return Status::ioError(std::string("send: ") +
-                                   std::strerror(errno));
-        }
-        p += n;
-        len -= (size_t)n;
-    }
-    return Status{};
-}
 
 Status
 sendFrame(int fd, FrameType type, const std::vector<uint8_t> &payload)
@@ -55,7 +35,10 @@ sendFrame(int fd, FrameType type, const std::vector<uint8_t> &payload)
             "reply payload of " + std::to_string(payload.size()) +
             " bytes exceeds the frame bound");
     const std::vector<uint8_t> bytes = encodeFrame(type, payload);
-    return sendAll(fd, bytes.data(), bytes.size());
+    // sendFull is MSG_NOSIGNAL + EINTR-safe (common/io_util.hh); with
+    // the process-wide SIGPIPE ignore in serve() a disconnected peer
+    // is a recoverable error, never a process kill.
+    return sendFull(fd, bytes.data(), bytes.size());
 }
 
 void
@@ -130,6 +113,23 @@ SweepDaemon::serve()
 
     RARPRED_RETURN_IF_ERROR(store_.init());
 
+    // --isolate-jobs: bring the worker-process pool up before any
+    // request can arrive. start() never fails hard — an unresolvable
+    // worker binary or flapping spawns degrade the pool and cells run
+    // in-process (byte-identical), so the daemon always comes up.
+    if (config_.isolateJobs) {
+        driver::WorkerPoolConfig wp;
+        wp.workers = config_.workers != 0
+                         ? config_.workers
+                         : std::max(
+                               1u, std::thread::hardware_concurrency());
+        wp.heartbeatTimeoutMs = config_.workerHeartbeatTimeoutMs;
+        wp.traceBudgetBytes = config_.traceBudgetBytes;
+        wp.traceBudgetTraces = config_.traceBudgetTraces;
+        workerPool_ = std::make_unique<driver::WorkerPool>(wp);
+        RARPRED_RETURN_IF_ERROR(workerPool_->start());
+    }
+
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0)
         return Status::ioError(std::string("socket: ") +
@@ -194,6 +194,11 @@ SweepDaemon::awaitShutdown()
     }
     for (auto &[index, thread] : handlers)
         thread.join();
+    // No sweep can be running now (executor and handlers joined):
+    // stop the pool last so in-flight jobs finished first. stop()
+    // reaps every worker pid — a drained daemon leaves no zombies.
+    if (workerPool_)
+        workerPool_->stop();
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
@@ -302,31 +307,40 @@ SweepDaemon::handleConnection(int fd, uint64_t conn_index)
             remaining > (uint64_t)std::numeric_limits<int>::max()
                 ? std::numeric_limits<int>::max()
                 : (int)remaining);
-        if (rc <= 0) {
-            torn = true; // timeout (or poll failure): give up
+        if (rc < 0) {
+            // A signal — e.g. SIGCHLD from the worker pool reaping a
+            // crashed simulation process — interrupts poll without
+            // SA_RESTART protection. That is not a torn request;
+            // re-poll against the same absolute deadline.
+            if (errno == EINTR)
+                continue;
+            torn = true; // poll failure: give up
+            break;
+        }
+        if (rc == 0) {
+            torn = true; // timeout: give up
             break;
         }
         uint8_t buf[4096];
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0) {
+        auto n = recvChunk(fd, buf, sizeof(buf));
+        if (!n.ok() || *n == 0) {
             torn = true; // client died mid-send
             break;
         }
+        size_t got = *n;
         if (driverFaultFires(DriverFaultPoint::RequestTorn,
                              conn_index)) {
             // Crash drill: behave as if the client died after this
             // (shortened) chunk — the decoder must hold a partial
             // frame and the daemon must answer with a recoverable
             // error, not hang or crash.
-            if (n > 1)
-                --n;
-            (void)decoder.feed(buf, (size_t)n);
+            if (got > 1)
+                --got;
+            (void)decoder.feed(buf, got);
             torn = true;
             break;
         }
-        (void)decoder.feed(buf, (size_t)n);
+        (void)decoder.feed(buf, got);
         const Status s = decoder.next(&frame, &have);
         if (!s.ok()) {
             counters_.protoErrors.fetch_add(1);
@@ -554,7 +568,11 @@ SweepDaemon::runSweepRequest(Pending &&p)
         rc.maxAttempts = config_.maxAttempts;
         rc.retryBackoffMs = config_.retryBackoffMs;
         rc.jobDeadlineMs = remaining_ms;
-        driver::SimJobRunner runner(rc, traceCache_.get());
+        // The shared worker pool (--isolate-jobs; may be null) keeps
+        // a crashing cell from taking the daemon — and every queued
+        // tenant — down with it.
+        driver::SimJobRunner runner(rc, traceCache_.get(),
+                                    workerPool_.get());
 
         std::vector<driver::JobSpec> jobs;
         jobs.reserve(to_run.size());
@@ -564,28 +582,38 @@ SweepDaemon::runSweepRequest(Pending &&p)
                 req.configs[cell % num_configs];
             const uint64_t fp = fingerprints[cell];
             RowMsg *row = &rows[cell];
-            jobs.push_back(
-                {w, fp,
-                 [this, &cfg, fp, row](TraceSource &trace,
-                                       Rng &) -> Status {
-                     CpuConfig core;
-                     core.memDep = cfg.memDepPolicy();
-                     OooCpu cpu(core, cfg.toTimingConfig());
-                     driver::pumpSimulation(trace, cpu);
-                     row->stats = cpu.stats();
-                     // Persist *inside* the job: a kill -9 between
-                     // cells loses only work in flight, and the
-                     // write is atomic (temp+fsync+rename).
-                     {
-                         std::lock_guard<std::mutex> lock(storeMu_);
-                         RARPRED_RETURN_IF_ERROR(
-                             store_.put(fp, row->stats));
-                     }
-                     counters_.storeWrites.fetch_add(1);
-                     counters_.cellsSimulated.fetch_add(1);
-                     breaker_.onSuccess(fp);
-                     return Status{};
-                 }});
+            // One commit path for both execution routes, so a cell
+            // computed in a worker process lands byte-identically to
+            // one computed in-process. Persist *inside* the job: a
+            // kill -9 between cells loses only work in flight, and
+            // the write is atomic (temp+fsync+rename).
+            auto commit = [this, fp,
+                           row](const CpuStats &stats) -> Status {
+                row->stats = stats;
+                {
+                    std::lock_guard<std::mutex> lock(storeMu_);
+                    RARPRED_RETURN_IF_ERROR(
+                        store_.put(fp, row->stats));
+                }
+                counters_.storeWrites.fetch_add(1);
+                counters_.cellsSimulated.fetch_add(1);
+                breaker_.onSuccess(fp);
+                return Status{};
+            };
+            driver::JobSpec job;
+            job.workload = w;
+            job.configHash = fp;
+            job.run = [&cfg, commit](TraceSource &trace,
+                                     Rng &) -> Status {
+                CpuConfig core;
+                core.memDep = cfg.memDepPolicy();
+                OooCpu cpu(core, cfg.toTimingConfig());
+                driver::pumpSimulation(trace, cpu);
+                return commit(cpu.stats());
+            };
+            job.procConfig = &cfg;
+            job.acceptProc = commit;
+            jobs.push_back(std::move(job));
         }
         (void)runner.run(jobs);
         for (const driver::JobFailure &f : runner.quarantined()) {

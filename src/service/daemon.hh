@@ -60,6 +60,10 @@
 #include "service/proto.hh"
 #include "service/result_store.hh"
 
+namespace rarpred::driver {
+class WorkerPool;
+} // namespace rarpred::driver
+
 namespace rarpred::service {
 
 /** Daemon knobs (rarpredd flags map onto these 1:1). */
@@ -92,6 +96,18 @@ struct DaemonConfig
     /** ms a handler waits for a complete request before calling the
      *  connection torn. Keep short in tests. */
     uint64_t requestTimeoutMs = 5000;
+
+    /**
+     * --isolate-jobs: simulate each cell in a sandboxed worker
+     * process from a supervised pool (driver/worker_pool.hh) so a
+     * crash or wedge in one cell cannot take the daemon — and every
+     * queued tenant — down with it. The pool is shared across
+     * requests; when it degrades (flapping workers, missing binary)
+     * cells transparently run in-process with identical results.
+     */
+    bool isolateJobs = false;
+    /** Kill a silent worker process after this long (isolateJobs). */
+    uint64_t workerHeartbeatTimeoutMs = 10000;
 };
 
 /** Thread-safe counters behind the service.* stats (proto.hh). */
@@ -151,6 +167,10 @@ class SweepDaemon
         return counters_.snapshot();
     }
 
+    /** Worker-process pool (null without --isolate-jobs); the CLI
+     *  dumps its driver.worker.* counters at exit. */
+    driver::WorkerPool *workerPool() { return workerPool_.get(); }
+
   private:
     /** One admitted sweep, owning its client connection. */
     struct Pending
@@ -180,6 +200,7 @@ class SweepDaemon
     std::mutex storeMu_; ///< serializes put() (get() is read-only)
     CircuitBreaker breaker_;
     std::unique_ptr<driver::TraceCache> traceCache_;
+    std::unique_ptr<driver::WorkerPool> workerPool_;
 
     int listenFd_ = -1;
     int wakePipe_[2] = {-1, -1}; ///< drain wakeup for the accept poll

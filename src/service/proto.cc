@@ -14,10 +14,14 @@ isKnownFrameType(uint8_t type)
     switch ((FrameType)type) {
       case FrameType::SweepRequest:
       case FrameType::StatusRequest:
+      case FrameType::JobRequest:
       case FrameType::Row:
       case FrameType::SweepDone:
       case FrameType::ErrorReply:
       case FrameType::StatusReply:
+      case FrameType::JobResult:
+      case FrameType::WorkerHello:
+      case FrameType::WorkerHeartbeat:
         return true;
     }
     return false;
@@ -39,6 +43,14 @@ frameTypeName(FrameType type)
         return "error-reply";
       case FrameType::StatusReply:
         return "status-reply";
+      case FrameType::JobRequest:
+        return "job-request";
+      case FrameType::JobResult:
+        return "job-result";
+      case FrameType::WorkerHello:
+        return "worker-hello";
+      case FrameType::WorkerHeartbeat:
+        return "worker-heartbeat";
     }
     return "unknown";
 }
@@ -534,6 +546,123 @@ StatusReplyMsg::decode(const std::vector<uint8_t> &b)
     RARPRED_RETURN_IF_ERROR(readCounters(r, &m.counters));
     if (!r.atEnd())
         return Status::corruption("trailing bytes after status reply");
+    return m;
+}
+
+// --------------------------------------------------- worker frames
+
+Status
+JobRequestMsg::validate() const
+{
+    if (workload.empty() || workload.size() > 64)
+        return Status::invalidArgument(
+            "workload abbreviation must be 1..64 bytes");
+    if (scale == 0)
+        return Status::invalidArgument("scale must be >= 1");
+    if (fault > (uint8_t)WorkerFault::TornResult)
+        return Status::invalidArgument("worker fault out of range");
+    return config.validate();
+}
+
+std::vector<uint8_t>
+JobRequestMsg::encode() const
+{
+    StateWriter w;
+    w.u64(token);
+    writeString(w, workload);
+    w.u32(scale);
+    w.u64(maxInsts);
+    w.u64(deadlineMs);
+    w.u8(fault);
+    writeCellConfig(w, config);
+    return w.buffer();
+}
+
+Result<JobRequestMsg>
+JobRequestMsg::decode(const std::vector<uint8_t> &b)
+{
+    JobRequestMsg m;
+    StateReader r(b);
+    RARPRED_RETURN_IF_ERROR(r.u64(&m.token));
+    RARPRED_RETURN_IF_ERROR(readString(r, &m.workload));
+    RARPRED_RETURN_IF_ERROR(r.u32(&m.scale));
+    RARPRED_RETURN_IF_ERROR(r.u64(&m.maxInsts));
+    RARPRED_RETURN_IF_ERROR(r.u64(&m.deadlineMs));
+    RARPRED_RETURN_IF_ERROR(r.u8(&m.fault));
+    RARPRED_RETURN_IF_ERROR(readCellConfig(r, &m.config));
+    if (!r.atEnd())
+        return Status::corruption("trailing bytes after job request");
+    RARPRED_RETURN_IF_ERROR(m.validate());
+    return m;
+}
+
+std::vector<uint8_t>
+JobResultMsg::encode() const
+{
+    StateWriter w;
+    w.u64(token);
+    w.u8(errorCode);
+    writeString(w, errorMsg);
+    writeCpuStats(w, stats);
+    return w.buffer();
+}
+
+Result<JobResultMsg>
+JobResultMsg::decode(const std::vector<uint8_t> &b)
+{
+    JobResultMsg m;
+    StateReader r(b);
+    RARPRED_RETURN_IF_ERROR(r.u64(&m.token));
+    RARPRED_RETURN_IF_ERROR(r.u8(&m.errorCode));
+    RARPRED_RETURN_IF_ERROR(readString(r, &m.errorMsg));
+    RARPRED_RETURN_IF_ERROR(readCpuStats(r, &m.stats));
+    if (!r.atEnd())
+        return Status::corruption("trailing bytes after job result");
+    if (m.errorCode > (uint8_t)StatusCode::Unavailable)
+        return Status::corruption("job error code out of range");
+    return m;
+}
+
+std::vector<uint8_t>
+WorkerHelloMsg::encode() const
+{
+    StateWriter w;
+    w.u64(pid);
+    w.u32(protoVersion);
+    return w.buffer();
+}
+
+Result<WorkerHelloMsg>
+WorkerHelloMsg::decode(const std::vector<uint8_t> &b)
+{
+    WorkerHelloMsg m;
+    StateReader r(b);
+    RARPRED_RETURN_IF_ERROR(r.u64(&m.pid));
+    RARPRED_RETURN_IF_ERROR(r.u32(&m.protoVersion));
+    if (!r.atEnd())
+        return Status::corruption("trailing bytes after worker hello");
+    return m;
+}
+
+std::vector<uint8_t>
+WorkerHeartbeatMsg::encode() const
+{
+    StateWriter w;
+    w.u64(token);
+    w.u64(seq);
+    return w.buffer();
+}
+
+Result<WorkerHeartbeatMsg>
+WorkerHeartbeatMsg::decode(const std::vector<uint8_t> &b)
+{
+    WorkerHeartbeatMsg m;
+    StateReader r(b);
+    RARPRED_RETURN_IF_ERROR(r.u64(&m.token));
+    RARPRED_RETURN_IF_ERROR(r.u64(&m.seq));
+    if (!r.atEnd())
+        return Status::corruption(
+            "trailing bytes after worker heartbeat");
     return m;
 }
 

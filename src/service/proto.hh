@@ -76,10 +76,14 @@ enum class FrameType : uint8_t
 {
     SweepRequest = 1,  ///< a grid of (workload, config) cells
     StatusRequest = 2, ///< health/readiness probe
+    JobRequest = 3,    ///< one cell dispatched to a worker process
     Row = 16,          ///< one cell's CpuStats (or its error)
     SweepDone = 17,    ///< terminates a row stream; summary counts
     ErrorReply = 18,   ///< whole-request failure (shed, deadline, ...)
     StatusReply = 19,  ///< counters + readiness
+    JobResult = 20,    ///< a worker's answer to one JobRequest
+    WorkerHello = 21,  ///< worker liveness announcement after exec
+    WorkerHeartbeat = 22, ///< mid-job forward-progress beacon
 };
 
 /** @return true iff @p type is one of the FrameType values. */
@@ -284,6 +288,89 @@ struct StatusReplyMsg
 
     std::vector<uint8_t> encode() const;
     static Result<StatusReplyMsg> decode(const std::vector<uint8_t> &b);
+};
+
+// ------------------------------------------- worker-pool messages
+//
+// The process-isolated worker pool (driver/worker_pool.hh) reuses
+// this CRC-framed envelope over a supervisor<->worker socketpair.
+// One JobRequest is answered by exactly one JobResult; while a job
+// runs, the worker interleaves WorkerHeartbeat frames so a wedged
+// (livelocked, swapped-out) worker is distinguishable from a slow
+// one. A worker announces itself with one WorkerHello after exec.
+
+/** Version of the supervisor<->worker job protocol. */
+constexpr uint32_t kWorkerProtoVersion = 1;
+
+/**
+ * Fault the supervisor asks the worker to self-inject (chaos drills;
+ * see faultinject/driver_faults.hh WorkerCrash/WorkerHang/
+ * WorkerResultTorn). The *parent* consumes the fault-point firing
+ * and forwards the order in the JobRequest, so the injection is
+ * exactly-once across retries even though each worker process has
+ * its own (unarmed) fault-point table.
+ */
+enum class WorkerFault : uint8_t
+{
+    None = 0,
+    Crash = 1,      ///< raise(SIGKILL) mid-job
+    Hang = 2,       ///< wedge without heartbeats until killed
+    TornResult = 3, ///< corrupt one byte of the encoded JobResult
+};
+
+/** One cell dispatched to a worker process. */
+struct JobRequestMsg
+{
+    uint64_t token = 0; ///< echoed by JobResult/WorkerHeartbeat
+    std::string workload; ///< abbrev, resolved via lookupWorkload()
+    uint32_t scale = 1;
+    uint64_t maxInsts = ~0ull;
+    /** Per-attempt deadline the worker enforces itself; 0 = none. */
+    uint64_t deadlineMs = 0;
+    uint8_t fault = 0; ///< WorkerFault
+    CellConfigMsg config;
+
+    Status validate() const;
+    std::vector<uint8_t> encode() const;
+    static Result<JobRequestMsg> decode(const std::vector<uint8_t> &b);
+};
+
+/** The worker's answer to one JobRequest. */
+struct JobResultMsg
+{
+    uint64_t token = 0;
+    uint8_t errorCode = 0; ///< StatusCode; != 0 means stats invalid
+    std::string errorMsg;
+    CpuStats stats{};
+
+    Status error() const
+    {
+        return Status{(StatusCode)errorCode, errorMsg};
+    }
+
+    std::vector<uint8_t> encode() const;
+    static Result<JobResultMsg> decode(const std::vector<uint8_t> &b);
+};
+
+/** Worker liveness announcement, sent once right after exec. */
+struct WorkerHelloMsg
+{
+    uint64_t pid = 0;
+    uint32_t protoVersion = kWorkerProtoVersion;
+
+    std::vector<uint8_t> encode() const;
+    static Result<WorkerHelloMsg> decode(const std::vector<uint8_t> &b);
+};
+
+/** Mid-job forward-progress beacon. */
+struct WorkerHeartbeatMsg
+{
+    uint64_t token = 0; ///< the job being pumped
+    uint64_t seq = 0;   ///< monotone per job
+
+    std::vector<uint8_t> encode() const;
+    static Result<WorkerHeartbeatMsg>
+    decode(const std::vector<uint8_t> &b);
 };
 
 /**

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "driver/worker_pool.hh"
 #include "faultinject/driver_faults.hh"
 #include "service/daemon.hh"
 
@@ -53,8 +54,14 @@ usage()
         "  --trace-budget-bytes=N    max resident trace bytes (full\n"
         "                            footprint incl. trace headers)\n"
         "  --request-timeout-ms=N    torn-request read timeout (5000)\n"
+        "  --isolate-jobs            simulate cells in sandboxed\n"
+        "                            worker processes (crash "
+        "containment)\n"
+        "  --worker-heartbeat-ms=N   kill a silent worker process\n"
+        "                            after N ms (10000)\n"
         "env RARPRED_FAULT arms driver fault points (conn_drop,\n"
-        "request_torn, store_corrupt, daemon_kill, ...).\n";
+        "request_torn, store_corrupt, daemon_kill, worker_crash,\n"
+        "worker_hang, worker_flap, ...).\n";
 }
 
 bool
@@ -99,6 +106,7 @@ main(int argc, char **argv)
         {"--default-deadline-ms", &config.defaultDeadlineMs},
         {"--trace-budget-bytes", &config.traceBudgetBytes},
         {"--request-timeout-ms", &config.requestTimeoutMs},
+        {"--worker-heartbeat-ms", &config.workerHeartbeatTimeoutMs},
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -114,6 +122,10 @@ main(int argc, char **argv)
         }
         if (const char *v = flagValue(arg, "--store")) {
             config.storeDir = v;
+            continue;
+        }
+        if (std::strcmp(arg, "--isolate-jobs") == 0) {
+            config.isolateJobs = true;
             continue;
         }
         uint64_t u = 0;
@@ -203,6 +215,8 @@ main(int argc, char **argv)
 
     std::ostringstream stats;
     daemon.counters().dump(stats);
+    if (rarpred::driver::WorkerPool *pool = daemon.workerPool())
+        pool->dumpStats(stats);
     std::cerr << stats.str() << "rarpredd: bye\n";
     return 0;
 }

@@ -24,6 +24,7 @@
 #include "driver/stats_merger.hh"
 #include "driver/sweep.hh"
 #include "driver/sweep_journal.hh"
+#include "driver/worker_pool.hh"
 #include "faultinject/driver_faults.hh"
 #include "vm/micro_vm.hh"
 #include "vm/recorded_trace.hh"
@@ -854,6 +855,53 @@ TEST(SweepResumeE2E, KilledParallelBenchResumesByteIdentical)
     std::remove(out_resumed.c_str());
 }
 
+TEST(SweepResumeE2E, CrashedWorkerProcessBenchStaysByteIdentical)
+{
+    // The process-isolation acceptance drill: run the real bench
+    // grid with --workers-proc=4 while the worker_crash fault
+    // SIGKILLs a worker process mid-job. The sweep must finish with
+    // exit 0, stdout byte-identical to --serial, and the stderr stat
+    // dump must show the supervised restart.
+    const std::string bench =
+        std::string(RARPRED_BENCH_DIR) + "/bench_fig9_speedup";
+    if (!std::ifstream(bench).good())
+        GTEST_SKIP() << "bench binaries not built in this tree";
+    if (driver::WorkerPool::resolveWorkerBinary("").empty())
+        GTEST_SKIP() << "rarpred-worker not built in this tree";
+
+    const std::string dir = ::testing::TempDir();
+    const std::string out_serial = dir + "rarpred_fig9_serial.out";
+    const std::string out_proc = dir + "rarpred_fig9_proc.out";
+    const std::string err_proc = dir + "rarpred_fig9_proc.err";
+    const std::string args = " --max-insts=20000 ";
+
+    int rc = std::system(
+        (bench + args + "--serial >" + out_serial + " 2>/dev/null")
+            .c_str());
+    ASSERT_EQ(rc, 0);
+
+    rc = std::system(("RARPRED_FAULT=worker_crash:7 " + bench + args +
+                      "--workers-proc=4 >" + out_proc + " 2>" +
+                      err_proc)
+                         .c_str());
+    EXPECT_EQ(rc, 0);
+
+    const std::string serial = readWholeFile(out_serial);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, readWholeFile(out_proc));
+    const std::string stats = readWholeFile(err_proc);
+    EXPECT_NE(stats.find("driver.worker.crashes 1"),
+              std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("driver.worker.restarts 1"),
+              std::string::npos)
+        << stats;
+
+    std::remove(out_serial.c_str());
+    std::remove(out_proc.c_str());
+    std::remove(err_proc.c_str());
+}
+
 // ------------------------------------------- merged error surfacing
 
 TEST(StatsMergerErrors, ErrorRowsReplaceStatsAndAddErrorTotal)
@@ -1024,6 +1072,28 @@ TEST(ParseSweepArgs, ParsesEveryFlag)
     EXPECT_EQ(opts->positional[0], "tom");
 }
 
+TEST(ParseSweepArgs, WorkersProcSetsThreadsUnlessOverridden)
+{
+    // --workers-proc alone sizes both the process pool and the
+    // dispatching thread pool...
+    auto opts = parseArgs({"--workers-proc=4",
+                           "--worker-heartbeat-ms=1234"});
+    ASSERT_TRUE(opts.ok()) << opts.status().toString();
+    EXPECT_EQ(opts->runner.procWorkers, 4u);
+    EXPECT_EQ(opts->runner.workers, 4u);
+    EXPECT_EQ(opts->runner.workerHeartbeatTimeoutMs, 1234u);
+
+    // ...but an explicit thread count (or --serial) wins.
+    opts = parseArgs({"--workers-proc=4", "--workers=2"});
+    ASSERT_TRUE(opts.ok());
+    EXPECT_EQ(opts->runner.procWorkers, 4u);
+    EXPECT_EQ(opts->runner.workers, 2u);
+    opts = parseArgs({"--serial", "--workers-proc=4"});
+    ASSERT_TRUE(opts.ok());
+    EXPECT_EQ(opts->runner.workers, 1u);
+    EXPECT_EQ(opts->runner.procWorkers, 4u);
+}
+
 TEST(ParseSweepArgs, SerialMeansOneWorkerAndZeroRetriesMeansOneAttempt)
 {
     auto opts = parseArgs({"--serial", "--retries=0"});
@@ -1093,7 +1163,7 @@ TEST(ParseSweepArgs, HelpFlagIsRecognizedAndUsageMentionsEveryFlag)
           "--deadline-ms", "--retry-backoff-ms", "--trace-budget",
           "--trace-budget-bytes", "--journal", "--resume",
           "--snapshot-dir", "--snapshot-every", "--restore",
-          "--audit-every"})
+          "--audit-every", "--workers-proc", "--worker-heartbeat-ms"})
         EXPECT_NE(usage.find(flag), std::string::npos) << flag;
 }
 

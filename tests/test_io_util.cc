@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Regression battery for the shared EINTR-safe I/O helpers
+ * (common/io_util.hh). The interesting cases are the ones ad-hoc
+ * loops historically got wrong:
+ *  - real EINTRs: a no-SA_RESTART signal handler interrupts the
+ *    blocked syscall mid-transfer (exactly what the worker pool's
+ *    SIGCHLD does to the daemon) and the helper must retry, not
+ *    fail or return short;
+ *  - real short writes: a transfer much larger than the socketpair
+ *    buffer forces write()/send() to take many bites;
+ *  - EOF discipline: readFull returns the short byte count (the
+ *    caller interprets it), readChunk/recvChunk return 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/io_util.hh"
+
+namespace rarpred {
+namespace {
+
+/** Big enough that one write()/send() cannot take it whole. */
+constexpr size_t kBigTransfer = 4u << 20;
+
+std::vector<uint8_t>
+patternedBytes(size_t n)
+{
+    std::vector<uint8_t> bytes(n);
+    for (size_t i = 0; i < n; ++i)
+        bytes[i] = (uint8_t)(i * 131 + (i >> 8));
+    return bytes;
+}
+
+/** Deliberately empty: exists only so SIGUSR1 interrupts syscalls.
+ *  Installed *without* SA_RESTART, so blocked reads/writes really
+ *  return EINTR instead of being transparently restarted. */
+void
+onUsr1(int)
+{
+}
+
+class NoRestartUsr1
+{
+  public:
+    NoRestartUsr1()
+    {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = onUsr1;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // no SA_RESTART: force real EINTRs
+        sigaction(SIGUSR1, &sa, &prev_);
+    }
+    ~NoRestartUsr1() { sigaction(SIGUSR1, &prev_, nullptr); }
+
+  private:
+    struct sigaction prev_;
+};
+
+/** Pepper @p target with SIGUSR1 until @p done, forcing EINTRs into
+ *  whatever syscall it is blocked in. */
+void
+signalStorm(pthread_t target, const std::atomic<bool> &done)
+{
+    while (!done.load()) {
+        pthread_kill(target, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+// ------------------------------------------------------ happy paths
+
+TEST(IoUtil, ReadFullWriteFullRoundTripOverAPipe)
+{
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    const std::vector<uint8_t> sent = patternedBytes(kBigTransfer);
+
+    // The transfer dwarfs the pipe buffer: writeFull must loop over
+    // many short writes while the reader drains concurrently.
+    std::thread writer([&] {
+        EXPECT_TRUE(writeFull(p[1], sent.data(), sent.size()).ok());
+        ::close(p[1]);
+    });
+    std::vector<uint8_t> got(sent.size());
+    auto n = readFull(p[0], got.data(), got.size());
+    ASSERT_TRUE(n.ok()) << n.status().toString();
+    EXPECT_EQ(*n, sent.size());
+    EXPECT_EQ(got, sent);
+    writer.join();
+    ::close(p[0]);
+}
+
+TEST(IoUtil, SendFullRecvChunkRoundTripOverASocketpair)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const std::vector<uint8_t> sent = patternedBytes(kBigTransfer);
+
+    std::thread writer([&] {
+        EXPECT_TRUE(sendFull(sv[1], sent.data(), sent.size()).ok());
+        ::shutdown(sv[1], SHUT_WR);
+    });
+    std::vector<uint8_t> got;
+    uint8_t buf[65536];
+    for (;;) {
+        auto n = recvChunk(sv[0], buf, sizeof(buf));
+        ASSERT_TRUE(n.ok()) << n.status().toString();
+        if (*n == 0)
+            break; // EOF
+        got.insert(got.end(), buf, buf + *n);
+    }
+    EXPECT_EQ(got, sent);
+    writer.join();
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+// ------------------------------------------------------------ EINTR
+
+TEST(IoUtil, ReadFullSurvivesASignalStorm)
+{
+    NoRestartUsr1 handler;
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    const std::vector<uint8_t> sent = patternedBytes(kBigTransfer);
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> reader_ready{false};
+    pthread_t reader_tid{};
+    std::vector<uint8_t> got(sent.size());
+    Result<size_t> n = (size_t)0;
+
+    std::thread reader([&] {
+        reader_tid = pthread_self();
+        reader_ready.store(true);
+        // Blocks with an empty pipe: the first EINTRs hit a read()
+        // that has transferred nothing at all.
+        n = readFull(p[0], got.data(), got.size());
+    });
+    while (!reader_ready.load())
+        std::this_thread::yield();
+    std::thread storm([&] { signalStorm(reader_tid, done); });
+
+    // Trickle the data so the reader keeps re-blocking mid-transfer.
+    const size_t kSlice = 128 * 1024;
+    for (size_t off = 0; off < sent.size(); off += kSlice) {
+        const size_t len = std::min(kSlice, sent.size() - off);
+        ASSERT_TRUE(writeFull(p[1], sent.data() + off, len).ok());
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    reader.join();
+    done.store(true);
+    storm.join();
+
+    ASSERT_TRUE(n.ok()) << n.status().toString();
+    EXPECT_EQ(*n, sent.size());
+    EXPECT_EQ(got, sent);
+    ::close(p[0]);
+    ::close(p[1]);
+}
+
+TEST(IoUtil, SendFullSurvivesASignalStorm)
+{
+    NoRestartUsr1 handler;
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const std::vector<uint8_t> sent = patternedBytes(kBigTransfer);
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> writer_ready{false};
+    pthread_t writer_tid{};
+    Status sent_status;
+
+    std::thread writer([&] {
+        writer_tid = pthread_self();
+        writer_ready.store(true);
+        // Blocks once the socket buffer fills; the storm interrupts
+        // it there, mid-transfer.
+        sent_status = sendFull(sv[1], sent.data(), sent.size());
+    });
+    while (!writer_ready.load())
+        std::this_thread::yield();
+    std::thread storm([&] { signalStorm(writer_tid, done); });
+
+    std::vector<uint8_t> got(sent.size());
+    auto n = readFull(sv[0], got.data(), got.size());
+    writer.join();
+    done.store(true);
+    storm.join();
+
+    EXPECT_TRUE(sent_status.ok()) << sent_status.toString();
+    ASSERT_TRUE(n.ok()) << n.status().toString();
+    EXPECT_EQ(*n, sent.size());
+    EXPECT_EQ(got, sent);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+// -------------------------------------------------------------- EOF
+
+TEST(IoUtil, ReadFullReturnsShortCountOnEof)
+{
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    const uint8_t partial[3] = {7, 8, 9};
+    ASSERT_TRUE(writeFull(p[1], partial, sizeof(partial)).ok());
+    ::close(p[1]); // peer dies mid-message
+
+    uint8_t buf[16] = {};
+    auto n = readFull(p[0], buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().toString();
+    EXPECT_EQ(*n, sizeof(partial)); // short, not an error
+    EXPECT_EQ(std::memcmp(buf, partial, sizeof(partial)), 0);
+
+    // At true EOF the count is 0 — same contract as readChunk.
+    n = readFull(p[0], buf, sizeof(buf));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0u);
+    ::close(p[0]);
+}
+
+TEST(IoUtil, ChunkReadersReturnZeroOnEof)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ::shutdown(sv[1], SHUT_WR);
+    uint8_t buf[8];
+    auto n = recvChunk(sv[0], buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().toString();
+    EXPECT_EQ(*n, 0u);
+    ::close(sv[0]);
+    ::close(sv[1]);
+
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    ::close(p[1]);
+    n = readChunk(p[0], buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().toString();
+    EXPECT_EQ(*n, 0u);
+    ::close(p[0]);
+}
+
+TEST(IoUtil, SendFullToAClosedPeerIsAnErrorNotASignal)
+{
+    // MSG_NOSIGNAL contract: EPIPE surfaces as a Status even without
+    // a process-wide SIGPIPE ignore. If this raised SIGPIPE the test
+    // binary would die here.
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ::close(sv[0]);
+    const std::vector<uint8_t> bytes = patternedBytes(kBigTransfer);
+    const Status s = sendFull(sv[1], bytes.data(), bytes.size());
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::IoError);
+    ::close(sv[1]);
+}
+
+TEST(IoUtil, BadFdIsIoError)
+{
+    uint8_t buf[4] = {};
+    EXPECT_EQ(readFull(-1, buf, sizeof(buf)).status().code(),
+              StatusCode::IoError);
+    EXPECT_EQ(writeFull(-1, buf, sizeof(buf)).code(),
+              StatusCode::IoError);
+    EXPECT_EQ(sendFull(-1, buf, sizeof(buf)).code(),
+              StatusCode::IoError);
+    EXPECT_EQ(readChunk(-1, buf, sizeof(buf)).status().code(),
+              StatusCode::IoError);
+    EXPECT_EQ(recvChunk(-1, buf, sizeof(buf)).status().code(),
+              StatusCode::IoError);
+}
+
+TEST(IoUtil, ZeroLengthTransfersAreNoOps)
+{
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    uint8_t byte = 0;
+    auto n = readFull(p[0], &byte, 0);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0u);
+    EXPECT_TRUE(writeFull(p[1], &byte, 0).ok());
+    ::close(p[0]);
+    ::close(p[1]);
+}
+
+} // namespace
+} // namespace rarpred

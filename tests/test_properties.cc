@@ -318,13 +318,16 @@ TEST_P(DriverEquivalence, RunnerJobMatchesSerialOooExecution)
     driver::SimJobRunner runner(rc);
     CpuStats job_stats;
     std::vector<driver::JobSpec> jobs;
-    jobs.push_back({&w, GetParam(),
-                    [&](TraceSource &trace, Rng &) {
-                        OooCpu cpu(config, cloak);
-                        drainTrace(trace, cpu);
-                        job_stats = cpu.stats();
-                        return Status{};
-                    }});
+    driver::JobSpec job;
+    job.workload = &w;
+    job.configHash = GetParam();
+    job.run = [&](TraceSource &trace, Rng &) {
+        OooCpu cpu(config, cloak);
+        drainTrace(trace, cpu);
+        job_stats = cpu.stats();
+        return Status{};
+    };
+    jobs.push_back(std::move(job));
     EXPECT_TRUE(runner.run(jobs).ok());
 
     expectEqualCpuStats(serial.stats(), job_stats);

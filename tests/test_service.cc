@@ -17,9 +17,11 @@
 
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -27,6 +29,7 @@
 #include "cpu/ooo_cpu.hh"
 #include "driver/sim_snapshot.hh"
 #include "driver/trace_cache.hh"
+#include "driver/worker_pool.hh"
 #include "faultinject/driver_faults.hh"
 #include "service_test_util.hh"
 #include "vm/recorded_trace.hh"
@@ -487,6 +490,115 @@ TEST_F(ServiceTest, KillNineRestartReplayIsByteIdentical)
     stopDaemon(restarted_pid);
 }
 
+// ------------------------------------- factory workloads over the wire
+
+TEST_F(ServiceTest, FactoryWorkloadNamesResolveInSweepRequests)
+{
+    // Parameterized presets and dynamic fuzz workloads go through
+    // the same lookupWorkload() the CLI drivers use, so a sweep
+    // request can name them directly.
+    Paths paths("factory");
+    SweepDaemon daemon(testDaemonConfig(paths));
+    ASSERT_TRUE(daemon.serve().ok());
+
+    SweepRequestMsg req = smallRequest();
+    req.workloads = {"li", "factory.rar_heavy", "factory.fuzz:42"};
+    const ServiceClient client(paths.socket);
+    auto reply = client.sweep(req);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    ASSERT_EQ(reply->rows.size(), 6u);
+    EXPECT_EQ(reply->done.errors, 0u);
+    for (const RowMsg &row : reply->rows) {
+        EXPECT_EQ(row.errorCode, 0);
+        EXPECT_GT(row.stats.instructions, 0u);
+    }
+
+    // A bogus factory name fails the whole request up front with
+    // NotFound — no partial grid, no simulation work sunk.
+    req.workloads = {"factory.no_such_preset"};
+    EXPECT_EQ(client.sweep(req).status().code(),
+              StatusCode::NotFound);
+    daemon.stop();
+}
+
+// --------------------------------------- process-isolated execution
+
+TEST_F(ServiceTest, IsolateJobsIsByteIdenticalAndLeavesNoZombies)
+{
+    if (driver::WorkerPool::resolveWorkerBinary("").empty())
+        GTEST_SKIP() << "rarpred-worker not built in this tree";
+
+    const SweepRequestMsg req = [] {
+        SweepRequestMsg r = smallRequest();
+        r.workloads = {"li", "factory.fuzz:42"};
+        return r;
+    }();
+
+    // In-process reference.
+    Paths ref_paths("iso_ref");
+    SweepDaemon ref(testDaemonConfig(ref_paths));
+    ASSERT_TRUE(ref.serve().ok());
+    auto reference = ServiceClient(ref_paths.socket).sweep(req);
+    ASSERT_TRUE(reference.ok()) << reference.status().toString();
+    ref.stop();
+
+    // Same request, every cell computed in a worker process.
+    Paths paths("iso");
+    DaemonConfig config = testDaemonConfig(paths);
+    config.isolateJobs = true;
+    SweepDaemon daemon(config);
+    ASSERT_TRUE(daemon.serve().ok());
+    auto isolated = ServiceClient(paths.socket).sweep(req);
+    ASSERT_TRUE(isolated.ok()) << isolated.status().toString();
+    EXPECT_EQ(ServiceClient::replyTable(req, *isolated),
+              ServiceClient::replyTable(req, *reference));
+
+    ASSERT_NE(daemon.workerPool(), nullptr);
+    daemon.stop();
+    const driver::WorkerPoolStats stats =
+        daemon.workerPool()->stats();
+    EXPECT_GE(stats.jobsCompleted, 4u)
+        << "cells did not actually run out of process";
+    EXPECT_GE(stats.spawned, 1u);
+    EXPECT_EQ(stats.spawned, stats.reaped)
+        << "drain left worker zombies";
+    // Wildcard wait finds nothing at all: the drained daemon's pool
+    // reaped every child it ever forked.
+    errno = 0;
+    EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST_F(ServiceTest, IsolatedDaemonSurvivesWorkerCrashEndToEnd)
+{
+    // Acceptance drill against the real rarpredd: with
+    // --isolate-jobs, SIGKILLing a worker mid-job (worker_crash)
+    // must cost a retry, not the daemon — the reply stays
+    // byte-identical to an unfaulted, un-isolated run.
+    if (!serviceBinariesBuilt())
+        GTEST_SKIP() << "service binaries not built in this tree";
+
+    const SweepRequestMsg req = smallRequest();
+
+    Paths ref_paths("isoe2e_ref");
+    const int ref_pid = spawnDaemon("", ref_paths);
+    ASSERT_GT(ref_pid, 0);
+    auto reference = ServiceClient(ref_paths.socket).sweep(req);
+    ASSERT_TRUE(reference.ok()) << reference.status().toString();
+    stopDaemon(ref_pid);
+
+    Paths paths("isoe2e");
+    const int pid = spawnDaemon("RARPRED_FAULT=worker_crash:1", paths,
+                                "--isolate-jobs");
+    ASSERT_GT(pid, 0);
+    auto isolated = ServiceClient(paths.socket).sweep(req);
+    ASSERT_TRUE(isolated.ok()) << isolated.status().toString();
+    EXPECT_EQ(isolated->done.errors, 0u);
+    EXPECT_EQ(ServiceClient::replyTable(req, *isolated),
+              ServiceClient::replyTable(req, *reference));
+    stopDaemon(pid);
+}
+
 TEST_F(ServiceTest, CliEndToEnd)
 {
     if (!serviceBinariesBuilt())
@@ -506,18 +618,23 @@ TEST_F(ServiceTest, CliEndToEnd)
     const std::string base = cli + " --socket=" + paths.socket;
     EXPECT_EQ(std::system((base + " --status >/dev/null").c_str()),
               0);
-    EXPECT_EQ(std::system((base + " --max-insts=20000 li >" + out1 +
-                           " 2>/dev/null")
-                              .c_str()),
-              0);
-    EXPECT_EQ(std::system((base + " --max-insts=20000 li >" + out2 +
-                           " 2>/dev/null")
-                              .c_str()),
-              0);
+    // Factory names ride the same positional-workload path as the
+    // 18 paper workloads, including a dynamic fuzz workload.
+    const std::string sweep =
+        " --max-insts=20000 li factory.fuzz:7 >";
+    EXPECT_EQ(
+        std::system((base + sweep + out1 + " 2>/dev/null").c_str()),
+        0);
+    EXPECT_EQ(
+        std::system((base + sweep + out2 + " 2>/dev/null").c_str()),
+        0);
     const std::string cold = readWholeFile(out1);
     ASSERT_FALSE(cold.empty());
     EXPECT_EQ(cold, readWholeFile(out2)); // cold vs warm: identical
     EXPECT_NE(cold.find("li/cfg0.instructions 20000"),
+              std::string::npos)
+        << cold;
+    EXPECT_NE(cold.find("factory.fuzz:7/cfg0.instructions"),
               std::string::npos)
         << cold;
     stopDaemon(pid);

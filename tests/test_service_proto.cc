@@ -372,6 +372,62 @@ TEST(ServiceMessages, ValidateRejectsBadEnumsAndGeometry)
     EXPECT_FALSE(req.validate().ok());
 }
 
+TEST(ServiceMessages, WorkerJobRequestRoundTrip)
+{
+    JobRequestMsg req;
+    req.token = 0xfeedfaceULL;
+    req.workload = "factory.fuzz:42";
+    req.scale = 3;
+    req.maxInsts = 77777;
+    req.deadlineMs = 2500;
+    req.fault = (uint8_t)WorkerFault::Crash;
+    req.config.cloakEnabled = 1;
+    req.config.mode = 1;
+    EXPECT_TRUE(req.validate().ok());
+    auto r = JobRequestMsg::decode(req.encode());
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->token, req.token);
+    EXPECT_EQ(r->workload, req.workload);
+    EXPECT_EQ(r->scale, 3u);
+    EXPECT_EQ(r->maxInsts, 77777u);
+    EXPECT_EQ(r->deadlineMs, 2500u);
+    EXPECT_EQ(r->fault, (uint8_t)WorkerFault::Crash);
+    EXPECT_EQ(r->config.cloakEnabled, 1);
+    EXPECT_EQ(r->config.mode, 1);
+}
+
+TEST(ServiceMessages, WorkerResultHelloHeartbeatRoundTrip)
+{
+    JobResultMsg res;
+    res.token = 21;
+    res.errorCode = (uint8_t)StatusCode::DeadlineExceeded;
+    res.errorMsg = "watchdog";
+    res.stats.instructions = 1000;
+    res.stats.cycles = 4242;
+    auto r = JobResultMsg::decode(res.encode());
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->token, 21u);
+    EXPECT_EQ(r->error().code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(r->error().message(), "watchdog");
+    EXPECT_EQ(r->stats.instructions, 1000u);
+    EXPECT_EQ(r->stats.cycles, 4242u);
+
+    WorkerHelloMsg hello;
+    hello.pid = 12345;
+    auto h = WorkerHelloMsg::decode(hello.encode());
+    ASSERT_TRUE(h.ok()) << h.status().toString();
+    EXPECT_EQ(h->pid, 12345u);
+    EXPECT_EQ(h->protoVersion, kWorkerProtoVersion);
+
+    WorkerHeartbeatMsg beat;
+    beat.token = 21;
+    beat.seq = 9;
+    auto b = WorkerHeartbeatMsg::decode(beat.encode());
+    ASSERT_TRUE(b.ok()) << b.status().toString();
+    EXPECT_EQ(b->token, 21u);
+    EXPECT_EQ(b->seq, 9u);
+}
+
 TEST(ServiceMessages, DecodersSurviveRandomBytes)
 {
     // Random payload fuzz against every message decoder: whatever
@@ -396,6 +452,17 @@ TEST(ServiceMessages, DecodersSurviveRandomBytes)
         (void)SweepDoneMsg::decode(bytes);
         (void)ErrorReplyMsg::decode(bytes);
         (void)StatusReplyMsg::decode(bytes);
+        auto job = JobRequestMsg::decode(bytes);
+        if (job.ok()) {
+            EXPECT_TRUE(job->config.validate().ok());
+        }
+        auto result = JobResultMsg::decode(bytes);
+        if (result.ok()) {
+            EXPECT_LE(result->errorCode,
+                      (uint8_t)StatusCode::Unavailable);
+        }
+        (void)WorkerHelloMsg::decode(bytes);
+        (void)WorkerHeartbeatMsg::decode(bytes);
     }
 }
 

@@ -1,9 +1,15 @@
 #include "common/io_util.hh"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace rarpred {
@@ -90,6 +96,224 @@ recvChunk(int fd, void *buf, size_t len)
         return Status::ioError(std::string("recv: ") +
                                std::strerror(errno));
     }
+}
+
+// ------------------------------------- sockets with deadlines
+
+namespace {
+
+uint64_t
+monoMs()
+{
+    return (uint64_t)std::chrono::duration_cast<
+               std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** poll() @p fd for @p events until an absolute deadline; EINTR
+ *  re-polls with the *remaining* budget so signals cannot extend it.
+ *  @return >0 ready, 0 deadline, <0 (never: errors become Status). */
+Result<int>
+pollDeadline(int fd, short events, uint64_t deadline_ms,
+             bool forever)
+{
+    for (;;) {
+        int wait = -1;
+        if (!forever) {
+            const uint64_t now = monoMs();
+            if (now >= deadline_ms)
+                return 0;
+            wait = (int)(deadline_ms - now);
+        }
+        struct pollfd pfd = {fd, events, 0};
+        const int rc = ::poll(&pfd, 1, wait);
+        if (rc > 0)
+            return rc;
+        if (rc == 0)
+            return 0;
+        if (errno == EINTR)
+            continue;
+        return Status::ioError(std::string("poll: ") +
+                               std::strerror(errno));
+    }
+}
+
+} // namespace
+
+Status
+connectDeadline(int fd, const struct sockaddr *addr,
+                unsigned addr_len, uint64_t timeout_ms)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return Status::ioError(std::string("fcntl: ") +
+                               std::strerror(errno));
+    if (timeout_ms > 0 &&
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+        return Status::ioError(std::string("fcntl: ") +
+                               std::strerror(errno));
+    // Restore blocking mode on every exit path.
+    const auto restore = [&]() {
+        if (timeout_ms > 0)
+            (void)::fcntl(fd, F_SETFL, flags);
+    };
+
+    int rc;
+    do {
+        rc = ::connect(fd, addr, (socklen_t)addr_len);
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+        restore();
+        return Status{};
+    }
+    if (errno != EINPROGRESS) {
+        const int err = errno;
+        restore();
+        return Status::unavailable(std::string("connect: ") +
+                                   std::strerror(err));
+    }
+    auto ready = pollDeadline(fd, POLLOUT, monoMs() + timeout_ms,
+                              /*forever=*/false);
+    if (!ready.ok()) {
+        restore();
+        return ready.status();
+    }
+    if (*ready == 0) {
+        restore();
+        return Status::unavailable("connect timed out after " +
+                                   std::to_string(timeout_ms) + " ms");
+    }
+    int soerr = 0;
+    socklen_t soerr_len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) !=
+        0) {
+        const int err = errno;
+        restore();
+        return Status::ioError(std::string("getsockopt: ") +
+                               std::strerror(err));
+    }
+    restore();
+    if (soerr != 0)
+        return Status::unavailable(std::string("connect: ") +
+                                   std::strerror(soerr));
+    return Status{};
+}
+
+namespace {
+
+Result<struct sockaddr_in>
+parseIpv4(const std::string &host, uint16_t port)
+{
+    struct sockaddr_in sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+        return Status::invalidArgument(
+            "not a numeric IPv4 address: '" + host + "'");
+    return sa;
+}
+
+} // namespace
+
+Result<int>
+tcpConnect(const std::string &host, uint16_t port,
+           uint64_t timeout_ms)
+{
+    auto sa = parseIpv4(host, port);
+    RARPRED_RETURN_IF_ERROR(sa.status());
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    const Status s = connectDeadline(
+        fd, reinterpret_cast<const struct sockaddr *>(&*sa),
+        sizeof(*sa), timeout_ms);
+    if (!s.ok()) {
+        ::close(fd);
+        return Status{s.code(), "connect " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    s.message()};
+    }
+    // Leases are small frames on a chatty path; never Nagle-delay a
+    // heartbeat.
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+    return fd;
+}
+
+Result<int>
+tcpListen(const std::string &host, uint16_t port, int backlog)
+{
+    auto sa = parseIpv4(host, port);
+    RARPRED_RETURN_IF_ERROR(sa.status());
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    if (::bind(fd, reinterpret_cast<const struct sockaddr *>(&*sa),
+               sizeof(*sa)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::ioError("bind " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(err));
+    }
+    if (::listen(fd, backlog) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::ioError(std::string("listen: ") +
+                               std::strerror(err));
+    }
+    return fd;
+}
+
+Result<uint16_t>
+tcpLocalPort(int fd)
+{
+    struct sockaddr_in sa;
+    socklen_t len = sizeof(sa);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                      &len) != 0)
+        return Status::ioError(std::string("getsockname: ") +
+                               std::strerror(errno));
+    return (uint16_t)ntohs(sa.sin_port);
+}
+
+Result<int>
+acceptDeadline(int listen_fd, uint64_t timeout_ms)
+{
+    auto ready = pollDeadline(listen_fd, POLLIN,
+                              monoMs() + timeout_ms,
+                              /*forever=*/timeout_ms == 0);
+    RARPRED_RETURN_IF_ERROR(ready.status());
+    if (*ready == 0)
+        return Status::deadlineExceeded(
+            "accept timed out after " + std::to_string(timeout_ms) +
+            " ms");
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return Status::ioError(std::string("accept: ") +
+                               std::strerror(errno));
+    }
+}
+
+Result<bool>
+pollReadable(int fd, uint64_t timeout_ms)
+{
+    auto ready = pollDeadline(fd, POLLIN, monoMs() + timeout_ms,
+                              /*forever=*/timeout_ms == 0);
+    RARPRED_RETURN_IF_ERROR(ready.status());
+    return *ready > 0;
 }
 
 } // namespace rarpred

@@ -27,6 +27,8 @@
 
 #include "common/status.hh"
 
+struct sockaddr; // <sys/socket.h>, not dragged into every includer
+
 namespace rarpred {
 
 /**
@@ -61,6 +63,57 @@ Result<size_t> readChunk(int fd, void *buf, size_t len);
 
 /** One recv() of up to @p len bytes, retrying only EINTR. */
 Result<size_t> recvChunk(int fd, void *buf, size_t len);
+
+// ------------------------------------- sockets with deadlines
+//
+// The fleet dispatcher and the service client must never block
+// indefinitely on a peer that stopped answering: every connect,
+// accept, and read is bounded by an explicit deadline, after which
+// the caller decides (retry another agent, expire a lease, surface
+// DeadlineExceeded). All helpers retry EINTR; deadlines are absolute
+// so a signal storm cannot extend them.
+
+/**
+ * Connect @p fd to @p addr within @p timeout_ms (0 = block forever).
+ * The socket is flipped to non-blocking for the connect and restored
+ * after. A refused/unreachable peer and an expired deadline both
+ * surface as Unavailable (the caller treats the peer as down either
+ * way); other failures are IoError.
+ */
+Status connectDeadline(int fd, const struct sockaddr *addr,
+                       unsigned addr_len, uint64_t timeout_ms);
+
+/**
+ * Open a TCP connection to @p host : @p port within @p timeout_ms.
+ * @p host must be a numeric IPv4 address ("127.0.0.1") — the fleet
+ * names agents by address, so no resolver (and no resolver stalls)
+ * are involved. @return the connected fd.
+ */
+Result<int> tcpConnect(const std::string &host, uint16_t port,
+                       uint64_t timeout_ms);
+
+/**
+ * Create a TCP listener bound to @p host : @p port (0 = any free
+ * port) with SO_REUSEADDR. @return the listening fd; the actual
+ * bound port is readable via tcpLocalPort().
+ */
+Result<int> tcpListen(const std::string &host, uint16_t port,
+                      int backlog = 16);
+
+/** @return the local port a bound socket ended up on. */
+Result<uint16_t> tcpLocalPort(int fd);
+
+/**
+ * Accept one connection within @p timeout_ms (0 = block forever).
+ * DeadlineExceeded when nothing arrived in time; retries EINTR.
+ */
+Result<int> acceptDeadline(int listen_fd, uint64_t timeout_ms);
+
+/**
+ * Wait for @p fd to become readable within @p timeout_ms.
+ * @return true if readable (or peer-closed), false on deadline.
+ */
+Result<bool> pollReadable(int fd, uint64_t timeout_ms);
 
 } // namespace rarpred
 

@@ -176,11 +176,19 @@ validateSectionChain(const uint8_t *data, size_t len)
 }
 
 Status
-durableWriteFile(const std::string &path, const void *data, size_t len)
+durableWriteFile(const std::string &path, const void *data, size_t len,
+                 int *errno_out)
 {
+    if (errno_out != nullptr)
+        *errno_out = 0;
+    const auto fail = [errno_out](int err) {
+        if (errno_out != nullptr)
+            *errno_out = err;
+    };
     const std::string tmp = path + ".tmp";
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) {
+        fail(errno);
         return Status::ioError("cannot create " + tmp + ": " +
                                std::strerror(errno));
     }
@@ -194,6 +202,7 @@ durableWriteFile(const std::string &path, const void *data, size_t len)
             int err = errno;
             ::close(fd);
             ::unlink(tmp.c_str());
+            fail(err);
             return Status::ioError("short write to " + tmp + ": " +
                                    std::strerror(err));
         }
@@ -206,15 +215,19 @@ durableWriteFile(const std::string &path, const void *data, size_t len)
         int err = errno;
         ::close(fd);
         ::unlink(tmp.c_str());
+        fail(err);
         return Status::ioError("fsync " + tmp + ": " +
                                std::strerror(err));
     }
-    if (::close(fd) != 0)
+    if (::close(fd) != 0) {
+        fail(errno);
         return Status::ioError("close " + tmp + ": " +
                                std::strerror(errno));
+    }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         int err = errno;
         ::unlink(tmp.c_str());
+        fail(err);
         return Status::ioError("rename " + tmp + " -> " + path + ": " +
                                std::strerror(err));
     }

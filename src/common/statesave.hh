@@ -138,9 +138,15 @@ Status validateSectionChain(const uint8_t *data, size_t len);
  * (or power cut) can no longer produce a zero-length or half-written
  * file at @p path. Shared by the sweep journal's header write and the
  * snapshot writer.
+ *
+ * With a non-null @p errno_out, the errno of the failing syscall is
+ * stored there (0 on success) so callers can distinguish resource
+ * exhaustion (ENOSPC/EDQUOT) from genuine I/O failure and degrade
+ * instead of dying — the result store treats a full disk as a cache
+ * miss, not an error.
  */
 Status durableWriteFile(const std::string &path, const void *data,
-                        size_t len);
+                        size_t len, int *errno_out = nullptr);
 
 } // namespace rarpred
 

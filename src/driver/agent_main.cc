@@ -1,0 +1,482 @@
+/**
+ * @file
+ * rarpred-agent: one fleet host serving leased sweep cells over TCP.
+ *
+ * A FleetDispatcher (bench --workers-remote, rarpredd --fleet)
+ * connects, reads the AgentHello handshake, and grants leases: each
+ * LeaseRequest carries one cell job plus the lease terms. The agent
+ * answers with exactly one LeaseResult per lease received, beaconing
+ * AgentHeartbeat frames while the cell computes so the dispatcher can
+ * tell a straggling agent from a dead one.
+ *
+ * Cells run on a process-isolated WorkerPool shared across
+ * connections (the same supervisor the local --workers-proc path
+ * uses), so a crash in one cell costs one lease, not the agent. When
+ * the pool cannot serve (no worker binary, degraded), the agent
+ * computes the cell in-process — the fallback ladder exists on both
+ * sides of the wire.
+ *
+ * The agent never replies to a lease it did not finish: a killed or
+ * partitioned agent simply goes silent, the dispatcher's lease
+ * expires, and the cell is reassigned. Determinism makes that safe —
+ * a re-executed cell is byte-identical to the lost one.
+ *
+ * Chaos drills arm from RARPRED_FAULT in the *agent's* environment
+ * (agent_kill, net_slow, result_dup), separate from the dispatcher
+ * process's own spec — each side owns its failure modes.
+ *
+ * Exit codes: 0 clean shutdown (SIGTERM/SIGINT), 2 bad usage,
+ * 3 startup failure.
+ */
+
+#include <sys/socket.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/io_util.hh"
+#include "common/status.hh"
+#include "cpu/ooo_cpu.hh"
+#include "driver/sim_snapshot.hh"
+#include "driver/trace_cache.hh"
+#include "driver/worker_pool.hh"
+#include "faultinject/driver_faults.hh"
+#include "service/proto.hh"
+#include "vm/recorded_trace.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace rarpred;
+
+uint64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return (uint64_t)duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** SIGTERM/SIGINT self-pipe: the accept loop polls it. */
+int g_shutdownPipe[2] = {-1, -1};
+
+extern "C" void
+agentShutdownSignal(int)
+{
+    const char byte = 1;
+    (void)!::write(g_shutdownPipe[1], &byte, 1);
+}
+
+/** Leases received across all connections: the agent_kill index. */
+std::atomic<uint64_t> g_leaseSeq{0};
+
+struct AgentOptions
+{
+    std::string bind = "127.0.0.1";
+    uint16_t port = 0; ///< 0 = kernel-assigned, printed to stdout
+    unsigned workers = 1;
+    uint64_t workerHeartbeatMs = 10000;
+    uint64_t traceBudgetBytes = 0;
+    uint64_t traceBudgetTraces = 0;
+};
+
+/** Serializes frame writes: the beacon thread and the lease loop
+ *  share one socket. */
+struct ConnState
+{
+    int fd = -1;
+    std::mutex sendMu;
+};
+
+Status
+sendFrameLocked(ConnState &conn, service::FrameType type,
+                const std::vector<uint8_t> &payload)
+{
+    const std::vector<uint8_t> bytes =
+        service::encodeFrame(type, payload);
+    std::lock_guard<std::mutex> lock(conn.sendMu);
+    return sendFull(conn.fd, bytes.data(), bytes.size());
+}
+
+/** Local (in-process) deadline guard for the pool-less fallback. */
+struct AgentDeadlineExceeded
+{
+};
+
+class DeadlineTraceSource : public TraceSource
+{
+  public:
+    DeadlineTraceSource(TraceSource &inner, uint64_t deadline_at_ms)
+        : inner_(inner), deadlineAtMs_(deadline_at_ms)
+    {
+    }
+
+    bool
+    next(DynInst &di) override
+    {
+        tick(1);
+        return inner_.next(di);
+    }
+
+    size_t
+    nextBlock(DynInst *out, size_t max) override
+    {
+        tick(max);
+        return inner_.nextBlock(out, max);
+    }
+
+    bool rewindToStart() override { return inner_.rewindToStart(); }
+
+  private:
+    void
+    tick(size_t records)
+    {
+        sinceCheck_ += records;
+        if (sinceCheck_ < 4096)
+            return;
+        sinceCheck_ = 0;
+        if (deadlineAtMs_ != 0 && nowMs() > deadlineAtMs_)
+            throw AgentDeadlineExceeded{};
+    }
+
+    TraceSource &inner_;
+    const uint64_t deadlineAtMs_; ///< absolute; 0 = no deadline
+    uint64_t sinceCheck_ = 0;
+};
+
+/** In-process fallback when the worker pool cannot serve: same
+ *  inputs, same stats, no isolation. The connection's beacon thread
+ *  covers liveness. */
+service::JobResultMsg
+runLocal(const service::JobRequestMsg &req, driver::TraceCache &cache)
+{
+    service::JobResultMsg res;
+    res.token = req.token;
+    try {
+        const Result<const Workload *> wl =
+            lookupWorkload(req.workload);
+        if (!wl.ok()) {
+            res.errorCode = (uint8_t)wl.status().code();
+            res.errorMsg = wl.status().message();
+            return res;
+        }
+        const std::shared_ptr<const RecordedTrace> trace =
+            cache.get(**wl, req.scale, req.maxInsts);
+        RecordedTraceSource replay(*trace);
+        DeadlineTraceSource guarded(
+            replay,
+            req.deadlineMs != 0 ? nowMs() + req.deadlineMs : 0);
+        CpuConfig core;
+        core.memDep = req.config.memDepPolicy();
+        OooCpu cpu(core, req.config.toTimingConfig());
+        driver::pumpSimulation(guarded, cpu);
+        res.stats = cpu.stats();
+    } catch (const AgentDeadlineExceeded &) {
+        res.errorCode = (uint8_t)StatusCode::DeadlineExceeded;
+        res.errorMsg = "job exceeded its " +
+                       std::to_string(req.deadlineMs) + "ms deadline";
+    } catch (const std::exception &e) {
+        res.errorCode = (uint8_t)StatusCode::Internal;
+        res.errorMsg = std::string("job threw: ") + e.what();
+    }
+    return res;
+}
+
+/** Serve one dispatcher connection until EOF/error. */
+void
+serveConnection(ConnState &conn, driver::WorkerPool &pool,
+                driver::TraceCache &cache, unsigned slots)
+{
+    service::AgentHelloMsg hello;
+    hello.pid = (uint64_t)::getpid();
+    hello.slots = slots;
+    if (!sendFrameLocked(conn, service::FrameType::AgentHello,
+                         hello.encode())
+             .ok())
+        return;
+
+    service::FrameDecoder decoder;
+    uint8_t buf[4096];
+    for (;;) {
+        service::Frame frame;
+        bool have = false;
+        if (!decoder.next(&frame, &have).ok())
+            return; // stream corrupt: the dispatcher reassigns
+        if (!have) {
+            const Result<size_t> got =
+                recvChunk(conn.fd, buf, sizeof(buf));
+            if (!got.ok() || *got == 0)
+                return; // dispatcher closed (or link died)
+            (void)decoder.feed(buf, *got);
+            continue;
+        }
+        if (frame.type != service::FrameType::LeaseRequest)
+            return; // protocol violation: drop the connection
+        const Result<service::LeaseRequestMsg> lease =
+            service::LeaseRequestMsg::decode(frame.payload);
+        if (!lease.ok() || !lease->validate().ok())
+            return;
+
+        const uint64_t lease_index = g_leaseSeq++;
+        // Chaos drill: the whole agent dies on the Nth lease — no
+        // result, no FIN flush guarantees, the dispatcher's lease
+        // expires and the cell lands on another agent.
+        if (driverFaultFires(DriverFaultPoint::AgentKill, lease_index))
+            ::raise(SIGKILL);
+        // Chaos drill: a straggler — the agent stalls past any sane
+        // heartbeat budget *before* beaconing, then still computes
+        // and answers. The dispatcher must have moved on; the late
+        // result is the at-least-once duplicate.
+        if (driverFaultFires(DriverFaultPoint::NetSlow, lease_index))
+            std::this_thread::sleep_for(std::chrono::milliseconds(3000));
+
+        // Beacon AgentHeartbeat while the cell computes. First beat
+        // immediately: the dispatcher's silence clock must not run
+        // down while a cold trace generates.
+        std::atomic<bool> done{false};
+        std::thread beacon([&conn, &done,
+                            lease_id = lease->leaseId] {
+            uint64_t seq = 0;
+            for (;;) {
+                service::AgentHeartbeatMsg beat;
+                beat.leaseId = lease_id;
+                beat.seq = ++seq;
+                if (!sendFrameLocked(
+                         conn, service::FrameType::AgentHeartbeat,
+                         beat.encode())
+                         .ok())
+                    return;
+                for (int i = 0; i < 15; ++i) {
+                    if (done.load(std::memory_order_relaxed))
+                        return;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                }
+            }
+        });
+
+        service::LeaseResultMsg reply;
+        reply.leaseId = lease->leaseId;
+        driver::WorkerJobDesc job;
+        job.token = lease->job.token;
+        job.workload = lease->job.workload;
+        job.scale = lease->job.scale;
+        job.maxInsts = lease->job.maxInsts;
+        job.deadlineMs = lease->job.deadlineMs;
+        job.config = lease->job.config;
+        const Result<CpuStats> ran = pool.runJob(job);
+        if (ran.ok()) {
+            reply.result.token = job.token;
+            reply.result.stats = *ran;
+        } else if (ran.status().code() == StatusCode::Unavailable) {
+            // Pool cannot serve: compute in-process. Same inputs,
+            // byte-identical stats — just without crash containment.
+            reply.result = runLocal(lease->job, cache);
+        } else {
+            reply.result.token = job.token;
+            reply.result.errorCode = (uint8_t)ran.status().code();
+            reply.result.errorMsg = ran.status().message();
+        }
+
+        done.store(true, std::memory_order_relaxed);
+        beacon.join();
+
+        const Status sent = sendFrameLocked(
+            conn, service::FrameType::LeaseResult, reply.encode());
+        if (!sent.ok())
+            return; // dispatcher gave up on us; it will reassign
+        // Chaos drill: the result is delivered twice. The duplicate
+        // sits behind the first copy and surfaces at the *next* lease
+        // on this connection, where the dispatcher must dedupe it by
+        // fingerprint — never match it to that lease's cell.
+        if (driverFaultFires(DriverFaultPoint::ResultDup, lease_index))
+            (void)sendFrameLocked(
+                conn, service::FrameType::LeaseResult, reply.encode());
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rarpred-agent [--port=N] [--bind=ADDR] [--workers=N]\n"
+        "                     [--worker-heartbeat-ms=N]\n"
+        "                     [--trace-budget-bytes=N] "
+        "[--trace-budget=N]\n"
+        "\n"
+        "Serves leased sweep cells to a fleet dispatcher (bench\n"
+        "--workers-remote / rarpredd --fleet). --port=0 (default)\n"
+        "binds a kernel-assigned port and prints 'agent.port N'.\n"
+        "env RARPRED_FAULT arms agent-side fault points (agent_kill,\n"
+        "net_slow, result_dup).\n");
+    return 2;
+}
+
+bool
+parseU64Arg(const char *arg, const char *prefix, uint64_t *out)
+{
+    const size_t n = std::strlen(prefix);
+    if (std::strncmp(arg, prefix, n) != 0)
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(arg + n, &end, 10);
+    return end != nullptr && *end == '\0' && end != arg + n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    AgentOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        uint64_t v = 0;
+        if (parseU64Arg(argv[i], "--port=", &v) && v <= 65535)
+            opts.port = (uint16_t)v;
+        else if (std::strncmp(argv[i], "--bind=", 7) == 0)
+            opts.bind = argv[i] + 7;
+        else if (parseU64Arg(argv[i], "--workers=", &v) && v > 0 &&
+                 v <= 256)
+            opts.workers = (unsigned)v;
+        else if (parseU64Arg(argv[i], "--worker-heartbeat-ms=", &v))
+            opts.workerHeartbeatMs = v;
+        else if (parseU64Arg(argv[i], "--trace-budget-bytes=", &v))
+            opts.traceBudgetBytes = v;
+        else if (parseU64Arg(argv[i], "--trace-budget=", &v))
+            opts.traceBudgetTraces = v;
+        else
+            return usage();
+    }
+
+    // A dispatcher can vanish mid-frame; writes must fail, not kill.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const Status armed = armDriverFaultsFromEnv();
+    if (!armed.ok()) {
+        std::fprintf(stderr, "rarpred-agent: bad RARPRED_FAULT: %s\n",
+                     armed.toString().c_str());
+        return 2;
+    }
+
+    auto listen_fd = tcpListen(opts.bind, opts.port);
+    if (!listen_fd.ok()) {
+        std::fprintf(stderr, "rarpred-agent: %s\n",
+                     listen_fd.status().toString().c_str());
+        return 3;
+    }
+    auto port = tcpLocalPort(*listen_fd);
+    if (!port.ok()) {
+        std::fprintf(stderr, "rarpred-agent: %s\n",
+                     port.status().toString().c_str());
+        return 3;
+    }
+    // Tests (and scripts) parse this line to find a --port=0 agent.
+    std::printf("agent.port %u\n", (unsigned)*port);
+    std::fflush(stdout);
+
+    driver::WorkerPoolConfig pool_config;
+    pool_config.workers = opts.workers;
+    pool_config.heartbeatTimeoutMs = opts.workerHeartbeatMs;
+    pool_config.traceBudgetBytes = opts.traceBudgetBytes;
+    pool_config.traceBudgetTraces = (uint32_t)opts.traceBudgetTraces;
+    driver::WorkerPool pool(pool_config);
+    const Status started = pool.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "rarpred-agent: worker pool: %s\n",
+                     started.toString().c_str());
+        return 3;
+    }
+    // Fallback trace cache for pool-less in-process execution.
+    driver::TraceCache cache(driver::TraceCacheConfig{
+        opts.traceBudgetBytes, (uint32_t)opts.traceBudgetTraces});
+
+    if (::pipe(g_shutdownPipe) != 0) {
+        std::fprintf(stderr, "rarpred-agent: pipe: %s\n",
+                     std::strerror(errno));
+        return 3;
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = agentShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    // Accept loop. Connection threads are joined on shutdown; a
+    // connection whose dispatcher went away exits on EOF long before
+    // that, so the join is a formality for all but live connections.
+    constexpr unsigned kMaxConnections = 64;
+    std::atomic<unsigned> active{0};
+    std::vector<std::thread> threads;
+    std::vector<std::unique_ptr<ConnState>> conns;
+    for (;;) {
+        struct pollfd pfds[2] = {
+            {*listen_fd, POLLIN, 0},
+            {g_shutdownPipe[0], POLLIN, 0},
+        };
+        const int rc = ::poll(pfds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pfds[1].revents != 0)
+            break; // SIGTERM/SIGINT: graceful shutdown
+        if ((pfds[0].revents & POLLIN) == 0)
+            continue;
+        auto fd = acceptDeadline(*listen_fd, /*timeout_ms=*/1);
+        if (!fd.ok())
+            continue;
+        if (active.load(std::memory_order_relaxed) >=
+            kMaxConnections) {
+            // Flood guard: shed the connection instead of queueing
+            // unbounded dispatcher state.
+            ::close(*fd);
+            continue;
+        }
+        auto conn = std::make_unique<ConnState>();
+        conn->fd = *fd;
+        ConnState &ref = *conn;
+        conns.push_back(std::move(conn));
+        ++active;
+        threads.emplace_back([&ref, &pool, &cache, &active,
+                              workers = opts.workers] {
+            serveConnection(ref, pool, cache, workers);
+            {
+                // sendMu also guards fd teardown: the shutdown path
+                // below must never shutdown() an fd we are closing.
+                std::lock_guard<std::mutex> lock(ref.sendMu);
+                ::close(ref.fd);
+                ref.fd = -1;
+            }
+            --active;
+        });
+    }
+
+    ::close(*listen_fd);
+    // Wake blocked connection reads by shutting their sockets down;
+    // serveConnection then sees EOF and unwinds.
+    for (auto &c : conns) {
+        std::lock_guard<std::mutex> lock(c->sendMu);
+        if (c->fd >= 0)
+            (void)::shutdown(c->fd, SHUT_RDWR);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    pool.stop();
+    return 0;
+}

@@ -1,0 +1,552 @@
+#include "driver/fleet_dispatcher.hh"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/io_util.hh"
+#include "common/logging.hh"
+#include "faultinject/driver_faults.hh"
+
+namespace rarpred::driver {
+
+namespace {
+
+uint64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return (uint64_t)duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+// ----------------------------------------------------- construction
+
+FleetDispatcher::FleetDispatcher(const FleetConfig &config)
+    : config_(config)
+{
+}
+
+FleetDispatcher::~FleetDispatcher()
+{
+    stop();
+}
+
+Result<std::vector<std::pair<std::string, uint16_t>>>
+FleetDispatcher::parseAgentList(const std::string &spec)
+{
+    std::vector<std::pair<std::string, uint16_t>> out;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue; // tolerate "a:1,,b:2" and trailing commas
+        const size_t colon = entry.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= entry.size())
+            return Status::invalidArgument(
+                "agent endpoint '" + entry +
+                "' is not host:port");
+        const std::string port_str = entry.substr(colon + 1);
+        char *end = nullptr;
+        const unsigned long port = std::strtoul(port_str.c_str(),
+                                                &end, 10);
+        if (end == nullptr || *end != '\0' || port == 0 ||
+            port > 65535)
+            return Status::invalidArgument(
+                "agent endpoint '" + entry + "' has a bad port");
+        out.emplace_back(entry.substr(0, colon), (uint16_t)port);
+    }
+    if (out.empty())
+        return Status::invalidArgument("empty agent list");
+    return out;
+}
+
+Status
+FleetDispatcher::start()
+{
+    if (started_)
+        return Status{};
+    started_ = true;
+    auto parsed = parseAgentList(config_.agents);
+    RARPRED_RETURN_IF_ERROR(parsed.status());
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[host, port] : *parsed) {
+        Agent a;
+        a.host = host;
+        a.port = port;
+        agents_.push_back(std::move(a));
+    }
+    counters_.agents = agents_.size();
+    return Status{};
+}
+
+void
+FleetDispatcher::stop()
+{
+    if (stopped_.exchange(true))
+        return;
+    degraded_.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Agent &a : agents_) {
+        for (Conn &c : a.idle)
+            ::close(c.fd);
+        a.idle.clear();
+    }
+}
+
+// ------------------------------------------------ agent supervision
+
+void
+FleetDispatcher::noteAgentFailureLocked(Agent &agent)
+{
+    const uint64_t now = nowMs();
+    agent.dropTimesMs.push_back(now);
+    while (!agent.dropTimesMs.empty() &&
+           now - agent.dropTimesMs.front() > config_.flapWindowMs)
+        agent.dropTimesMs.pop_front();
+    ++agent.consecutiveFailures;
+    const bool flapping =
+        (unsigned)agent.dropTimesMs.size() > config_.flapDropBudget;
+    if (!agent.demoted &&
+        (agent.consecutiveFailures >= config_.maxConsecutiveFailures ||
+         flapping)) {
+        // Demotion is sticky for the dispatcher's lifetime: an agent
+        // that keeps dropping leases would burn every cell's retry
+        // budget on doomed round trips.
+        agent.demoted = true;
+        ++counters_.agentsDemoted;
+        for (Conn &c : agent.idle)
+            ::close(c.fd);
+        agent.idle.clear();
+    }
+    bool all_demoted = true;
+    for (const Agent &a : agents_)
+        if (!a.demoted)
+            all_demoted = false;
+    if (all_demoted) {
+        counters_.degraded = true;
+        degraded_.store(true, std::memory_order_relaxed);
+    }
+}
+
+Result<int>
+FleetDispatcher::connectAgent(Agent &agent)
+{
+    // Chaos drill: the network is partitioned — the connect attempt
+    // fails as if the agent were unreachable, without touching the
+    // wire.
+    if (driverFaultFires(DriverFaultPoint::NetPartition,
+                         connectSeq_++))
+        return Status::unavailable("injected network partition");
+
+    uint64_t backoff_ms = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (agent.consecutiveFailures > 0)
+            backoff_ms =
+                std::min(config_.reconnectBackoffCapMs,
+                         config_.reconnectBackoffMs
+                             << (agent.consecutiveFailures - 1));
+    }
+    if (backoff_ms != 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms));
+
+    auto fd = tcpConnect(agent.host, agent.port,
+                         config_.connectTimeoutMs);
+    RARPRED_RETURN_IF_ERROR(fd.status());
+
+    // Handshake: the agent announces itself before the connection
+    // serves leases. A wrong-protocol agent is a deployment error,
+    // not a transient — but it still just fails this connection and
+    // lets the flap detector demote the endpoint.
+    service::FrameDecoder decoder;
+    const uint64_t deadline = nowMs() + config_.connectTimeoutMs;
+    for (;;) {
+        const uint64_t now = nowMs();
+        if (now >= deadline) {
+            ::close(*fd);
+            return Status::unavailable(
+                "agent sent no hello within " +
+                std::to_string(config_.connectTimeoutMs) + "ms");
+        }
+        auto readable = pollReadable(*fd, deadline - now);
+        if (!readable.ok() || !*readable)
+            continue; // deadline re-checked at the top
+        uint8_t buf[512];
+        auto got = recvChunk(*fd, buf, sizeof(buf));
+        if (!got.ok() || *got == 0) {
+            ::close(*fd);
+            return Status::unavailable(
+                "agent closed the connection before hello");
+        }
+        (void)decoder.feed(buf, *got);
+        service::Frame frame;
+        bool have = false;
+        const Status ds = decoder.next(&frame, &have);
+        if (!ds.ok()) {
+            ::close(*fd);
+            return ds;
+        }
+        if (!have)
+            continue;
+        if (frame.type != service::FrameType::AgentHello) {
+            ::close(*fd);
+            return Status::corruption(
+                std::string("expected agent-hello, got '") +
+                service::frameTypeName(frame.type) + "'");
+        }
+        auto hello = service::AgentHelloMsg::decode(frame.payload);
+        if (!hello.ok()) {
+            ::close(*fd);
+            return hello.status();
+        }
+        if (hello->protoVersion != service::kAgentProtoVersion) {
+            ::close(*fd);
+            return Status::failedPrecondition(
+                "agent speaks protocol v" +
+                std::to_string(hello->protoVersion) +
+                ", expected v" +
+                std::to_string(service::kAgentProtoVersion));
+        }
+        return *fd;
+    }
+}
+
+// ------------------------------------------------------- lease runs
+
+Result<CpuStats>
+FleetDispatcher::runJob(const WorkerJobDesc &job)
+{
+    if (!started_ || stopped_.load(std::memory_order_relaxed))
+        return Status::unavailable("fleet dispatcher is not running");
+    const uint64_t fingerprint = service::cellFingerprint(
+        job.workload, job.config, job.scale, job.maxInsts);
+
+    // Reassignment loop: an expired lease moves the cell to the next
+    // healthy agent (round-robin). The loop is bounded by demotion —
+    // every failed attempt charges its agent, and an agent demotes
+    // after maxConsecutiveFailures — plus a hard attempt cap as a
+    // belt-and-braces backstop against pathological alternation.
+    Status last =
+        Status::unavailable("fleet degraded: no healthy agents");
+    size_t attempts = 0;
+    bool first = true;
+    for (;;) {
+        if (degraded_.load(std::memory_order_relaxed) ||
+            stopped_.load(std::memory_order_relaxed))
+            return Status::unavailable("fleet degraded: " +
+                                       last.message());
+        size_t idx = agents_.size();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            const size_t n = agents_.size();
+            for (size_t probe = 0; probe < n; ++probe) {
+                const size_t i = rr_ % n;
+                rr_ = (rr_ + 1) % n;
+                if (!agents_[i].demoted) {
+                    idx = i;
+                    break;
+                }
+            }
+            if (attempts++ >=
+                (size_t)config_.maxConsecutiveFailures *
+                        agents_.size() +
+                    agents_.size())
+                return last; // backstop; demotion normally wins
+        }
+        if (idx == agents_.size())
+            return Status::unavailable("fleet degraded: " +
+                                       last.message());
+        if (!first) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.leasesReassigned;
+        }
+        first = false;
+
+        CpuStats stats{};
+        const Status ran =
+            leaseOnAgent(idx, job, fingerprint, &stats);
+        if (ran.ok())
+            return stats;
+        // Unavailable from the lease layer means the *attempt* never
+        // reached a healthy agent (connect failed, lease expired) —
+        // reassign. Any other status is a clean agent-side verdict
+        // (unknown workload, agent-side deadline, determinism
+        // violation) and flows to the caller's retry/quarantine path.
+        if (ran.code() != StatusCode::Unavailable)
+            return ran;
+        last = ran;
+    }
+}
+
+Status
+FleetDispatcher::leaseOnAgent(size_t agent_idx,
+                              const WorkerJobDesc &job,
+                              uint64_t fingerprint, CpuStats *out)
+{
+    Agent &agent = agents_[agent_idx];
+
+    // Reuse a pooled connection when one is idle; connect otherwise.
+    Conn conn;
+    bool reused = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (agent.demoted)
+            return Status::unavailable("agent demoted");
+        if (!agent.idle.empty()) {
+            conn = std::move(agent.idle.back());
+            agent.idle.pop_back();
+            reused = true;
+        }
+    }
+    if (!reused) {
+        auto fd = connectAgent(agent);
+        if (!fd.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.connectFailures;
+            noteAgentFailureLocked(agent);
+            return Status::unavailable("connect to " + agent.host +
+                                       ":" +
+                                       std::to_string(agent.port) +
+                                       " failed: " +
+                                       fd.status().message());
+        }
+        conn.fd = *fd;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.connects;
+        if (counters_.connects > counters_.agents)
+            ++counters_.reconnects;
+    }
+
+    // Grant the lease. The lease deadline backstops the agent's own
+    // job watchdog: the watchdog should answer first with a clean
+    // DeadlineExceeded; the lease only expires when the agent (or the
+    // network) is gone.
+    service::LeaseRequestMsg lease;
+    lease.leaseId = leaseSeq_++;
+    lease.leaseMs = job.deadlineMs != 0
+                        ? job.deadlineMs + config_.leaseSlackMs
+                        : 0;
+    lease.job.token = job.token;
+    lease.job.workload = job.workload;
+    lease.job.scale = job.scale;
+    lease.job.maxInsts = job.maxInsts;
+    lease.job.deadlineMs = job.deadlineMs;
+    lease.job.config = job.config;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.leasesGranted;
+        leaseFingerprint_[lease.leaseId] = fingerprint;
+        // Bound the registry in long-lived daemons: ids are monotone,
+        // so the oldest leases — whose stragglers are long gone — sit
+        // at the front.
+        while (leaseFingerprint_.size() > 65536)
+            leaseFingerprint_.erase(leaseFingerprint_.begin());
+    }
+
+    // Expire this lease: the connection is untrusted past the
+    // failure, so it is torn down, the agent is charged, and the
+    // caller reassigns the cell.
+    const auto expire = [&](const std::string &why) {
+        ::close(conn.fd);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.leasesExpired;
+        noteAgentFailureLocked(agent);
+        return Status::unavailable("lease " +
+                                   std::to_string(lease.leaseId) +
+                                   " on " + agent.host + ":" +
+                                   std::to_string(agent.port) +
+                                   " expired: " + why);
+    };
+
+    const std::vector<uint8_t> frame_bytes = service::encodeFrame(
+        service::FrameType::LeaseRequest, lease.encode());
+    const Status sent =
+        sendFull(conn.fd, frame_bytes.data(), frame_bytes.size());
+    if (!sent.ok())
+        return expire("send failed: " + sent.message());
+    // Chaos drill: the link drops right after the lease left the
+    // dispatcher. The agent may compute the whole cell — the result
+    // just never lands, and the reassigned execution must still merge
+    // byte-identically.
+    if (driverFaultFires(DriverFaultPoint::NetDrop, sendSeq_++))
+        return expire("injected connection drop after lease send");
+
+    const uint64_t lease_deadline =
+        lease.leaseMs != 0 ? nowMs() + lease.leaseMs : 0;
+    uint64_t last_signal_ms = nowMs();
+    for (;;) {
+        const uint64_t now = nowMs();
+        const uint64_t silence = now - last_signal_ms;
+        if (silence >= config_.heartbeatTimeoutMs)
+            return expire("agent went silent for " +
+                          std::to_string(silence) + "ms");
+        if (lease_deadline != 0 && now >= lease_deadline)
+            return expire("lease deadline (" +
+                          std::to_string(lease.leaseMs) +
+                          "ms) passed");
+        uint64_t wait = config_.heartbeatTimeoutMs - silence;
+        if (lease_deadline != 0)
+            wait = std::min(wait, lease_deadline - now);
+        auto readable = pollReadable(conn.fd, wait);
+        if (!readable.ok())
+            return expire("poll failed: " +
+                          readable.status().message());
+        if (!*readable)
+            continue; // silence/deadline re-checked at the top
+        uint8_t buf[4096];
+        auto got = recvChunk(conn.fd, buf, sizeof(buf));
+        if (!got.ok())
+            return expire("recv failed: " + got.status().message());
+        if (*got == 0)
+            return expire("agent closed the connection (EOF)");
+        (void)conn.decoder.feed(buf, *got);
+        for (;;) {
+            service::Frame frame;
+            bool have = false;
+            const Status ds = conn.decoder.next(&frame, &have);
+            if (!ds.ok())
+                return expire("result stream corrupt: " +
+                              ds.message());
+            if (!have)
+                break;
+            last_signal_ms = nowMs();
+            if (frame.type == service::FrameType::AgentHeartbeat) {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.heartbeats;
+                continue;
+            }
+            if (frame.type != service::FrameType::LeaseResult)
+                return expire(
+                    std::string("unexpected frame '") +
+                    service::frameTypeName(frame.type) +
+                    "' while awaiting a lease result");
+            auto result =
+                service::LeaseResultMsg::decode(frame.payload);
+            if (!result.ok())
+                return expire("bad lease result: " +
+                              result.status().message());
+            if (result->leaseId != lease.leaseId) {
+                // At-least-once in action: a duplicate (or straggler)
+                // completion for an *earlier* lease flushed onto this
+                // pooled connection. Book it against its own cell —
+                // dedupe plus determinism oracle — and keep waiting
+                // for this lease's result. Matching it to the current
+                // cell would corrupt the sweep.
+                std::lock_guard<std::mutex> lock(mu_);
+                const auto it =
+                    leaseFingerprint_.find(result->leaseId);
+                if (it != leaseFingerprint_.end() &&
+                    result->result.errorCode == 0) {
+                    bool diverged = false;
+                    (void)noteCompletionLocked(
+                        it->second, result->result.stats, &diverged);
+                    // A divergent straggler is counted (the oracle
+                    // counter trips tests and monitoring) but must
+                    // not take the dispatcher down mid-sweep.
+                }
+                continue;
+            }
+            if (result->result.errorCode != 0) {
+                // A clean failure on a healthy agent: pool the
+                // connection and let the caller's retry/quarantine
+                // path decide.
+                std::lock_guard<std::mutex> lock(mu_);
+                agent.consecutiveFailures = 0;
+                agent.idle.push_back(std::move(conn));
+                return result->result.error();
+            }
+            std::lock_guard<std::mutex> lock(mu_);
+            bool diverged = false;
+            const bool dup = noteCompletionLocked(
+                fingerprint, result->result.stats, &diverged);
+            agent.consecutiveFailures = 0;
+            agent.idle.push_back(std::move(conn));
+            if (diverged)
+                return Status::internal(
+                    "determinism violation: duplicate completion of "
+                    "cell " +
+                    std::to_string(fingerprint) +
+                    " differs from the accepted result");
+            // First CRC-valid completion wins; a duplicate hands the
+            // caller the accepted copy (byte-identical anyway).
+            *out = dup ? completed_[fingerprint]
+                       : result->result.stats;
+            return Status{};
+        }
+    }
+}
+
+bool
+FleetDispatcher::noteCompletionLocked(uint64_t fingerprint,
+                                      const CpuStats &stats,
+                                      bool *diverged)
+{
+    *diverged = false;
+    const auto it = completed_.find(fingerprint);
+    if (it == completed_.end()) {
+        completed_.emplace(fingerprint, stats);
+        ++counters_.resultsAccepted;
+        return false;
+    }
+    ++counters_.duplicateResults;
+    if (std::memcmp(&it->second, &stats, sizeof(CpuStats)) != 0) {
+        // The at-least-once design leans on re-execution being
+        // indistinguishable from retransmission; a divergent
+        // duplicate means the determinism contract broke somewhere.
+        ++counters_.determinismViolations;
+        *diverged = true;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------ stats
+
+FleetStats
+FleetDispatcher::stats() const
+{
+    // counters_.degraded records *health* degradation (every agent
+    // demoted) only. The degraded_ atomic is additionally latched by
+    // stop() so runJob() refuses late work, but an orderly shutdown
+    // is not a health event — reporting it as one would poison the
+    // "degraded 0" oracle in exit dumps of perfectly healthy fleets.
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+void
+FleetDispatcher::dumpStats(std::ostream &os) const
+{
+    const FleetStats s = stats();
+    os << "driver.fleet.agents " << s.agents << "\n";
+    os << "driver.fleet.connects " << s.connects << "\n";
+    os << "driver.fleet.reconnects " << s.reconnects << "\n";
+    os << "driver.fleet.connectFailures " << s.connectFailures << "\n";
+    os << "driver.fleet.leasesGranted " << s.leasesGranted << "\n";
+    os << "driver.fleet.leasesExpired " << s.leasesExpired << "\n";
+    os << "driver.fleet.leasesReassigned " << s.leasesReassigned
+       << "\n";
+    os << "driver.fleet.resultsAccepted " << s.resultsAccepted << "\n";
+    os << "driver.fleet.duplicateResults " << s.duplicateResults
+       << "\n";
+    os << "driver.fleet.determinismViolations "
+       << s.determinismViolations << "\n";
+    os << "driver.fleet.heartbeats " << s.heartbeats << "\n";
+    os << "driver.fleet.agentsDemoted " << s.agentsDemoted << "\n";
+    os << "driver.fleet.degraded " << (s.degraded ? 1 : 0) << "\n";
+}
+
+} // namespace rarpred::driver

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Multi-host worker fleet: lease-based dispatch of sweep cells to
+ * remote `rarpred-agent` processes over TCP, using the service's
+ * CRC-framed wire protocol (service/proto.hh AgentHello /
+ * LeaseRequest / AgentHeartbeat / LeaseResult frames).
+ *
+ * Why a fleet: the process-isolated worker pool (worker_pool.hh)
+ * contains failures inside one machine; the fleet spreads the same
+ * cell jobs across machines, which is ROADMAP item 3's "multi-host
+ * workers" follow-on. The failure model widens accordingly — network
+ * partitions, straggler agents, whole-agent loss — so dispatch is
+ * **lease-based at-least-once** instead of assuming delivery:
+ *
+ *  - Every cell handed to an agent carries a lease: an absolute
+ *    expiry derived from the job watchdog deadline (plus slack), and
+ *    a heartbeat-silence budget. The agent beacons AgentHeartbeat
+ *    frames while the cell runs.
+ *  - A lease expires on frame timeout, POLLHUP/EOF (agent died or
+ *    the link dropped), heartbeat silence, or a CRC failure on the
+ *    stream. An expired lease costs nothing but time: the cell is
+ *    reassigned to another connection (possibly another agent), and
+ *    the orphaned execution is left to die with its connection.
+ *  - At-least-once delivery means the same cell can complete twice
+ *    (a straggler finishing after its lease was reassigned, or an
+ *    injected duplicate). Completions are deduplicated by cell
+ *    fingerprint: the first CRC-valid result wins, and a determinism
+ *    oracle asserts any second completion is byte-identical — the
+ *    simulation contract makes re-execution indistinguishable from
+ *    retransmission, which is what makes at-least-once safe here.
+ *
+ * Connection management mirrors the worker pool's supervision:
+ * capped exponential backoff on reconnect, a per-agent flap detector
+ * (consecutive failures, or too many drops inside a sliding window)
+ * that demotes an agent for good, and a sticky pool-level
+ * degradation once every agent is demoted — runJob() then returns
+ * Unavailable and the caller falls down the ladder (fleet -> local
+ * worker pool -> in-process), so a sweep always completes even with
+ * the whole fleet unreachable.
+ *
+ * Determinism: an agent computes cells from the same (workload,
+ * scale, maxInsts, CellConfigMsg) inputs as every other execution
+ * route, so merged sweep stats are byte-identical whether a cell ran
+ * in-process, in a local worker, or three machines away — including
+ * when its lease expired once and it was reassigned.
+ */
+
+#ifndef RARPRED_DRIVER_FLEET_DISPATCHER_HH_
+#define RARPRED_DRIVER_FLEET_DISPATCHER_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "cpu/cpu_config.hh"
+#include "driver/worker_pool.hh" // WorkerJobDesc
+#include "service/proto.hh"
+
+namespace rarpred::driver {
+
+/** Fleet supervision knobs. Defaults suit production; tests shrink
+ *  them. */
+struct FleetConfig
+{
+    /** Agent endpoints, "host:port[,host:port...]"; numeric IPv4. */
+    std::string agents;
+
+    /** Deadline for one TCP connect + AgentHello handshake. */
+    uint64_t connectTimeoutMs = 2000;
+
+    /** Expire a lease after this much agent silence (no heartbeat,
+     *  no result). Same role as the worker pool's heartbeat knob and
+     *  wired from the same --worker-heartbeat-ms flag. */
+    uint64_t heartbeatTimeoutMs = 10000;
+
+    /** Slack added to the job watchdog deadline to form the lease
+     *  expiry: the agent's own watchdog should fire first and return
+     *  a clean DeadlineExceeded; the lease is the backstop. */
+    uint64_t leaseSlackMs = 2000;
+
+    /** Reconnect backoff: base << (consecutive failures - 1), capped. */
+    uint64_t reconnectBackoffMs = 50;
+    uint64_t reconnectBackoffCapMs = 2000;
+
+    /** Per-agent flap detector: consecutive failures that demote the
+     *  agent, and the drop budget inside the sliding window. */
+    unsigned maxConsecutiveFailures = 3;
+    unsigned flapDropBudget = 8;
+    uint64_t flapWindowMs = 10000;
+};
+
+/** Counter snapshot for dumpStats() and test asserts. */
+struct FleetStats
+{
+    uint64_t agents = 0;           ///< configured endpoints
+    uint64_t connects = 0;         ///< successful connect+handshakes
+    uint64_t reconnects = 0;       ///< connects replacing a lost conn
+    uint64_t connectFailures = 0;
+    uint64_t leasesGranted = 0;
+    uint64_t leasesExpired = 0;    ///< timeout/EOF/CRC/silence
+    uint64_t leasesReassigned = 0; ///< expired leases retried
+    uint64_t resultsAccepted = 0;
+    uint64_t duplicateResults = 0; ///< deduped by cell fingerprint
+    uint64_t determinismViolations = 0; ///< dup differed byte-wise
+    uint64_t heartbeats = 0;
+    uint64_t agentsDemoted = 0;    ///< flap detector latched
+    bool degraded = false;         ///< every agent demoted (sticky)
+};
+
+/**
+ * The dispatcher. Thread-safe: SimJobRunner's worker threads call
+ * runJob() concurrently, each leasing its cell over a checked-out
+ * agent connection.
+ */
+class FleetDispatcher
+{
+  public:
+    explicit FleetDispatcher(const FleetConfig &config);
+    ~FleetDispatcher();
+
+    FleetDispatcher(const FleetDispatcher &) = delete;
+    FleetDispatcher &operator=(const FleetDispatcher &) = delete;
+
+    /**
+     * Parse the agent list. Never connects eagerly — connections are
+     * opened on first use, so an unreachable fleet costs nothing
+     * until exercised (and then degrades instead of failing).
+     * InvalidArgument only for a malformed agent list.
+     */
+    Status start();
+
+    /** Close every connection; idempotent. After stop() every
+     *  runJob() returns Unavailable. */
+    void stop();
+
+    /**
+     * Run one cell on the fleet, reassigning its lease across agents
+     * until a CRC-valid result lands or every agent is demoted.
+     *
+     * Status protocol (same contract as WorkerPool::runJob):
+     *  - OK: the agent's CpuStats (byte-identical to in-process).
+     *  - Unavailable: the *fleet* cannot serve (degraded, stopped,
+     *    unreachable) — callers fall back down the execution ladder;
+     *    this does not consume a job attempt.
+     *  - anything else: this attempt failed cleanly on a healthy
+     *    agent (unknown workload, agent-side deadline) — feeds the
+     *    caller's retry/quarantine path.
+     */
+    Result<CpuStats> runJob(const WorkerJobDesc &job);
+
+    /** True once every agent is demoted (or stop() ran). Sticky. */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    FleetStats stats() const;
+
+    /** Write "driver.fleet.*" stat lines (the repo's stat format). */
+    void dumpStats(std::ostream &os) const;
+
+    /** Parse "host:port[,host:port...]"; exposed for tests. */
+    static Result<std::vector<std::pair<std::string, uint16_t>>>
+    parseAgentList(const std::string &spec);
+
+  private:
+    /** One pooled TCP connection. The decoder persists across leases
+     *  on the same connection so bytes an agent flushed late (e.g. a
+     *  duplicated LeaseResult) are decoded — and deduped — rather
+     *  than corrupting the next lease's stream. */
+    struct Conn
+    {
+        int fd = -1;
+        service::FrameDecoder decoder;
+    };
+
+    struct Agent
+    {
+        std::string host;
+        uint16_t port = 0;
+        bool demoted = false;          ///< sticky per-agent latch
+        unsigned consecutiveFailures = 0;
+        std::deque<uint64_t> dropTimesMs; ///< flap sliding window
+        std::vector<Conn> idle;        ///< pooled healthy connections
+    };
+
+    /** One leased attempt on one agent; updates health bookkeeping. */
+    Status leaseOnAgent(size_t agent_idx, const WorkerJobDesc &job,
+                        uint64_t fingerprint, CpuStats *out);
+    /** Connect + AgentHello handshake with deadline. */
+    Result<int> connectAgent(Agent &agent);
+    /** Record a connection/lease failure; demotes on a flap. */
+    void noteAgentFailureLocked(Agent &agent);
+    /** Dedupe/oracle bookkeeping for one completed cell.
+     *  @return true iff this completion was a duplicate. */
+    bool noteCompletionLocked(uint64_t fingerprint,
+                              const CpuStats &stats, bool *diverged);
+
+    FleetConfig config_;
+    std::atomic<bool> degraded_{false};
+    std::atomic<bool> stopped_{false};
+    bool started_ = false;
+    std::atomic<uint64_t> leaseSeq_{1};
+    std::atomic<uint64_t> connectSeq_{0}; ///< NetPartition fault index
+    std::atomic<uint64_t> sendSeq_{0};    ///< NetDrop fault index
+
+    mutable std::mutex mu_;
+    std::vector<Agent> agents_;
+    size_t rr_ = 0; ///< round-robin cursor over healthy agents
+    /** Completed cells by fingerprint: the at-least-once dedupe map
+     *  and the determinism oracle's reference copy. */
+    std::map<uint64_t, CpuStats> completed_;
+    /** Lease id -> cell fingerprint, so a straggler completion for an
+     *  earlier lease can be booked against its own cell. Lease ids
+     *  are monotone, so pruning drops the oldest entries. */
+    std::map<uint64_t, uint64_t> leaseFingerprint_;
+
+    // Counters (under mu_).
+    FleetStats counters_;
+};
+
+} // namespace rarpred::driver
+
+#endif // RARPRED_DRIVER_FLEET_DISPATCHER_HH_

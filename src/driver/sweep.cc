@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "cpu/ooo_cpu.hh"
+#include "driver/fleet_dispatcher.hh"
 #include "faultinject/driver_faults.hh"
 #include "service/proto.hh"
 
@@ -150,6 +151,14 @@ parseSweepArgs(int argc, char **argv)
             opts.runner.snapshotDir = v;
             continue;
         }
+        if (const char *v = flagValue(arg, "--workers-remote")) {
+            // Validate here so a typo'd endpoint is a CLI error, not
+            // a silently agent-less fleet.
+            RARPRED_RETURN_IF_ERROR(
+                FleetDispatcher::parseAgentList(v).status());
+            opts.runner.remoteAgents = v;
+            continue;
+        }
         Status s = numericFlag(arg, "--workers", &workers);
         if (s.ok()) {
             saw_workers = true;
@@ -248,7 +257,12 @@ sweepUsage()
         "                           processes (crash containment);\n"
         "                           implies --workers=N unless given\n"
         "  --worker-heartbeat-ms=N  kill a silent worker process\n"
-        "                           after N ms (default 10000)\n"
+        "                           after N ms (default 10000); also\n"
+        "                           the fleet lease heartbeat budget\n"
+        "  --workers-remote=H:P[,H:P...]\n"
+        "                           lease jobs to rarpred-agent hosts;\n"
+        "                           falls back to local execution when\n"
+        "                           the fleet is unreachable\n"
         "  --scale=N                workload scale (default 1)\n"
         "  --max-insts=N            truncate traces to N instructions\n"
         "  --retries=N              retry failed jobs N times (default 2)\n"
@@ -268,7 +282,9 @@ sweepUsage()
         "points (job_crash, job_hang, job_kill, journal_torn,\n"
         "cache_pressure, snapshot_torn, snapshot_stale,\n"
         "state_bitflip, epoch_kill, worker_crash, worker_hang,\n"
-        "worker_flap, worker_result_torn) for crash drills.\n";
+        "worker_flap, worker_result_torn, worker_result_dup,\n"
+        "net_drop, net_partition, net_slow, agent_kill, result_dup,\n"
+        "store_enospc) for crash drills.\n";
 }
 
 int

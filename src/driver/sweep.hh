@@ -60,6 +60,7 @@ struct SweepIo
  *                              processes (crash containment); also
  *                              sets --workers=N unless given
  *   --worker-heartbeat-ms=N    kill a silent worker process after N ms
+ *   --workers-remote=H:P[,...] lease jobs to rarpred-agent hosts
  *   --scale=N                  workload scale for trace generation
  *   --max-insts=N              truncate traces to N instructions
  *   --retries=N                retry a failed job N times (default 2)

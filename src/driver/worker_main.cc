@@ -309,6 +309,14 @@ main(int argc, char **argv)
             // the supervisor must reject the frame, never merge it.
             reply[9 + (reply.size() - 13) / 2] ^= 0x20;
         }
+        if (fault == service::WorkerFault::DupResult) {
+            // Send the (valid) result twice. The supervisor consumes
+            // the first; the duplicate sits in the socket buffer and
+            // arrives ahead of the *next* job's result, where it must
+            // be dropped as stale — never matched to that cell.
+            if (!sendFull(fd, reply.data(), reply.size()).ok())
+                return 0;
+        }
         if (!sendFull(fd, reply.data(), reply.size()).ok())
             return 0;
     }

@@ -159,6 +159,59 @@ WorkerPool::resolveWorkerBinary(const std::string &hint)
     return {};
 }
 
+bool
+WorkerPool::probeChildReapCapability()
+{
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0)
+        return false;
+    for (const int fd : pipe_fds)
+        ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    if (!registerChldWakeFd(pipe_fds[1])) {
+        ::close(pipe_fds[0]);
+        ::close(pipe_fds[1]);
+        return false;
+    }
+    bool ok = false;
+    const pid_t pid = ::fork();
+    if (pid == 0)
+        ::_exit(0);
+    if (pid > 0) {
+        // The guarantee under probe: the child's death wakes the
+        // self-pipe within a bounded wait, *and* the by-pid reap then
+        // succeeds. Kernels (or exotic pid-namespace setups) that
+        // break either leg would turn the chaos battery's timing
+        // assumptions into flakes.
+        const uint64_t deadline = nowMs() + 2000;
+        for (;;) {
+            const uint64_t now = nowMs();
+            if (now >= deadline)
+                break;
+            pollfd pfd{pipe_fds[0], POLLIN, 0};
+            const int rc = ::poll(&pfd, 1, (int)(deadline - now));
+            if (rc < 0 && errno == EINTR)
+                continue;
+            if (rc <= 0)
+                break;
+            char byte;
+            if (::read(pipe_fds[0], &byte, 1) == 1) {
+                ok = true;
+                break;
+            }
+        }
+        int status = 0;
+        pid_t r;
+        do {
+            r = ::waitpid(pid, &status, 0);
+        } while (r < 0 && errno == EINTR);
+        ok = ok && r == pid;
+    }
+    unregisterChldWakeFd(pipe_fds[1]);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return ok;
+}
+
 Status
 WorkerPool::start()
 {
@@ -556,6 +609,9 @@ WorkerPool::dispatch(Slot *slot, const WorkerJobDesc &job,
     else if (driverFaultFires(DriverFaultPoint::WorkerResultTorn,
                               job.token))
         req.fault = (uint8_t)service::WorkerFault::TornResult;
+    else if (driverFaultFires(DriverFaultPoint::WorkerResultDup,
+                              job.token))
+        req.fault = (uint8_t)service::WorkerFault::DupResult;
 
     const std::vector<uint8_t> frame_bytes = service::encodeFrame(
         service::FrameType::JobRequest, req.encode());
@@ -661,11 +717,15 @@ WorkerPool::dispatch(Slot *slot, const WorkerJobDesc &job,
                 return result.status();
             }
             if (result->token != job.token) {
-                retireSlot(slot, true);
-                return Status::corruption(
-                    "worker answered job " +
-                    std::to_string(result->token) + ", expected " +
-                    std::to_string(job.token));
+                // A stale result: a duplicate or reordered frame from
+                // an earlier job on this slot (e.g. a dup flushed
+                // after its job already completed). It decoded clean,
+                // so the stream itself is healthy — drop the frame
+                // and keep waiting for *this* job's result. Matching
+                // it to the current cell would corrupt the sweep.
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.staleResults;
+                continue;
             }
             if (result->errorCode != 0) {
                 // A clean failure (unknown workload, worker-side
@@ -700,6 +760,7 @@ WorkerPool::dumpStats(std::ostream &os) const
     os << "driver.worker.crashes " << s.crashes << "\n";
     os << "driver.worker.hangKills " << s.hangKills << "\n";
     os << "driver.worker.tornResults " << s.tornResults << "\n";
+    os << "driver.worker.staleResults " << s.staleResults << "\n";
     os << "driver.worker.jobsDispatched " << s.jobsDispatched << "\n";
     os << "driver.worker.jobsCompleted " << s.jobsCompleted << "\n";
     os << "driver.worker.jobsFailed " << s.jobsFailed << "\n";

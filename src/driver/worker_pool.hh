@@ -112,6 +112,7 @@ struct WorkerPoolStats
     uint64_t crashes = 0;      ///< workers that died mid-job
     uint64_t hangKills = 0;    ///< killed for heartbeat silence
     uint64_t tornResults = 0;  ///< result streams rejected by CRC
+    uint64_t staleResults = 0; ///< duplicate/reordered results dropped
     uint64_t jobsDispatched = 0;
     uint64_t jobsCompleted = 0;
     uint64_t jobsFailed = 0;
@@ -175,6 +176,17 @@ class WorkerPool
     /** Resolution order documented on WorkerPoolConfig::workerBin;
      *  exposed for tests. Empty string when nothing resolves. */
     static std::string resolveWorkerBinary(const std::string &hint);
+
+    /**
+     * Probe whether this kernel delivers SIGCHLD through the pool's
+     * self-pipe with the ordering the chaos battery depends on: fork
+     * a short-lived child and require both the pipe wake-up and a
+     * successful by-pid reap within a bounded wait. Tests call this
+     * to *skip* (not fail) the chaos drills on kernels without the
+     * guarantee; the pool itself stays correct either way because
+     * checkout-time WNOHANG polling backstops the self-pipe.
+     */
+    static bool probeChildReapCapability();
 
   private:
     struct Slot

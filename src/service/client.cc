@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/io_util.hh"
@@ -14,15 +15,27 @@ namespace rarpred::service {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /** RAII connection to the daemon's socket. */
 class Connection
 {
   public:
+    /**
+     * Connect within @p timeout_ms and remember the absolute
+     * deadline: every subsequent recvFrame() draws from the same
+     * budget, so connect + request + reply together observe one
+     * end-to-end timeout. 0 = no deadline.
+     */
     static Result<Connection>
-    open(const std::string &path)
+    open(const std::string &path, uint64_t timeout_ms)
     {
         if (path.size() >= sizeof(sockaddr_un{}.sun_path))
             return Status::invalidArgument("socket path too long");
+        const Clock::time_point deadline =
+            timeout_ms == 0
+                ? Clock::time_point{}
+                : Clock::now() + std::chrono::milliseconds(timeout_ms);
         const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
         if (fd < 0)
             return Status::ioError(std::string("socket: ") +
@@ -31,17 +44,19 @@ class Connection
         addr.sun_family = AF_UNIX;
         std::strncpy(addr.sun_path, path.c_str(),
                      sizeof(addr.sun_path) - 1);
-        if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) !=
-            0) {
-            const int err = errno;
+        const Status connected = rarpred::connectDeadline(
+            fd, (const sockaddr *)&addr, sizeof(addr), timeout_ms);
+        if (!connected.ok()) {
             ::close(fd);
-            return Status::unavailable("connect '" + path +
-                                       "': " + std::strerror(err));
+            return Status(connected.code(),
+                          "connect '" + path +
+                              "': " + connected.message());
         }
-        return Connection(fd);
+        return Connection(fd, deadline);
     }
 
-    Connection(Connection &&other) noexcept : fd_(other.fd_)
+    Connection(Connection &&other) noexcept
+        : fd_(other.fd_), deadline_(other.deadline_)
     {
         other.fd_ = -1;
     }
@@ -71,7 +86,10 @@ class Connection
         return rarpred::sendFull(fd_, bytes.data(), bytes.size());
     }
 
-    /** Block until the next verified frame (or stream end/error). */
+    /**
+     * Block until the next verified frame (or stream end/error),
+     * never past the connection's end-to-end deadline.
+     */
     Result<Frame>
     recvFrame()
     {
@@ -81,6 +99,22 @@ class Connection
             RARPRED_RETURN_IF_ERROR(decoder_.next(&frame, &have));
             if (have)
                 return frame;
+            if (deadline_ != Clock::time_point{}) {
+                const auto left =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(deadline_ -
+                                                   Clock::now())
+                        .count();
+                if (left <= 0)
+                    return Status::deadlineExceeded(
+                        "reply deadline expired");
+                auto readable =
+                    rarpred::pollReadable(fd_, (uint64_t)left);
+                RARPRED_RETURN_IF_ERROR(readable.status());
+                if (!*readable)
+                    return Status::deadlineExceeded(
+                        "reply deadline expired");
+            }
             uint8_t buf[4096];
             auto n = rarpred::recvChunk(fd_, buf, sizeof(buf));
             RARPRED_RETURN_IF_ERROR(n.status());
@@ -92,9 +126,13 @@ class Connection
     }
 
   private:
-    explicit Connection(int fd) : fd_(fd) {}
+    Connection(int fd, Clock::time_point deadline)
+        : fd_(fd), deadline_(deadline)
+    {
+    }
 
     int fd_;
+    Clock::time_point deadline_; ///< epoch value = no deadline
     FrameDecoder decoder_;
 };
 
@@ -117,7 +155,7 @@ unexpectedFrame(const Frame &frame)
 Result<StatusReplyMsg>
 ServiceClient::status() const
 {
-    auto conn = Connection::open(socketPath_);
+    auto conn = Connection::open(socketPath_, timeoutMs_);
     RARPRED_RETURN_IF_ERROR(conn.status());
     RARPRED_RETURN_IF_ERROR(
         conn->sendFrame(FrameType::StatusRequest, {}));
@@ -132,7 +170,7 @@ Result<SweepReply>
 ServiceClient::sweep(const SweepRequestMsg &request) const
 {
     RARPRED_RETURN_IF_ERROR(request.validate());
-    auto conn = Connection::open(socketPath_);
+    auto conn = Connection::open(socketPath_, timeoutMs_);
     RARPRED_RETURN_IF_ERROR(conn.status());
     RARPRED_RETURN_IF_ERROR(
         conn->sendFrame(FrameType::SweepRequest, request.encode()));

@@ -35,8 +35,16 @@ struct SweepReply
 class ServiceClient
 {
   public:
-    explicit ServiceClient(std::string socket_path)
-        : socketPath_(std::move(socket_path))
+    /**
+     * @p timeout_ms bounds each call end to end — connect, request
+     * send, and the complete reply stream share one absolute
+     * deadline, so a daemon that accepts the connection but never
+     * answers (or stalls mid-stream) surfaces as DeadlineExceeded
+     * instead of hanging the client forever. 0 = no deadline.
+     */
+    explicit ServiceClient(std::string socket_path,
+                           uint64_t timeout_ms = 0)
+        : socketPath_(std::move(socket_path)), timeoutMs_(timeout_ms)
     {
     }
 
@@ -60,9 +68,11 @@ class ServiceClient
                                   const SweepReply &reply);
 
     const std::string &socketPath() const { return socketPath_; }
+    uint64_t timeoutMs() const { return timeoutMs_; }
 
   private:
     std::string socketPath_;
+    uint64_t timeoutMs_ = 0;
 };
 
 } // namespace rarpred::service

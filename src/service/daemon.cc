@@ -13,6 +13,7 @@
 
 #include "common/io_util.hh"
 #include "cpu/ooo_cpu.hh"
+#include "driver/fleet_dispatcher.hh"
 #include "driver/sim_job_runner.hh"
 #include "driver/sim_snapshot.hh"
 #include "driver/stats_merger.hh"
@@ -130,6 +131,18 @@ SweepDaemon::serve()
         RARPRED_RETURN_IF_ERROR(workerPool_->start());
     }
 
+    // --fleet: bring the lease dispatcher up before any request can
+    // arrive. start() only fails on a malformed agent list (a CLI
+    // error worth surfacing); an unreachable fleet degrades lazily
+    // and cells fall back to --isolate-jobs workers or in-process.
+    if (!config_.fleet.empty()) {
+        driver::FleetConfig fc;
+        fc.agents = config_.fleet;
+        fc.heartbeatTimeoutMs = config_.workerHeartbeatTimeoutMs;
+        fleet_ = std::make_unique<driver::FleetDispatcher>(fc);
+        RARPRED_RETURN_IF_ERROR(fleet_->start());
+    }
+
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0)
         return Status::ioError(std::string("socket: ") +
@@ -197,6 +210,8 @@ SweepDaemon::awaitShutdown()
     // No sweep can be running now (executor and handlers joined):
     // stop the pool last so in-flight jobs finished first. stop()
     // reaps every worker pid — a drained daemon leaves no zombies.
+    if (fleet_)
+        fleet_->stop();
     if (workerPool_)
         workerPool_->stop();
     if (listenFd_ >= 0) {
@@ -570,9 +585,10 @@ SweepDaemon::runSweepRequest(Pending &&p)
         rc.jobDeadlineMs = remaining_ms;
         // The shared worker pool (--isolate-jobs; may be null) keeps
         // a crashing cell from taking the daemon — and every queued
-        // tenant — down with it.
+        // tenant — down with it; the shared fleet (--fleet; may be
+        // null) spreads cells across agent hosts above it.
         driver::SimJobRunner runner(rc, traceCache_.get(),
-                                    workerPool_.get());
+                                    workerPool_.get(), fleet_.get());
 
         std::vector<driver::JobSpec> jobs;
         jobs.reserve(to_run.size());
@@ -590,12 +606,21 @@ SweepDaemon::runSweepRequest(Pending &&p)
             auto commit = [this, fp,
                            row](const CpuStats &stats) -> Status {
                 row->stats = stats;
+                Status put;
                 {
                     std::lock_guard<std::mutex> lock(storeMu_);
-                    RARPRED_RETURN_IF_ERROR(
-                        store_.put(fp, row->stats));
+                    put = store_.put(fp, row->stats);
                 }
-                counters_.storeWrites.fetch_add(1);
+                if (put.ok()) {
+                    counters_.storeWrites.fetch_add(1);
+                } else if (put.code() != StatusCode::Unavailable) {
+                    return put;
+                }
+                // Unavailable = disk exhaustion (ENOSPC/quota/fsync):
+                // caching is an optimization, not a prerequisite. The
+                // computed row is still correct and still served —
+                // the cell just is not persisted, so a restart will
+                // re-simulate it.
                 counters_.cellsSimulated.fetch_add(1);
                 breaker_.onSuccess(fp);
                 return Status{};

@@ -28,6 +28,8 @@ usage()
         "  --scale=N           workload scale (1)\n"
         "  --max-insts=N       truncate traces to N instructions\n"
         "  --deadline-ms=N     whole-request deadline from admission\n"
+        "  --timeout-ms=N      client-side end-to-end deadline over\n"
+        "                      connect + request + reply (0 = none)\n"
         "  --configs=LIST      comma list of base|raw|rar (base,rar)\n"
         "exit: 0 all cells ok, 1 cells failed, 2 bad usage,\n"
         "      3 request rejected (shed/deadline/draining)\n";
@@ -85,6 +87,7 @@ main(int argc, char **argv)
 {
     std::string socket_path;
     bool status_mode = false;
+    uint64_t timeout_ms = 0;
     std::string configs_arg = "base,rar";
     rarpred::service::SweepRequestMsg request;
 
@@ -126,6 +129,11 @@ main(int argc, char **argv)
             request.deadlineMs = u;
             continue;
         }
+        if ((v = flagValue(arg, "--timeout-ms")) &&
+            parseU64(v, &u)) {
+            timeout_ms = u;
+            continue;
+        }
         if (std::strncmp(arg, "--", 2) == 0) {
             std::cerr << "rarpred-cli: bad argument '" << arg
                       << "'\n"
@@ -139,7 +147,8 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const rarpred::service::ServiceClient client(socket_path);
+    const rarpred::service::ServiceClient client(socket_path,
+                                                 timeout_ms);
 
     if (status_mode) {
         auto reply = client.status();

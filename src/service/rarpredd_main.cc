@@ -19,6 +19,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "driver/fleet_dispatcher.hh"
 #include "driver/worker_pool.hh"
 #include "faultinject/driver_faults.hh"
 #include "service/daemon.hh"
@@ -58,10 +59,15 @@ usage()
         "                            worker processes (crash "
         "containment)\n"
         "  --worker-heartbeat-ms=N   kill a silent worker process\n"
-        "                            after N ms (10000)\n"
+        "                            after N ms (10000); also the\n"
+        "                            fleet lease heartbeat budget\n"
+        "  --fleet=H:P[,H:P...]      lease cells to rarpred-agent\n"
+        "                            hosts; falls back to local\n"
+        "                            execution when unreachable\n"
         "env RARPRED_FAULT arms driver fault points (conn_drop,\n"
-        "request_torn, store_corrupt, daemon_kill, worker_crash,\n"
-        "worker_hang, worker_flap, ...).\n";
+        "request_torn, store_corrupt, store_enospc, daemon_kill,\n"
+        "worker_crash, worker_hang, worker_flap, net_drop,\n"
+        "net_partition, ...).\n";
 }
 
 bool
@@ -126,6 +132,10 @@ main(int argc, char **argv)
         }
         if (std::strcmp(arg, "--isolate-jobs") == 0) {
             config.isolateJobs = true;
+            continue;
+        }
+        if (const char *v = flagValue(arg, "--fleet")) {
+            config.fleet = v;
             continue;
         }
         uint64_t u = 0;
@@ -217,6 +227,8 @@ main(int argc, char **argv)
     daemon.counters().dump(stats);
     if (rarpred::driver::WorkerPool *pool = daemon.workerPool())
         pool->dumpStats(stats);
+    if (rarpred::driver::FleetDispatcher *fleet = daemon.fleet())
+        fleet->dumpStats(stats);
     std::cerr << stats.str() << "rarpredd: bye\n";
     return 0;
 }

@@ -152,8 +152,29 @@ ResultStore::put(uint64_t fingerprint, const CpuStats &stats)
     }
 
     const std::string path = pathFor(fingerprint);
-    RARPRED_RETURN_IF_ERROR(
-        durableWriteFile(path, bytes.data(), bytes.size()));
+    if (driverFaultFires(DriverFaultPoint::StoreEnospc, writes_)) {
+        // Simulated full disk: the entry is not persisted, but the
+        // computed result is still good — callers must treat
+        // Unavailable as "skip caching", never as a failed cell.
+        ++writes_;
+        return Status::unavailable("store write " + path +
+                                   ": injected ENOSPC");
+    }
+    int write_errno = 0;
+    const Status wrote =
+        durableWriteFile(path, bytes.data(), bytes.size(), &write_errno);
+    if (!wrote.ok()) {
+        // A full (or quota-exhausted, or failing) disk must not fail
+        // the sweep: the store is a cache, and the caller still holds
+        // the computed stats. Surface resource exhaustion as
+        // Unavailable so callers skip caching and serve the result.
+        if (write_errno == ENOSPC || write_errno == EDQUOT ||
+            write_errno == EIO) {
+            return Status::unavailable("store write " + path + ": " +
+                                       wrote.message());
+        }
+        return wrote;
+    }
     ++writes_;
     if (driverFaultFires(DriverFaultPoint::DaemonKill, writes_ - 1)) {
         // Crash drill: die with the entry just written durable. The

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Distributed-dispatch battery for the lease-based worker fleet
+ * (driver/fleet_dispatcher.hh + rarpred-agent). The contract under
+ * test: a sweep leased over TCP to agent processes produces results
+ * byte-identical to the serial in-process reference — including when
+ * an agent is SIGKILLed mid-lease (the lease expires and the cell is
+ * reassigned), when an agent duplicates its result frame (deduped by
+ * cell fingerprint, never double-counted), when an agent goes silent
+ * past the heartbeat budget (straggler expiry), and when every agent
+ * is unreachable (sticky degradation to local execution).
+ *
+ * Self-skips when the rarpred-agent binary is not built in this tree
+ * (RARPRED_DRIVER_DIR).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/fleet_dispatcher.hh"
+#include "driver/sim_job_runner.hh"
+#include "driver/sweep.hh"
+#include "faultinject/driver_faults.hh"
+#include "service/proto.hh"
+#include "workload/workload.hh"
+
+#ifndef RARPRED_DRIVER_DIR
+#define RARPRED_DRIVER_DIR ""
+#endif
+
+namespace rarpred::driver {
+namespace {
+
+constexpr uint64_t kMaxInsts = 20000;
+
+std::string
+agentBinary()
+{
+    return std::string(RARPRED_DRIVER_DIR) + "/rarpred-agent";
+}
+
+/** One rarpred-agent subprocess on a kernel-assigned loopback port. */
+struct AgentProc
+{
+    int pid = -1;
+    uint16_t port = 0;
+
+    bool live() const { return pid > 0; }
+};
+
+/**
+ * Launch an agent with --port=0 and parse the bound port from its
+ * "agent.port N" stdout line. @p extra_env arms agent-side fault
+ * points (e.g. "RARPRED_FAULT=agent_kill:3"); "" for none.
+ */
+AgentProc
+spawnAgent(const std::string &tag, const std::string &extra_env = "")
+{
+    AgentProc agent;
+    const std::string dir = ::testing::TempDir();
+    const std::string portfile = dir + "agent_" + tag + ".port";
+    const std::string pidfile = dir + "agent_" + tag + ".pid";
+    std::remove(portfile.c_str());
+    std::remove(pidfile.c_str());
+    const std::string cmd = extra_env + " " + agentBinary() +
+                            " --port=0 --workers=2 > " + portfile +
+                            " 2>/dev/null & echo $! > " + pidfile;
+    if (std::system(("sh -c '" + cmd + "'").c_str()) != 0)
+        return agent;
+    for (int i = 0; i < 200; ++i) {
+        std::ifstream in(portfile);
+        std::string word;
+        unsigned port = 0;
+        if (in >> word >> port && word == "agent.port" && port != 0) {
+            std::ifstream pf(pidfile);
+            pf >> agent.pid;
+            agent.port = (uint16_t)port;
+            return agent;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return agent;
+}
+
+void
+stopAgent(AgentProc &agent)
+{
+    if (!agent.live())
+        return;
+    ::kill(agent.pid, SIGTERM);
+    for (int i = 0; i < 200; ++i) {
+        if (::kill(agent.pid, 0) != 0) {
+            agent.pid = -1;
+            return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ::kill(agent.pid, SIGKILL);
+    agent.pid = -1;
+}
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!std::ifstream(agentBinary()).good())
+            GTEST_SKIP() << "rarpred-agent not built in this tree";
+    }
+
+    void
+    TearDown() override
+    {
+        disarmDriverFaults();
+        for (AgentProc &a : agents_)
+            stopAgent(a);
+    }
+
+    /** Spawn + track an agent; stopped (if still live) at TearDown.
+     *  Returned by value: agents_ may reallocate on later spawns. */
+    AgentProc
+    agent(const std::string &tag, const std::string &extra_env = "")
+    {
+        agents_.push_back(spawnAgent(tag, extra_env));
+        return agents_.back();
+    }
+
+    std::vector<AgentProc> agents_;
+};
+
+/** All 18 paper workloads x the RAR cloaking config: 18 cells. */
+std::vector<service::CellConfigMsg>
+testGrid()
+{
+    service::CellConfigMsg rar;
+    rar.cloakEnabled = 1;
+    return {rar};
+}
+
+struct GridRun
+{
+    std::vector<CpuStats> cells;
+    FleetStats fleet;
+    bool hadFleet = false;
+    Status status;
+};
+
+/** Run the full-workload grid; empty @p agents = serial reference. */
+GridRun
+runGrid(const std::string &agents)
+{
+    RunnerConfig rc;
+    rc.workers = agents.empty() ? 1 : 4;
+    rc.maxInsts = kMaxInsts;
+    rc.remoteAgents = agents;
+    SimJobRunner runner(rc);
+
+    auto swept = runCellSweep(runner, allWorkloadPtrs(), testGrid());
+
+    GridRun out;
+    out.status = swept.status;
+    if (swept.status.ok())
+        for (size_t i = 0; i < swept.size(); ++i)
+            out.cells.push_back(swept[i]);
+    if (FleetDispatcher *fleet = runner.fleet()) {
+        out.fleet = fleet->stats();
+        out.hadFleet = true;
+    }
+    return out;
+}
+
+void
+expectByteIdentical(const GridRun &got, const GridRun &want)
+{
+    ASSERT_TRUE(got.status.ok()) << got.status.toString();
+    ASSERT_TRUE(want.status.ok()) << want.status.toString();
+    ASSERT_EQ(got.cells.size(), want.cells.size());
+    for (size_t i = 0; i < got.cells.size(); ++i)
+        EXPECT_EQ(std::memcmp(&got.cells[i], &want.cells[i],
+                              sizeof(CpuStats)),
+                  0)
+            << "cell " << i << " diverged from the serial reference";
+}
+
+std::string
+loopback(const AgentProc &agent)
+{
+    return "127.0.0.1:" + std::to_string(agent.port);
+}
+
+// -------------------------------------------------- address parsing
+
+TEST(FleetParse, AcceptsHostPortLists)
+{
+    auto one = FleetDispatcher::parseAgentList("127.0.0.1:4000");
+    ASSERT_TRUE(one.ok()) << one.status().toString();
+    ASSERT_EQ(one->size(), 1u);
+    EXPECT_EQ((*one)[0].first, "127.0.0.1");
+    EXPECT_EQ((*one)[0].second, 4000);
+
+    auto two =
+        FleetDispatcher::parseAgentList("10.0.0.1:1,10.0.0.2:65535");
+    ASSERT_TRUE(two.ok()) << two.status().toString();
+    ASSERT_EQ(two->size(), 2u);
+    EXPECT_EQ((*two)[1].second, 65535);
+}
+
+TEST(FleetParse, RejectsMalformedEntries)
+{
+    EXPECT_FALSE(FleetDispatcher::parseAgentList("").ok());
+    EXPECT_FALSE(FleetDispatcher::parseAgentList("noport").ok());
+    EXPECT_FALSE(FleetDispatcher::parseAgentList("host:").ok());
+    EXPECT_FALSE(FleetDispatcher::parseAgentList("host:0").ok());
+    EXPECT_FALSE(FleetDispatcher::parseAgentList("host:65536").ok());
+    EXPECT_FALSE(FleetDispatcher::parseAgentList("host:12x").ok());
+    EXPECT_FALSE(FleetDispatcher::parseAgentList(",,").ok());
+}
+
+// ------------------------------------------------------ byte identity
+
+TEST_F(FleetTest, LoopbackSweepMatchesSerialByteForByte)
+{
+    const GridRun serial = runGrid("");
+    const AgentProc a = agent("loopback");
+    ASSERT_TRUE(a.live()) << "agent failed to start";
+    const GridRun fleet = runGrid(loopback(a));
+    expectByteIdentical(fleet, serial);
+    ASSERT_TRUE(fleet.hadFleet);
+    EXPECT_EQ(fleet.fleet.resultsAccepted, 18u)
+        << "cells did not actually run on the agent";
+    EXPECT_EQ(fleet.fleet.leasesExpired, 0u);
+    EXPECT_EQ(fleet.fleet.determinismViolations, 0u);
+    EXPECT_FALSE(fleet.fleet.degraded);
+}
+
+// ---------------------------------------------- agent loss + leases
+
+TEST_F(FleetTest, AgentKillMidSweepReassignsTheLease)
+{
+    const GridRun serial = runGrid("");
+    const AgentProc healthy = agent("survivor");
+    ASSERT_TRUE(healthy.live());
+    // The doomed agent raises SIGKILL on its 4th lease: the POLLHUP
+    // expires that lease and the cell must be reassigned to the
+    // survivor, costing a retry, never a wrong or missing cell.
+    const AgentProc doomed =
+        agent("doomed", "RARPRED_FAULT=agent_kill:3");
+    ASSERT_TRUE(doomed.live());
+    const GridRun fleet =
+        runGrid(loopback(healthy) + "," + loopback(doomed));
+    expectByteIdentical(fleet, serial);
+    ASSERT_TRUE(fleet.hadFleet);
+    EXPECT_GE(fleet.fleet.leasesExpired, 1u);
+    EXPECT_GE(fleet.fleet.leasesReassigned, 1u);
+    EXPECT_EQ(fleet.fleet.resultsAccepted, 18u);
+    EXPECT_EQ(fleet.fleet.determinismViolations, 0u);
+    EXPECT_FALSE(fleet.fleet.degraded);
+}
+
+TEST_F(FleetTest, UnreachableFleetDegradesAndRunsLocally)
+{
+    const GridRun serial = runGrid("");
+    // Port 1 on loopback: connects are refused, every agent demotes
+    // after its consecutive-failure budget, and the dispatcher goes
+    // sticky-degraded — each cell falls back to local execution with
+    // identical results.
+    const GridRun fleet = runGrid("127.0.0.1:1");
+    expectByteIdentical(fleet, serial);
+    ASSERT_TRUE(fleet.hadFleet);
+    EXPECT_TRUE(fleet.fleet.degraded);
+    EXPECT_GE(fleet.fleet.agentsDemoted, 1u);
+    EXPECT_GE(fleet.fleet.connectFailures, 1u);
+    EXPECT_EQ(fleet.fleet.resultsAccepted, 0u);
+}
+
+// --------------------------------------- duplicates + determinism
+
+TEST_F(FleetTest, DuplicateLeaseResultIsDedupedByFingerprint)
+{
+    const GridRun serial = runGrid("");
+    // The agent sends its 3rd LeaseResult twice. The duplicate must
+    // be recognized by cell fingerprint, compared byte-for-byte
+    // against the accepted completion, and dropped — never credited
+    // to another cell.
+    const AgentProc a = agent("dup", "RARPRED_FAULT=result_dup:2");
+    ASSERT_TRUE(a.live());
+    const GridRun fleet = runGrid(loopback(a));
+    expectByteIdentical(fleet, serial);
+    ASSERT_TRUE(fleet.hadFleet);
+    EXPECT_GE(fleet.fleet.duplicateResults, 1u);
+    EXPECT_EQ(fleet.fleet.determinismViolations, 0u);
+    EXPECT_EQ(fleet.fleet.resultsAccepted, 18u);
+}
+
+// ------------------------------------------------------- stragglers
+
+TEST_F(FleetTest, StragglerPastHeartbeatBudgetExpiresAndRetries)
+{
+    // Drive the dispatcher directly with a tight heartbeat budget:
+    // the agent's first lease stalls 3 s before beaconing (net_slow),
+    // which must expire the lease at ~0.5 s of silence; the retry on
+    // a fresh connection (fault consumed) completes the cell.
+    const AgentProc a = agent("slow", "RARPRED_FAULT=net_slow:0");
+    ASSERT_TRUE(a.live());
+
+    FleetConfig config;
+    config.agents = loopback(a);
+    config.heartbeatTimeoutMs = 500;
+    FleetDispatcher fleet(config);
+    ASSERT_TRUE(fleet.start().ok());
+
+    WorkerJobDesc job;
+    job.token = 0;
+    job.workload = allWorkloadPtrs()[0]->abbrev;
+    job.maxInsts = kMaxInsts;
+    job.config = testGrid()[0];
+    auto r = fleet.runJob(job);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+
+    const FleetStats stats = fleet.stats();
+    EXPECT_GE(stats.leasesExpired, 1u);
+    EXPECT_GE(stats.leasesReassigned, 1u);
+    EXPECT_EQ(stats.resultsAccepted, 1u);
+    EXPECT_FALSE(stats.degraded);
+    fleet.stop();
+}
+
+// -------------------------------------------------- lifecycle edges
+
+TEST_F(FleetTest, StoppedDispatcherRefusesWork)
+{
+    const AgentProc a = agent("stopped");
+    ASSERT_TRUE(a.live());
+    FleetConfig config;
+    config.agents = loopback(a);
+    FleetDispatcher fleet(config);
+    ASSERT_TRUE(fleet.start().ok());
+    fleet.stop();
+
+    WorkerJobDesc job;
+    job.workload = allWorkloadPtrs()[0]->abbrev;
+    job.maxInsts = kMaxInsts;
+    job.config = testGrid()[0];
+    EXPECT_EQ(fleet.runJob(job).status().code(),
+              StatusCode::Unavailable);
+    EXPECT_TRUE(fleet.degraded());
+}
+
+} // namespace
+} // namespace rarpred::driver

@@ -168,6 +168,73 @@ TEST_F(ServiceTest, CorruptStoreEntryIsHealedByResimulation)
     daemon.stop();
 }
 
+TEST_F(ServiceTest, FullDiskSkipsCachingButStillServesResults)
+{
+    Paths paths("enospc");
+    SweepDaemon daemon(testDaemonConfig(paths));
+    ASSERT_TRUE(daemon.serve().ok());
+
+    // Every durable write hits a full disk for the whole first
+    // sweep. A cache that cannot persist is a cache miss, never a
+    // failed cell: the reply must complete with zero errors.
+    armDriverFault(DriverFaultPoint::StoreEnospc,
+                   kDriverFaultAnyIndex, /*times=*/100);
+    const SweepRequestMsg req = smallRequest();
+    const ServiceClient client(paths.socket);
+    auto first = client.sweep(req);
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    EXPECT_EQ(first->done.errors, 0u);
+    EXPECT_EQ(daemon.counters().storeWrites, 0u)
+        << "a failed put must not be counted as persisted";
+    EXPECT_EQ(daemon.counters().cellsSimulated, 2u);
+
+    // Disk recovered: the replay re-simulates (nothing was cached)
+    // byte-identically and persists this time.
+    disarmDriverFaults();
+    auto second = client.sweep(req);
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    EXPECT_EQ(second->done.storeHits, 0u);
+    EXPECT_EQ(daemon.counters().storeWrites, 2u);
+    EXPECT_EQ(ServiceClient::replyTable(req, *first),
+              ServiceClient::replyTable(req, *second));
+    daemon.stop();
+}
+
+// ---------------------------------------------- client deadlines
+
+TEST_F(ServiceTest, ClientTimeoutBoundsASilentServer)
+{
+    // A listener that accepts connections and then never says a
+    // word: without a client-side deadline, status() would block
+    // forever on a daemon that wedged after accept.
+    const std::string path = ::testing::TempDir() + "silent.sock";
+    std::remove(path.c_str());
+    const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(lfd, (const sockaddr *)&addr, sizeof(addr)), 0);
+    ASSERT_EQ(::listen(lfd, 4), 0);
+
+    const ServiceClient client(path, /*timeout_ms=*/300);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto probe = client.status();
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    EXPECT_EQ(probe.status().code(), StatusCode::DeadlineExceeded)
+        << probe.status().toString();
+    EXPECT_LT(waited.count(), 5000) << "deadline did not bound the wait";
+
+    auto swept = client.sweep(smallRequest());
+    EXPECT_EQ(swept.status().code(), StatusCode::DeadlineExceeded)
+        << swept.status().toString();
+    ::close(lfd);
+    std::remove(path.c_str());
+}
+
 // ------------------------------------------------------- admission
 
 TEST_F(ServiceTest, FullQueueShedsWithResourceExhausted)

@@ -428,6 +428,76 @@ TEST(ServiceMessages, WorkerResultHelloHeartbeatRoundTrip)
     EXPECT_EQ(b->seq, 9u);
 }
 
+TEST(ServiceMessages, AgentHelloAndHeartbeatRoundTrip)
+{
+    AgentHelloMsg hello;
+    hello.pid = 4242;
+    hello.slots = 16;
+    auto h = AgentHelloMsg::decode(hello.encode());
+    ASSERT_TRUE(h.ok()) << h.status().toString();
+    EXPECT_EQ(h->pid, 4242u);
+    EXPECT_EQ(h->protoVersion, kAgentProtoVersion);
+    EXPECT_EQ(h->slots, 16u);
+
+    // Slot counts outside 1..4096 cannot have come from a sane
+    // agent; the decoder must refuse them rather than let a corrupt
+    // hello size dispatcher-side bookkeeping.
+    AgentHelloMsg bad;
+    bad.slots = 0;
+    EXPECT_FALSE(AgentHelloMsg::decode(bad.encode()).ok());
+    bad.slots = 5000;
+    EXPECT_FALSE(AgentHelloMsg::decode(bad.encode()).ok());
+
+    AgentHeartbeatMsg beat;
+    beat.leaseId = 77;
+    beat.seq = 3;
+    auto b = AgentHeartbeatMsg::decode(beat.encode());
+    ASSERT_TRUE(b.ok()) << b.status().toString();
+    EXPECT_EQ(b->leaseId, 77u);
+    EXPECT_EQ(b->seq, 3u);
+}
+
+TEST(ServiceMessages, LeaseRequestAndResultRoundTrip)
+{
+    LeaseRequestMsg lease;
+    lease.leaseId = 0xabcdef01ULL;
+    lease.leaseMs = 12000;
+    lease.job.token = 7;
+    lease.job.workload = "compress";
+    lease.job.scale = 2;
+    lease.job.maxInsts = 50000;
+    lease.job.deadlineMs = 10000;
+    lease.job.config.cloakEnabled = 1;
+    EXPECT_TRUE(lease.validate().ok());
+    auto l = LeaseRequestMsg::decode(lease.encode());
+    ASSERT_TRUE(l.ok()) << l.status().toString();
+    EXPECT_EQ(l->leaseId, lease.leaseId);
+    EXPECT_EQ(l->leaseMs, 12000u);
+    EXPECT_EQ(l->job.token, 7u);
+    EXPECT_EQ(l->job.workload, "compress");
+    EXPECT_EQ(l->job.maxInsts, 50000u);
+    EXPECT_EQ(l->job.config.cloakEnabled, 1);
+
+    LeaseResultMsg result;
+    result.leaseId = 0xabcdef01ULL;
+    result.result.token = 7;
+    result.result.errorCode = (uint8_t)StatusCode::NotFound;
+    result.result.errorMsg = "unknown workload";
+    result.result.stats.cycles = 99;
+    auto r = LeaseResultMsg::decode(result.encode());
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->leaseId, result.leaseId);
+    EXPECT_EQ(r->result.error().code(), StatusCode::NotFound);
+    EXPECT_EQ(r->result.error().message(), "unknown workload");
+    EXPECT_EQ(r->result.stats.cycles, 99u);
+
+    // Trailing garbage after a well-formed message means a framing
+    // bug upstream; the embedded-message decoders must reject it.
+    std::vector<uint8_t> padded = lease.encode();
+    padded.push_back(0);
+    EXPECT_FALSE(LeaseRequestMsg::decode(padded).ok());
+}
+
 TEST(ServiceMessages, DecodersSurviveRandomBytes)
 {
     // Random payload fuzz against every message decoder: whatever
@@ -463,6 +533,21 @@ TEST(ServiceMessages, DecodersSurviveRandomBytes)
         }
         (void)WorkerHelloMsg::decode(bytes);
         (void)WorkerHeartbeatMsg::decode(bytes);
+        auto ahello = AgentHelloMsg::decode(bytes);
+        if (ahello.ok()) {
+            EXPECT_GE(ahello->slots, 1u);
+            EXPECT_LE(ahello->slots, 4096u);
+        }
+        (void)AgentHeartbeatMsg::decode(bytes);
+        auto alease = LeaseRequestMsg::decode(bytes);
+        if (alease.ok()) {
+            EXPECT_TRUE(alease->job.config.validate().ok());
+        }
+        auto aresult = LeaseResultMsg::decode(bytes);
+        if (aresult.ok()) {
+            EXPECT_LE(aresult->result.errorCode,
+                      (uint8_t)StatusCode::Unavailable);
+        }
     }
 }
 
